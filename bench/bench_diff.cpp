@@ -1,0 +1,84 @@
+// F7 — Twin/diff efficiency. Part 1 (google-benchmark): raw wall-clock
+// encode/apply throughput. Part 2 (printed by the fixture at exit): diff
+// wire bytes vs fraction of the page dirtied — the crossover against
+// whole-page transfer.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/diff.hpp"
+
+namespace {
+
+using dsm::apply_diff;
+using dsm::encode_diff;
+
+std::vector<std::byte> dirty_fraction(const std::vector<std::byte>& base, double fraction,
+                                      std::uint64_t seed) {
+  auto page = base;
+  dsm::SplitMix64 rng(seed);
+  const auto words = page.size() / 8;
+  const auto to_dirty = static_cast<std::size_t>(fraction * static_cast<double>(words));
+  for (std::size_t i = 0; i < to_dirty; ++i) {
+    const auto w = rng.next_below(words);
+    page[w * 8] = std::byte{static_cast<unsigned char>(rng.next() | 1)};
+  }
+  return page;
+}
+
+void BM_EncodeDiff(benchmark::State& state) {
+  const std::vector<std::byte> base(4096, std::byte{0});
+  const auto page = dirty_fraction(base, static_cast<double>(state.range(0)) / 100.0, 99);
+  for (auto _ : state) {
+    auto diff = encode_diff(page, base);
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_EncodeDiff)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_ApplyDiff(benchmark::State& state) {
+  const std::vector<std::byte> base(4096, std::byte{0});
+  const auto page = dirty_fraction(base, static_cast<double>(state.range(0)) / 100.0, 7);
+  const auto diff = encode_diff(page, base);
+  auto target = base;
+  for (auto _ : state) {
+    apply_diff(target, diff);
+    benchmark::DoNotOptimize(target);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(diff.size()));
+}
+BENCHMARK(BM_ApplyDiff)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_MakeTwin(benchmark::State& state) {
+  const std::vector<std::byte> page(static_cast<std::size_t>(state.range(0)), std::byte{1});
+  for (auto _ : state) {
+    auto twin = dsm::make_twin(page);
+    benchmark::DoNotOptimize(twin);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_MakeTwin)->Arg(4096)->Arg(16384);
+
+// Part 2: the wire-bytes table (F7 proper), printed once after the timing runs.
+struct DiffSizeTable {
+  ~DiffSizeTable() {
+    std::printf("\n=== F7 — diff wire bytes vs dirtied fraction (4 KiB page) ===\n");
+    std::printf("  %-12s %-12s %-12s %-10s\n", "dirty %", "diff bytes", "runs",
+                "vs full page");
+    const std::vector<std::byte> base(4096, std::byte{0});
+    for (const int percent : {1, 5, 10, 25, 50, 75, 100}) {
+      const auto page = dirty_fraction(base, percent / 100.0, 42);
+      const auto diff = encode_diff(page, base);
+      const auto stats = dsm::inspect_diff(diff);
+      std::printf("  %-12d %-12zu %-12zu %.2fx\n", percent, diff.size(), stats.runs,
+                  static_cast<double>(diff.size()) / 4096.0);
+    }
+    std::printf("  (crossover: a diff stops paying once dirty fraction nears 1)\n");
+  }
+} print_at_exit;
+
+}  // namespace

@@ -1,0 +1,49 @@
+// F2 — False sharing vs page size. The page-granularity problem that
+// motivated multiple-writer protocols: interleave every node's counters on
+// shared pages and watch single-writer invalidation ping-pong explode with
+// page size while twin/diff protocols stay flat. The padded layout is the
+// control.
+#include "apps/kernels.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  bench::Table table("F2 — false sharing: stride-writer kernel, 8 nodes",
+                     {"page KiB", "layout", "protocol", "virt ms", "msgs", "faults"});
+  table.note("interleaved: every page written by all 8 nodes each iteration");
+  table.note("padded: each node's counters on private pages (control)");
+
+  const ProtocolKind kinds[] = {ProtocolKind::kIvyDynamic, ProtocolKind::kErcInvalidate,
+                                ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+                                ProtocolKind::kHlrc};
+  const auto os_page = ViewRegion::os_page_size();
+
+  for (const std::size_t pages_per : {1u, 2u, 4u, 8u}) {
+    for (const bool padded : {false, true}) {
+      for (const auto protocol : kinds) {
+        Config cfg = bench::base_config(8, 64, protocol);
+        cfg.page_size = pages_per * os_page;
+        System sys(cfg);
+        apps::FalseSharingParams params;
+        params.counters_per_node = 64;  // 512 B per node per "row"
+        params.iterations = 8;
+        params.padded = padded;
+        const auto result = apps::run_false_sharing(sys, params);
+        const auto snap = sys.stats();
+        if (result.checksum != params.counters_per_node * 8u *
+                                   static_cast<std::uint64_t>(params.iterations)) {
+          table.add_row({"CHECKSUM MISMATCH", "", std::string(to_string(protocol)), "", "", ""});
+          continue;
+        }
+        table.add_row({std::to_string(pages_per * os_page / 1024), padded ? "padded" : "interleaved",
+                       std::string(to_string(protocol)), bench::fmt_ms(result.virtual_ns),
+                       bench::fmt_count(snap.counter("net.msgs")),
+                       bench::fmt_count(snap.counter("proto.read_faults") +
+                                        snap.counter("proto.write_faults"))});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

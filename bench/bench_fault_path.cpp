@@ -1,0 +1,108 @@
+// T1 + T2 — Fault-path message counts and modeled latency per protocol.
+// Re-derives the classic per-protocol cost tables (Li & Hudak §4;
+// Nitzberg & Lo's protocol comparison): what does a cold read miss, a write
+// miss on a read-shared page, and a lock-protected migratory update cost?
+#include <atomic>
+
+#include "../tests/test_util.hpp"
+#include "harness.hpp"
+
+namespace {
+
+using namespace dsm;
+
+struct Probe {
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t fault_p50_ns = 0;
+};
+
+Probe measure(System& sys, const std::function<void(Worker&)>& body) {
+  sys.reset_stats();
+  sys.run(body);
+  const auto snap = sys.stats();
+  Probe p;
+  p.msgs = snap.counter("net.msgs");
+  p.bytes = snap.counter("net.bytes");
+  const auto it = snap.histograms.find("proto.fault_service_ns");
+  if (it != snap.histograms.end() && it->second.count > 0) p.fault_p50_ns = it->second.p50;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  bench::Table table("T1/T2 — fault-path cost per protocol (4 nodes, 10 us links, 10 MB/s)",
+                     {"protocol", "scenario", "msgs", "bytes", "fault p50 (us)"});
+  table.note("cold-read: node 1 first touch of a page homed at node 0");
+  table.note("write-upgrade: write to a page all 4 nodes hold read-only (+release where eager)");
+  table.note("migratory: one lock-protected counter update by a non-owner");
+  table.note("EC has no page faults by design: data moves with its lock.");
+
+  for (const auto protocol : bench::all_protocols()) {
+    System sys(bench::base_config(4, 16, protocol));
+    const auto cell = sys.alloc_page_aligned<std::uint64_t>();  // page 0, home node 0
+    const bool ec = protocol == ProtocolKind::kEc;
+
+    // Preamble: EC binding.
+    if (ec) {
+      sys.run([&](Worker& w) {
+        w.bind(1, cell);
+        w.barrier(0);
+      });
+    }
+
+    // --- cold read miss ---
+    const auto cold = measure(sys, [&](Worker& w) {
+      if (w.id() == 1) {
+        if (ec) {
+          w.acquire(1);
+          dsm::test::force_read(w.get(cell));
+          w.release(1);
+        } else {
+          dsm::test::force_read(w.get(cell));
+        }
+      }
+    });
+    table.add_row({std::string(to_string(protocol)), "cold-read",
+                   bench::fmt_count(cold.msgs), bench::fmt_count(cold.bytes),
+                   bench::fmt_double(static_cast<double>(cold.fault_p50_ns) / 1000.0, 1)});
+
+    // --- replicate everywhere, then write-upgrade by node 1 ---
+    sys.run([&](Worker& w) {
+      if (!ec) dsm::test::force_read(w.get(cell));
+      w.barrier(0);
+    });
+    const auto upgrade = measure(sys, [&](Worker& w) {
+      if (w.id() == 1) {
+        if (ec) {
+          w.acquire(1);
+          *w.get(cell) += 1;
+          w.release(1);
+        } else {
+          w.acquire(1);  // the RC protocols' writes only count with the release
+          *w.get(cell) += 1;
+          w.release(1);
+        }
+      }
+    });
+    table.add_row({std::string(to_string(protocol)), "write-upgrade",
+                   bench::fmt_count(upgrade.msgs), bench::fmt_count(upgrade.bytes),
+                   bench::fmt_double(static_cast<double>(upgrade.fault_p50_ns) / 1000.0, 1)});
+
+    // --- migratory: node 2 takes the counter from node 1 ---
+    const auto migratory = measure(sys, [&](Worker& w) {
+      if (w.id() == 2) {
+        w.acquire(1);
+        *w.get(cell) += 1;
+        w.release(1);
+      }
+    });
+    table.add_row({std::string(to_string(protocol)), "migratory",
+                   bench::fmt_count(migratory.msgs), bench::fmt_count(migratory.bytes),
+                   bench::fmt_double(static_cast<double>(migratory.fault_p50_ns) / 1000.0, 1)});
+  }
+
+  table.print();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// F1 — Manager algorithms: central vs fixed vs dynamic as N grows.
+// Re-derives Li & Hudak's comparison: on a migratory page, the dynamic
+// distributed manager's probable-owner chains (with path compression) beat
+// the fixed round trip through a manager, and the central manager becomes a
+// hot spot the moment many pages are in flight.
+#include "apps/kernels.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  bench::Table table(
+      "F1 — manager placement on a migratory counter (lock-ordered ring)",
+      {"nodes", "protocol", "virt ms", "msgs", "forwards", "msgs/handoff"});
+  table.note("workload: run_migratory — one counter circulates rounds x N times");
+  table.note("'forwards' = probable-owner chain hops (dynamic manager only)");
+
+  const ProtocolKind kinds[] = {ProtocolKind::kIvyCentral, ProtocolKind::kIvyFixed,
+                                ProtocolKind::kIvyDynamic};
+  for (const std::size_t nodes : {2u, 4u, 8u, 16u, 32u}) {
+    for (const auto protocol : kinds) {
+      System sys(bench::base_config(nodes, 16, protocol));
+      apps::MigratoryParams params;
+      params.rounds = 8;
+      const auto result = apps::run_migratory(sys, params);
+      const auto snap = sys.stats();
+      const double handoffs = static_cast<double>(params.rounds) * static_cast<double>(nodes);
+      // Barrier traffic dominates the raw count; charge only coherence types.
+      const std::uint64_t coherence =
+          snap.counter("net.msgs.ReadRequest") + snap.counter("net.msgs.WriteRequest") +
+          snap.counter("net.msgs.ReadForward") + snap.counter("net.msgs.WriteForward") +
+          snap.counter("net.msgs.ReadReply") + snap.counter("net.msgs.WriteReply") +
+          snap.counter("net.msgs.Invalidate") + snap.counter("net.msgs.InvalidateAck") +
+          snap.counter("net.msgs.Confirm");
+      table.add_row({std::to_string(nodes), std::string(to_string(protocol)),
+                     bench::fmt_ms(result.virtual_ns), bench::fmt_count(coherence),
+                     bench::fmt_count(snap.counter("ivy.forwards")),
+                     bench::fmt_double(static_cast<double>(coherence) / handoffs, 2)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// F8 — Blocked matrix multiply: the coarse-grained control experiment.
+// Sharing is read-mostly (B) and write-private (C rows), so every protocol
+// should scale about the same — demonstrating that protocol choice only
+// matters when sharing is fine-grained.
+#include "apps/matmul.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  apps::MatmulParams params;
+  params.n = 96;
+
+  bench::Table table("F8 — matmul 96x96: speedup vs nodes (coarse-grain control)",
+                     {"protocol", "nodes", "virt ms", "speedup", "msgs"});
+
+  const std::size_t bytes = 3 * params.n * params.n * sizeof(double);
+  const double expected = apps::matmul_reference_checksum(params);
+
+  for (const auto protocol : bench::all_protocols()) {
+    VirtualTime t1 = 0;
+    for (const std::size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+      Config cfg = bench::base_config(nodes, 0, protocol);
+      cfg.n_pages = 2 * (bytes / cfg.page_size + 4);
+      System sys(cfg);
+      const auto result = apps::run_matmul(sys, params);
+      const auto snap = sys.stats();
+      if (nodes == 1) t1 = result.virtual_ns;
+      const bool ok = result.checksum == expected;
+      table.add_row({std::string(to_string(protocol)), std::to_string(nodes),
+                     bench::fmt_ms(result.virtual_ns),
+                     bench::fmt_double(static_cast<double>(t1) /
+                                           static_cast<double>(
+                                               std::max<VirtualTime>(result.virtual_ns, 1)),
+                                       2) +
+                         (ok ? "" : " (BAD CHECKSUM)"),
+                     bench::fmt_count(snap.counter("net.msgs"))});
+    }
+  }
+  table.print();
+  return 0;
+}

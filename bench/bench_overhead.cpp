@@ -1,0 +1,52 @@
+// T3 — Space and traffic overhead per protocol on a real application run
+// (SOR 64x64 on 8 nodes): bytes on the wire, messages per class, diff bytes
+// created, and how many page copies exist at the end.
+#include "apps/sor.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  apps::SorParams params;
+  params.rows = 64;
+  params.cols = 64;
+  params.iterations = 6;
+
+  bench::Table table("T3 — overhead on SOR 64x64, 8 nodes, 6 sweeps",
+                     {"protocol", "msgs", "KiB wire", "faults", "diff KiB",
+                      "replicated pages", "KiB/sweep"});
+  table.note("'replicated pages' = read-only copies across all nodes at the end");
+  table.note("'diff KiB' = twin/diff payloads created (multiple-writer protocols)");
+
+  const std::size_t grid_bytes = (params.rows + 2) * (params.cols + 2) * sizeof(double);
+
+  for (const auto protocol : bench::all_protocols()) {
+    Config cfg = bench::base_config(8, 0, protocol);
+    cfg.n_pages = 2 * (grid_bytes / cfg.page_size + 2);
+    System sys(cfg);
+    const auto result = apps::run_sor(sys, params);
+    const double expected = apps::sor_reference_checksum(params);
+    if (std::abs(result.checksum - expected) > 1e-6 * std::abs(expected)) {
+      table.add_row({std::string(to_string(protocol)), "BAD CHECKSUM", "", "", "", "", ""});
+      continue;
+    }
+    const auto snap = sys.stats();
+    std::size_t replicated = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+      replicated += sys.table(n).count_in_state(PageState::kReadOnly);
+    }
+    const auto diff_bytes =
+        snap.counter("erc.diff_bytes") + snap.counter("lrc.diff_bytes_created") +
+        snap.counter("ec.diff_bytes");
+    table.add_row(
+        {std::string(to_string(protocol)), bench::fmt_count(snap.counter("net.msgs")),
+         bench::fmt_count(snap.counter("net.bytes") / 1024),
+         bench::fmt_count(snap.counter("proto.read_faults") +
+                          snap.counter("proto.write_faults")),
+         bench::fmt_count(diff_bytes / 1024), bench::fmt_count(replicated),
+         bench::fmt_count(snap.counter("net.bytes") / 1024 /
+                          static_cast<std::uint64_t>(params.iterations))});
+  }
+  table.print();
+  return 0;
+}

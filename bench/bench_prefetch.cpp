@@ -1,0 +1,91 @@
+// A2 — demand fetch vs prefetch vs eager sharing on Gaussian elimination:
+// the three-way comparison of the era (the HICSS'94 sibling paper's Figure 5
+// shape). Prefetch hides part of the demand latency; update-based "eager"
+// propagation hides all of it by pushing data before it is asked for.
+#include <atomic>
+
+#include "apps/gauss.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  apps::GaussParams params;
+  params.n = 256;
+
+  bench::Table table("A2 — demand vs prefetch vs eager: Gaussian elimination, 256 eqns",
+                     {"variant", "nodes", "virt ms", "speedup", "demand faults",
+                      "prefetches"});
+  table.note("demand/prefetch = ivy-dynamic; eager = erc-update (push at release)");
+
+  struct Variant {
+    const char* name;
+    ProtocolKind protocol;
+    std::size_t prefetch;
+  };
+  const Variant variants[] = {
+      {"demand", ProtocolKind::kIvyDynamic, 0},
+      {"prefetch-1", ProtocolKind::kIvyDynamic, 1},
+      {"prefetch-4", ProtocolKind::kIvyDynamic, 4},
+      {"eager (erc-upd)", ProtocolKind::kErcUpdate, 0},
+      {"hlrc", ProtocolKind::kHlrc, 0},
+  };
+
+  // ---- Part 1: streaming broadcast read (prefetch's best case) ----------
+  bench::Table scan_table(
+      "A2a — sequential scan of a 64-page table written by node 0 (8 nodes)",
+      {"variant", "virt ms of scan", "demand faults", "prefetches"});
+  scan_table.note("each reader scans all pages in order; latency hiding is the whole game");
+  for (const std::size_t depth : {0u, 1u, 2u, 4u, 8u}) {
+    Config cfg = bench::base_config(8, 80, ProtocolKind::kIvyDynamic);
+    cfg.prefetch_pages = depth;
+    System sys(cfg);
+    const std::size_t per_page = cfg.page_size / sizeof(std::uint64_t);
+    const auto tbl = sys.alloc_page_aligned<std::uint64_t>(64 * per_page);
+    sys.reset_clocks();
+    std::atomic<std::uint64_t> sink{0};
+    sys.run([&](Worker& w) {
+      if (w.id() == 0) {
+        for (std::size_t p = 0; p < 64; ++p) w.get(tbl)[p * per_page] = p;
+      }
+      w.barrier(0);
+      std::uint64_t s = 0;
+      for (std::size_t p = 0; p < 64; ++p) {
+        s += w.get(tbl)[p * per_page];
+        w.compute(per_page);  // touch-and-process pacing
+      }
+      sink += s;
+      w.barrier(0);
+    });
+    const auto snap = sys.stats();
+    scan_table.add_row({depth == 0 ? "demand" : ("prefetch-" + std::to_string(depth)),
+                        bench::fmt_ms(sys.virtual_time()),
+                        bench::fmt_count(snap.counter("proto.read_faults")),
+                        bench::fmt_count(snap.counter("proto.prefetches"))});
+  }
+  scan_table.print();
+
+  // ---- Part 2: gauss — where naive sequential prefetch backfires ---------
+  for (const auto& variant : variants) {
+    VirtualTime t1 = 0;
+    for (const std::size_t nodes : {1u, 4u, 8u, 16u}) {
+      Config cfg = bench::base_config(nodes, 0, variant.protocol);
+      cfg.n_pages = apps::gauss_pages_needed(params, cfg.page_size);
+      cfg.prefetch_pages = variant.prefetch;
+      System sys(cfg);
+      const auto result = apps::run_gauss(sys, params);
+      const auto snap = sys.stats();
+      if (nodes == 1) t1 = result.virtual_ns;
+      table.add_row({variant.name, std::to_string(nodes), bench::fmt_ms(result.virtual_ns),
+                     bench::fmt_double(static_cast<double>(t1) /
+                                           static_cast<double>(
+                                               std::max<VirtualTime>(result.virtual_ns, 1)),
+                                       2) +
+                         (result.max_error < 1e-9 ? "" : " (BAD RESULT)"),
+                     bench::fmt_count(snap.counter("proto.read_faults")),
+                     bench::fmt_count(snap.counter("proto.prefetches"))});
+    }
+  }
+  table.print();
+  return 0;
+}

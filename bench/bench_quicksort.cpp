@@ -1,0 +1,46 @@
+// F9 — Distributed quicksort (IVY's celebrated application): dynamic work
+// distribution over a shared stack; pages migrate with the ranges. The
+// protocols that move data cheaply with ownership win; EC cannot express
+// the dynamic bindings at all (see apps/quicksort.hpp).
+#include "apps/quicksort.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  apps::QuicksortParams params;
+  params.n = 64 * 1024;
+  params.threshold = 2048;
+
+  bench::Table table("F9 — quicksort of 64K words: traffic vs nodes",
+                     {"protocol", "nodes", "virt ms", "speedup", "msgs", "ok"});
+  table.note("entry consistency excluded: no static binding for dynamic ranges");
+  table.note("NOTE: dynamic work stealing makes per-node load depend on the host");
+  table.note("scheduler, so virtual speedup is noisy — compare the traffic column:");
+  table.note("how much page motion each protocol needs for the same migratory work.");
+
+  const ProtocolKind kinds[] = {ProtocolKind::kIvyCentral, ProtocolKind::kIvyDynamic,
+                                ProtocolKind::kErcInvalidate, ProtocolKind::kErcUpdate,
+                                ProtocolKind::kLrc, ProtocolKind::kHlrc};
+  for (const auto protocol : kinds) {
+    VirtualTime t1 = 0;
+    for (const std::size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+      Config cfg = bench::base_config(nodes, 0, protocol);
+      cfg.n_pages = apps::quicksort_pages_needed(params, cfg.page_size);
+      System sys(cfg);
+      const auto result = apps::run_quicksort(sys, params);
+      const auto snap = sys.stats();
+      if (nodes == 1) t1 = result.virtual_ns;
+      table.add_row({std::string(to_string(protocol)), std::to_string(nodes),
+                     bench::fmt_ms(result.virtual_ns),
+                     bench::fmt_double(static_cast<double>(t1) /
+                                           static_cast<double>(
+                                               std::max<VirtualTime>(result.virtual_ns, 1)),
+                                       2),
+                     bench::fmt_count(snap.counter("net.msgs")),
+                     result.sorted && result.permutation_ok ? "yes" : "NO"});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// F3 — SOR speedup vs nodes per protocol (the TreadMarks/IVY headline
+// figure). Near-linear scaling for the relaxed protocols on this
+// boundary-sharing-only workload; single-writer invalidation pays on the
+// partition boundaries.
+#include "apps/sor.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  apps::SorParams params;
+  params.rows = 256;
+  params.cols = 256;
+  params.iterations = 4;
+
+  bench::Table table("F3 — red-black SOR 256x256, 4 sweeps: speedup vs nodes",
+                     {"protocol", "nodes", "virt ms", "speedup", "msgs", "bytes/node"});
+  table.note("speedup = virtual time on 1 node / virtual time on N nodes");
+
+  const std::size_t grid_bytes = (params.rows + 2) * (params.cols + 2) * sizeof(double);
+
+  for (const auto protocol : bench::all_protocols()) {
+    VirtualTime t1 = 0;
+    for (const std::size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+      Config cfg = bench::base_config(nodes, 0, protocol);
+      cfg.n_pages = 2 * (grid_bytes / cfg.page_size + 2);
+      System sys(cfg);
+      const auto result = apps::run_sor(sys, params);
+      const double expected = apps::sor_reference_checksum(params);
+      const auto snap = sys.stats();
+      if (nodes == 1) t1 = result.virtual_ns;
+      const bool ok = std::abs(result.checksum - expected) < 1e-6 * std::abs(expected);
+      table.add_row(
+          {std::string(to_string(protocol)), std::to_string(nodes),
+           bench::fmt_ms(result.virtual_ns),
+           bench::fmt_double(static_cast<double>(t1) /
+                                 static_cast<double>(std::max<VirtualTime>(result.virtual_ns, 1)),
+                             2) +
+               (ok ? "" : " (BAD CHECKSUM)"),
+           bench::fmt_count(snap.counter("net.msgs")),
+           bench::fmt_count(snap.counter("net.bytes") / nodes)});
+    }
+  }
+  table.print();
+  return 0;
+}

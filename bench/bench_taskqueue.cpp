@@ -1,0 +1,50 @@
+// F6 — Task-queue throughput across protocols (the HICSS'94 sibling's
+// Figures 6/7 shape): one producer, N-1 consumers, two production/execution
+// grain ratios. Protocols that move the queue page quickly with the lock
+// keep consumers busy; demand-fetch ping-pong saturates first.
+#include "apps/task_queue.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace dsm;
+
+  bench::Table table("F6 — task farm: 1 producer + (N-1) consumers, 128 tasks",
+                     {"grain ratio", "nodes", "protocol", "virt ms", "speedup", "msgs"});
+  table.note("speedup vs 1 node executing serially; ratio = produce/process cost");
+
+  for (const std::uint64_t ratio : {100u, 2000u}) {
+    apps::TaskQueueParams params;
+    params.n_tasks = 128;
+    params.task_grain = 100 * ratio;  // produce_grain = 100 → ratio as labeled
+    params.produce_grain = 100;
+
+    // Serial baseline: all tasks on one node.
+    VirtualTime t1;
+    {
+      System sys(bench::base_config(1, 16, ProtocolKind::kIvyDynamic));
+      t1 = apps::run_task_queue(sys, params).virtual_ns;
+    }
+
+    for (const std::size_t nodes : {3u, 5u, 9u, 17u, 33u}) {
+      for (const auto protocol :
+           {ProtocolKind::kIvyDynamic, ProtocolKind::kErcUpdate, ProtocolKind::kLrc, ProtocolKind::kHlrc,
+            ProtocolKind::kEc}) {
+        System sys(bench::base_config(nodes, 16, protocol));
+        const auto result = apps::run_task_queue(sys, params);
+        const auto snap = sys.stats();
+        const bool ok = result.tasks_executed == params.n_tasks;
+        table.add_row(
+            {"1/" + std::to_string(ratio), std::to_string(nodes),
+             std::string(to_string(protocol)), bench::fmt_ms(result.virtual_ns),
+             bench::fmt_double(static_cast<double>(t1) /
+                                   static_cast<double>(
+                                       std::max<VirtualTime>(result.virtual_ns, 1)),
+                               2) +
+                 (ok ? "" : " (LOST TASKS)"),
+             bench::fmt_count(snap.counter("net.msgs"))});
+      }
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace dsm::bench {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::note(const std::string& line) { notes_.push_back(line); }
+
+void Table::add_row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+void Table::print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  for (const auto& n : notes_) std::printf("  %s\n", n.c_str());
+
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf(" ");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t c = 0; c < columns_.size(); ++c) rule += std::string(widths[c] + 1, '-');
+  std::printf(" %s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+const std::vector<ProtocolKind>& all_protocols() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kIvyCentral,    ProtocolKind::kIvyFixed,  ProtocolKind::kIvyDynamic,
+      ProtocolKind::kErcInvalidate, ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+      ProtocolKind::kHlrc,          ProtocolKind::kEc,
+  };
+  return kinds;
+}
+
+Config base_config(std::size_t nodes, std::size_t n_pages, ProtocolKind protocol) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = n_pages;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = protocol;
+  cfg.link.latency_ns = 10'000;  // 10 µs
+  cfg.link.ns_per_byte = 100;    // 10 MB/s
+  cfg.ns_per_op = 100;           // 10 MOPS sustained — a 1992 workstation
+  return cfg;
+}
+
+std::string fmt_ms(VirtualTime ns) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", static_cast<double>(ns) / 1e6);
+  return buffer;
+}
+
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_double(double v, int precision) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, v);
+  return buffer;
+}
+
+}  // namespace dsm::bench

@@ -1,0 +1,43 @@
+// Shared scaffolding for the experiment binaries: aligned table printing,
+// protocol enumeration, and config construction. Each bench regenerates one
+// experiment from DESIGN.md's per-experiment index and prints
+// self-describing rows to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/dsm.hpp"
+
+namespace dsm::bench {
+
+/// Prints a title banner and an aligned table.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Free-form context lines printed under the title.
+  void note(const std::string& line);
+  void add_row(const std::vector<std::string>& cells);
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> notes_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// All seven protocol variants, in the order DESIGN.md lists them.
+const std::vector<ProtocolKind>& all_protocols();
+
+/// A config with the standard experiment cost model (10 µs links, 10 MB/s,
+/// 10 MOPS sustained compute — an early-90s workstation LAN).
+Config base_config(std::size_t nodes, std::size_t n_pages,
+                   ProtocolKind protocol);
+
+std::string fmt_ms(VirtualTime ns);
+std::string fmt_count(std::uint64_t v);
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace dsm::bench

@@ -1,0 +1,43 @@
+// Distributed Gaussian elimination — IVY's original showcase application.
+// Solves a diagonally dominant system with rows spread cyclically across
+// nodes and verifies the solution, then reports how each protocol handled
+// the broadcast-pivot-row sharing pattern.
+//
+//   ./gauss_solver [n nodes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/gauss.hpp"
+#include "core/dsm.hpp"
+
+int main(int argc, char** argv) {
+  dsm::apps::GaussParams params;
+  params.n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  const std::size_t nodes = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+
+  std::printf("gauss solver: %zu equations on %zu nodes\n", params.n, nodes);
+  std::printf("%-16s %12s %12s %14s %12s\n", "protocol", "virt ms", "messages",
+              "read faults", "max |x-1|");
+
+  for (const auto protocol :
+       {dsm::ProtocolKind::kIvyCentral, dsm::ProtocolKind::kIvyFixed,
+        dsm::ProtocolKind::kIvyDynamic, dsm::ProtocolKind::kErcInvalidate,
+        dsm::ProtocolKind::kErcUpdate, dsm::ProtocolKind::kLrc,
+        dsm::ProtocolKind::kHlrc, dsm::ProtocolKind::kEc}) {
+    dsm::Config cfg;
+    cfg.n_nodes = nodes;
+    cfg.page_size = dsm::ViewRegion::os_page_size();
+    cfg.n_pages = dsm::apps::gauss_pages_needed(params, cfg.page_size);
+    cfg.protocol = protocol;
+
+    dsm::System sys(cfg);
+    const auto result = dsm::apps::run_gauss(sys, params);
+    const auto snap = sys.stats();
+    std::printf("%-16s %12.3f %12llu %14llu %12.2e\n", dsm::to_string(protocol),
+                static_cast<double>(result.virtual_ns) / 1e6,
+                static_cast<unsigned long long>(snap.counter("net.msgs")),
+                static_cast<unsigned long long>(snap.counter("proto.read_faults")),
+                result.max_error);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// tutordsm quickstart: the producer-consumer pattern every DSM tutorial
+// opens with. Node 0 fills a shared buffer and raises a flag through a
+// barrier; every other node reads the data as ordinary memory — the page
+// faults, coherence messages, and data shipping all happen underneath.
+//
+//   ./quickstart [protocol]
+// where protocol is one of: ivy-central ivy-fixed ivy-dynamic
+// erc-invalidate erc-update lrc hlrc ec (default ivy-dynamic).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/dsm.hpp"
+
+namespace {
+
+dsm::ProtocolKind parse_protocol(const char* name) {
+  using dsm::ProtocolKind;
+  const std::string s = name;
+  if (s == "ivy-central") return ProtocolKind::kIvyCentral;
+  if (s == "ivy-fixed") return ProtocolKind::kIvyFixed;
+  if (s == "ivy-dynamic") return ProtocolKind::kIvyDynamic;
+  if (s == "erc-invalidate") return ProtocolKind::kErcInvalidate;
+  if (s == "erc-update") return ProtocolKind::kErcUpdate;
+  if (s == "lrc") return ProtocolKind::kLrc;
+  if (s == "hlrc") return ProtocolKind::kHlrc;
+  if (s == "ec") return ProtocolKind::kEc;
+  std::fprintf(stderr, "unknown protocol '%s', using ivy-dynamic\n", name);
+  return ProtocolKind::kIvyDynamic;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dsm::Config cfg;
+  cfg.n_nodes = 4;
+  cfg.n_pages = 32;
+  cfg.page_size = dsm::ViewRegion::os_page_size();
+  cfg.protocol = argc > 1 ? parse_protocol(argv[1]) : dsm::ProtocolKind::kIvyDynamic;
+
+  dsm::System sys(cfg);
+  constexpr std::size_t kWords = 1024;
+  const auto buffer = sys.alloc_page_aligned<std::uint64_t>(kWords);
+
+  std::printf("tutordsm quickstart: %zu nodes, protocol %s\n", cfg.n_nodes,
+              dsm::to_string(cfg.protocol));
+
+  sys.run([&](dsm::Worker& w) {
+    if (sys.config().protocol == dsm::ProtocolKind::kEc) {
+      w.bind_barrier(0, buffer, kWords);  // EC: annotate what the barrier guards
+    }
+    if (w.id() == 0) {
+      std::uint64_t* data = w.get(buffer);
+      for (std::size_t i = 0; i < kWords; ++i) data[i] = i * i;
+      std::printf("  node 0 produced %zu words\n", kWords);
+    }
+    w.barrier(0);
+
+    // Consumers: plain loads; the DSM faults in whatever pages are missing.
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < kWords; ++i) sum += w.get(buffer)[i];
+    std::printf("  node %u consumed: sum = %llu\n", w.id(),
+                static_cast<unsigned long long>(sum));
+    w.barrier(0);
+  });
+
+  const auto snap = sys.stats();
+  std::printf("run complete: %llu messages, %llu bytes on the wire, "
+              "%llu read faults, virtual time %.2f ms\n",
+              static_cast<unsigned long long>(snap.counter("net.msgs")),
+              static_cast<unsigned long long>(snap.counter("net.bytes")),
+              static_cast<unsigned long long>(snap.counter("proto.read_faults")),
+              static_cast<double>(sys.virtual_time()) / 1e6);
+  return 0;
+}

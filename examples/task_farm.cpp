@@ -1,0 +1,56 @@
+// A lock-based task farm: one producer, N-1 consumers sharing a bounded
+// queue through DSM locks. Demonstrates mutual exclusion, the lock policies,
+// and how protocol choice changes a synchronization-heavy workload.
+//
+//   ./task_farm [nodes tasks grain]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/task_queue.hpp"
+#include "core/dsm.hpp"
+
+int main(int argc, char** argv) {
+  dsm::apps::TaskQueueParams params;
+  const std::size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+  params.n_tasks = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 128;
+  params.task_grain = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 10'000;
+
+  std::printf("task farm: %zu nodes (1 producer), %zu tasks, grain %llu ops\n",
+              nodes, params.n_tasks,
+              static_cast<unsigned long long>(params.task_grain));
+  std::printf("%-16s %-12s %12s %12s %16s\n", "protocol", "lock policy", "virt ms",
+              "lock msgs", "tasks/consumer");
+
+  for (const auto protocol :
+       {dsm::ProtocolKind::kIvyDynamic, dsm::ProtocolKind::kLrc,
+        dsm::ProtocolKind::kHlrc, dsm::ProtocolKind::kEc}) {
+    for (const auto policy :
+         {dsm::LockPolicy::kCentralized, dsm::LockPolicy::kForwardChain}) {
+      dsm::Config cfg;
+      cfg.n_nodes = nodes;
+      cfg.n_pages = 32;
+      cfg.page_size = dsm::ViewRegion::os_page_size();
+      cfg.protocol = protocol;
+      cfg.lock_policy = policy;
+
+      dsm::System sys(cfg);
+      const auto result = dsm::apps::run_task_queue(sys, params);
+      const auto snap = sys.stats();
+      const auto lock_msgs = snap.counter("net.msgs.LockRequest") +
+                             snap.counter("net.msgs.LockGrant") +
+                             snap.counter("net.msgs.LockRelease");
+
+      std::string spread;
+      for (std::size_t n = 1; n < nodes; ++n) {
+        spread += std::to_string(result.per_consumer[n]);
+        if (n + 1 < nodes) spread += ",";
+      }
+      std::printf("%-16s %-12s %12.3f %12llu %16s%s\n", dsm::to_string(protocol),
+                  policy == dsm::LockPolicy::kCentralized ? "centralized" : "chain",
+                  static_cast<double>(result.virtual_ns) / 1e6,
+                  static_cast<unsigned long long>(lock_msgs), spread.c_str(),
+                  result.tasks_executed == params.n_tasks ? "" : "  (LOST TASKS!)");
+    }
+  }
+  return 0;
+}

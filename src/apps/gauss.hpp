@@ -1,0 +1,29 @@
+// Gaussian elimination on a diagonally dominant system (no pivoting), rows
+// distributed cyclically — IVY's headline application (F4). Each elimination
+// step broadcasts the pivot row through the coherence protocol: a
+// single-writer/many-readers pattern that rewards read-replication and
+// punishes ping-ponging ownership.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct GaussParams {
+  std::size_t n = 32;  ///< number of equations
+  BarrierId barrier = 0;
+};
+
+struct GaussResult {
+  VirtualTime virtual_ns = 0;
+  double max_error = 0.0;  ///< max |x_i − 1| (the system is built so x ≡ 1)
+};
+
+GaussResult run_gauss(System& sys, const GaussParams& params);
+
+/// Shared-heap pages run_gauss needs (rows are padded to whole pages).
+std::size_t gauss_pages_needed(const GaussParams& params, std::size_t page_size);
+
+}  // namespace dsm::apps

@@ -1,0 +1,125 @@
+#include "apps/kernels.hpp"
+
+#include "common/assert.hpp"
+
+namespace dsm::apps {
+
+KernelResult run_false_sharing(System& sys, const FalseSharingParams& params) {
+  const std::size_t n_nodes = sys.config().n_nodes;
+  const std::size_t k = params.counters_per_node;
+  const std::size_t page_counters = sys.config().page_size / sizeof(std::uint64_t);
+
+  // Interleaved: counter (node, j) at j*n_nodes + node — neighbours on the
+  // same page belong to different nodes. Padded: node-major with each node's
+  // block page-aligned.
+  Shared<std::uint64_t> counters;
+  if (params.padded) {
+    const std::size_t stride = ((k + page_counters - 1) / page_counters) * page_counters;
+    counters = sys.alloc_page_aligned<std::uint64_t>(n_nodes * stride);
+  } else {
+    counters = sys.alloc_page_aligned<std::uint64_t>(n_nodes * k);
+  }
+
+  std::uint64_t checksum = 0;
+  sys.reset_clocks();
+  sys.run([&](Worker& w) {
+    std::uint64_t* c = w.get(counters);
+    const std::size_t stride =
+        params.padded ? ((k + page_counters - 1) / page_counters) * page_counters : 0;
+    const auto index = [&](std::size_t j) {
+      return params.padded ? w.id() * stride + j : j * n_nodes + w.id();
+    };
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      const std::size_t total = params.padded ? n_nodes * stride : n_nodes * k;
+      w.bind_barrier(params.barrier, counters, total);
+    }
+    for (std::size_t j = 0; j < k; ++j) c[index(j)] = 0;
+    w.barrier(params.barrier);
+
+    for (int it = 0; it < params.iterations; ++it) {
+      for (std::size_t j = 0; j < k; ++j) c[index(j)] += 1;
+      w.compute(2 * k);
+      w.barrier(params.barrier);
+    }
+
+    if (w.id() == 0) {
+      std::uint64_t sum = 0;
+      for (std::size_t node = 0; node < n_nodes; ++node) {
+        for (std::size_t j = 0; j < k; ++j) {
+          sum += c[params.padded ? node * stride + j : j * n_nodes + node];
+        }
+      }
+      checksum = sum;
+    }
+    w.barrier(params.barrier);
+  });
+
+  return KernelResult{sys.virtual_time(), checksum};
+}
+
+KernelResult run_migratory(System& sys, const MigratoryParams& params) {
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+
+  std::uint64_t checksum = 0;
+  sys.reset_clocks();
+  sys.run([&](Worker& w) {
+    std::uint64_t* c = w.get(cell);
+    if (sys.config().protocol == ProtocolKind::kEc) w.bind(params.lock, cell);
+    w.barrier(params.barrier);
+
+    // Round-robin increments: node (r·N + id) takes the lock in turn. Using
+    // the barrier to order turns keeps the access pattern purely migratory.
+    for (int r = 0; r < params.rounds; ++r) {
+      for (std::size_t turn = 0; turn < w.n_nodes(); ++turn) {
+        if (turn == w.id()) {
+          w.acquire(params.lock);
+          *c += 1;
+          w.release(params.lock);
+        }
+        w.barrier(params.barrier);
+      }
+    }
+
+    if (w.id() == 0) {
+      w.acquire(params.lock);
+      checksum = *c;
+      w.release(params.lock);
+    }
+    w.barrier(params.barrier);
+  });
+
+  return KernelResult{sys.virtual_time(), checksum};
+}
+
+KernelResult run_reduce(System& sys, const ReduceParams& params) {
+  const std::size_t n_nodes = sys.config().n_nodes;
+  const std::size_t page_u64 = sys.config().page_size / sizeof(std::uint64_t);
+  const auto partials = sys.alloc_page_aligned<std::uint64_t>(n_nodes * page_u64);
+
+  std::uint64_t checksum = 0;
+  sys.reset_clocks();
+  sys.run([&](Worker& w) {
+    std::uint64_t* p = w.get(partials);
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      w.bind_barrier(params.barrier, partials, n_nodes * page_u64);
+    }
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < params.elements_per_node; ++i) {
+      sum += w.id() * params.elements_per_node + i;
+    }
+    w.compute(params.elements_per_node);
+    p[w.id() * page_u64] = sum;  // page-aligned slot: zero sharing
+    w.barrier(params.barrier);
+
+    if (w.id() == 0) {
+      std::uint64_t total = 0;
+      for (std::size_t node = 0; node < n_nodes; ++node) total += p[node * page_u64];
+      checksum = total;
+    }
+    w.barrier(params.barrier);
+  });
+
+  return KernelResult{sys.virtual_time(), checksum};
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,50 @@
+// Microkernels for the pointed experiments: the false-sharing stride writer
+// (F2), a migratory counter (F1's workload), and a page-aligned reduction
+// (the "how to lay data out" counter-example).
+#pragma once
+
+#include <cstddef>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct FalseSharingParams {
+  std::size_t counters_per_node = 8;
+  int iterations = 16;
+  bool padded = false;  ///< true: each node's counters page-aligned (no false sharing)
+  BarrierId barrier = 0;
+};
+
+struct KernelResult {
+  VirtualTime virtual_ns = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Every node repeatedly increments its own counters. With `padded == false`
+/// the counters interleave so every page is written by every node — pure
+/// false sharing; with `padded == true` each node's counters live on private
+/// pages. Correctness: counter values must equal `iterations` exactly.
+KernelResult run_false_sharing(System& sys, const FalseSharingParams& params);
+
+struct MigratoryParams {
+  int rounds = 16;     ///< how many times the token value circulates
+  LockId lock = 0;
+  BarrierId barrier = 0;
+};
+
+/// A single counter cell is incremented by each node in turn under a lock —
+/// the migratory-data pattern where dynamic ownership shines. Returns the
+/// final counter value (must be rounds × n_nodes).
+KernelResult run_migratory(System& sys, const MigratoryParams& params);
+
+struct ReduceParams {
+  std::size_t elements_per_node = 1024;
+  BarrierId barrier = 0;
+};
+
+/// Each node sums a deterministic series into a page-aligned partial slot;
+/// node 0 combines after a barrier. The checksum equals the closed form.
+KernelResult run_reduce(System& sys, const ReduceParams& params);
+
+}  // namespace dsm::apps

@@ -1,0 +1,32 @@
+// Blocked dense matrix multiply, C = A·B. A and C are row-partitioned; B is
+// read-shared by everyone. Coarse-grained and read-mostly, so every protocol
+// scales — the control experiment (F8) that shows the protocols only diverge
+// when sharing is fine-grained.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct MatmulParams {
+  std::size_t n = 48;  ///< square matrix dimension
+  BarrierId barrier = 0;
+};
+
+struct MatmulResult {
+  VirtualTime virtual_ns = 0;
+  double checksum = 0.0;  ///< sum of all C entries
+};
+
+MatmulResult run_matmul(System& sys, const MatmulParams& params);
+
+/// Single-threaded reference checksum.
+double matmul_reference_checksum(const MatmulParams& params);
+
+/// The deterministic element generators (shared with the reference).
+double matmul_a(std::size_t i, std::size_t j);
+double matmul_b(std::size_t i, std::size_t j);
+
+}  // namespace dsm::apps

@@ -1,0 +1,37 @@
+// Distributed quicksort — IVY's celebrated application. A shared array and a
+// shared stack of unsorted ranges guarded by one lock; nodes pop ranges,
+// partition big ones back onto the stack, and sort small ones in place. Work
+// moves dynamically, so pages migrate with it: the workload that made
+// ownership-migration protocols look good in 1989.
+//
+// Note: entry consistency is deliberately unsupported here — range ownership
+// is dynamic, so no static region→lock binding exists (the annotation-model
+// limitation the tutorial warns about).
+#pragma once
+
+#include <cstddef>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct QuicksortParams {
+  std::size_t n = 4096;           ///< elements
+  std::size_t threshold = 256;    ///< ranges at most this big sort locally
+  std::uint64_t seed = 12345;
+  LockId lock = 0;
+  BarrierId barrier = 0;
+};
+
+struct QuicksortResult {
+  VirtualTime virtual_ns = 0;
+  bool sorted = false;            ///< ascending order verified
+  bool permutation_ok = false;    ///< element sum preserved
+};
+
+QuicksortResult run_quicksort(System& sys, const QuicksortParams& params);
+
+/// Shared-heap pages run_quicksort needs.
+std::size_t quicksort_pages_needed(const QuicksortParams& params, std::size_t page_size);
+
+}  // namespace dsm::apps

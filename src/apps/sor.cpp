@@ -1,0 +1,121 @@
+#include "apps/sor.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dsm::apps {
+namespace {
+
+/// Ops charged per 5-point stencil update (4 adds, 1 mul, bookkeeping).
+constexpr std::uint64_t kOpsPerCell = 6;
+
+struct Partition {
+  std::size_t lo, hi;  // interior rows [lo, hi) owned, 1-based within grid
+};
+
+Partition partition(std::size_t rows, std::size_t n_nodes, NodeId node) {
+  const std::size_t base = rows / n_nodes;
+  const std::size_t extra = rows % n_nodes;
+  const std::size_t lo = 1 + node * base + std::min<std::size_t>(node, extra);
+  const std::size_t len = base + (node < extra ? 1 : 0);
+  return {lo, lo + len};
+}
+
+}  // namespace
+
+SorResult run_sor(System& sys, const SorParams& params) {
+  const std::size_t width = params.cols + 2;
+  const std::size_t height = params.rows + 2;
+  const auto grid = sys.alloc_page_aligned<double>(width * height);
+
+  double checksum = 0.0;
+  std::vector<VirtualTime> start(sys.config().n_nodes, 0);
+  std::vector<VirtualTime> finish(sys.config().n_nodes, 0);
+  sys.reset_clocks();
+
+  sys.run([&](Worker& w) {
+    double* g = w.get(grid);
+    const auto at = [&](std::size_t i, std::size_t j) -> double& {
+      return g[i * width + j];
+    };
+    const auto [lo, hi] = partition(params.rows, w.n_nodes(), w.id());
+
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      // Entry consistency needs the data bound to its synchronization object.
+      w.bind_barrier(params.barrier, grid, width * height);
+    }
+
+    // Each node initializes its own rows; the edges of the halo belong to
+    // their neighbours (top: node 0, bottom: last node).
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < width; ++j) at(i, j) = 0.0;
+    }
+    if (w.id() == 0) {
+      for (std::size_t j = 0; j < width; ++j) at(0, j) = params.top_temperature;
+    }
+    if (w.id() == w.n_nodes() - 1) {
+      for (std::size_t j = 0; j < width; ++j) at(height - 1, j) = 0.0;
+    }
+    w.barrier(params.barrier);
+    // Timed section: the sweeps. Initialization above is cold-start (the
+    // classic papers measure steady state), the checksum below is
+    // verification.
+    start[w.id()] = w.now();
+
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      for (int color = 0; color < 2; ++color) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          for (std::size_t j = 1; j <= params.cols; ++j) {
+            if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+            at(i, j) = 0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1));
+          }
+        }
+        w.compute(kOpsPerCell * (hi - lo) * params.cols / 2);
+        w.barrier(params.barrier);
+      }
+    }
+    finish[w.id()] = w.now();
+
+    if (w.id() == 0) {
+      double sum = 0.0;
+      for (std::size_t i = 1; i <= params.rows; ++i) {
+        for (std::size_t j = 1; j <= params.cols; ++j) sum += at(i, j);
+      }
+      checksum = sum;
+    }
+    w.barrier(params.barrier);
+  });
+
+  VirtualTime t_start = start.empty() ? 0 : *std::min_element(start.begin(), start.end());
+  VirtualTime t_end = 0;
+  for (const auto t : finish) t_end = std::max(t_end, t);
+  return SorResult{t_end - std::min(t_start, t_end), checksum};
+}
+
+double sor_reference_checksum(const SorParams& params) {
+  const std::size_t width = params.cols + 2;
+  const std::size_t height = params.rows + 2;
+  std::vector<double> g(width * height, 0.0);
+  const auto at = [&](std::size_t i, std::size_t j) -> double& { return g[i * width + j]; };
+  for (std::size_t j = 0; j < width; ++j) at(0, j) = params.top_temperature;
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int color = 0; color < 2; ++color) {
+      for (std::size_t i = 1; i <= params.rows; ++i) {
+        for (std::size_t j = 1; j <= params.cols; ++j) {
+          if ((i + j) % 2 != static_cast<std::size_t>(color)) continue;
+          at(i, j) = 0.25 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1));
+        }
+      }
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t i = 1; i <= params.rows; ++i) {
+    for (std::size_t j = 1; j <= params.cols; ++j) sum += at(i, j);
+  }
+  return sum;
+}
+
+}  // namespace dsm::apps

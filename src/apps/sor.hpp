@@ -1,0 +1,33 @@
+// Red-black successive over-relaxation on a 2-D grid — the canonical
+// software-DSM benchmark (IVY's PDE solver, TreadMarks' SOR). Rows are
+// block-partitioned across nodes; only the partition-boundary rows are truly
+// shared, so page granularity and protocol choice dominate performance.
+#pragma once
+
+#include <cstddef>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct SorParams {
+  std::size_t rows = 64;       ///< interior rows (grid adds a halo row each side)
+  std::size_t cols = 64;       ///< interior cols (grid adds a halo col each side)
+  int iterations = 10;
+  double top_temperature = 100.0;  ///< fixed boundary condition on the top edge
+  BarrierId barrier = 0;
+};
+
+struct SorResult {
+  VirtualTime virtual_ns = 0;  ///< makespan of the parallel phase
+  double checksum = 0.0;       ///< sum of interior cells after the last sweep
+};
+
+/// Runs red-black SOR on `sys` and returns the makespan and a checksum.
+/// Under entry consistency the whole grid is bound to the barrier.
+SorResult run_sor(System& sys, const SorParams& params);
+
+/// Single-threaded reference for correctness checks (same sweep order).
+double sor_reference_checksum(const SorParams& params);
+
+}  // namespace dsm::apps

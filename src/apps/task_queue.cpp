@@ -1,0 +1,100 @@
+#include "apps/task_queue.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace dsm::apps {
+namespace {
+
+/// The shared queue header + ring, kept in one struct so one EC binding (and
+/// typically one page) covers it.
+struct QueueHeader {
+  std::uint64_t head = 0;  ///< next slot to pop
+  std::uint64_t tail = 0;  ///< next slot to push
+  std::uint32_t done = 0;  ///< producer finished
+};
+
+}  // namespace
+
+TaskQueueResult run_task_queue(System& sys, const TaskQueueParams& params) {
+  DSM_CHECK(params.capacity > 0);
+  const auto header = sys.alloc_page_aligned<QueueHeader>();
+  const auto slots = sys.alloc<std::uint64_t>(params.capacity);
+
+  std::vector<std::atomic<std::size_t>> executed(sys.config().n_nodes);
+  for (auto& e : executed) e.store(0);
+  sys.reset_clocks();
+
+  sys.run([&](Worker& w) {
+    QueueHeader* q = w.get(header);
+    std::uint64_t* ring = w.get(slots);
+
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      w.bind(params.lock, header);
+      w.bind(params.lock, slots, params.capacity);
+    }
+    w.barrier(params.barrier);
+
+    if (w.n_nodes() == 1) {
+      // Degenerate case: the producer executes its own tasks serially.
+      for (std::size_t t = 0; t < params.n_tasks; ++t) {
+        w.compute(params.produce_grain + params.task_grain);
+        executed[0].fetch_add(1, std::memory_order_relaxed);
+      }
+      w.barrier(params.barrier);
+      return;
+    }
+
+    if (w.id() == 0) {
+      // Producer.
+      for (std::size_t t = 0; t < params.n_tasks; ++t) {
+        w.compute(params.produce_grain);
+        for (;;) {
+          w.acquire(params.lock);
+          if (q->tail - q->head < params.capacity) {
+            ring[q->tail % params.capacity] = t;
+            ++q->tail;
+            w.release(params.lock);
+            break;
+          }
+          w.release(params.lock);
+          std::this_thread::sleep_for(std::chrono::microseconds(100));  // real-time back-off only (see quicksort.cpp)
+        }
+      }
+      w.acquire(params.lock);
+      q->done = 1;
+      w.release(params.lock);
+    } else {
+      // Consumer.
+      for (;;) {
+        w.acquire(params.lock);
+        if (q->head < q->tail) {
+          ++q->head;
+          w.release(params.lock);
+          w.compute(params.task_grain);
+          executed[w.id()].fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const bool finished = q->done != 0;
+        w.release(params.lock);
+        if (finished) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));  // real-time poll back-off only
+      }
+    }
+    w.barrier(params.barrier);
+  });
+
+  TaskQueueResult result;
+  result.virtual_ns = sys.virtual_time();
+  result.per_consumer.resize(executed.size());
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    result.per_consumer[i] = executed[i].load();
+    result.tasks_executed += result.per_consumer[i];
+  }
+  return result;
+}
+
+}  // namespace dsm::apps

@@ -1,0 +1,32 @@
+// Lock-guarded producer/consumer task farm: node 0 produces tasks into a
+// shared bounded queue; the other nodes pop and process them. All traffic is
+// one hot page guarded by one hot lock — the mutual-exclusion stress test
+// (F6), echoing the task-management experiment of the HICSS'94 fast-locks
+// paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/dsm.hpp"
+
+namespace dsm::apps {
+
+struct TaskQueueParams {
+  std::size_t n_tasks = 128;
+  std::uint64_t task_grain = 10'000;  ///< compute ops per task
+  std::uint64_t produce_grain = 100;  ///< compute ops to produce one task
+  std::size_t capacity = 32;          ///< queue slots
+  LockId lock = 0;
+  BarrierId barrier = 0;
+};
+
+struct TaskQueueResult {
+  VirtualTime virtual_ns = 0;
+  std::size_t tasks_executed = 0;           ///< total across consumers
+  std::vector<std::size_t> per_consumer;    ///< indexed by node id
+};
+
+TaskQueueResult run_task_queue(System& sys, const TaskQueueParams& params);
+
+}  // namespace dsm::apps

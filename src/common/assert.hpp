@@ -1,0 +1,56 @@
+// Checked-assertion macros. DSM_CHECK is always on (protocol invariants are
+// cheap relative to page faults); DSM_DCHECK compiles away in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dsm::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::fprintf(stderr, "[tutordsm] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Lazily builds the failure message only on the failing path.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace dsm::detail
+
+#define DSM_CHECK(expr)                                                     \
+  if (expr) {                                                               \
+  } else                                                                    \
+    ::dsm::detail::check_failed(__FILE__, __LINE__, #expr,                  \
+                                ::dsm::detail::CheckMessage{}.str())
+
+#define DSM_CHECK_MSG(expr, ...)                                            \
+  if (expr) {                                                               \
+  } else                                                                    \
+    ::dsm::detail::check_failed(                                            \
+        __FILE__, __LINE__, #expr,                                          \
+        (::dsm::detail::CheckMessage{} << __VA_ARGS__).str())
+
+#ifdef NDEBUG
+#define DSM_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define DSM_DCHECK(expr) DSM_CHECK(expr)
+#endif

@@ -1,0 +1,76 @@
+// Small dynamic bitset used for page copysets (which nodes hold a copy).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace dsm {
+
+/// Fixed-capacity-at-construction bitset over node ids.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(std::size_t n_nodes)
+      : n_bits_(n_nodes), words_((n_nodes + 63) / 64, 0) {}
+
+  std::size_t capacity() const { return n_bits_; }
+
+  void insert(NodeId node) {
+    DSM_DCHECK(node < n_bits_);
+    words_[node / 64] |= (1ULL << (node % 64));
+  }
+  void erase(NodeId node) {
+    DSM_DCHECK(node < n_bits_);
+    words_[node / 64] &= ~(1ULL << (node % 64));
+  }
+  bool contains(NodeId node) const {
+    DSM_DCHECK(node < n_bits_);
+    return (words_[node / 64] >> (node % 64)) & 1ULL;
+  }
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+  bool empty() const {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  /// Union-in another set of the same capacity.
+  void merge(const NodeSet& other) {
+    DSM_DCHECK(other.n_bits_ == n_bits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// Enumerates set members in increasing order.
+  std::vector<NodeId> members() const {
+    std::vector<NodeId> out;
+    out.reserve(count());
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        out.push_back(static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const NodeSet& other) const = default;
+
+ private:
+  std::size_t n_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,36 @@
+// Per-node logical clock for the virtual-time performance model. One clock is
+// shared by a node's app thread and service thread (a 1992 DSM node was a
+// single CPU taking interrupts), so advances use an atomic fetch-max.
+#pragma once
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+class LogicalClock {
+ public:
+  VirtualTime now() const { return time_.load(std::memory_order_relaxed); }
+
+  /// Charge local work (computation, protocol software overhead).
+  VirtualTime advance(VirtualTime delta) {
+    return time_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+
+  /// A message arrived / an event completed at absolute time `t`; the node
+  /// cannot be "before" it afterwards. Returns the resulting local time.
+  VirtualTime advance_to(VirtualTime t) {
+    VirtualTime prev = time_.load(std::memory_order_relaxed);
+    while (prev < t && !time_.compare_exchange_weak(prev, t, std::memory_order_relaxed)) {
+    }
+    return prev < t ? t : prev;
+  }
+
+  void reset() { time_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<VirtualTime> time_{0};
+};
+
+}  // namespace dsm

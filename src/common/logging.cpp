@@ -1,0 +1,65 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dsm {
+namespace log_detail {
+namespace {
+
+int level_from_env() {
+  const char* env = std::getenv("DSM_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarn);
+  const std::string_view v{env};
+  if (v == "error") return static_cast<int>(LogLevel::kError);
+  if (v == "warn") return static_cast<int>(LogLevel::kWarn);
+  if (v == "info") return static_cast<int>(LogLevel::kInfo);
+  if (v == "debug") return static_cast<int>(LogLevel::kDebug);
+  if (v == "trace") return static_cast<int>(LogLevel::kTrace);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+std::atomic<int>& enabled_level() {
+  static std::atomic<int> level{level_from_env()};
+  return level;
+}
+
+void emit(LogLevel level, std::string_view message) {
+  char line[1024];
+  const auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id()) % 0x10000;
+  const int n = std::snprintf(line, sizeof line, "[dsm:%s %04zx] %.*s\n", tag(level), tid,
+                              static_cast<int>(message.size()), message.data());
+  if (n <= 0) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::fwrite(line, 1, static_cast<std::size_t>(std::min<int>(n, sizeof line - 1)), stderr);
+}
+
+}  // namespace log_detail
+
+void set_log_level(LogLevel level) {
+  log_detail::enabled_level().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace dsm

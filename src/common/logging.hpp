@@ -1,0 +1,65 @@
+// Minimal leveled, thread-safe logger. Controlled by the DSM_LOG environment
+// variable ("error", "warn", "info", "debug", "trace") or programmatically.
+// Logging from fault handlers is safe: the sink writes with a single
+// `fwrite` under a mutex and never allocates after the message is formatted
+// (formatting allocates, but only on enabled levels — keep hot paths at
+// trace/debug which default off).
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace dsm {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+namespace log_detail {
+
+/// Currently enabled level; messages at levels above this are discarded.
+std::atomic<int>& enabled_level();
+
+/// Writes one formatted line (thread id, level tag, message) to stderr.
+void emit(LogLevel level, std::string_view message);
+
+/// Stream-style builder used by the DSM_LOG_* macros.
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_detail
+
+/// Sets the global log level (also initialized from $DSM_LOG on first use).
+void set_log_level(LogLevel level);
+
+/// True if messages at `level` are currently emitted.
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= log_detail::enabled_level().load(std::memory_order_relaxed);
+}
+
+}  // namespace dsm
+
+#define DSM_LOG(level)                       \
+  if (!::dsm::log_enabled(level)) {          \
+  } else                                     \
+    ::dsm::log_detail::LineBuilder { level }
+
+#define DSM_LOG_ERROR DSM_LOG(::dsm::LogLevel::kError)
+#define DSM_LOG_WARN DSM_LOG(::dsm::LogLevel::kWarn)
+#define DSM_LOG_INFO DSM_LOG(::dsm::LogLevel::kInfo)
+#define DSM_LOG_DEBUG DSM_LOG(::dsm::LogLevel::kDebug)
+#define DSM_LOG_TRACE DSM_LOG(::dsm::LogLevel::kTrace)

@@ -1,0 +1,8 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+
+// The in-process fabric never crosses a byte-order boundary; make the
+// assumption explicit so a future socket transport knows where to add swaps.
+static_assert(std::endian::native == std::endian::little,
+              "tutordsm wire format assumes a little-endian host");

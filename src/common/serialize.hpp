@@ -1,0 +1,109 @@
+// Byte-buffer serialization for protocol messages. Little-endian on the wire
+// (asserted at build time for the in-process fabric; a real transport would
+// byte-swap here). Writer appends; Reader consumes with bounds checks.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+
+/// Appends POD values and byte ranges to a growable buffer.
+class WireWriter {
+ public:
+  WireWriter() = default;
+  explicit WireWriter(std::size_t reserve) { buffer_.reserve(reserve); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& value) {
+    const auto* src = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), src, src + sizeof(T));
+  }
+
+  /// Length-prefixed byte range.
+  void put_bytes(std::span<const std::byte> bytes) {
+    put(static_cast<std::uint32_t>(bytes.size()));
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  /// Length-prefixed vector of POD values.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put_vector(const std::vector<T>& values) {
+    put(static_cast<std::uint32_t>(values.size()));
+    for (const T& v : values) put(v);
+  }
+
+  /// Raw (un-prefixed) bytes, for fixed-size page payloads.
+  void put_raw(std::span<const std::byte> bytes) {
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  }
+
+  std::size_t size() const { return buffer_.size(); }
+  std::vector<std::byte> take() && { return std::move(buffer_); }
+  std::span<const std::byte> view() const { return buffer_; }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+/// Consumes values written by WireWriter, checking bounds on every read.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T get() {
+    DSM_CHECK_MSG(offset_ + sizeof(T) <= data_.size(),
+                  "wire underflow: need " << sizeof(T) << " at offset " << offset_
+                                          << " of " << data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  /// Reads a length-prefixed byte range (view into the underlying buffer).
+  std::span<const std::byte> get_bytes() {
+    const auto n = get<std::uint32_t>();
+    DSM_CHECK_MSG(offset_ + n <= data_.size(), "wire underflow reading " << n << " bytes");
+    const auto view = data_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> get_vector() {
+    const auto n = get<std::uint32_t>();
+    std::vector<T> values;
+    values.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) values.push_back(get<T>());
+    return values;
+  }
+
+  /// Reads `n` raw bytes (no length prefix).
+  std::span<const std::byte> get_raw(std::size_t n) {
+    DSM_CHECK_MSG(offset_ + n <= data_.size(), "wire underflow reading raw " << n);
+    const auto view = data_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  std::size_t remaining() const { return data_.size() - offset_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,85 @@
+// Statistics registry: named atomic counters and fixed-bucket histograms.
+// Every subsystem reports through a StatsRegistry owned by the runtime, so a
+// run's traffic/fault/lock behaviour can be printed or asserted on in tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsm {
+
+/// A monotonically increasing 64-bit counter, safe for concurrent increment.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of nonnegative samples (e.g. message sizes,
+/// fault-service virtual latencies). Buckets: [0], [1], [2,3], [4,7], ...
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t sample);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Approximate quantile (q in [0,1]) using bucket upper bounds.
+  std::uint64_t quantile(double q) const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time view of a registry, for printing and test assertions.
+struct StatsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  struct HistView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+  };
+  std::map<std::string, HistView> histograms;
+
+  /// Counter value, or 0 if the counter was never touched.
+  std::uint64_t counter(std::string_view name) const;
+  /// Renders a human-readable multi-line report.
+  std::string to_string() const;
+};
+
+/// Thread-safe name → instrument registry. Lookup is a lock + map walk, so
+/// callers should cache the returned reference (instruments live as long as
+/// the registry).
+class StatsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+  StatsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,31 @@
+// Core identifier and time types shared by every tutordsm subsystem.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dsm {
+
+/// Index of a node (one simulated machine) in the system, dense in [0, n).
+using NodeId = std::uint32_t;
+
+/// Index of a page within the shared address space, dense in [0, n_pages).
+using PageId = std::uint32_t;
+
+/// Identifier of a distributed lock. Lock homes are derived by modulo.
+using LockId = std::uint32_t;
+
+/// Identifier of a distributed barrier.
+using BarrierId = std::uint32_t;
+
+/// Virtual (simulated) time in nanoseconds. See DESIGN.md "Virtual time".
+using VirtualTime = std::uint64_t;
+
+/// Sentinel for "no node" (e.g. an unowned page, an empty queue head).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no page".
+inline constexpr PageId kNoPage = std::numeric_limits<PageId>::max();
+
+}  // namespace dsm

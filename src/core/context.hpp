@@ -1,0 +1,111 @@
+// NodeContext: everything one simulated node's protocol and sync machinery
+// needs — its identity, its view of shared memory, its page table, the
+// fabric, its logical clock, and the run configuration. Header-only so lower
+// layers (proto, sync) can use it without a link-time dependency on the
+// runtime.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/page_table.hpp"
+#include "mem/region.hpp"
+#include "net/network.hpp"
+
+namespace dsm {
+
+/// Which coherence protocol a run uses. See DESIGN.md §System inventory.
+enum class ProtocolKind {
+  kIvyCentral,    ///< Li-Hudak write-invalidate, central manager (node 0)
+  kIvyFixed,      ///< Li-Hudak, fixed distributed manager (page % N)
+  kIvyDynamic,    ///< Li-Hudak, dynamic distributed manager (probable owners)
+  kErcInvalidate, ///< eager release consistency, invalidate-on-release
+  kErcUpdate,     ///< eager release consistency, update-on-release (Munin write-shared)
+  kLrc,           ///< lazy release consistency (TreadMarks)
+  kEc,            ///< entry consistency (Midway)
+  kHlrc,          ///< home-based lazy release consistency (HLRC extension)
+};
+
+const char* to_string(ProtocolKind kind);
+
+/// How distributed locks are implemented (bench_locks compares these).
+enum class LockPolicy {
+  kCentralized,   ///< request/grant/release all via the lock's home
+  kForwardChain,  ///< home forwards to last requester; grant flows holder→next
+};
+
+/// One run's static configuration.
+struct Config {
+  std::size_t n_nodes = 4;
+  std::size_t n_pages = 64;
+  std::size_t page_size = 4096;   ///< must be a multiple of the OS page size
+  std::size_t n_locks = 64;
+  std::size_t n_barriers = 8;
+  ProtocolKind protocol = ProtocolKind::kIvyDynamic;
+  LockPolicy lock_policy = LockPolicy::kForwardChain;
+  LinkModel link{};
+
+  // Virtual-time cost model (see DESIGN.md "Virtual time").
+  VirtualTime fault_ns = 5'000;    ///< trap + kernel + handler entry per fault
+  VirtualTime service_ns = 2'000;  ///< protocol software overhead per message
+  VirtualTime ns_per_op = 10;      ///< one unit of application compute
+
+  /// Demand-fetch protocols (IVY family, ERC, HLRC): on a read miss, also
+  /// request the next N sequential pages asynchronously. 0 = pure demand
+  /// fetch. The knob behind the classic demand vs prefetch vs eager
+  /// comparison (bench_prefetch).
+  std::size_t prefetch_pages = 0;
+
+  /// LRC: every Nth barrier is a *settle-up*: all diffs are exchanged and
+  /// protocol metadata (intervals, notices, diff caches) garbage-collected.
+  /// Other barriers move write notices only — the lazy part of LRC.
+  /// 1 = settle every barrier (eager-barrier ablation).
+  std::size_t lrc_gc_period = 16;
+
+  std::uint64_t seed = 42;         ///< workload generator seed
+
+  std::size_t heap_bytes() const { return n_pages * page_size; }
+};
+
+/// Per-node wiring handed to protocols and sync agents.
+struct NodeContext {
+  NodeId id = kNoNode;
+  std::size_t n_nodes = 0;
+  const Config* cfg = nullptr;
+  Network* net = nullptr;
+  ViewRegion* view = nullptr;
+  PageTable* table = nullptr;
+  LogicalClock* clock = nullptr;
+  StatsRegistry* stats = nullptr;
+
+  /// Static distribution of pages to their home nodes.
+  NodeId home_of(PageId page) const {
+    return static_cast<NodeId>(page % n_nodes);
+  }
+  /// Static distribution of locks to their home (manager) nodes.
+  NodeId lock_home(LockId lock) const {
+    return static_cast<NodeId>(lock % n_nodes);
+  }
+  /// Barriers are all managed by node 0 (a 1992-style central barrier).
+  NodeId barrier_home(BarrierId) const { return 0; }
+
+  /// Builds a message stamped with this node's current virtual time.
+  Message make(MsgType type, NodeId dst, std::vector<std::byte> payload = {}) const {
+    Message msg;
+    msg.type = type;
+    msg.src = id;
+    msg.dst = dst;
+    msg.send_time = clock->now();
+    msg.payload = std::move(payload);
+    return msg;
+  }
+
+  void send(MsgType type, NodeId dst, std::vector<std::byte> payload = {}) const {
+    net->send(make(type, dst, std::move(payload)));
+  }
+};
+
+}  // namespace dsm

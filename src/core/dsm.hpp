@@ -1,0 +1,22 @@
+// tutordsm public API — include this one header.
+//
+//   dsm::Config cfg;
+//   cfg.n_nodes = 8;
+//   cfg.protocol = dsm::ProtocolKind::kLrc;
+//   dsm::System sys(cfg);
+//   auto data = sys.alloc<double>(1024);
+//   auto flag = sys.alloc<int>();
+//   sys.run([&](dsm::Worker& w) {
+//     if (w.id() == 0) { w.get(data)[0] = 3.14; w.acquire(0); ... w.release(0); }
+//     w.barrier(0);
+//     ...
+//   });
+//
+// See README.md for the full tour and DESIGN.md for the architecture.
+#pragma once
+
+#include "common/stats.hpp"    // IWYU pragma: export
+#include "common/types.hpp"    // IWYU pragma: export
+#include "core/context.hpp"    // IWYU pragma: export
+#include "core/runtime.hpp"    // IWYU pragma: export
+#include "core/shared.hpp"     // IWYU pragma: export

@@ -1,0 +1,175 @@
+#include "core/runtime.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dsm {
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+void Worker::acquire(LockId lock) { system_->nodes_[node_]->sync->acquire(lock); }
+void Worker::release(LockId lock) { system_->nodes_[node_]->sync->release(lock); }
+void Worker::acquire_read(LockId lock) { system_->nodes_[node_]->sync->acquire_read(lock); }
+void Worker::release_read(LockId lock) { system_->nodes_[node_]->sync->release_read(lock); }
+void Worker::acquire_write(LockId lock) { system_->nodes_[node_]->sync->acquire_write(lock); }
+void Worker::release_write(LockId lock) { system_->nodes_[node_]->sync->release_write(lock); }
+void Worker::barrier(BarrierId barrier) { system_->nodes_[node_]->sync->barrier(barrier); }
+
+void Worker::compute(std::uint64_t ops) {
+  system_->nodes_[node_]->clock.advance(ops * system_->config().ns_per_op);
+}
+
+VirtualTime Worker::now() const { return system_->nodes_[node_]->clock.now(); }
+
+void Worker::bind_region(LockId lock, std::size_t offset, std::size_t size) {
+  system_->nodes_[node_]->protocol->bind_lock_region(lock, offset, size);
+}
+
+void Worker::bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size) {
+  system_->nodes_[node_]->protocol->bind_barrier_region(barrier, offset, size);
+}
+
+// ---------------------------------------------------------------------------
+// System
+// ---------------------------------------------------------------------------
+
+System::System(Config cfg) : cfg_(cfg) {
+  DSM_CHECK_MSG(cfg_.n_nodes >= 1, "need at least one node");
+  DSM_CHECK_MSG(cfg_.page_size % ViewRegion::os_page_size() == 0,
+                "page_size must be a multiple of the OS page size ("
+                    << ViewRegion::os_page_size() << ")");
+  network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_);
+
+  nodes_.reserve(cfg_.n_nodes);
+  for (NodeId id = 0; id < cfg_.n_nodes; ++id) {
+    auto node = std::make_unique<Node>();
+    node->view = std::make_unique<ViewRegion>(cfg_.n_pages, cfg_.page_size);
+    node->table = std::make_unique<PageTable>(cfg_.n_pages, cfg_.n_nodes);
+    node->ctx = NodeContext{
+        .id = id,
+        .n_nodes = cfg_.n_nodes,
+        .cfg = &cfg_,
+        .net = network_.get(),
+        .view = node->view.get(),
+        .table = node->table.get(),
+        .clock = &node->clock,
+        .stats = &stats_,
+    };
+    node->protocol = make_protocol(node->ctx);
+    node->sync = std::make_unique<SyncAgent>(node->ctx, *node->protocol);
+
+    Node* raw = node.get();
+    node->fault_token = FaultRouter::instance().add_region(
+        node->view.get(),
+        [raw](PageId page, bool is_write) {
+          if (is_write) {
+            raw->protocol->on_write_fault(page);
+          } else {
+            raw->protocol->on_read_fault(page);
+          }
+        },
+        [raw](PageId page) {
+          // Architecture fallback: a readable page can only write-fault.
+          return raw->table->state_of(page) != PageState::kInvalid;
+        });
+    nodes_.push_back(std::move(node));
+  }
+}
+
+System::~System() {
+  DSM_CHECK_MSG(!running_, "System destroyed while a run is in progress");
+  for (auto& node : nodes_) {
+    if (node->fault_token >= 0) FaultRouter::instance().remove_region(node->fault_token);
+  }
+}
+
+std::size_t System::alloc_bytes(std::size_t size, std::size_t align) {
+  DSM_CHECK_MSG(!running_, "alloc during run is not supported");
+  DSM_CHECK(align > 0 && (align & (align - 1)) == 0);
+  heap_used_ = (heap_used_ + align - 1) & ~(align - 1);
+  const std::size_t offset = heap_used_;
+  heap_used_ += size;
+  DSM_CHECK_MSG(heap_used_ <= cfg_.heap_bytes(),
+                "shared heap exhausted: need " << heap_used_ << " of "
+                                               << cfg_.heap_bytes()
+                                               << " bytes; raise Config::n_pages");
+  return offset;
+}
+
+VirtualTime System::virtual_time() const {
+  VirtualTime t = 0;
+  for (const auto& node : nodes_) t = std::max(t, node->clock.now());
+  return t;
+}
+
+void System::reset_clocks() {
+  for (auto& node : nodes_) node->clock.reset();
+}
+
+void System::service_loop(Node& node) {
+  while (auto msg = network_->recv(node.ctx.id)) {
+    if (msg->type == MsgType::kShutdown) break;
+    node.clock.advance_to(msg->arrival_time);
+    node.clock.advance(cfg_.service_ns);
+    if (SyncAgent::handles(msg->type)) {
+      node.sync->on_message(*msg);
+    } else {
+      node.protocol->on_message(*msg);
+    }
+    processed_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void System::drain() {
+  // A handler may send more messages before bumping `processed_`, so the
+  // fabric is quiescent exactly when sent == processed (no app threads are
+  // alive to inject new work at this point).
+  for (;;) {
+    const auto sent = network_->messages_sent();
+    const auto processed = processed_.load(std::memory_order_acquire);
+    if (sent == processed) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void System::run(const std::function<void(Worker&)>& body) {
+  DSM_CHECK_MSG(!running_, "System::run is not reentrant");
+  running_ = true;
+
+  // First run only: later runs continue from the previous run's coherence
+  // state (ownership may have migrated away from the homes; resetting would
+  // lose the migrated data).
+  if (!pages_initialized_) {
+    for (auto& node : nodes_) node->protocol->init_pages();
+    pages_initialized_ = true;
+  }
+
+  for (auto& node : nodes_) {
+    node->service_thread = std::thread([this, raw = node.get()] { service_loop(*raw); });
+  }
+
+  std::vector<std::thread> app_threads;
+  app_threads.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    app_threads.emplace_back([this, id, &body] {
+      Worker worker(*this, id);
+      body(worker);
+    });
+  }
+  for (auto& t : app_threads) t.join();
+
+  drain();
+  for (auto& node : nodes_) {
+    network_->send(node->ctx.make(MsgType::kShutdown, node->ctx.id));
+  }
+  for (auto& node : nodes_) node->service_thread.join();
+  // The shutdown messages were never "processed"; resynchronize the counter.
+  processed_.store(network_->messages_sent(), std::memory_order_relaxed);
+  running_ = false;
+}
+
+}  // namespace dsm

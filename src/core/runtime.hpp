@@ -1,0 +1,150 @@
+// The tutordsm runtime: constructs N simulated nodes (view + page table +
+// protocol + sync agent + service thread), runs an SPMD body on one
+// application thread per node, and tears everything down after draining the
+// fabric. This is the library's public entry point — see core/dsm.hpp.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "core/context.hpp"
+#include "core/shared.hpp"
+#include "mem/fault.hpp"
+#include "proto/protocol.hpp"
+#include "sync/sync_agent.hpp"
+
+namespace dsm {
+
+class System;
+
+/// The per-node handle an SPMD body receives: identity, shared-memory
+/// access, synchronization, compute-cost accounting, and EC bindings.
+class Worker {
+ public:
+  NodeId id() const { return node_; }
+  std::size_t n_nodes() const;
+
+  /// Resolves a shared handle in this node's view. Accessing the result may
+  /// page-fault into the coherence protocol — that is the point.
+  template <typename T>
+  T* get(Shared<T> handle) const {
+    return reinterpret_cast<T*>(view_base() + handle.offset);
+  }
+
+  void acquire(LockId lock);
+  void release(LockId lock);
+  /// Reader-writer mode on a lock id (use instead of acquire/release for
+  /// that id): any number of concurrent readers or one exclusive writer.
+  /// Grants carry the same consistency payloads as mutex grants.
+  void acquire_read(LockId lock);
+  void release_read(LockId lock);
+  void acquire_write(LockId lock);
+  void release_write(LockId lock);
+  void barrier(BarrierId barrier);
+
+  /// Charges `ops` units of application compute to this node's virtual time.
+  void compute(std::uint64_t ops);
+  VirtualTime now() const;
+
+  /// Entry-consistency annotations (no-ops under other protocols).
+  template <typename T>
+  void bind(LockId lock, Shared<T> handle, std::size_t count = 1) {
+    bind_region(lock, handle.offset, count * sizeof(T));
+  }
+  template <typename T>
+  void bind_barrier(BarrierId barrier, Shared<T> handle, std::size_t count = 1) {
+    bind_barrier_region(barrier, handle.offset, count * sizeof(T));
+  }
+
+ private:
+  friend class System;
+  Worker(System& system, NodeId node) : system_(&system), node_(node) {}
+  std::byte* view_base() const;
+  void bind_region(LockId lock, std::size_t offset, std::size_t size);
+  void bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size);
+
+  System* system_;
+  NodeId node_;
+};
+
+class System {
+ public:
+  explicit System(Config cfg);
+  ~System();
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  const Config& config() const { return cfg_; }
+
+  /// Allocates `count` T's from the shared heap. Offsets are global (the
+  /// same on every node); memory starts zeroed. Must not be called while a
+  /// run is in progress.
+  template <typename T>
+  Shared<T> alloc(std::size_t count = 1) {
+    return Shared<T>{alloc_bytes(count * sizeof(T), alignof(T))};
+  }
+  /// Page-aligned variant, for workloads that lay data out page-by-page.
+  template <typename T>
+  Shared<T> alloc_page_aligned(std::size_t count = 1) {
+    return Shared<T>{alloc_bytes(count * sizeof(T), cfg_.page_size)};
+  }
+  std::size_t alloc_bytes(std::size_t size, std::size_t align);
+  /// Bytes of shared heap handed out so far.
+  std::size_t heap_used() const { return heap_used_; }
+
+  /// Runs `body` once per node, each on its own thread, and returns when all
+  /// bodies have finished and the fabric has drained. May be called again.
+  void run(const std::function<void(Worker&)>& body);
+
+  // --- observability --------------------------------------------------------
+  StatsSnapshot stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
+  /// Max over node clocks: the run's virtual makespan.
+  VirtualTime virtual_time() const;
+  void reset_clocks();
+
+  // --- white-box access (tests, benches) -----------------------------------
+  Network& network() { return *network_; }
+  PageTable& table(NodeId node) { return *nodes_[node]->table; }
+  Protocol& protocol(NodeId node) { return *nodes_[node]->protocol; }
+  ViewRegion& view(NodeId node) { return *nodes_[node]->view; }
+  StatsRegistry& stats_registry() { return stats_; }
+
+ private:
+  friend class Worker;
+  struct Node {
+    NodeContext ctx;
+    LogicalClock clock;
+    std::unique_ptr<ViewRegion> view;
+    std::unique_ptr<PageTable> table;
+    std::unique_ptr<Protocol> protocol;
+    std::unique_ptr<SyncAgent> sync;
+    int fault_token = -1;
+    std::thread service_thread;
+  };
+
+  void service_loop(Node& node);
+  /// Blocks until every sent message has been fully processed.
+  void drain();
+
+  Config cfg_;
+  StatsRegistry stats_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::size_t heap_used_ = 0;
+  bool running_ = false;
+  bool pages_initialized_ = false;
+  std::atomic<std::uint64_t> processed_{0};
+};
+
+inline std::size_t Worker::n_nodes() const { return system_->config().n_nodes; }
+inline std::byte* Worker::view_base() const {
+  return system_->view(node_).base();
+}
+
+}  // namespace dsm

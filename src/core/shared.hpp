@@ -1,0 +1,18 @@
+// Typed handles into the shared address space. A Shared<T> is an *offset*,
+// not a pointer: every node maps the shared space at a different base, so
+// handles are resolved against a particular node's view (Worker::get).
+#pragma once
+
+#include <cstddef>
+
+namespace dsm {
+
+template <typename T>
+struct Shared {
+  std::size_t offset = 0;
+
+  /// Handle to element `i` of a Shared array.
+  Shared<T> operator+(std::size_t i) const { return Shared<T>{offset + i * sizeof(T)}; }
+};
+
+}  // namespace dsm

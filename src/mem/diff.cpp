@@ -1,0 +1,108 @@
+#include "mem/diff.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+namespace {
+
+constexpr std::size_t kWord = 8;
+constexpr std::size_t kRecordHeader = 2 * sizeof(std::uint32_t);
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+std::uint32_t read_u32(std::span<const std::byte> data, std::size_t at) {
+  std::uint32_t v;
+  std::memcpy(&v, data.data() + at, sizeof v);
+  return v;
+}
+
+bool words_equal(const std::byte* a, const std::byte* b, std::size_t n) {
+  return std::memcmp(a, b, n) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<std::byte[]> make_twin(std::span<const std::byte> page) {
+  auto twin = std::make_unique<std::byte[]>(page.size());
+  std::memcpy(twin.get(), page.data(), page.size());
+  return twin;
+}
+
+std::vector<std::byte> encode_diff(std::span<const std::byte> current,
+                                   std::span<const std::byte> twin,
+                                   std::size_t merge_gap) {
+  DSM_CHECK_MSG(current.size() == twin.size(), "diff size mismatch");
+  std::vector<std::byte> out;
+
+  const std::size_t size = current.size();
+  std::size_t run_start = size;  // `size` means "no open run"
+  std::size_t run_end = 0;
+
+  auto flush_run = [&] {
+    if (run_start >= size) return;
+    append_u32(out, static_cast<std::uint32_t>(run_start));
+    append_u32(out, static_cast<std::uint32_t>(run_end - run_start));
+    out.insert(out.end(), current.begin() + static_cast<std::ptrdiff_t>(run_start),
+               current.begin() + static_cast<std::ptrdiff_t>(run_end));
+    run_start = size;
+  };
+
+  for (std::size_t off = 0; off < size; off += kWord) {
+    const std::size_t n = std::min(kWord, size - off);
+    const bool changed = !words_equal(current.data() + off, twin.data() + off, n);
+    if (changed) {
+      if (run_start >= size) {
+        run_start = off;
+      } else if (off - run_end > merge_gap) {
+        flush_run();
+        run_start = off;
+      }
+      run_end = off + n;
+    }
+  }
+  flush_run();
+  return out;
+}
+
+void apply_diff(std::span<std::byte> page, std::span<const std::byte> diff) {
+  std::size_t at = 0;
+  while (at < diff.size()) {
+    DSM_CHECK_MSG(at + kRecordHeader <= diff.size(), "truncated diff header");
+    const std::uint32_t offset = read_u32(diff, at);
+    const std::uint32_t length = read_u32(diff, at + sizeof(std::uint32_t));
+    at += kRecordHeader;
+    DSM_CHECK_MSG(at + length <= diff.size(), "truncated diff payload");
+    DSM_CHECK_MSG(static_cast<std::size_t>(offset) + length <= page.size(),
+                  "diff run [" << offset << "," << offset + length << ") exceeds page");
+    std::memcpy(page.data() + offset, diff.data() + at, length);
+    at += length;
+  }
+  DSM_CHECK(at == diff.size());
+}
+
+DiffStats inspect_diff(std::span<const std::byte> diff) {
+  DiffStats stats;
+  std::size_t at = 0;
+  std::uint64_t last_end = 0;
+  while (at < diff.size()) {
+    DSM_CHECK_MSG(at + kRecordHeader <= diff.size(), "truncated diff header");
+    const std::uint32_t offset = read_u32(diff, at);
+    const std::uint32_t length = read_u32(diff, at + sizeof(std::uint32_t));
+    at += kRecordHeader + length;
+    DSM_CHECK_MSG(at <= diff.size(), "truncated diff payload");
+    DSM_CHECK_MSG(offset >= last_end, "diff runs out of order");
+    last_end = static_cast<std::uint64_t>(offset) + length;
+    ++stats.runs;
+    stats.payload_bytes += length;
+    stats.wire_bytes += kRecordHeader + length;
+  }
+  return stats;
+}
+
+}  // namespace dsm

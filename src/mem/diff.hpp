@@ -1,0 +1,47 @@
+// Twin/diff machinery (TreadMarks): before the first write to a page between
+// synchronization points, the protocol snapshots a pristine "twin"; at flush
+// time the twin is compared word-by-word against the live page and only the
+// changed runs are shipped. This is what makes multiple concurrent writers to
+// one page mergeable and what defeats false sharing.
+//
+// Wire format of a diff: repeated records
+//   u32 offset | u32 length | `length` raw bytes
+// with offsets strictly increasing and runs non-overlapping.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace dsm {
+
+/// Allocates and fills a pristine copy of `page`.
+std::unique_ptr<std::byte[]> make_twin(std::span<const std::byte> page);
+
+/// Encodes the changed runs of `current` relative to `twin`. Comparison is
+/// 8-byte-word granular; adjacent changed words coalesce into one run.
+///
+/// `merge_gap` (bytes) absorbs short clean gaps into a run to reduce record
+/// overhead — but an absorbed gap ships *unchanged* words, which silently
+/// clobbers concurrent writers' words when diffs are merged. The default is
+/// therefore 0 (exact diffs); only raise it for single-writer transfers.
+std::vector<std::byte> encode_diff(std::span<const std::byte> current,
+                                   std::span<const std::byte> twin,
+                                   std::size_t merge_gap = 0);
+
+/// Applies a diff produced by encode_diff onto `page`. Aborts on a malformed
+/// diff (corruption is a protocol bug, not an input condition).
+void apply_diff(std::span<std::byte> page, std::span<const std::byte> diff);
+
+/// Applies only the run structure of a diff as zero-fill — used by tests.
+struct DiffStats {
+  std::size_t runs = 0;
+  std::size_t payload_bytes = 0;  ///< sum of run lengths
+  std::size_t wire_bytes = 0;     ///< payload + record headers
+};
+
+/// Walks a diff without applying it (validation, stats).
+DiffStats inspect_diff(std::span<const std::byte> diff);
+
+}  // namespace dsm

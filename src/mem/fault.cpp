@@ -1,0 +1,130 @@
+#include "mem/fault.hpp"
+
+#include <signal.h>
+#include <ucontext.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+
+struct FaultRouter::Slot {
+  // `base` is the publication point: non-null means every other field is
+  // valid (release store on publish, acquire load in the handler).
+  std::atomic<std::byte*> base{nullptr};
+  std::size_t size = 0;
+  const ViewRegion* view = nullptr;
+  FaultHandler on_fault;
+  WriteInferrer infer_write;
+  // Set while a slot is being reused, to serialize add/remove.
+  std::atomic<bool> claimed{false};
+};
+
+namespace {
+
+std::mutex g_registry_mutex;
+
+// True if the mcontext says the access was a write; nullopt if unknowable.
+bool fault_was_write(const ucontext_t* uc, bool* known) {
+#if defined(__x86_64__)
+  // Page-fault error code bit 1: set for write accesses.
+  *known = true;
+  return (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#else
+  (void)uc;
+  *known = false;
+  return false;
+#endif
+}
+
+FaultRouter::Slot* g_slots = nullptr;
+
+void sigsegv_handler(int signo, siginfo_t* info, void* context) {
+  auto* addr = static_cast<std::byte*>(info->si_addr);
+  if (g_slots != nullptr && addr != nullptr) {
+    for (int i = 0; i < 128; ++i) {
+      auto& slot = g_slots[i];
+      std::byte* base = slot.base.load(std::memory_order_acquire);
+      if (base == nullptr || addr < base || addr >= base + slot.size) continue;
+      const PageId page = slot.view->page_of(addr);
+      bool known = false;
+      bool is_write = fault_was_write(static_cast<ucontext_t*>(context), &known);
+      if (!known) is_write = slot.infer_write ? slot.infer_write(page) : true;
+      slot.on_fault(page, is_write);
+      return;  // protection has been fixed; retry the faulting instruction
+    }
+  }
+  // Not ours: restore the default handler and re-raise for a clean crash.
+  std::fprintf(stderr, "[tutordsm] unhandled SIGSEGV at %p\n", static_cast<void*>(addr));
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+FaultRouter::FaultRouter() {
+  // Leaked on purpose: the handler may run during static destruction.
+  slots_ = new Slot[kMaxRegions];
+  g_slots = slots_;
+
+  struct sigaction sa = {};
+  sa.sa_sigaction = &sigsegv_handler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  DSM_CHECK(::sigaction(SIGSEGV, &sa, nullptr) == 0);
+  // glibc reports some protection faults as SIGBUS on a few platforms.
+  DSM_CHECK(::sigaction(SIGBUS, &sa, nullptr) == 0);
+}
+
+FaultRouter& FaultRouter::instance() {
+  static FaultRouter* router = new FaultRouter();  // leaked, see ctor
+  return *router;
+}
+
+int FaultRouter::add_region(const ViewRegion* view, FaultHandler on_fault,
+                            WriteInferrer infer_write) {
+  DSM_CHECK(view != nullptr);
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (int i = 0; i < kMaxRegions; ++i) {
+    auto& slot = slots_[i];
+    if (slot.claimed.load(std::memory_order_relaxed)) continue;
+    slot.claimed.store(true, std::memory_order_relaxed);
+    slot.view = view;
+    slot.size = view->size_bytes();
+    slot.on_fault = std::move(on_fault);
+    slot.infer_write = std::move(infer_write);
+    slot.base.store(view->base(), std::memory_order_release);  // publish
+    return i;
+  }
+  DSM_CHECK_MSG(false, "fault router slot table exhausted (" << kMaxRegions << ")");
+  return -1;
+}
+
+void FaultRouter::remove_region(int token) {
+  DSM_CHECK(token >= 0 && token < kMaxRegions);
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  auto& slot = slots_[token];
+  slot.base.store(nullptr, std::memory_order_release);  // unpublish first
+  // No faults can be in flight for this region by contract (all node threads
+  // have joined before teardown), so clearing the callbacks is safe.
+  slot.on_fault = nullptr;
+  slot.infer_write = nullptr;
+  slot.view = nullptr;
+  slot.size = 0;
+  slot.claimed.store(false, std::memory_order_relaxed);
+}
+
+int FaultRouter::active_regions() const {
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  int n = 0;
+  for (int i = 0; i < kMaxRegions; ++i) {
+    if (slots_[i].base.load(std::memory_order_relaxed) != nullptr) ++n;
+  }
+  return n;
+}
+
+}  // namespace dsm

@@ -1,0 +1,58 @@
+// Process-wide SIGSEGV dispatcher. Each node registers its view region with a
+// fault callback; the signal handler maps the faulting address to (region,
+// page) and invokes the callback *synchronously on the faulting thread* —
+// exactly how user-level software DSMs service page faults. Faults outside
+// every registered region are re-raised with the default disposition so real
+// bugs still produce a normal crash.
+//
+// Signal-safety notes: registration uses a fixed slot table with
+// release/acquire publication so the handler never takes a lock; callbacks
+// themselves run protocol code (sends, condvar waits), which is safe because
+// the fault is synchronous — the thread was executing application code, not
+// async-signal-unsafe library internals, when it trapped.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "mem/region.hpp"
+
+namespace dsm {
+
+/// Callback invoked for a fault on `page` of the registered region.
+/// `is_write` distinguishes a read miss from a write miss/upgrade.
+using FaultHandler = std::function<void(PageId page, bool is_write)>;
+
+/// Fallback used on architectures where the trap does not report read vs
+/// write: given the page, return true if the faulting access must have been a
+/// write (e.g. the page is currently readable). On x86-64 the page-fault
+/// error code is used instead and this is never called.
+using WriteInferrer = std::function<bool(PageId page)>;
+
+class FaultRouter {
+ public:
+  /// The process-wide router. First use installs the SIGSEGV handler.
+  static FaultRouter& instance();
+
+  FaultRouter(const FaultRouter&) = delete;
+  FaultRouter& operator=(const FaultRouter&) = delete;
+
+  /// Registers a view; returns a slot token for remove_region. Thread-safe
+  /// against the handler, but regions must outlive their registration.
+  int add_region(const ViewRegion* view, FaultHandler on_fault, WriteInferrer infer_write);
+
+  void remove_region(int token);
+
+  /// Number of live registrations (for tests).
+  int active_regions() const;
+
+  struct Slot;  // public: the signal handler (file-scope) walks the table
+
+ private:
+  FaultRouter();
+  static constexpr int kMaxRegions = 128;
+
+  Slot* slots_;  // fixed array, leaked at exit (handler may outlive statics)
+};
+
+}  // namespace dsm

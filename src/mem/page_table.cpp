@@ -1,0 +1,50 @@
+#include "mem/page_table.hpp"
+
+#include "common/assert.hpp"
+
+namespace dsm {
+
+const char* to_string(PageState state) {
+  switch (state) {
+    case PageState::kInvalid: return "Invalid";
+    case PageState::kReadOnly: return "ReadOnly";
+    case PageState::kReadWrite: return "ReadWrite";
+  }
+  return "?";
+}
+
+PageTable::PageTable(std::size_t n_pages, std::size_t n_nodes) {
+  entries_.reserve(n_pages);
+  for (std::size_t i = 0; i < n_pages; ++i) {
+    auto entry = std::make_unique<PageEntry>();
+    entry->copyset = NodeSet(n_nodes);
+    entries_.push_back(std::move(entry));
+  }
+}
+
+PageEntry& PageTable::entry(PageId page) {
+  DSM_CHECK_MSG(page < entries_.size(), "page " << page << " out of range");
+  return *entries_[page];
+}
+
+const PageEntry& PageTable::entry(PageId page) const {
+  DSM_CHECK_MSG(page < entries_.size(), "page " << page << " out of range");
+  return *entries_[page];
+}
+
+PageState PageTable::state_of(PageId page) const {
+  const auto& e = entry(page);
+  const std::lock_guard<std::mutex> lock(e.mutex);
+  return e.state;
+}
+
+std::size_t PageTable::count_in_state(PageState state) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    const std::lock_guard<std::mutex> lock(e->mutex);
+    if (e->state == state) ++n;
+  }
+  return n;
+}
+
+}  // namespace dsm

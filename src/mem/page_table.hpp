@@ -1,0 +1,97 @@
+// Per-node page table: the coherence state machine's bookkeeping. Protocols
+// own the transition logic; the table provides the fields, per-page locking,
+// and the app-thread wait/notify discipline described in DESIGN.md
+// ("No-blocking service rule").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dsm {
+
+/// Logical coherence state of a page in one node's view. Mirrors the view's
+/// mprotect rights (kInvalid=NONE, kReadOnly=READ, kReadWrite=READ|WRITE).
+enum class PageState : std::uint8_t { kInvalid = 0, kReadOnly = 1, kReadWrite = 2 };
+
+const char* to_string(PageState state);
+
+/// All per-page fields any implemented protocol needs. Unused fields cost a
+/// few bytes per page; sharing one entry type keeps the service-thread
+/// dispatch and the tests uniform across protocols.
+struct PageEntry {
+  mutable std::mutex mutex;
+  /// App thread waits here for its fault transition to complete; protocol
+  /// code also reuses it for ack-counting waits.
+  std::condition_variable cv;
+
+  PageState state = PageState::kInvalid;
+
+  /// A coherence transaction initiated by this node is in flight.
+  bool busy = false;
+  /// An invalidation overtook our in-flight read reply (IVY-dynamic): the
+  /// reply's data is stale — drop it and re-request.
+  bool discard_reply = false;
+  /// Manager-side per-page transaction lock (IVY central/fixed manager).
+  bool manager_busy = false;
+
+  /// Authoritative owner, maintained at the manager (IVY central/fixed).
+  NodeId owner = kNoNode;
+  /// Probable owner hint (IVY dynamic distributed manager).
+  NodeId prob_owner = kNoNode;
+  /// This node is the true owner (IVY dynamic).
+  bool is_owner = false;
+
+  /// Nodes holding read copies; valid at the owner (IVY) or home (ERC/LRC).
+  NodeSet copyset;
+
+  /// Requests that arrived while `busy` — replayed on completion.
+  std::deque<Message> parked;
+  /// Requests that arrived while `manager_busy` — replayed on kConfirm.
+  std::deque<Message> manager_parked;
+
+  /// Pristine pre-write copy for diffing (multi-writer protocols).
+  std::unique_ptr<std::byte[]> twin;
+  /// Page written since the last release/barrier flush.
+  bool dirty = false;
+
+  /// Invalidate/update acknowledgements the app thread is waiting for.
+  int acks_outstanding = 0;
+  /// Home-side: the writer whose release transaction is in flight (ERC).
+  NodeId pending_node = kNoNode;
+
+  /// This view holds bytes for the page that form a consistent base (LRC):
+  /// set once a copy is installed or at init on the home; an invalidation
+  /// revokes access rights but keeps the bytes (and this flag).
+  bool has_base = false;
+
+  /// Generic monotone per-page version (ERC home version / LRC floor).
+  std::uint32_t version = 0;
+};
+
+class PageTable {
+ public:
+  PageTable(std::size_t n_pages, std::size_t n_nodes);
+
+  std::size_t n_pages() const { return entries_.size(); }
+  PageEntry& entry(PageId page);
+  const PageEntry& entry(PageId page) const;
+
+  /// Snapshot of a page's state without holding the caller's lock (tests).
+  PageState state_of(PageId page) const;
+
+  /// Count of pages currently in `state` (tests/stats).
+  std::size_t count_in_state(PageState state) const;
+
+ private:
+  std::vector<std::unique_ptr<PageEntry>> entries_;
+};
+
+}  // namespace dsm

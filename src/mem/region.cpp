@@ -1,0 +1,60 @@
+#include "mem/region.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+namespace {
+
+int to_prot(Access access) {
+  switch (access) {
+    case Access::kNone: return PROT_NONE;
+    case Access::kRead: return PROT_READ;
+    case Access::kReadWrite: return PROT_READ | PROT_WRITE;
+  }
+  return PROT_NONE;
+}
+
+}  // namespace
+
+std::size_t ViewRegion::os_page_size() {
+  static const auto size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+ViewRegion::ViewRegion(std::size_t n_pages, std::size_t page_size)
+    : n_pages_(n_pages), page_size_(page_size) {
+  DSM_CHECK_MSG(page_size_ > 0 && page_size_ % os_page_size() == 0,
+                "DSM page size " << page_size_ << " must be a multiple of the OS page size "
+                                 << os_page_size());
+  DSM_CHECK(n_pages_ > 0);
+  void* addr = ::mmap(nullptr, size_bytes(), PROT_NONE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  DSM_CHECK_MSG(addr != MAP_FAILED, "mmap failed: " << std::strerror(errno));
+  base_ = static_cast<std::byte*>(addr);
+}
+
+ViewRegion::~ViewRegion() {
+  if (base_ != nullptr) ::munmap(base_, size_bytes());
+}
+
+void ViewRegion::protect(PageId page, Access access) const {
+  DSM_CHECK_MSG(page < n_pages_, "protect of out-of-range page " << page);
+  const int rc = ::mprotect(page_ptr(page), page_size_, to_prot(access));
+  DSM_CHECK_MSG(rc == 0, "mprotect(page " << page << ") failed: " << std::strerror(errno));
+}
+
+ViewRegion::ScopedWritable::ScopedWritable(const ViewRegion& view, PageId page,
+                                           Access restore_to)
+    : view_(view), page_(page), restore_to_(restore_to) {
+  view_.protect(page_, Access::kReadWrite);
+}
+
+ViewRegion::ScopedWritable::~ScopedWritable() { view_.protect(page_, restore_to_); }
+
+}  // namespace dsm

@@ -1,0 +1,80 @@
+// A node's private "view" of the shared address space: an anonymous mmap
+// whose per-page protection encodes the coherence state (PROT_NONE =
+// invalid, PROT_READ = read-only copy, PROT_READ|WRITE = owned/writable).
+// This is the same mprotect/SIGSEGV machinery IVY- and TreadMarks-class
+// systems used; here every node's view lives in one process at a distinct
+// base address (see DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+/// Access rights for a DSM page, mapped onto mprotect bits.
+enum class Access : int { kNone = 0, kRead = 1, kReadWrite = 2 };
+
+class ViewRegion {
+ public:
+  /// Maps `n_pages` pages of `page_size` bytes (page_size must be a
+  /// multiple of the OS page size) with no access rights.
+  ViewRegion(std::size_t n_pages, std::size_t page_size);
+  ~ViewRegion();
+  ViewRegion(const ViewRegion&) = delete;
+  ViewRegion& operator=(const ViewRegion&) = delete;
+  ViewRegion(ViewRegion&&) = delete;
+  ViewRegion& operator=(ViewRegion&&) = delete;
+
+  std::byte* base() const { return base_; }
+  std::size_t n_pages() const { return n_pages_; }
+  std::size_t page_size() const { return page_size_; }
+  std::size_t size_bytes() const { return n_pages_ * page_size_; }
+
+  /// Host OS page size (mprotect granularity).
+  static std::size_t os_page_size();
+
+  std::byte* page_ptr(PageId page) const { return base_ + page * page_size_; }
+  std::span<std::byte> page_span(PageId page) const {
+    return {page_ptr(page), page_size_};
+  }
+
+  bool contains(const void* addr) const {
+    const auto* p = static_cast<const std::byte*>(addr);
+    return p >= base_ && p < base_ + size_bytes();
+  }
+  PageId page_of(const void* addr) const {
+    return static_cast<PageId>(
+        static_cast<std::size_t>(static_cast<const std::byte*>(addr) - base_) / page_size_);
+  }
+  std::size_t offset_of(const void* addr) const {
+    return static_cast<std::size_t>(static_cast<const std::byte*>(addr) - base_);
+  }
+
+  /// Sets a page's protection. Aborts on mprotect failure (programming error).
+  void protect(PageId page, Access access) const;
+
+  /// Temporarily opens a page for the protocol to copy data in/out without
+  /// disturbing the logical access state; restores `restore_to` on
+  /// destruction. Used by service threads installing remote data.
+  class ScopedWritable {
+   public:
+    ScopedWritable(const ViewRegion& view, PageId page, Access restore_to);
+    ~ScopedWritable();
+    ScopedWritable(const ScopedWritable&) = delete;
+    ScopedWritable& operator=(const ScopedWritable&) = delete;
+
+   private:
+    const ViewRegion& view_;
+    PageId page_;
+    Access restore_to_;
+  };
+
+ private:
+  std::size_t n_pages_;
+  std::size_t page_size_;
+  std::byte* base_ = nullptr;
+};
+
+}  // namespace dsm

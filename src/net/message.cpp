@@ -1,0 +1,40 @@
+#include "net/message.hpp"
+
+namespace dsm {
+
+std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kReadRequest: return "ReadRequest";
+    case MsgType::kReadForward: return "ReadForward";
+    case MsgType::kReadReply: return "ReadReply";
+    case MsgType::kWriteRequest: return "WriteRequest";
+    case MsgType::kWriteForward: return "WriteForward";
+    case MsgType::kWriteReply: return "WriteReply";
+    case MsgType::kInvalidate: return "Invalidate";
+    case MsgType::kInvalidateAck: return "InvalidateAck";
+    case MsgType::kConfirm: return "Confirm";
+    case MsgType::kUpdate: return "Update";
+    case MsgType::kUpdateAck: return "UpdateAck";
+    case MsgType::kDiffRequest: return "DiffRequest";
+    case MsgType::kDiffReply: return "DiffReply";
+    case MsgType::kPageRequest: return "PageRequest";
+    case MsgType::kPageReply: return "PageReply";
+    case MsgType::kLockRequest: return "LockRequest";
+    case MsgType::kLockGrant: return "LockGrant";
+    case MsgType::kLockRelease: return "LockRelease";
+    case MsgType::kBarrierArrive: return "BarrierArrive";
+    case MsgType::kBarrierRelease: return "BarrierRelease";
+    case MsgType::kShutdown: return "Shutdown";
+    case MsgType::kWakeup: return "Wakeup";
+    case MsgType::kCount_: break;
+  }
+  return "Unknown";
+}
+
+std::size_t Message::wire_size() const {
+  // Envelope header a real transport would carry: type + src + dst + length.
+  constexpr std::size_t kHeader = 2 + 4 + 4 + 4;
+  return kHeader + payload.size();
+}
+
+}  // namespace dsm

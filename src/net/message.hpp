@@ -1,0 +1,63 @@
+// Protocol message envelope. One global message-type enum keeps traffic
+// statistics comparable across protocols (every experiment reports the same
+// per-type breakdown).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+enum class MsgType : std::uint16_t {
+  // --- page coherence (IVY family) ---
+  kReadRequest,     ///< faulting node → manager/owner: want a read copy
+  kReadForward,     ///< manager → owner: serve a read copy to requester
+  kReadReply,       ///< owner → faulting node: page data, read grant
+  kWriteRequest,    ///< faulting node → manager/owner: want ownership
+  kWriteForward,    ///< manager → owner: transfer ownership to requester
+  kWriteReply,      ///< owner → faulting node: page data + copyset + ownership
+  kInvalidate,      ///< new owner → copyset holder: drop your copy
+  kInvalidateAck,   ///< copyset holder → new owner: dropped
+  kConfirm,         ///< requester → manager: transaction complete, unlock page
+  // --- update-based coherence (Munin write-shared, ERC update mode) ---
+  kUpdate,          ///< writer → copy holder: apply this diff
+  kUpdateAck,       ///< copy holder → writer: applied
+  // --- lazy release consistency (TreadMarks) ---
+  kDiffRequest,     ///< faulting node → writer: send diffs for page ≥ interval
+  kDiffReply,       ///< writer → faulting node: the diffs
+  kPageRequest,     ///< faulting node → page home: full page (cold miss)
+  kPageReply,       ///< page home → faulting node: full page data
+  // --- synchronization ---
+  kLockRequest,     ///< acquirer → lock home
+  kLockGrant,       ///< lock home/previous holder → acquirer (may carry data)
+  kLockRelease,     ///< holder → lock home
+  kBarrierArrive,   ///< node → barrier manager (may carry intervals)
+  kBarrierRelease,  ///< barrier manager → node (may carry merged notices)
+  // --- runtime control ---
+  kShutdown,        ///< runtime → service thread: drain and exit
+  kWakeup,          ///< self-message used to replay parked work
+
+  kCount_,          ///< number of message types (stats arrays)
+};
+
+/// Stable label for stats keys and logs, e.g. "ReadRequest".
+std::string_view to_string(MsgType type);
+
+/// The envelope the fabric moves. `arrival_time` is stamped by the network
+/// from `send_time` plus the link-model cost; receivers advance their logical
+/// clock to it (see DESIGN.md "Virtual time").
+struct Message {
+  MsgType type = MsgType::kShutdown;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  VirtualTime send_time = 0;
+  VirtualTime arrival_time = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t wire_size() const;
+};
+
+}  // namespace dsm

@@ -1,0 +1,100 @@
+#include "net/network.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dsm {
+
+void Mailbox::push(Message msg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    DSM_CHECK_MSG(!closed_, "push to closed mailbox");
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Message> Mailbox::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_pop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  Message msg = std::move(queue_.front());
+  queue_.pop_front();
+  return msg;
+}
+
+void Mailbox::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats)
+    : link_(link), stats_(stats), mailboxes_(n_nodes) {
+  DSM_CHECK(n_nodes > 0);
+  DSM_CHECK(stats != nullptr);
+}
+
+void Network::send(Message msg) {
+  DSM_CHECK_MSG(msg.dst < mailboxes_.size(), "send to unknown node " << msg.dst);
+  DSM_CHECK_MSG(msg.src < mailboxes_.size(), "send from unknown node " << msg.src);
+  if (drop_hook_ && drop_hook_(msg)) {
+    stats_->counter("net.dropped").add();
+    return;
+  }
+  const std::size_t bytes = msg.wire_size();
+  msg.arrival_time = msg.send_time + link_.cost(msg.src, msg.dst, bytes);
+
+  messages_sent_.add();
+  if (msg.type == MsgType::kShutdown || msg.type == MsgType::kWakeup) {
+    // Runtime control, not protocol traffic: deliver but do not account.
+    mailboxes_[msg.dst].push(std::move(msg));
+    return;
+  }
+  stats_->counter("net.msgs").add();
+  stats_->counter("net.bytes").add(bytes);
+  stats_->counter(std::string("net.msgs.") + std::string(to_string(msg.type))).add();
+  stats_->histogram("net.msg_size").record(bytes);
+  if (log_enabled(LogLevel::kTrace)) {
+    DSM_LOG_TRACE << "send " << to_string(msg.type) << ' ' << msg.src << "->" << msg.dst
+                  << " bytes=" << bytes << " t=" << msg.send_time;
+  }
+
+  mailboxes_[msg.dst].push(std::move(msg));
+}
+
+void Network::multicast(std::span<const NodeId> destinations, const Message& prototype) {
+  for (const NodeId dst : destinations) {
+    Message copy = prototype;
+    copy.dst = dst;
+    send(std::move(copy));
+  }
+}
+
+std::optional<Message> Network::recv(NodeId node) {
+  DSM_CHECK(node < mailboxes_.size());
+  return mailboxes_[node].pop();
+}
+
+void Network::shutdown() {
+  for (auto& mb : mailboxes_) mb.close();
+}
+
+}  // namespace dsm

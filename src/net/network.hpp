@@ -1,0 +1,100 @@
+// The simulated interconnect: one mailbox per node, explicit messages,
+// a configurable link cost model, per-type traffic accounting, and a drop
+// hook for fault-injection tests. This is the substitution for the 1992
+// workstation network — see DESIGN.md "Substitutions".
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dsm {
+
+/// Virtual-time cost of moving a message across one link.
+struct LinkModel {
+  /// Per-message base latency (wire + protocol stack), nanoseconds.
+  VirtualTime latency_ns = 10'000;  // 10 µs, a fast early-90s LAN
+  /// Per-byte transfer cost, nanoseconds (100 ns/B ≈ 10 MB/s).
+  VirtualTime ns_per_byte = 100;
+  /// Cost of a node messaging itself (loopback through the DSM layer).
+  VirtualTime loopback_ns = 500;
+
+  VirtualTime cost(NodeId src, NodeId dst, std::size_t bytes) const {
+    if (src == dst) return loopback_ns;
+    return latency_ns + ns_per_byte * static_cast<VirtualTime>(bytes);
+  }
+};
+
+/// Blocking MPSC queue of messages for one node's service thread.
+class Mailbox {
+ public:
+  void push(Message msg);
+  /// Blocks until a message is available or the mailbox is closed.
+  /// Returns nullopt only after close() with an empty queue.
+  std::optional<Message> pop();
+  /// Non-blocking variant for drain loops.
+  std::optional<Message> try_pop();
+  void close();
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+/// N-endpoint reliable, per-link-FIFO fabric.
+///
+/// Delivery order: messages from the same (src,dst) pair are delivered in
+/// send order (link FIFO), matching what DSM protocols of this era assumed
+/// from their transport. Cross-source interleaving at a destination is
+/// arbitrary, as on a real network.
+class Network {
+ public:
+  Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats);
+
+  std::size_t size() const { return mailboxes_.size(); }
+  const LinkModel& link() const { return link_; }
+
+  /// Stamps arrival time, accounts traffic, and enqueues at `msg.dst`.
+  /// If a drop hook is installed and returns true, the message vanishes
+  /// (counted under net.dropped).
+  void send(Message msg);
+
+  /// Sends a copy of `prototype` to every node in `destinations`
+  /// (dst/arrival stamped per copy). Models point-to-point multicast.
+  void multicast(std::span<const NodeId> destinations, const Message& prototype);
+
+  /// Blocking receive for `node`'s service thread.
+  std::optional<Message> recv(NodeId node);
+
+  /// Closes every mailbox, releasing all blocked receivers.
+  void shutdown();
+
+  /// Installs a fault-injection predicate; return true to drop the message.
+  /// Not thread-safe with in-flight sends — install before traffic starts.
+  void set_drop_hook(std::function<bool(const Message&)> hook) {
+    drop_hook_ = std::move(hook);
+  }
+
+  /// Total messages sent so far (excluding dropped).
+  std::uint64_t messages_sent() const { return messages_sent_.value(); }
+
+ private:
+  LinkModel link_;
+  StatsRegistry* stats_;
+  std::vector<Mailbox> mailboxes_;
+  std::function<bool(const Message&)> drop_hook_;
+  Counter messages_sent_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,285 @@
+#include "proto/ec.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "mem/diff.hpp"
+
+namespace dsm {
+namespace {
+
+// Lock request payload : u32 seen_version
+// Lock grant payload   : u8 kind, then
+//     kind 0 (unbound)      : nothing
+//     kind 1 (log entries)  : u32 current_version | u32 n_entries |
+//                             n × { u32 version | u32 n_regions | n×bytes }
+//     kind 2 (full regions) : u32 current_version | u32 n_regions | n×bytes
+// Barrier arrive payload: u32 n | n × { u32 region_index | bytes diff }
+// Barrier release       : u32 n_blobs | n × bytes (each an arrive blob)
+
+constexpr std::uint8_t kGrantUnbound = 0;
+constexpr std::uint8_t kGrantEntries = 1;
+constexpr std::uint8_t kGrantFull = 2;
+
+}  // namespace
+
+EcProtocol::EcProtocol(NodeContext& ctx) : Protocol(ctx) {}
+
+std::string_view EcProtocol::name() const { return "ec"; }
+
+void EcProtocol::init_pages() {
+  // No VM machinery at all: every page is writable everywhere; consistency
+  // is the programmer's bindings' job.
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.state = PageState::kReadWrite;
+    ctx_.view->protect(p, Access::kReadWrite);
+  }
+  const std::lock_guard<std::mutex> guard(mutex_);
+  lock_data_.clear();
+  barrier_regions_.clear();
+  barrier_scratch_.clear();
+}
+
+void EcProtocol::on_read_fault(PageId page) {
+  DSM_CHECK_MSG(false, "entry consistency: unexpected fault on page "
+                           << page << " — all pages are resident; did a binding fail?");
+}
+
+void EcProtocol::on_write_fault(PageId page) { on_read_fault(page); }
+
+void EcProtocol::on_message(const Message& msg) {
+  DSM_CHECK_MSG(false, "ec: unexpected message " << to_string(msg.type));
+}
+
+void EcProtocol::bind_lock_region(LockId lock, std::size_t offset, std::size_t size) {
+  DSM_CHECK_MSG(offset + size <= ctx_.view->size_bytes(), "ec binding outside the shared heap");
+  const std::lock_guard<std::mutex> guard(mutex_);
+  Region r{offset, size, {}};
+  if (ctx_.lock_home(lock) == ctx_.id) {
+    // The token starts at the lock's home: it is the data's initial holder,
+    // so snapshot the pristine twin now.
+    const auto live = region_span(r);
+    r.twin.assign(live.begin(), live.end());
+  }
+  lock_data_[lock].regions.push_back(std::move(r));
+}
+
+void EcProtocol::bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size) {
+  DSM_CHECK_MSG(offset + size <= ctx_.view->size_bytes(), "ec binding outside the shared heap");
+  const std::lock_guard<std::mutex> guard(mutex_);
+  Region r{offset, size, {}};
+  const auto live = region_span(r);
+  r.twin.assign(live.begin(), live.end());  // everyone holds barrier data
+  barrier_regions_[barrier].push_back(std::move(r));
+}
+
+void EcProtocol::snapshot(std::vector<Region>& regions) {
+  for (auto& r : regions) {
+    const auto live = region_span(r);
+    r.twin.assign(live.begin(), live.end());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Locks: versioned update logs riding the token-holder chain
+// ---------------------------------------------------------------------------
+
+void EcProtocol::fill_lock_request(LockId lock, WireWriter& out) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = lock_data_.find(lock);
+  out.put(it == lock_data_.end() ? std::uint32_t{0} : it->second.seen_version);
+}
+
+void EcProtocol::fill_lock_grant(LockId lock, NodeId /*to*/,
+                                 std::span<const std::byte> request_payload,
+                                 WireWriter& out) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = lock_data_.find(lock);
+  if (it == lock_data_.end()) {
+    out.put(kGrantUnbound);
+    return;
+  }
+  auto& L = it->second;
+
+  // Close out this hold: one log entry for everything written since the
+  // token arrived (possibly spanning several cached local re-acquires).
+  bool dirty = false;
+  LogEntry entry;
+  for (auto& r : L.regions) {
+    // An empty twin means this node never formally held the data (the
+    // initial holder before any hand-off): diff against zeros, the heap's
+    // initial contents.
+    std::vector<std::byte> zero_base;
+    std::span<const std::byte> base;
+    if (r.twin.empty()) {
+      zero_base.assign(r.size, std::byte{0});
+      base = zero_base;
+    } else {
+      base = r.twin;
+    }
+    auto diff = encode_diff(region_span(r), base);
+    if (!diff.empty()) dirty = true;
+    ctx_.stats->counter("ec.diff_bytes").add(diff.size());
+    entry.region_diffs.push_back(std::move(diff));
+    r.twin.clear();  // the token (and with it the data) leaves this node
+  }
+  if (dirty) {
+    entry.version = ++L.seen_version;
+    L.log.push_back(std::move(entry));
+    while (L.log.size() > kLogCap) L.log.pop_front();
+  }
+
+  // What does the acquirer already have?
+  std::uint32_t acquirer_version = 0;
+  if (!request_payload.empty()) {
+    WireReader r(request_payload);
+    acquirer_version = r.get<std::uint32_t>();
+  }
+
+  const std::uint32_t oldest_logged =
+      L.log.empty() ? L.seen_version + 1 : L.log.front().version;
+  if (acquirer_version + 1 >= oldest_logged || acquirer_version >= L.seen_version) {
+    // The log covers the gap: ship exactly the missing entries.
+    out.put(kGrantEntries);
+    out.put(L.seen_version);
+    std::uint32_t count = 0;
+    for (const auto& e : L.log) {
+      if (e.version > acquirer_version) ++count;
+    }
+    out.put(count);
+    for (const auto& e : L.log) {
+      if (e.version <= acquirer_version) continue;
+      out.put(e.version);
+      out.put(static_cast<std::uint32_t>(e.region_diffs.size()));
+      for (const auto& d : e.region_diffs) out.put_bytes(d);
+    }
+  } else {
+    // Too far behind (entries pruned): ship the whole bound data.
+    out.put(kGrantFull);
+    out.put(L.seen_version);
+    out.put(static_cast<std::uint32_t>(L.regions.size()));
+    for (const auto& r : L.regions) {
+      const auto live = region_span(r);
+      out.put_bytes({live.data(), live.size()});
+      ctx_.stats->counter("ec.full_transfers").add();
+    }
+  }
+}
+
+void EcProtocol::on_lock_granted(LockId lock, WireReader& in) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = lock_data_.find(lock);
+  if (in.remaining() == 0) {
+    // Centralized first-ever grant: the home had no release payload yet.
+    if (it != lock_data_.end()) snapshot(it->second.regions);
+    return;
+  }
+  const auto kind = in.get<std::uint8_t>();
+  if (it == lock_data_.end()) {
+    DSM_CHECK_MSG(kind == kGrantUnbound, "ec: grant carries data for unbound lock " << lock);
+    return;
+  }
+  auto& L = it->second;
+
+  if (kind == kGrantEntries) {
+    const auto current = in.get<std::uint32_t>();
+    const auto count = in.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto version = in.get<std::uint32_t>();
+      const auto n_regions = in.get<std::uint32_t>();
+      DSM_CHECK(n_regions == L.regions.size());
+      LogEntry entry;
+      entry.version = version;
+      for (std::uint32_t r = 0; r < n_regions; ++r) {
+        const auto diff = in.get_bytes();
+        if (version > L.seen_version) {
+          apply_diff(region_span(L.regions[r]), diff);
+        }
+        entry.region_diffs.emplace_back(diff.begin(), diff.end());
+      }
+      if (version > L.seen_version) {
+        L.log.push_back(std::move(entry));
+        while (L.log.size() > kLogCap) L.log.pop_front();
+      }
+    }
+    L.seen_version = std::max(L.seen_version, current);
+  } else if (kind == kGrantFull) {
+    const auto current = in.get<std::uint32_t>();
+    const auto n_regions = in.get<std::uint32_t>();
+    DSM_CHECK(n_regions == L.regions.size());
+    for (std::uint32_t r = 0; r < n_regions; ++r) {
+      const auto bytes = in.get_bytes();
+      auto live = region_span(L.regions[r]);
+      DSM_CHECK(bytes.size() == live.size());
+      std::memcpy(live.data(), bytes.data(), bytes.size());
+    }
+    L.seen_version = std::max(L.seen_version, current);
+    L.log.clear();  // our old entries are useless to anyone we could serve
+  } else {
+    DSM_CHECK_MSG(kind == kGrantUnbound, "ec: bad grant kind");
+  }
+  snapshot(L.regions);
+}
+
+// ---------------------------------------------------------------------------
+// Barriers: all-to-all diff exchange each round
+// ---------------------------------------------------------------------------
+
+void EcProtocol::fill_barrier_arrive(BarrierId barrier, WireWriter& out) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = barrier_regions_.find(barrier);
+  if (it == barrier_regions_.end()) {
+    out.put(std::uint32_t{0});
+    return;
+  }
+  auto& regions = it->second;
+  out.put(static_cast<std::uint32_t>(regions.size()));
+  for (std::uint32_t i = 0; i < regions.size(); ++i) {
+    auto& r = regions[i];
+    const auto diff = encode_diff(region_span(r), r.twin);
+    ctx_.stats->counter("ec.diff_bytes").add(diff.size());
+    out.put(i);
+    out.put_bytes(diff);
+  }
+}
+
+void EcProtocol::on_barrier_collect(BarrierId barrier, NodeId /*from*/, WireReader& in) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto blob = in.get_raw(in.remaining());
+  barrier_scratch_[barrier].emplace_back(blob.begin(), blob.end());
+}
+
+void EcProtocol::fill_barrier_release(BarrierId barrier, WireWriter& out) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  auto& blobs = barrier_scratch_[barrier];
+  out.put(static_cast<std::uint32_t>(blobs.size()));
+  for (const auto& blob : blobs) out.put_bytes(blob);
+  blobs.clear();
+}
+
+void EcProtocol::on_barrier_release(BarrierId barrier, WireReader& in) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = barrier_regions_.find(barrier);
+  const auto n = in.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto blob = in.get_bytes();
+    if (it == barrier_regions_.end()) continue;
+    WireReader blob_reader(blob);
+    auto& regions = it->second;
+    const auto n_regions = blob_reader.get<std::uint32_t>();
+    DSM_CHECK_MSG(n_regions == regions.size(),
+                  "ec: barrier binding mismatch (" << n_regions << " vs " << regions.size()
+                                                   << ")");
+    for (std::uint32_t r = 0; r < n_regions; ++r) {
+      const auto index = blob_reader.get<std::uint32_t>();
+      DSM_CHECK(index < regions.size());
+      const auto diff = blob_reader.get_bytes();
+      apply_diff(region_span(regions[index]), diff);
+    }
+  }
+  if (it != barrier_regions_.end()) snapshot(it->second);
+}
+
+}  // namespace dsm

@@ -1,0 +1,88 @@
+// Entry consistency (Midway). Shared data is explicitly *bound* to a
+// synchronization object; a node may access bound data only while holding
+// that object, and the data's updates travel *with* the lock grant (or the
+// barrier release). There is no page faulting at all: the programmer's
+// annotations replace the VM machinery — the tutorial's "performance for
+// programmer effort" trade.
+//
+// Implementation (Midway's versioned updates): each lock's bound data
+// carries a version number that travels with the token; every release that
+// changed the data appends a (version, diffs) entry to a log carried along
+// the token-holder chain. The acquirer announces the highest version it has
+// seen in its lock request, and the grant ships exactly the log entries it
+// is missing — or, if the acquirer is so far behind that entries have been
+// pruned, the full region contents. This is what makes visibility
+// *transitive*: a word written ten handoffs ago still reaches a brand-new
+// acquirer.
+//
+// Barrier-bound regions are simpler: everyone's diffs are exchanged and
+// applied at every barrier, so all copies converge each round.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class EcProtocol final : public Protocol {
+ public:
+  explicit EcProtocol(NodeContext& ctx);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+  void bind_lock_region(LockId lock, std::size_t offset, std::size_t size) override;
+  void bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size) override;
+
+  void fill_lock_request(LockId, WireWriter& out) override;
+  void fill_lock_grant(LockId, NodeId to, std::span<const std::byte> request_payload,
+                       WireWriter& out) override;
+  void on_lock_granted(LockId, WireReader& in) override;
+  void fill_barrier_arrive(BarrierId, WireWriter& out) override;
+  void on_barrier_collect(BarrierId, NodeId from, WireReader& in) override;
+  void fill_barrier_release(BarrierId, WireWriter& out) override;
+  void on_barrier_release(BarrierId, WireReader& in) override;
+
+ private:
+  struct Region {
+    std::size_t offset = 0;
+    std::size_t size = 0;
+    /// Pristine copy from when this node last took the token / left the
+    /// barrier; empty when this node does not hold the data.
+    std::vector<std::byte> twin;
+  };
+  /// One release's worth of changes: per-region diffs at `version`.
+  struct LogEntry {
+    std::uint32_t version = 0;
+    std::vector<std::vector<std::byte>> region_diffs;
+  };
+  struct LockData {
+    std::vector<Region> regions;
+    /// Highest version this node has observed (== current version while it
+    /// holds the token).
+    std::uint32_t seen_version = 0;
+    /// Recent (version, diffs) entries, ascending; pruned to kLogCap.
+    std::deque<LogEntry> log;
+  };
+  static constexpr std::size_t kLogCap = 16;
+
+  std::span<std::byte> region_span(const Region& r) const {
+    return {ctx_.view->base() + r.offset, r.size};
+  }
+  void snapshot(std::vector<Region>& regions);
+
+  std::mutex mutex_;  // guards all maps (app + service threads)
+  std::map<LockId, LockData> lock_data_;
+  std::map<BarrierId, std::vector<Region>> barrier_regions_;
+  // Manager-side scratch: collected diffs per barrier round.
+  std::map<BarrierId, std::vector<std::vector<std::byte>>> barrier_scratch_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,459 @@
+#include "proto/erc.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "mem/diff.hpp"
+#include "proto/page_io.hpp"
+
+namespace dsm {
+namespace {
+
+// Payload layouts:
+//   kPageRequest  : u32 page | u32 requester
+//   kPageReply    : u32 page | raw page bytes
+//   kUpdate       : u32 page | u8 kind (0 = writer→home, 1 = home→holder) | bytes diff
+//   kUpdateAck    : u32 page | u8 kind (0 = holder→home, 1 = home→writer final)
+//   kInvalidate   : u32 page | u32 unused
+//   kInvalidateAck: u32 page | u8 kept (1 = holder kept a dirty copy)
+
+constexpr std::uint8_t kToHome = 0;
+constexpr std::uint8_t kFromHome = 1;
+
+}  // namespace
+
+ErcProtocol::ErcProtocol(NodeContext& ctx, Mode mode) : Protocol(ctx), mode_(mode) {}
+
+std::string_view ErcProtocol::name() const {
+  return mode_ == Mode::kInvalidate ? "erc-invalidate" : "erc-update";
+}
+
+void ErcProtocol::init_pages() {
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (ctx_.home_of(p) == ctx_.id) {
+      // The home's copy is authoritative from the start; read-only so the
+      // home's own writes are trapped and diffed like anyone else's.
+      e.state = PageState::kReadOnly;
+      ctx_.view->protect(p, Access::kRead);
+    } else {
+      e.state = PageState::kInvalid;
+      ctx_.view->protect(p, Access::kNone);
+    }
+    e.copyset.clear();
+    e.busy = false;
+    e.manager_busy = false;
+    e.dirty = false;
+    e.twin.reset();
+    e.acks_outstanding = 0;
+    e.pending_node = kNoNode;
+    e.parked.clear();
+    e.manager_parked.clear();
+  }
+  dirty_pages_.clear();
+  flush_outstanding_ = 0;
+  const std::lock_guard<std::mutex> lock(txn_mutex_);
+  txns_.clear();
+}
+
+void ErcProtocol::on_read_fault(PageId page) {
+  auto& e = ctx_.table->entry(page);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  // Wait for our transaction (!busy), not the state: a racing invalidation
+  // can revoke the fresh copy before this thread runs — re-fetch then.
+  for (;;) {
+    if (e.state != PageState::kInvalid) return;
+    if (e.busy) {
+      e.cv.wait(lock);
+      continue;
+    }
+    e.busy = true;
+    lock.unlock();
+
+    ctx_.clock->advance(ctx_.cfg->fault_ns);
+    const VirtualTime t0 = ctx_.clock->now();
+    ctx_.stats->counter("proto.read_faults").add();
+    WireWriter w(8);
+    w.put(page);
+    w.put(ctx_.id);
+    ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
+    prefetch_sequential(page);
+
+    lock.lock();
+    e.cv.wait(lock, [&] { return !e.busy; });
+    ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+  }
+}
+
+void ErcProtocol::prefetch_sequential(PageId page) {
+  for (std::size_t k = 1; k <= ctx_.cfg->prefetch_pages; ++k) {
+    const PageId next = page + static_cast<PageId>(k);
+    if (next >= ctx_.table->n_pages()) return;
+    auto& e = ctx_.table->entry(next);
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state != PageState::kInvalid || e.busy) continue;
+      e.busy = true;  // async fetch; the reply path completes it
+    }
+    ctx_.stats->counter("proto.prefetches").add();
+    WireWriter w(8);
+    w.put(next);
+    w.put(ctx_.id);
+    ctx_.send(MsgType::kPageRequest, ctx_.home_of(next), std::move(w).take());
+  }
+}
+
+void ErcProtocol::on_write_fault(PageId page) {
+  auto& e = ctx_.table->entry(page);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  ctx_.stats->counter("proto.write_faults").add();
+  ctx_.clock->advance(ctx_.cfg->fault_ns);
+  for (;;) {
+    if (e.state == PageState::kReadWrite) return;
+    if (e.busy) {
+      e.cv.wait(lock);
+      continue;
+    }
+    if (e.state == PageState::kReadOnly) {
+      // The multiple-writer trick: go writable locally, remember the
+      // pristine twin, and settle up at the next release. Zero messages.
+      e.twin = make_twin(ctx_.view->page_span(page));
+      ctx_.view->protect(page, Access::kReadWrite);
+      e.state = PageState::kReadWrite;
+      if (!e.dirty) {
+        e.dirty = true;
+        dirty_pages_.push_back(page);
+      }
+      return;
+    }
+    // Invalid: fetch a copy from the home first, then loop into the
+    // read-only upgrade branch above (re-requesting if a racing
+    // invalidation revoked the copy before this thread ran).
+    e.busy = true;
+    lock.unlock();
+    WireWriter w(8);
+    w.put(page);
+    w.put(ctx_.id);
+    ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
+    lock.lock();
+    e.cv.wait(lock, [&] { return !e.busy; });
+  }
+}
+
+void ErcProtocol::flush_dirty() {
+  if (dirty_pages_.empty()) return;
+  ++n_flushes_;
+  {
+    // Register the expected acks BEFORE any update goes out: the first ack
+    // can arrive while we are still encoding the second diff.
+    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    flush_outstanding_ += static_cast<int>(dirty_pages_.size());
+  }
+  for (const PageId page : dirty_pages_) {
+    auto& e = ctx_.table->entry(page);
+    std::vector<std::byte> diff;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      DSM_CHECK(e.dirty && e.twin != nullptr);
+      diff = encode_diff(ctx_.view->page_span(page),
+                         {e.twin.get(), ctx_.cfg->page_size});
+      e.twin.reset();
+      e.dirty = false;
+      // Re-protect so the next write re-twins in a fresh interval.
+      ctx_.view->protect(page, Access::kRead);
+      e.state = PageState::kReadOnly;
+    }
+    ctx_.stats->counter("erc.diff_bytes").add(diff.size());
+    WireWriter w(diff.size() + 16);
+    w.put(page);
+    w.put(kToHome);
+    w.put_bytes(diff);
+    ctx_.send(MsgType::kUpdate, ctx_.home_of(page), std::move(w).take());
+  }
+  dirty_pages_.clear();
+
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  flush_cv_.wait(lock, [&] { return flush_outstanding_ == 0; });
+}
+
+void ErcProtocol::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kPageRequest: handle_page_request(msg); return;
+    case MsgType::kPageReply: handle_page_reply(msg); return;
+    case MsgType::kUpdate: handle_update(msg); return;
+    case MsgType::kUpdateAck: handle_update_ack(msg); return;
+    case MsgType::kInvalidate: handle_invalidate(msg); return;
+    case MsgType::kInvalidateAck: handle_invalidate_ack(msg); return;
+    default:
+      DSM_CHECK_MSG(false, "erc: unexpected message " << to_string(msg.type));
+  }
+}
+
+void ErcProtocol::handle_page_request(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto requester = r.get<NodeId>();
+  auto& e = ctx_.table->entry(page);
+  std::vector<std::byte> bytes;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "page request at non-home");
+    DSM_CHECK(e.state != PageState::kInvalid);
+    e.copyset.insert(requester);
+    bytes = page_io::read_page(ctx_, page, e.state);
+  }
+  WireWriter w(bytes.size() + 8);
+  w.put(page);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kPageReply, requester, std::move(w).take());
+}
+
+void ErcProtocol::handle_page_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    page_io::install_page(ctx_, page, bytes, Access::kRead);
+    e.state = PageState::kReadOnly;
+    e.busy = false;
+  }
+  e.cv.notify_all();
+}
+
+void ErcProtocol::handle_update(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto kind = r.get<std::uint8_t>();
+  const auto diff = r.get_bytes();
+
+  if (kind == kFromHome) {
+    // Copy holder: apply the diff to the live page, and to the twin as well
+    // if we are mid-write, so our own later diff excludes these bytes.
+    auto& e = ctx_.table->entry(page);
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state != PageState::kInvalid) {
+        const ViewRegion::ScopedWritable open(*ctx_.view, page,
+                                              page_io::rights_for(e.state));
+        apply_diff(ctx_.view->page_span(page), diff);
+      }
+      if (e.twin != nullptr) {
+        apply_diff({e.twin.get(), ctx_.cfg->page_size}, diff);
+      }
+    }
+    WireWriter w(8);
+    w.put(page);
+    w.put(kToHome);
+    ctx_.send(MsgType::kUpdateAck, msg.src, std::move(w).take());
+    return;
+  }
+  home_begin_transaction(msg);
+}
+
+void ErcProtocol::home_begin_transaction(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  r.get<std::uint8_t>();
+  const auto diff = r.get_bytes();
+  const NodeId writer = msg.src;
+
+  auto& e = ctx_.table->entry(page);
+  std::vector<NodeId> targets;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "update at non-home");
+    if (e.manager_busy) {
+      e.manager_parked.push_back(msg);
+      return;
+    }
+    e.manager_busy = true;
+
+    // The home copy is authoritative: fold the diff in (and into the home's
+    // own twin if the home is itself mid-write on this page).
+    {
+      const ViewRegion::ScopedWritable open(*ctx_.view, page,
+                                            page_io::rights_for(e.state));
+      apply_diff(ctx_.view->page_span(page), diff);
+    }
+    if (e.twin != nullptr) apply_diff({e.twin.get(), ctx_.cfg->page_size}, diff);
+    ++e.version;
+
+    for (const NodeId n : e.copyset.members()) {
+      if (n != writer) targets.push_back(n);
+    }
+    if (mode_ == Mode::kInvalidate) {
+      // Optimistically rebuild the copyset as the acks come back (keepers
+      // re-add themselves via the `kept` flag). The copyset tracks non-home
+      // holders only: the home's own copy is authoritative and never dies.
+      e.copyset.clear();
+      if (writer != ctx_.id) e.copyset.insert(writer);
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    auto& txn = txns_[page];
+    txn.writer = writer;
+    txn.acks = static_cast<int>(targets.size());
+    txn.keepers.clear();
+    txn.diff.assign(diff.begin(), diff.end());
+  }
+
+  if (targets.empty()) {
+    home_finish_transaction(page);
+    return;
+  }
+  if (mode_ == Mode::kInvalidate) {
+    WireWriter w(8);
+    w.put(page);
+    w.put(NodeId{0});
+    const auto payload = std::move(w).take();
+    for (const NodeId n : targets) ctx_.send(MsgType::kInvalidate, n, payload);
+  } else {
+    WireWriter w(diff.size() + 16);
+    w.put(page);
+    w.put(kFromHome);
+    w.put_bytes(diff);
+    const auto payload = std::move(w).take();
+    for (const NodeId n : targets) ctx_.send(MsgType::kUpdate, n, payload);
+  }
+}
+
+void ErcProtocol::home_after_invalidations(PageId page) {
+  // Invalidate mode, phase 2: concurrent writers kept their copies (their
+  // unflushed words must not be destroyed), but they still have to observe
+  // the released words — push the diff to exactly those nodes.
+  std::vector<NodeId> keepers;
+  std::vector<std::byte> diff;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    auto& txn = txns_.at(page);
+    if (txn.keepers.empty()) {
+      // nothing more to do
+    } else {
+      keepers = txn.keepers;
+      txn.keepers.clear();
+      diff = txn.diff;
+      txn.acks = static_cast<int>(keepers.size());
+    }
+  }
+  if (keepers.empty()) {
+    home_finish_transaction(page);
+    return;
+  }
+  ctx_.stats->counter("erc.keeper_updates").add(keepers.size());
+  WireWriter w(diff.size() + 16);
+  w.put(page);
+  w.put(kFromHome);
+  w.put_bytes(diff);
+  const auto payload = std::move(w).take();
+  for (const NodeId n : keepers) ctx_.send(MsgType::kUpdate, n, payload);
+}
+
+void ErcProtocol::home_finish_transaction(PageId page) {
+  NodeId writer;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    auto& txn = txns_.at(page);
+    writer = txn.writer;
+    txn.diff.clear();
+  }
+  {
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.manager_busy = false;
+  }
+  WireWriter w(8);
+  w.put(page);
+  w.put(kFromHome);
+  ctx_.send(MsgType::kUpdateAck, writer, std::move(w).take());
+
+  // Replay updates parked behind this transaction.
+  auto& e = ctx_.table->entry(page);
+  for (;;) {
+    Message next;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.manager_busy || e.manager_parked.empty()) return;
+      next = std::move(e.manager_parked.front());
+      e.manager_parked.pop_front();
+    }
+    home_begin_transaction(next);
+  }
+}
+
+void ErcProtocol::handle_update_ack(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto kind = r.get<std::uint8_t>();
+
+  if (kind == kFromHome) {
+    // Final ack to the releasing writer.
+    bool done;
+    {
+      const std::lock_guard<std::mutex> lock(flush_mutex_);
+      DSM_CHECK(flush_outstanding_ > 0);
+      done = --flush_outstanding_ == 0;
+    }
+    if (done) flush_cv_.notify_all();
+    return;
+  }
+
+  // Holder ack arriving back at the home.
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    auto& txn = txns_.at(page);
+    DSM_CHECK(txn.acks > 0);
+    done = --txn.acks == 0;
+  }
+  if (done) home_finish_transaction(page);
+}
+
+void ErcProtocol::handle_invalidate(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  auto& e = ctx_.table->entry(page);
+  std::uint8_t kept = 0;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.dirty) {
+      // A concurrent writer: dropping the copy would lose its unflushed
+      // words. Keep it; its words are race-free by DRF, and its own flush
+      // will settle the page. (This degradation is why invalidate-mode ERC
+      // suffers under false sharing — measured in F2.)
+      kept = 1;
+    } else if (e.state != PageState::kInvalid) {
+      ctx_.view->protect(page, Access::kNone);
+      e.state = PageState::kInvalid;
+    }
+  }
+  WireWriter w(8);
+  w.put(page);
+  w.put(kept);
+  ctx_.send(MsgType::kInvalidateAck, msg.src, std::move(w).take());
+}
+
+void ErcProtocol::handle_invalidate_ack(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto kept = r.get<std::uint8_t>();
+  if (kept != 0) {
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.copyset.insert(msg.src);
+  }
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    auto& txn = txns_.at(page);
+    if (kept != 0) txn.keepers.push_back(msg.src);
+    DSM_CHECK(txn.acks > 0);
+    done = --txn.acks == 0;
+  }
+  if (done) home_after_invalidations(page);
+}
+
+}  // namespace dsm

@@ -1,0 +1,88 @@
+// Eager release consistency (Munin's write-shared protocol, home-based).
+// Writers modify local copies freely between synchronization points (twins
+// track their changes); at every release/barrier the writer flushes diffs to
+// each page's *home*, whose copy is always authoritative, and the release
+// does not complete until the home has either
+//   * invalidated every other copy (invalidate mode), or
+//   * propagated the diff to every other copy (update mode — this is the
+//     multiple-writer protocol that defeats false sharing, see F2).
+// Acquire moves no data: a node that lost its copy re-fetches from the home
+// on its next fault.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class ErcProtocol final : public Protocol {
+ public:
+  enum class Mode { kInvalidate, kUpdate };
+
+  ErcProtocol(NodeContext& ctx, Mode mode);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+  void before_release(LockId) override { flush_dirty(); }
+  void before_barrier(BarrierId) override { flush_dirty(); }
+
+  /// Number of flushes performed (tests/benches).
+  std::uint64_t flushes() const { return n_flushes_; }
+
+ private:
+  /// Sends every dirty page's diff to its home and blocks until all homes
+  /// acknowledge — the "eager" in eager release consistency.
+  void flush_dirty();
+  /// Fire-and-forget fetches of the next Config::prefetch_pages pages.
+  void prefetch_sequential(PageId page);
+
+  void handle_page_request(const Message& msg);  // at the home
+  void handle_page_reply(const Message& msg);    // at the faulter
+  void handle_update(const Message& msg);        // home (from writer) or holder (from home)
+  void handle_update_ack(const Message& msg);    // home (from holder) or writer (final)
+  void handle_invalidate(const Message& msg);    // at a copy holder
+  void handle_invalidate_ack(const Message& msg);// at the home
+
+  /// Home-side per-page release transaction. Invalidate mode may run two
+  /// phases: invalidate clean copies, then push the diff to dirty "keepers"
+  /// (concurrent writers whose copies cannot be destroyed but must still
+  /// observe the released words — the correctness hole naive invalidation
+  /// leaves under false sharing).
+  struct HomeTxn {
+    NodeId writer = kNoNode;
+    int acks = 0;
+    std::vector<NodeId> keepers;
+    std::vector<std::byte> diff;
+  };
+
+  /// Home-side: begin (or park) the transaction for a writer's diff.
+  void home_begin_transaction(const Message& msg);
+  /// Home-side: transaction finished — ack the writer, replay parked.
+  void home_finish_transaction(PageId page);
+  /// Home-side: all invalidate acks in; either finish or push to keepers.
+  void home_after_invalidations(PageId page);
+
+  Mode mode_;
+
+  std::mutex txn_mutex_;
+  std::map<PageId, HomeTxn> txns_;
+
+  // App-thread-only list of pages written since the last flush.
+  std::vector<PageId> dirty_pages_;
+
+  // Release-flush rendezvous between the app thread and the service thread.
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  int flush_outstanding_ = 0;
+  std::uint64_t n_flushes_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,89 @@
+// Home-based lazy release consistency (HLRC, Zhou & Iftode's successor to
+// TreadMarks — the "future work" direction the tutorial's material points
+// at). Like LRC, nothing is broadcast and invalidations travel as write
+// notices filtered by vector clocks at acquire time. Unlike LRC, every
+// page has a *home* whose copy is kept current: a releaser flushes its
+// diffs to the homes (and waits for acks) before the release completes, so
+// a faulting acquirer simply fetches the whole page from the home — no
+// per-writer diff requests, no diff caches, no accumulation, no GC.
+//
+// The trade (measured by the benches): releases pay eager unicast diffs
+// like Munin, but acquire-side faults are one round trip to a single place
+// like IVY, and barriers are pure notice exchanges.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/vclock.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class HlrcProtocol final : public Protocol {
+ public:
+  explicit HlrcProtocol(NodeContext& ctx);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+  void fill_lock_request(LockId, WireWriter& out) override;
+  void fill_lock_grant(LockId, NodeId to, std::span<const std::byte> request_payload,
+                       WireWriter& out) override;
+  void on_lock_granted(LockId, WireReader& in) override;
+  void before_release(LockId) override;
+  void before_barrier(BarrierId) override;
+  void fill_barrier_arrive(BarrierId, WireWriter& out) override;
+  void on_barrier_collect(BarrierId, NodeId from, WireReader& in) override;
+  void fill_barrier_release(BarrierId, WireWriter& out) override;
+  void on_barrier_release(BarrierId, WireReader& in) override;
+
+  const VectorClock& vclock() const { return vc_; }
+
+ private:
+  struct IntervalRecord {
+    NodeId node = kNoNode;
+    std::uint32_t interval = 0;
+    std::vector<PageId> pages;
+  };
+
+  /// Closes the open interval: encode diffs, flush them to the pages'
+  /// homes, wait for acks, record the interval. App thread.
+  void close_and_flush();
+
+  /// Ingests interval records, invalidating noticed pages (except at their
+  /// home, whose copy is authoritative and already flushed-to).
+  void ingest_records(WireReader& in, std::size_t count);
+  void write_records_after(const VectorClock& horizon, WireWriter& out);
+
+  void handle_page_request(const Message& msg);
+  void handle_page_reply(const Message& msg);
+  /// Fire-and-forget fetches of the next Config::prefetch_pages pages.
+  void prefetch_sequential(PageId page);
+  void handle_flush(const Message& msg);      // home side: apply a diff
+  void handle_flush_ack(const Message& msg);  // writer side
+
+  // ---- metadata, guarded by meta_mutex_ ----
+  mutable std::mutex meta_mutex_;
+  VectorClock vc_;
+  std::vector<std::vector<IntervalRecord>> interval_log_;
+
+  // ---- flush rendezvous ----
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  int flush_outstanding_ = 0;
+
+  // ---- app-thread-only ----
+  std::vector<PageId> dirty_pages_;
+
+  // ---- barrier manager scratch ----
+  std::vector<IntervalRecord> barrier_records_;
+  VectorClock barrier_vc_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,351 @@
+#include "proto/ivy_dynamic.hpp"
+
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "proto/page_io.hpp"
+
+namespace dsm {
+namespace {
+
+// Payload layouts:
+//   kReadRequest / kWriteRequest : u32 page | u32 requester
+//   kReadReply                   : u32 page | raw page bytes
+//   kWriteReply                  : u32 page | u32 n | n×u32 holders | raw bytes
+//   kInvalidate                  : u32 page | u32 new_owner
+//   kInvalidateAck               : u32 page
+
+struct PageReq {
+  PageId page;
+  NodeId requester;
+};
+
+PageReq parse_req(const Message& msg) {
+  WireReader r(msg.payload);
+  PageReq req{r.get<PageId>(), r.get<NodeId>()};
+  DSM_CHECK(r.done());
+  return req;
+}
+
+std::vector<std::byte> encode_req(PageId page, NodeId requester) {
+  WireWriter w(8);
+  w.put(page);
+  w.put(requester);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+IvyDynamicProtocol::IvyDynamicProtocol(NodeContext& ctx) : Protocol(ctx) {}
+
+std::string_view IvyDynamicProtocol::name() const { return "ivy-dynamic"; }
+
+void IvyDynamicProtocol::init_pages() {
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    const NodeId home = ctx_.home_of(p);
+    e.prob_owner = home;
+    e.is_owner = home == ctx_.id;
+    if (e.is_owner) {
+      e.state = PageState::kReadWrite;
+      ctx_.view->protect(p, Access::kReadWrite);
+    } else {
+      e.state = PageState::kInvalid;
+      ctx_.view->protect(p, Access::kNone);
+    }
+    e.copyset.clear();
+    e.busy = false;
+    e.discard_reply = false;
+    e.acks_outstanding = 0;
+    e.parked.clear();
+  }
+}
+
+void IvyDynamicProtocol::on_read_fault(PageId page) { fault(page, /*is_write=*/false); }
+void IvyDynamicProtocol::on_write_fault(PageId page) { fault(page, /*is_write=*/true); }
+
+void IvyDynamicProtocol::fault(PageId page, bool is_write) {
+  auto& e = ctx_.table->entry(page);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  const auto sufficient = [&] {
+    return is_write ? e.state == PageState::kReadWrite : e.state != PageState::kInvalid;
+  };
+  // Wait for *our transaction* (!busy), not for the state: the service
+  // thread may complete our acquisition and immediately grant a parked
+  // transfer away again. If access is gone when we run, request again.
+  for (;;) {
+    if (sufficient()) return;
+    if (e.busy) {
+      e.cv.wait(lock);
+      continue;
+    }
+
+    ctx_.stats->counter(is_write ? "proto.write_faults" : "proto.read_faults").add();
+    ctx_.clock->advance(ctx_.cfg->fault_ns);
+    const VirtualTime t0 = ctx_.clock->now();
+
+    if (is_write && e.is_owner) {
+      // Owner holds a read-only copy (served readers earlier): invalidate
+      // the copyset in place; no ownership motion.
+      e.busy = true;
+      auto holders = e.copyset.members();
+      e.copyset.clear();
+      if (holders.empty()) {
+        ctx_.view->protect(page, Access::kReadWrite);
+        e.state = PageState::kReadWrite;
+        e.busy = false;
+      } else {
+        e.acks_outstanding = static_cast<int>(holders.size());
+        WireWriter w(8);
+        w.put(page);
+        w.put(ctx_.id);
+        const auto payload = std::move(w).take();
+        for (const NodeId n : holders) ctx_.send(MsgType::kInvalidate, n, payload);
+        e.cv.wait(lock, [&] { return !e.busy; });
+      }
+      ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+      continue;
+    }
+
+    e.busy = true;
+    const NodeId target = e.prob_owner;
+    lock.unlock();
+    ctx_.send(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest, target,
+              encode_req(page, ctx_.id));
+    if (!is_write) prefetch_sequential(page);
+    lock.lock();
+    e.cv.wait(lock, [&] { return !e.busy; });
+    ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+  }
+}
+
+void IvyDynamicProtocol::prefetch_sequential(PageId page) {
+  for (std::size_t k = 1; k <= ctx_.cfg->prefetch_pages; ++k) {
+    const PageId next = page + static_cast<PageId>(k);
+    if (next >= ctx_.table->n_pages()) return;
+    auto& e = ctx_.table->entry(next);
+    NodeId target;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state != PageState::kInvalid || e.busy) continue;
+      // An asynchronous read transaction: nobody waits; the normal reply
+      // path installs the page and clears busy. A later fault on this page
+      // simply joins the wait.
+      e.busy = true;
+      target = e.prob_owner;
+    }
+    ctx_.stats->counter("proto.prefetches").add();
+    ctx_.send(MsgType::kReadRequest, target, encode_req(next, ctx_.id));
+  }
+}
+
+void IvyDynamicProtocol::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kReadRequest:
+    case MsgType::kWriteRequest: handle_request(msg); return;
+    case MsgType::kReadReply: handle_read_reply(msg); return;
+    case MsgType::kWriteReply: handle_write_reply(msg); return;
+    case MsgType::kInvalidate: handle_invalidate(msg); return;
+    case MsgType::kInvalidateAck: handle_invalidate_ack(msg); return;
+    default:
+      DSM_CHECK_MSG(false, "ivy-dynamic: unexpected message " << to_string(msg.type));
+  }
+}
+
+void IvyDynamicProtocol::handle_request(const Message& msg) {
+  const auto [page, requester] = parse_req(msg);
+  auto& e = ctx_.table->entry(page);
+  NodeId forward_to = kNoNode;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.busy) {
+      // This node is itself acquiring the page (or finishing an upgrade);
+      // park — it will soon be the owner and can serve, or will forward.
+      e.parked.push_back(msg);
+      ctx_.stats->counter("ivy.parked").add();
+      return;
+    }
+    if (!e.is_owner) {
+      forward_to = e.prob_owner;
+      DSM_CHECK_MSG(forward_to != ctx_.id, "probable-owner self loop on page " << page);
+      // Path compression: the requester is about to become (or talk to) the
+      // owner, so future traffic should head its way.
+      e.prob_owner = requester;
+    }
+  }
+  if (forward_to != kNoNode) {
+    ctx_.stats->counter("ivy.forwards").add();
+    ctx_.send(msg.type, forward_to, msg.payload);
+    return;
+  }
+  if (msg.type == MsgType::kReadRequest) {
+    serve_read(page, requester);
+  } else {
+    serve_write(page, requester);
+  }
+}
+
+void IvyDynamicProtocol::serve_read(PageId page, NodeId requester) {
+  auto& e = ctx_.table->entry(page);
+  std::vector<std::byte> bytes;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.is_owner && e.state != PageState::kInvalid);
+    if (e.state == PageState::kReadWrite) {
+      ctx_.view->protect(page, Access::kRead);
+      e.state = PageState::kReadOnly;
+    }
+    e.copyset.insert(requester);
+    bytes = page_io::read_page(ctx_, page, e.state);
+  }
+  WireWriter w(bytes.size() + 8);
+  w.put(page);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kReadReply, requester, std::move(w).take());
+}
+
+void IvyDynamicProtocol::serve_write(PageId page, NodeId requester) {
+  auto& e = ctx_.table->entry(page);
+  std::vector<std::byte> bytes;
+  std::vector<NodeId> holders;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.is_owner && e.state != PageState::kInvalid);
+    bytes = page_io::read_page(ctx_, page, e.state);
+    for (const NodeId n : e.copyset.members()) {
+      if (n != requester) holders.push_back(n);
+    }
+    e.copyset.clear();
+    e.is_owner = false;
+    e.prob_owner = requester;
+    ctx_.view->protect(page, Access::kNone);
+    e.state = PageState::kInvalid;
+  }
+  WireWriter w(bytes.size() + 16);
+  w.put(page);
+  w.put_vector(holders);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kWriteReply, requester, std::move(w).take());
+}
+
+void IvyDynamicProtocol::handle_read_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.discard_reply) {
+      // A new writer invalidated the copy this reply carries while it was
+      // in flight (we already acked the invalidation). Installing it would
+      // be a stale read-only copy the writer believes is gone — drop it;
+      // the faulting thread re-requests. prob_owner already points at the
+      // new writer (set by the invalidation).
+      e.discard_reply = false;
+      e.busy = false;
+      ctx_.stats->counter("ivy.discarded_replies").add();
+    } else {
+      page_io::install_page(ctx_, page, bytes, Access::kRead);
+      e.state = PageState::kReadOnly;
+      e.prob_owner = msg.src;  // learned: the replier is the owner
+      e.busy = false;
+    }
+  }
+  e.cv.notify_all();
+  replay_parked(page);
+}
+
+void IvyDynamicProtocol::handle_write_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto holders = r.get_vector<NodeId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    page_io::install_page(ctx_, page, bytes, Access::kReadWrite);
+    e.is_owner = true;
+    e.prob_owner = ctx_.id;
+    e.discard_reply = false;  // a write reply is authoritative (linearized transfer)
+    e.copyset.clear();
+    if (holders.empty()) {
+      done = finish_write_locked(page, e);
+    } else {
+      e.acks_outstanding = static_cast<int>(holders.size());
+      WireWriter w(8);
+      w.put(page);
+      w.put(ctx_.id);
+      const auto payload = std::move(w).take();
+      for (const NodeId n : holders) ctx_.send(MsgType::kInvalidate, n, payload);
+      done = false;
+    }
+  }
+  if (done) {
+    e.cv.notify_all();
+    replay_parked(page);
+  }
+}
+
+bool IvyDynamicProtocol::finish_write_locked(PageId page, PageEntry& e) {
+  ctx_.view->protect(page, Access::kReadWrite);
+  e.state = PageState::kReadWrite;
+  e.busy = false;
+  return true;
+}
+
+void IvyDynamicProtocol::handle_invalidate(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto new_owner = r.get<NodeId>();
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.state != PageState::kInvalid) {
+      ctx_.view->protect(page, Access::kNone);
+      e.state = PageState::kInvalid;
+    }
+    if (e.busy && !e.is_owner) {
+      // Our read request is outstanding: its reply may carry the very copy
+      // this message invalidates. Poison it (see handle_read_reply).
+      e.discard_reply = true;
+    }
+    e.prob_owner = new_owner;
+  }
+  WireWriter w(4);
+  w.put(page);
+  ctx_.send(MsgType::kInvalidateAck, msg.src, std::move(w).take());
+}
+
+void IvyDynamicProtocol::handle_invalidate_ack(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  auto& e = ctx_.table->entry(page);
+  bool done = false;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.acks_outstanding > 0);
+    if (--e.acks_outstanding == 0) done = finish_write_locked(page, e);
+  }
+  if (done) {
+    e.cv.notify_all();
+    replay_parked(page);
+  }
+}
+
+void IvyDynamicProtocol::replay_parked(PageId page) {
+  auto& e = ctx_.table->entry(page);
+  for (;;) {
+    Message next;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.busy || e.parked.empty()) return;
+      next = std::move(e.parked.front());
+      e.parked.pop_front();
+    }
+    handle_request(next);
+  }
+}
+
+}  // namespace dsm

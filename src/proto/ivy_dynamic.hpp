@@ -1,0 +1,47 @@
+// Li & Hudak's dynamic distributed manager: no manager at all. Every node
+// keeps a *probable owner* hint per page; requests chase the hint chain until
+// they reach the true owner, and every hop compresses the path by pointing
+// its hint at the requester. Ownership migrates to writers, so after warm-up
+// a migratory page costs one hop instead of the manager round trip — the
+// classic result reproduced by bench_manager (F1).
+#pragma once
+
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class IvyDynamicProtocol final : public Protocol {
+ public:
+  explicit IvyDynamicProtocol(NodeContext& ctx);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+ private:
+  void fault(PageId page, bool is_write);
+
+  /// Owner-side: serve or forward a read/write request. Also the replay
+  /// target for requests parked during an ownership transition.
+  void handle_request(const Message& msg);
+  void handle_read_reply(const Message& msg);
+  void handle_write_reply(const Message& msg);
+  void handle_invalidate(const Message& msg);
+  void handle_invalidate_ack(const Message& msg);
+
+  /// Serve a read to `requester` from this (owning) node.
+  void serve_read(PageId page, NodeId requester);
+  /// Transfer ownership + data to `requester`.
+  void serve_write(PageId page, NodeId requester);
+  /// Owner upgrading its own read-only copy: invalidate the copyset locally.
+  void upgrade_in_place(PageId page);
+
+  bool finish_write_locked(PageId page, PageEntry& entry);
+  void replay_parked(PageId page);
+  /// Fire-and-forget read requests for the next Config::prefetch_pages pages.
+  void prefetch_sequential(PageId page);
+};
+
+}  // namespace dsm

@@ -1,0 +1,346 @@
+#include "proto/ivy_manager.hpp"
+
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "proto/page_io.hpp"
+
+namespace dsm {
+namespace {
+
+// Payload layouts (see WireWriter):
+//   kReadRequest / kWriteRequest : u32 page | u32 requester
+//   kReadForward / kWriteForward : u32 page | u32 requester
+//   kReadReply                   : u32 page | raw page bytes
+//   kWriteReply                  : u32 page | u32 n | n×u32 holders | raw page bytes
+//   kInvalidate                  : u32 page | u32 new_owner
+//   kInvalidateAck / kConfirm    : u32 page
+
+struct PageReq {
+  PageId page;
+  NodeId requester;
+};
+
+PageReq parse_req(const Message& msg) {
+  WireReader r(msg.payload);
+  PageReq req{r.get<PageId>(), r.get<NodeId>()};
+  DSM_CHECK(r.done());
+  return req;
+}
+
+std::vector<std::byte> encode_req(PageId page, NodeId requester) {
+  WireWriter w(8);
+  w.put(page);
+  w.put(requester);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+IvyManagerProtocol::IvyManagerProtocol(NodeContext& ctx, Placement placement)
+    : Protocol(ctx), placement_(placement) {}
+
+std::string_view IvyManagerProtocol::name() const {
+  return placement_ == Placement::kCentral ? "ivy-central" : "ivy-fixed";
+}
+
+NodeId IvyManagerProtocol::manager_of(PageId page) const {
+  return placement_ == Placement::kCentral ? NodeId{0} : ctx_.home_of(page);
+}
+
+void IvyManagerProtocol::init_pages() {
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.owner = ctx_.home_of(p);  // meaningful at the manager; harmless elsewhere
+    if (e.owner == ctx_.id) {
+      e.state = PageState::kReadWrite;
+      ctx_.view->protect(p, Access::kReadWrite);
+    } else {
+      e.state = PageState::kInvalid;
+      ctx_.view->protect(p, Access::kNone);
+    }
+    e.copyset.clear();
+    e.busy = false;
+    e.manager_busy = false;
+    e.acks_outstanding = 0;
+    e.parked.clear();
+    e.manager_parked.clear();
+  }
+}
+
+void IvyManagerProtocol::on_read_fault(PageId page) { fault(page, /*is_write=*/false); }
+void IvyManagerProtocol::on_write_fault(PageId page) { fault(page, /*is_write=*/true); }
+
+void IvyManagerProtocol::fault(PageId page, bool is_write) {
+  auto& e = ctx_.table->entry(page);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  const auto sufficient = [&] {
+    return is_write ? e.state == PageState::kReadWrite : e.state != PageState::kInvalid;
+  };
+  // The transaction may complete and the access be stolen again (the service
+  // thread can grant a parked transfer right after finishing ours), so the
+  // wait is for *our transaction* (!busy), not for the state — if access is
+  // gone by the time we run, we simply request again. The faulting
+  // instruction retries after this returns either way.
+  for (;;) {
+    if (sufficient()) return;
+    if (e.busy) {
+      e.cv.wait(lock);
+      continue;
+    }
+    e.busy = true;
+    lock.unlock();
+
+    ctx_.clock->advance(ctx_.cfg->fault_ns);
+    const VirtualTime t0 = ctx_.clock->now();
+    ctx_.stats->counter(is_write ? "proto.write_faults" : "proto.read_faults").add();
+    ctx_.send(is_write ? MsgType::kWriteRequest : MsgType::kReadRequest, manager_of(page),
+              encode_req(page, ctx_.id));
+    if (!is_write) prefetch_sequential(page);
+
+    lock.lock();
+    e.cv.wait(lock, [&] { return !e.busy; });
+    ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+  }
+}
+
+void IvyManagerProtocol::prefetch_sequential(PageId page) {
+  for (std::size_t k = 1; k <= ctx_.cfg->prefetch_pages; ++k) {
+    const PageId next = page + static_cast<PageId>(k);
+    if (next >= ctx_.table->n_pages()) return;
+    auto& e = ctx_.table->entry(next);
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state != PageState::kInvalid || e.busy) continue;
+      e.busy = true;  // async read transaction; the reply path completes it
+    }
+    ctx_.stats->counter("proto.prefetches").add();
+    ctx_.send(MsgType::kReadRequest, manager_of(next), encode_req(next, ctx_.id));
+  }
+}
+
+void IvyManagerProtocol::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kReadRequest:
+    case MsgType::kWriteRequest: handle_request(msg); return;
+    case MsgType::kReadForward: handle_read_forward(msg); return;
+    case MsgType::kWriteForward: handle_write_forward(msg); return;
+    case MsgType::kReadReply: handle_read_reply(msg); return;
+    case MsgType::kWriteReply: handle_write_reply(msg); return;
+    case MsgType::kInvalidate: handle_invalidate(msg); return;
+    case MsgType::kInvalidateAck: handle_invalidate_ack(msg); return;
+    case MsgType::kConfirm: handle_confirm(msg); return;
+    default:
+      DSM_CHECK_MSG(false, "ivy-manager: unexpected message " << to_string(msg.type));
+  }
+}
+
+void IvyManagerProtocol::handle_request(const Message& msg) {
+  const auto [page, requester] = parse_req(msg);
+  auto& e = ctx_.table->entry(page);
+  NodeId owner;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.manager_busy) {
+      e.manager_parked.push_back(msg);
+      ctx_.stats->counter("ivy.manager_parked").add();
+      return;
+    }
+    e.manager_busy = true;
+    owner = e.owner;
+    if (msg.type == MsgType::kWriteRequest) e.owner = requester;  // next transactions route to the new owner once confirmed
+  }
+  const auto fwd = msg.type == MsgType::kReadRequest ? MsgType::kReadForward
+                                                     : MsgType::kWriteForward;
+  ctx_.send(fwd, owner, encode_req(page, requester));
+}
+
+void IvyManagerProtocol::handle_read_forward(const Message& msg) {
+  const auto [page, requester] = parse_req(msg);
+  auto& e = ctx_.table->entry(page);
+  std::vector<std::byte> bytes;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK_MSG(e.state != PageState::kInvalid,
+                  "ivy: non-owner " << ctx_.id << " asked to serve page " << page);
+    if (e.state == PageState::kReadWrite) {
+      ctx_.view->protect(page, Access::kRead);
+      e.state = PageState::kReadOnly;
+    }
+    e.copyset.insert(requester);
+    bytes = page_io::read_page(ctx_, page, e.state);
+  }
+  WireWriter w(bytes.size() + 8);
+  w.put(page);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kReadReply, requester, std::move(w).take());
+}
+
+void IvyManagerProtocol::handle_write_forward(const Message& msg) {
+  const auto [page, requester] = parse_req(msg);
+  auto& e = ctx_.table->entry(page);
+
+  if (requester == ctx_.id) {
+    // Owner upgrading its own read-only copy: no data moves; invalidate the
+    // copyset and finish locally.
+    bool done;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      DSM_CHECK(e.state != PageState::kInvalid);
+      auto holders = e.copyset.members();
+      e.copyset.clear();
+      done = start_invalidation(page, e, holders);
+    }
+    if (done) e.cv.notify_all();
+    return;
+  }
+
+  std::vector<std::byte> bytes;
+  std::vector<NodeId> holders;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK_MSG(e.state != PageState::kInvalid,
+                  "ivy: non-owner " << ctx_.id << " asked to transfer page " << page);
+    bytes = page_io::read_page(ctx_, page, e.state);
+    for (const NodeId n : e.copyset.members()) {
+      if (n != requester) holders.push_back(n);
+    }
+    e.copyset.clear();
+    // The old owner's copy dies right here — no invalidate message needed.
+    ctx_.view->protect(page, Access::kNone);
+    e.state = PageState::kInvalid;
+  }
+
+  WireWriter w(bytes.size() + 16);
+  w.put(page);
+  w.put_vector(holders);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kWriteReply, requester, std::move(w).take());
+}
+
+void IvyManagerProtocol::handle_read_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    page_io::install_page(ctx_, page, bytes, Access::kRead);
+    e.state = PageState::kReadOnly;
+    e.busy = false;
+  }
+  e.cv.notify_all();
+  ctx_.send(MsgType::kConfirm, manager_of(page), [&] {
+    WireWriter w(4);
+    w.put(page);
+    return std::move(w).take();
+  }());
+}
+
+void IvyManagerProtocol::handle_write_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto holders = r.get_vector<NodeId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    // Install data but do not grant access until every stale copy is gone —
+    // that ordering is what makes this protocol sequentially consistent.
+    page_io::install_page(ctx_, page, bytes, Access::kReadWrite);
+    start_invalidation(page, e, holders);
+    done = e.busy == false;
+  }
+  if (done) e.cv.notify_all();
+}
+
+bool IvyManagerProtocol::start_invalidation(PageId page, PageEntry& e,
+                                            const std::vector<NodeId>& holders) {
+  // Entry lock held by the caller throughout. Sending while holding the
+  // entry lock is safe: Mailbox::push only takes the mailbox mutex.
+  if (holders.empty()) {
+    finish_write(page, e);
+    return true;
+  }
+  e.acks_outstanding = static_cast<int>(holders.size());
+  WireWriter w(8);
+  w.put(page);
+  w.put(ctx_.id);
+  const auto payload = std::move(w).take();
+  for (const NodeId n : holders) {
+    ctx_.send(MsgType::kInvalidate, n, payload);
+  }
+  return false;
+}
+
+void IvyManagerProtocol::finish_write(PageId page, PageEntry& e) {
+  ctx_.view->protect(page, Access::kReadWrite);
+  e.state = PageState::kReadWrite;
+  e.busy = false;
+  WireWriter w(4);
+  w.put(page);
+  ctx_.send(MsgType::kConfirm, manager_of(page), std::move(w).take());
+}
+
+void IvyManagerProtocol::handle_invalidate(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  r.get<NodeId>();  // new owner: used by the dynamic protocol, not here
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (e.state != PageState::kInvalid) {
+      ctx_.view->protect(page, Access::kNone);
+      e.state = PageState::kInvalid;
+    }
+  }
+  WireWriter w(4);
+  w.put(page);
+  ctx_.send(MsgType::kInvalidateAck, msg.src, std::move(w).take());
+}
+
+void IvyManagerProtocol::handle_invalidate_ack(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  auto& e = ctx_.table->entry(page);
+  bool done = false;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.acks_outstanding > 0);
+    if (--e.acks_outstanding == 0) {
+      finish_write(page, e);
+      done = true;
+    }
+  }
+  if (done) e.cv.notify_all();
+}
+
+void IvyManagerProtocol::handle_confirm(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  {
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.manager_busy);
+    e.manager_busy = false;
+  }
+  replay_manager_parked(page);
+}
+
+void IvyManagerProtocol::replay_manager_parked(PageId page) {
+  auto& e = ctx_.table->entry(page);
+  for (;;) {
+    Message next;
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.manager_busy || e.manager_parked.empty()) return;
+      next = std::move(e.manager_parked.front());
+      e.manager_parked.pop_front();
+    }
+    handle_request(next);
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,61 @@
+// Li & Hudak write-invalidate coherence with a *manager*: a distinguished
+// node per page that serializes coherence transactions and tracks the owner.
+// Two manager placements are provided:
+//   * central — node 0 manages every page (the tutorial's simplest scheme,
+//     and its scalability bottleneck), and
+//   * fixed distributed — page p is managed by node p mod N.
+// The owner keeps the copyset; a write faulter receives page + copyset from
+// the owner and performs the invalidations itself, then confirms to the
+// manager, which unlocks the page for the next transaction. Single writer /
+// multiple readers ⇒ sequential consistency.
+#pragma once
+
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class IvyManagerProtocol final : public Protocol {
+ public:
+  enum class Placement { kCentral, kFixedDistributed };
+
+  IvyManagerProtocol(NodeContext& ctx, Placement placement);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+ private:
+  NodeId manager_of(PageId page) const;
+
+  // App-thread fault engine shared by read and write paths.
+  void fault(PageId page, bool is_write);
+
+  // Service-thread handlers.
+  void handle_request(const Message& msg);        // at the manager
+  void handle_read_forward(const Message& msg);   // at the owner
+  void handle_write_forward(const Message& msg);  // at the owner
+  void handle_read_reply(const Message& msg);     // at the faulter
+  void handle_write_reply(const Message& msg);    // at the faulter
+  void handle_invalidate(const Message& msg);     // at a copy holder
+  void handle_invalidate_ack(const Message& msg); // at the faulter
+  void handle_confirm(const Message& msg);        // at the manager
+
+  /// Completes a write acquisition: invalidate `holders`, then (on the last
+  /// ack, or immediately if none) grant write access and confirm. Entry lock
+  /// must be held by the caller. Returns true if the write finished inline
+  /// (no holders) — the caller must notify the entry cv after unlocking.
+  bool start_invalidation(PageId page, PageEntry& entry,
+                          const std::vector<NodeId>& holders);
+  void finish_write(PageId page, PageEntry& entry);
+
+  /// Replays requests parked while the manager had the page locked.
+  void replay_manager_parked(PageId page);
+  /// Fire-and-forget read requests for the next Config::prefetch_pages pages.
+  void prefetch_sequential(PageId page);
+
+  Placement placement_;
+};
+
+}  // namespace dsm

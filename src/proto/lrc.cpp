@@ -1,0 +1,648 @@
+#include "proto/lrc.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "mem/diff.hpp"
+#include "proto/page_io.hpp"
+
+namespace dsm {
+namespace {
+
+// Payload layouts:
+//   lock request payload : u32 n | n×u32 vclock
+//   lock grant payload   : u32 n | n×u32 vclock | u64 lamport | u32 nrec |
+//                          nrec × { u32 node | u32 interval | u64 lamport |
+//                                   u32 npages | npages×u32 }
+//   kPageRequest         : u32 page | u32 requester
+//   kPageReply           : u32 page | raw page bytes
+//   kDiffRequest         : u32 page | u32 requester | u32 n | n×u32 intervals
+//   kDiffReply           : u32 page | u32 n | n × { u32 interval | u64 lamport |
+//                                                   bytes diff }
+//   barrier arrive/release payloads: u32 n | vclock | u64 lamport | u32 nrec |
+//       nrec × { u32 node | u32 interval | u64 lamport | u32 npages |
+//                npages × { u32 page | bytes diff } }
+
+void write_vclock(const VectorClock& vc, WireWriter& out) {
+  out.put(static_cast<std::uint32_t>(vc.size()));
+  for (std::size_t i = 0; i < vc.size(); ++i) out.put(vc[static_cast<NodeId>(i)]);
+}
+
+VectorClock read_vclock(WireReader& in) {
+  const auto n = in.get<std::uint32_t>();
+  VectorClock vc(n);
+  for (std::uint32_t i = 0; i < n; ++i) vc.set(i, in.get<std::uint32_t>());
+  return vc;
+}
+
+}  // namespace
+
+LrcProtocol::LrcProtocol(NodeContext& ctx)
+    : Protocol(ctx),
+      vc_(ctx.n_nodes),
+      interval_log_(ctx.n_nodes),
+      pending_(ctx.cfg->n_pages),
+      barrier_vc_(ctx.n_nodes) {}
+
+std::string_view LrcProtocol::name() const { return "lrc"; }
+
+void LrcProtocol::init_pages() {
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (ctx_.home_of(p) == ctx_.id) {
+      e.state = PageState::kReadOnly;
+      e.has_base = true;
+      ctx_.view->protect(p, Access::kRead);
+    } else {
+      e.state = PageState::kInvalid;
+      e.has_base = false;
+      ctx_.view->protect(p, Access::kNone);
+    }
+    e.busy = false;
+    e.dirty = false;
+    e.twin.reset();
+    e.acks_outstanding = 0;
+    pending_[p].clear();
+  }
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  vc_ = VectorClock(ctx_.n_nodes);
+  lamport_ = 0;
+  for (auto& log : interval_log_) log.clear();
+  diff_cache_.clear();
+  diff_inbox_.clear();
+  dirty_pages_.clear();
+  barrier_records_.clear();
+  barrier_gen_.clear();
+  barrier_settle_round_ = false;
+  arriving_at_settle_ = false;
+  last_release_was_settle_ = false;
+  settle_buffer_.clear();
+  push_outstanding_ = 0;
+  barrier_vc_ = VectorClock(ctx_.n_nodes);
+  barrier_lamport_ = 0;
+}
+
+// --------------------------------------------------------------------------
+// Faults (application thread)
+// --------------------------------------------------------------------------
+
+void LrcProtocol::on_read_fault(PageId page) {
+  ctx_.stats->counter("proto.read_faults").add();
+  make_page_valid(page);
+}
+
+void LrcProtocol::on_write_fault(PageId page) {
+  ctx_.stats->counter("proto.write_faults").add();
+  auto& e = ctx_.table->entry(page);
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state == PageState::kReadWrite) return;
+      if (e.state == PageState::kReadOnly) {
+        // Multiple-writer upgrade: twin now, diff at the next sync. Local.
+        if (e.twin == nullptr) e.twin = make_twin(ctx_.view->page_span(page));
+        ctx_.view->protect(page, Access::kReadWrite);
+        e.state = PageState::kReadWrite;
+        if (!e.dirty) {
+          e.dirty = true;
+          dirty_pages_.push_back(page);
+        }
+        return;
+      }
+    }
+    make_page_valid(page);
+  }
+}
+
+void LrcProtocol::make_page_valid(PageId page) {
+  auto& e = ctx_.table->entry(page);
+  std::unique_lock<std::mutex> lock(e.mutex);
+  if (e.state != PageState::kInvalid) return;
+  e.busy = true;
+  const bool need_base = !e.has_base;
+  std::vector<WriteNotice> notices = std::move(pending_[page]);
+  pending_[page].clear();
+  lock.unlock();
+
+  ctx_.clock->advance(ctx_.cfg->fault_ns);
+  const VirtualTime t0 = ctx_.clock->now();
+
+  if (need_base) {
+    WireWriter w(8);
+    w.put(page);
+    w.put(ctx_.id);
+    ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
+    lock.lock();
+    e.cv.wait(lock, [&] { return e.has_base; });
+    lock.unlock();
+  }
+
+  if (!notices.empty()) {
+    // Group the unapplied notices by writer and fetch each writer's diffs.
+    std::map<NodeId, std::vector<std::uint32_t>> by_writer;
+    for (const auto& n : notices) by_writer[n.writer].push_back(n.interval);
+    {
+      const std::lock_guard<std::mutex> g(e.mutex);
+      e.acks_outstanding = static_cast<int>(by_writer.size());
+    }
+    for (const auto& [writer, intervals] : by_writer) {
+      WireWriter w(16 + intervals.size() * 4);
+      w.put(page);
+      w.put(ctx_.id);
+      w.put(static_cast<std::uint32_t>(intervals.size()));
+      for (const auto i : intervals) w.put(i);
+      ctx_.send(MsgType::kDiffRequest, writer, std::move(w).take());
+      ctx_.stats->counter("lrc.diff_requests").add();
+    }
+    lock.lock();
+    e.cv.wait(lock, [&] { return e.acks_outstanding == 0; });
+    lock.unlock();
+
+    std::vector<DiffRecord> records;
+    {
+      const std::lock_guard<std::mutex> meta(meta_mutex_);
+      auto it = diff_inbox_.find(page);
+      if (it != diff_inbox_.end()) {
+        records = std::move(it->second);
+        diff_inbox_.erase(it);
+      }
+    }
+    std::sort(records.begin(), records.end(), [](const DiffRecord& a, const DiffRecord& b) {
+      return a.lamport != b.lamport ? a.lamport < b.lamport : a.writer < b.writer;
+    });
+    lock.lock();
+    {
+      const ViewRegion::ScopedWritable open(*ctx_.view, page, Access::kNone);
+      for (const auto& rec : records) {
+        apply_diff(ctx_.view->page_span(page), rec.bytes);
+        if (e.twin != nullptr) {
+          apply_diff({e.twin.get(), ctx_.cfg->page_size}, rec.bytes);
+        }
+      }
+    }
+    lock.unlock();
+  }
+
+  lock.lock();
+  if (e.twin != nullptr) {
+    // We were mid-write when the page was invalidated: restore write access.
+    ctx_.view->protect(page, Access::kReadWrite);
+    e.state = PageState::kReadWrite;
+  } else {
+    ctx_.view->protect(page, Access::kRead);
+    e.state = PageState::kReadOnly;
+  }
+  e.busy = false;
+  ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+}
+
+// --------------------------------------------------------------------------
+// Intervals and diffs
+// --------------------------------------------------------------------------
+
+void LrcProtocol::close_interval() {
+  if (dirty_pages_.empty()) return;
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  ++lamport_;
+  vc_.tick(ctx_.id);
+  const std::uint32_t interval = vc_[ctx_.id];
+
+  IntervalRecord rec;
+  rec.node = ctx_.id;
+  rec.interval = interval;
+  rec.lamport = lamport_;
+  rec.pages = dirty_pages_;
+
+  for (const PageId page : dirty_pages_) {
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.dirty && e.twin != nullptr);
+    DiffRecord d;
+    d.interval = interval;
+    d.lamport = lamport_;
+    d.writer = ctx_.id;
+    {
+      // The page may have been invalidated (PROT_NONE) while dirty; open
+      // protection for the read — a fault here would deadlock on our own
+      // entry lock.
+      const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
+      d.bytes = encode_diff(ctx_.view->page_span(page), {e.twin.get(), ctx_.cfg->page_size});
+    }
+    ctx_.stats->counter("lrc.diff_bytes_created").add(d.bytes.size());
+    diff_cache_[page].push_back(std::move(d));
+    e.twin.reset();
+    e.dirty = false;
+    if (pending_[page].empty()) {
+      ctx_.view->protect(page, Access::kRead);
+      e.state = PageState::kReadOnly;
+    } else {
+      // Unseen remote writes exist: stay invalid so the next access fetches
+      // their diffs before reading.
+      ctx_.view->protect(page, Access::kNone);
+      e.state = PageState::kInvalid;
+    }
+  }
+  interval_log_[ctx_.id].push_back(std::move(rec));
+  dirty_pages_.clear();
+  ctx_.stats->counter("lrc.intervals").add();
+}
+
+void LrcProtocol::before_release(LockId) { close_interval(); }
+
+void LrcProtocol::before_barrier(BarrierId barrier) {
+  close_interval();
+  const auto gen = ++barrier_gen_[barrier];
+  arriving_at_settle_ =
+      ctx_.cfg->lrc_gc_period <= 1 || gen % ctx_.cfg->lrc_gc_period == 0;
+  if (arriving_at_settle_) push_diffs_to_homes();
+}
+
+void LrcProtocol::push_diffs_to_homes() {
+  // Unicast every diff this node created this epoch to its page's home;
+  // block until all are acknowledged. Every home therefore holds the whole
+  // epoch before any node can arrive at the barrier — the release can then
+  // move notices only, instead of broadcasting O(data × nodes).
+  int sent = 0;
+  {
+    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    sent = 0;
+    for (const auto& [page, records] : diff_cache_) sent += static_cast<int>(records.size());
+    if (sent == 0) return;
+    {
+      const std::lock_guard<std::mutex> p(push_mutex_);
+      push_outstanding_ += sent;
+    }
+    for (const auto& [page, records] : diff_cache_) {
+      for (const auto& rec : records) {
+        WireWriter w(rec.bytes.size() + 24);
+        w.put(page);
+        w.put(rec.interval);
+        w.put(rec.lamport);
+        w.put_bytes(rec.bytes);
+        ctx_.send(MsgType::kUpdate, ctx_.home_of(page), std::move(w).take());
+        ctx_.stats->counter("lrc.settle_push_bytes").add(rec.bytes.size());
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(push_mutex_);
+  push_cv_.wait(lock, [&] { return push_outstanding_ == 0; });
+}
+
+void LrcProtocol::fill_lock_request(LockId, WireWriter& out) {
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  write_vclock(vc_, out);
+}
+
+void LrcProtocol::write_records_after(const VectorClock& horizon, WireWriter& out) {
+  // meta_mutex_ held by the caller.
+  std::uint32_t count = 0;
+  for (const auto& log : interval_log_) {
+    for (const auto& rec : log) {
+      if (rec.interval > horizon[rec.node]) ++count;
+    }
+  }
+  out.put(count);
+  for (const auto& log : interval_log_) {
+    for (const auto& rec : log) {
+      if (rec.interval <= horizon[rec.node]) continue;
+      out.put(rec.node);
+      out.put(rec.interval);
+      out.put(rec.lamport);
+      out.put_vector(rec.pages);
+    }
+  }
+}
+
+void LrcProtocol::fill_lock_grant(LockId, NodeId /*to*/,
+                                  std::span<const std::byte> request_payload,
+                                  WireWriter& out) {
+  VectorClock horizon(ctx_.n_nodes);
+  if (!request_payload.empty()) {
+    WireReader r(request_payload);
+    horizon = read_vclock(r);
+  }
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  write_vclock(vc_, out);
+  out.put(lamport_);
+  write_records_after(horizon, out);
+}
+
+void LrcProtocol::ingest_records(WireReader& in, std::size_t count) {
+  // meta_mutex_ held by the caller.
+  for (std::size_t i = 0; i < count; ++i) {
+    IntervalRecord rec;
+    rec.node = in.get<NodeId>();
+    rec.interval = in.get<std::uint32_t>();
+    rec.lamport = in.get<std::uint64_t>();
+    rec.pages = in.get_vector<PageId>();
+    if (vc_.covers(rec.node, rec.interval)) continue;  // already known
+    for (const PageId page : rec.pages) {
+      auto& e = ctx_.table->entry(page);
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      pending_[page].push_back(WriteNotice{rec.node, rec.interval, rec.lamport});
+      if (e.state != PageState::kInvalid) {
+        ctx_.view->protect(page, Access::kNone);
+        e.state = PageState::kInvalid;
+        ctx_.stats->counter("lrc.notice_invalidations").add();
+      }
+    }
+    interval_log_[rec.node].push_back(std::move(rec));
+  }
+}
+
+void LrcProtocol::on_lock_granted(LockId, WireReader& in) {
+  if (in.remaining() == 0) return;  // first-ever grant: nothing to learn
+  const VectorClock granter_vc = read_vclock(in);
+  const auto granter_lamport = in.get<std::uint64_t>();
+  const auto count = in.get<std::uint32_t>();
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  ingest_records(in, count);
+  vc_.merge(granter_vc);
+  lamport_ = std::max(lamport_, granter_lamport);
+}
+
+// --------------------------------------------------------------------------
+// Service-thread message handlers
+// --------------------------------------------------------------------------
+
+void LrcProtocol::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kPageRequest: handle_page_request(msg); return;
+    case MsgType::kPageReply: handle_page_reply(msg); return;
+    case MsgType::kDiffRequest: handle_diff_request(msg); return;
+    case MsgType::kDiffReply: handle_diff_reply(msg); return;
+    case MsgType::kUpdate: {
+      // A settle-round diff push: buffer it for lamport-ordered application
+      // at the barrier release, and acknowledge.
+      WireReader r(msg.payload);
+      const auto page = r.get<PageId>();
+      DiffRecord rec;
+      rec.interval = r.get<std::uint32_t>();
+      rec.lamport = r.get<std::uint64_t>();
+      rec.writer = msg.src;
+      const auto bytes = r.get_bytes();
+      rec.bytes.assign(bytes.begin(), bytes.end());
+      {
+        const std::lock_guard<std::mutex> meta(meta_mutex_);
+        DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "lrc: diff push at non-home");
+        settle_buffer_[page].push_back(std::move(rec));
+      }
+      ctx_.send(MsgType::kUpdateAck, msg.src, {});
+      return;
+    }
+    case MsgType::kUpdateAck: {
+      bool done;
+      {
+        const std::lock_guard<std::mutex> lock(push_mutex_);
+        DSM_CHECK(push_outstanding_ > 0);
+        done = --push_outstanding_ == 0;
+      }
+      if (done) push_cv_.notify_all();
+      return;
+    }
+    default:
+      DSM_CHECK_MSG(false, "lrc: unexpected message " << to_string(msg.type));
+  }
+}
+
+void LrcProtocol::handle_page_request(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto requester = r.get<NodeId>();
+  DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "lrc: page request at non-home");
+  auto& e = ctx_.table->entry(page);
+  std::vector<std::byte> bytes(ctx_.cfg->page_size);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.has_base);
+    // The home's bytes are always *some* consistent base (its applied-diff
+    // prefix respects happens-before); the faulter layers its pending diffs
+    // on top. Open the protection: the copy may be access-revoked here.
+    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
+    std::memcpy(bytes.data(), ctx_.view->page_ptr(page), bytes.size());
+  }
+  WireWriter w(bytes.size() + 8);
+  w.put(page);
+  w.put_raw(bytes);
+  ctx_.send(MsgType::kPageReply, requester, std::move(w).take());
+}
+
+void LrcProtocol::handle_page_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  auto& e = ctx_.table->entry(page);
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(!e.has_base && e.twin == nullptr);
+    const ViewRegion::ScopedWritable open(*ctx_.view, page, Access::kNone);
+    std::memcpy(ctx_.view->page_ptr(page), bytes.data(), bytes.size());
+    e.has_base = true;
+  }
+  e.cv.notify_all();
+}
+
+void LrcProtocol::handle_diff_request(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto requester = r.get<NodeId>();
+  const auto n = r.get<std::uint32_t>();
+  std::vector<std::uint32_t> intervals(n);
+  for (auto& i : intervals) i = r.get<std::uint32_t>();
+
+  WireWriter w(256);
+  w.put(page);
+  w.put(n);
+  {
+    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const auto it = diff_cache_.find(page);
+    DSM_CHECK_MSG(it != diff_cache_.end(), "lrc: no cached diffs for page " << page);
+    for (const auto interval : intervals) {
+      const auto rec = std::find_if(it->second.begin(), it->second.end(),
+                                    [&](const DiffRecord& d) { return d.interval == interval; });
+      DSM_CHECK_MSG(rec != it->second.end(),
+                    "lrc: diff for page " << page << " interval " << interval << " missing");
+      w.put(rec->interval);
+      w.put(rec->lamport);
+      w.put_bytes(rec->bytes);
+    }
+  }
+  ctx_.send(MsgType::kDiffReply, requester, std::move(w).take());
+}
+
+void LrcProtocol::handle_diff_reply(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto n = r.get<std::uint32_t>();
+  {
+    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    auto& inbox = diff_inbox_[page];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      DiffRecord rec;
+      rec.interval = r.get<std::uint32_t>();
+      rec.lamport = r.get<std::uint64_t>();
+      rec.writer = msg.src;
+      const auto bytes = r.get_bytes();
+      rec.bytes.assign(bytes.begin(), bytes.end());
+      inbox.push_back(std::move(rec));
+    }
+  }
+  auto& e = ctx_.table->entry(page);
+  bool done;
+  {
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(e.acks_outstanding > 0);
+    done = --e.acks_outstanding == 0;
+  }
+  if (done) e.cv.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// Barriers: the global settle-up and GC point
+// --------------------------------------------------------------------------
+
+// Barrier payload layout (both directions, both round kinds):
+//   u8 settle | u32 n | vclock | u64 lamport | u32 nrec |
+//       nrec × { u32 node | u32 interval | u64 lamport | u32 npages | pages }
+// Notices only: at a settle round the actual diffs were already unicast to
+// each page's home (push_diffs_to_homes) before anyone arrived.
+
+void LrcProtocol::fill_barrier_arrive(BarrierId, WireWriter& out) {
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  out.put(static_cast<std::uint8_t>(arriving_at_settle_ ? 1 : 0));
+  write_vclock(vc_, out);
+  out.put(lamport_);
+  const auto& mine = interval_log_[ctx_.id];
+  out.put(static_cast<std::uint32_t>(mine.size()));
+  for (const auto& rec : mine) {
+    out.put(rec.node);
+    out.put(rec.interval);
+    out.put(rec.lamport);
+    out.put_vector(rec.pages);
+  }
+}
+
+void LrcProtocol::on_barrier_collect(BarrierId, NodeId /*from*/, WireReader& in) {
+  const bool settle = in.get<std::uint8_t>() != 0;
+  if (barrier_records_.empty()) {
+    barrier_settle_round_ = settle;
+  } else {
+    DSM_CHECK_MSG(barrier_settle_round_ == settle,
+                  "lrc: nodes disagree about the settle round");
+  }
+  const VectorClock vc = read_vclock(in);
+  const auto lamport = in.get<std::uint64_t>();
+  const auto count = in.get<std::uint32_t>();
+  barrier_vc_.merge(vc);
+  barrier_lamport_ = std::max(barrier_lamport_, lamport);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    IntervalRecord rec;
+    rec.node = in.get<NodeId>();
+    rec.interval = in.get<std::uint32_t>();
+    rec.lamport = in.get<std::uint64_t>();
+    rec.pages = in.get_vector<PageId>();
+    barrier_records_.push_back(std::move(rec));
+  }
+}
+
+void LrcProtocol::fill_barrier_release(BarrierId, WireWriter& out) {
+  out.put(static_cast<std::uint8_t>(barrier_settle_round_ ? 1 : 0));
+  write_vclock(barrier_vc_, out);
+  out.put(barrier_lamport_);
+  out.put(static_cast<std::uint32_t>(barrier_records_.size()));
+  for (const auto& rec : barrier_records_) {
+    out.put(rec.node);
+    out.put(rec.interval);
+    out.put(rec.lamport);
+    out.put_vector(rec.pages);
+  }
+  barrier_records_.clear();
+}
+
+void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
+  const bool settle = in.get<std::uint8_t>() != 0;
+  last_release_was_settle_ = settle;
+  const VectorClock merged = read_vclock(in);
+  const auto lamport = in.get<std::uint64_t>();
+  const auto count = in.get<std::uint32_t>();
+
+  if (!settle) {
+    // Lazy round: learn the merged write notices; data stays where it is
+    // until someone faults. Diff caches and pending notices are retained.
+    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    ingest_records(in, count);
+    vc_.merge(merged);
+    lamport_ = std::max(lamport_, lamport);
+    ctx_.stats->counter("lrc.lazy_barriers").add();
+    return;
+  }
+
+  // Settle-up. First learn any notices we missed (marks pages stale), then:
+  //   * home pages: apply the epoch's pushed diffs in lamport order — every
+  //     home is current afterwards;
+  //   * other copies with unapplied notices: drop to cold (refetch later);
+  // and garbage-collect every piece of epoch metadata.
+  std::map<PageId, std::vector<DiffRecord>> pushed;
+  {
+    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    ingest_records(in, count);
+    vc_.merge(merged);
+    lamport_ = std::max(lamport_, lamport);
+    pushed = std::move(settle_buffer_);
+    settle_buffer_.clear();
+    for (auto& log : interval_log_) log.clear();
+    diff_cache_.clear();
+    DSM_CHECK(diff_inbox_.empty());
+  }
+
+  for (auto& [page, records] : pushed) {
+    std::sort(records.begin(), records.end(), [](const DiffRecord& a, const DiffRecord& b) {
+      return a.lamport != b.lamport ? a.lamport < b.lamport : a.writer < b.writer;
+    });
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK_MSG(e.twin == nullptr && !e.dirty, "lrc: open interval at barrier");
+    DSM_CHECK(e.has_base);
+    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
+    for (const auto& rec : records) {
+      apply_diff(ctx_.view->page_span(page), rec.bytes);
+    }
+  }
+
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    if (ctx_.home_of(p) == ctx_.id) {
+      // Home: current after the diff application above.
+      pending_[p].clear();
+      if (e.state == PageState::kInvalid) {
+        ctx_.view->protect(p, Access::kRead);
+        e.state = PageState::kReadOnly;
+      }
+      continue;
+    }
+    if (!pending_[p].empty()) {
+      // A copy with unapplied epoch writes — and the diffs are about to be
+      // collected. Drop to cold; the next access refetches from the home.
+      pending_[p].clear();
+      if (e.state != PageState::kInvalid) {
+        ctx_.view->protect(p, Access::kNone);
+        e.state = PageState::kInvalid;
+      }
+      e.has_base = false;
+      ctx_.stats->counter("lrc.settle_dropped_copies").add();
+    }
+    // else: this copy applied everything it ever heard of — still current.
+  }
+  ctx_.stats->counter("lrc.settle_barriers").add();
+}
+
+std::size_t LrcProtocol::cached_diffs() const {
+  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  std::size_t n = 0;
+  for (const auto& [page, records] : diff_cache_) n += records.size();
+  return n;
+}
+
+}  // namespace dsm

@@ -1,0 +1,148 @@
+// Lazy release consistency (TreadMarks). Nothing moves at release time;
+// instead each sync operation closes an *interval* whose modified pages are
+// recorded as *write notices*. A lock grant piggybacks only the notices the
+// acquirer has not seen (filtered by its vector clock); the acquirer
+// invalidates those pages and fetches the actual *diffs* lazily, on its next
+// fault, directly from the writers. Barriers are the global settle-up: every
+// node ships its intervals *with* diffs to the manager, which broadcasts the
+// merged set; everyone applies, and all protocol metadata is garbage
+// collected.
+//
+// Diffs are applied in "lamport order": every interval carries a scalar
+// Lamport stamp advanced at sync operations, which totally orders any two
+// happens-before-related intervals. For data-race-free programs (the only
+// programs LRC gives guarantees for) this reproduces the happens-before
+// order of conflicting writes.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/vclock.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class LrcProtocol final : public Protocol {
+ public:
+  explicit LrcProtocol(NodeContext& ctx);
+
+  std::string_view name() const override;
+  void init_pages() override;
+  void on_read_fault(PageId page) override;
+  void on_write_fault(PageId page) override;
+  void on_message(const Message& msg) override;
+
+  void fill_lock_request(LockId, WireWriter& out) override;
+  void fill_lock_grant(LockId, NodeId to, std::span<const std::byte> request_payload,
+                       WireWriter& out) override;
+  void on_lock_granted(LockId, WireReader& in) override;
+  void before_release(LockId) override;
+  void before_barrier(BarrierId) override;
+  void fill_barrier_arrive(BarrierId, WireWriter& out) override;
+  void on_barrier_collect(BarrierId, NodeId from, WireReader& in) override;
+  void fill_barrier_release(BarrierId, WireWriter& out) override;
+  void on_barrier_release(BarrierId, WireReader& in) override;
+  /// Two-phase completion is required exactly for settle-up rounds (see
+  /// Config::lrc_gc_period): after a GC the pending notices are gone, so a
+  /// cold fault must not reach a home that has not applied the diffs yet.
+  /// Lazy rounds retain notices and diff caches, making early resumption
+  /// safe. The flag reflects the release processed last on this node's
+  /// service thread, which is the thread that queries it.
+  bool barrier_needs_settlement() const override { return last_release_was_settle_; }
+
+  /// Test hooks.
+  const VectorClock& vclock() const { return vc_; }
+  std::size_t cached_diffs() const;
+
+ private:
+  /// One closed interval of one node: which pages it modified.
+  struct IntervalRecord {
+    NodeId node = kNoNode;
+    std::uint32_t interval = 0;   // that node's interval counter value
+    std::uint64_t lamport = 0;    // scalar sync stamp, for diff ordering
+    std::vector<PageId> pages;
+  };
+  /// An unapplied write notice parked at a page.
+  struct WriteNotice {
+    NodeId writer = kNoNode;
+    std::uint32_t interval = 0;
+    std::uint64_t lamport = 0;
+  };
+  /// A cached or fetched diff.
+  struct DiffRecord {
+    std::uint32_t interval = 0;
+    std::uint64_t lamport = 0;
+    NodeId writer = kNoNode;
+    std::vector<std::byte> bytes;
+  };
+
+  /// Closes the current interval if any pages are dirty: encodes and caches
+  /// diffs, downgrades pages to read-only, records the interval. App thread.
+  void close_interval();
+
+  /// The common fault engine: ensure a base copy, fetch and apply pending
+  /// diffs, and leave the page read-only. App thread.
+  void make_page_valid(PageId page);
+
+  void handle_page_request(const Message& msg);
+  void handle_page_reply(const Message& msg);
+  void handle_diff_request(const Message& msg);
+  void handle_diff_reply(const Message& msg);
+
+  /// Serializes interval records (without diffs) newer than `horizon`.
+  void write_records_after(const VectorClock& horizon, WireWriter& out);
+  /// Ingests records from a grant; invalidates freshly-noticed pages.
+  void ingest_records(WireReader& in, std::size_t count);
+
+  // ---- metadata, guarded by meta_mutex_ ----
+  mutable std::mutex meta_mutex_;
+  VectorClock vc_;
+  std::uint64_t lamport_ = 0;
+  /// interval_log_[n] = records of node n's intervals known here, ascending.
+  std::vector<std::vector<IntervalRecord>> interval_log_;
+  /// My own diffs: page → records ascending by interval.
+  std::map<PageId, std::vector<DiffRecord>> diff_cache_;
+  /// Diff replies parked for the faulting app thread: page → records.
+  std::map<PageId, std::vector<DiffRecord>> diff_inbox_;
+
+  // ---- per-page pending notices, guarded by that page's entry mutex ----
+  std::vector<std::vector<WriteNotice>> pending_;
+
+  // ---- app-thread-only ----
+  std::vector<PageId> dirty_pages_;
+
+  /// Settle round, app-thread side: unicast every cached diff to its page's
+  /// home and block until all are acknowledged. Runs in before_barrier, so
+  /// every home holds the complete epoch before any node arrives.
+  void push_diffs_to_homes();
+
+  // ---- barrier bookkeeping ----
+  /// Generations per barrier id (app thread only): deterministic and equal
+  /// on every node, so all nodes agree on which rounds settle.
+  std::map<BarrierId, std::uint64_t> barrier_gen_;
+  /// Set in before_barrier (app thread), read by fill_barrier_arrive on the
+  /// same thread: this round is a settle-up.
+  bool arriving_at_settle_ = false;
+  /// Set by on_barrier_release, read by barrier_needs_settlement() on the
+  /// same service thread.
+  bool last_release_was_settle_ = false;
+
+  /// Home-side buffer of diffs pushed for the current settle round,
+  /// guarded by meta_mutex_; applied in lamport order at the release.
+  std::map<PageId, std::vector<DiffRecord>> settle_buffer_;
+  /// Push-acknowledgement rendezvous (app thread ↔ service thread).
+  std::mutex push_mutex_;
+  std::condition_variable push_cv_;
+  int push_outstanding_ = 0;
+
+  // ---- barrier manager scratch (only used at the barrier home) ----
+  std::vector<IntervalRecord> barrier_records_;
+  bool barrier_settle_round_ = false;
+  VectorClock barrier_vc_;
+  std::uint64_t barrier_lamport_ = 0;
+};
+
+}  // namespace dsm

@@ -1,0 +1,48 @@
+// Small helpers protocols share for moving page contents in and out of a
+// node's view, independent of the page's current protection.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/context.hpp"
+#include "mem/page_table.hpp"
+
+namespace dsm::page_io {
+
+/// Copies the page's current contents out of the view. The caller must hold
+/// the page entry lock; the page may be in any protection state.
+inline std::vector<std::byte> read_page(const NodeContext& ctx, PageId page,
+                                        PageState current_state) {
+  std::vector<std::byte> bytes(ctx.cfg->page_size);
+  if (current_state == PageState::kInvalid) {
+    // Owner invariant violations are protocol bugs; readable is required.
+    DSM_CHECK_MSG(false, "read_page of invalid page " << page);
+  }
+  std::memcpy(bytes.data(), ctx.view->page_ptr(page), bytes.size());
+  return bytes;
+}
+
+/// Installs `bytes` into the view and leaves the page with `rights`.
+/// The caller must hold the page entry lock and update entry.state itself.
+inline void install_page(const NodeContext& ctx, PageId page,
+                         std::span<const std::byte> bytes, Access rights) {
+  DSM_CHECK(bytes.size() == ctx.cfg->page_size);
+  ctx.view->protect(page, Access::kReadWrite);
+  std::memcpy(ctx.view->page_ptr(page), bytes.data(), bytes.size());
+  if (rights != Access::kReadWrite) ctx.view->protect(page, rights);
+}
+
+/// Maps a PageState onto the mprotect rights that represent it.
+inline Access rights_for(PageState state) {
+  switch (state) {
+    case PageState::kInvalid: return Access::kNone;
+    case PageState::kReadOnly: return Access::kRead;
+    case PageState::kReadWrite: return Access::kReadWrite;
+  }
+  return Access::kNone;
+}
+
+}  // namespace dsm::page_io

@@ -1,0 +1,584 @@
+#include "sync/sync_agent.hpp"
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dsm {
+namespace {
+
+// Payload layouts:
+//   kLockRequest   : u32 lock | u32 origin | u8 mode | bytes protocol payload
+//                    mode: 0 = mutex fresh, 1 = mutex forwarded,
+//                          2 = rw read, 3 = rw write
+//   kLockGrant     : u32 lock | bytes protocol payload
+//   kLockRelease   : u32 lock | u8 mode | bytes protocol payload
+//                    mode: 0 = mutex (centralized), 2 = rw read, 3 = rw write
+//   kBarrierArrive : u32 barrier | u8 phase | bytes protocol payload
+//   kBarrierRelease: u32 barrier | u8 phase | bytes protocol payload
+
+constexpr std::uint8_t kModeMutex = 0;
+constexpr std::uint8_t kModeForwarded = 1;
+constexpr std::uint8_t kModeRead = 2;
+constexpr std::uint8_t kModeWrite = 3;
+
+struct LockReq {
+  LockId lock;
+  NodeId origin;
+  std::uint8_t mode;
+  std::span<const std::byte> payload;
+};
+
+LockReq parse_lock_request(const Message& msg) {
+  WireReader r(msg.payload);
+  LockReq req;
+  req.lock = r.get<LockId>();
+  req.origin = r.get<NodeId>();
+  req.mode = r.get<std::uint8_t>();
+  req.payload = r.get_bytes();
+  DSM_CHECK(r.done());
+  return req;
+}
+
+}  // namespace
+
+SyncAgent::SyncAgent(NodeContext& ctx, Protocol& protocol)
+    : ctx_(ctx),
+      protocol_(protocol),
+      home_(ctx.cfg->n_locks),
+      local_(ctx.cfg->n_locks),
+      barrier_gen_(ctx.cfg->n_barriers, 0),
+      barrier_entered_(ctx.cfg->n_barriers, 0),
+      barrier_arrived_(ctx.cfg->n_barriers, 0),
+      barrier_acked_(ctx.cfg->n_barriers, 0) {
+  // Forward-chain: the token (and the chain tail) starts at each lock's home.
+  for (LockId l = 0; l < ctx_.cfg->n_locks; ++l) {
+    home_[l].tail = ctx_.lock_home(l);
+    if (ctx_.lock_home(l) == ctx_.id) local_[l].have_token = true;
+  }
+}
+
+bool SyncAgent::handles(MsgType type) {
+  switch (type) {
+    case MsgType::kLockRequest:
+    case MsgType::kLockGrant:
+    case MsgType::kLockRelease:
+    case MsgType::kBarrierArrive:
+    case MsgType::kBarrierRelease: return true;
+    default: return false;
+  }
+}
+
+void SyncAgent::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kLockRequest: handle_lock_request(msg); return;
+    case MsgType::kLockGrant: handle_lock_grant(msg); return;
+    case MsgType::kLockRelease: handle_lock_release(msg); return;
+    case MsgType::kBarrierArrive: handle_barrier_arrive(msg); return;
+    case MsgType::kBarrierRelease: handle_barrier_release(msg); return;
+    default: DSM_CHECK_MSG(false, "sync: unexpected message " << to_string(msg.type));
+  }
+}
+
+// --------------------------------------------------------------------------
+// Locks: application-thread side
+// --------------------------------------------------------------------------
+
+void SyncAgent::acquire(LockId lock) {
+  DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
+  ctx_.stats->counter("sync.lock_acquires").add();
+  {
+    std::unique_lock<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(!L.in_cs, "recursive acquire of lock " << lock);
+    if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain && L.have_token) {
+      // Lock caching: we were the last holder and nobody asked since.
+      DSM_CHECK(!L.successor.has_value());
+      L.in_cs = true;
+      ctx_.stats->counter("sync.local_acquires").add();
+      return;
+    }
+  }
+
+  const VirtualTime t0 = ctx_.clock->now();
+  WireWriter req(32);
+  protocol_.fill_lock_request(lock, req);
+  WireWriter w(req.size() + 16);
+  w.put(lock);
+  w.put(ctx_.id);
+  w.put(kModeMutex);
+  w.put_bytes(std::move(req).take());
+  ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
+
+  std::unique_lock<std::mutex> guard(mutex_);
+  auto& L = local_[lock];
+  cv_.wait(guard, [&] { return L.granted; });
+  L.granted = false;
+  L.have_token = true;
+  L.in_cs = true;
+  ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
+}
+
+void SyncAgent::release(LockId lock) {
+  DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
+  // Consistency actions must complete before anyone else can hold the lock.
+  protocol_.before_release(lock);
+
+  if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain) {
+    std::optional<Message> successor;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      auto& L = local_[lock];
+      DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
+      L.in_cs = false;
+      if (L.successor.has_value()) {
+        successor = std::move(L.successor);
+        L.successor.reset();
+        L.have_token = false;
+      }
+      // else: keep the token; a later request will be forwarded to us.
+    }
+    if (successor.has_value()) {
+      const auto req = parse_lock_request(*successor);
+      send_grant(lock, req.origin, req.payload);
+    }
+    return;
+  }
+
+  // Centralized: hand the token (and the release payload) back to the home.
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
+    L.in_cs = false;
+    L.have_token = false;
+  }
+  WireWriter payload(64);
+  protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
+  WireWriter w(payload.size() + 16);
+  w.put(lock);
+  w.put(kModeMutex);
+  w.put_bytes(std::move(payload).take());
+  ctx_.send(MsgType::kLockRelease, ctx_.lock_home(lock), std::move(w).take());
+}
+
+// --------------------------------------------------------------------------
+// Reader-writer locks (always home-managed; no token caching)
+// --------------------------------------------------------------------------
+
+void SyncAgent::acquire_read(LockId lock) {
+  DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
+  ctx_.stats->counter("sync.rw_read_acquires").add();
+  const VirtualTime t0 = ctx_.clock->now();
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
+  }
+  WireWriter req(32);
+  protocol_.fill_lock_request(lock, req);
+  WireWriter w(req.size() + 16);
+  w.put(lock);
+  w.put(ctx_.id);
+  w.put(kModeRead);
+  w.put_bytes(std::move(req).take());
+  ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
+
+  std::unique_lock<std::mutex> guard(mutex_);
+  auto& L = local_[lock];
+  cv_.wait(guard, [&] { return L.granted; });
+  L.granted = false;
+  L.in_read_cs = true;
+  ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
+}
+
+void SyncAgent::release_read(LockId lock) {
+  // Conservative: a reader may have written *other* data; flush it so this
+  // release is a proper release for the consistency protocol too.
+  protocol_.before_release(lock);
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(L.in_read_cs, "release_read of lock " << lock << " not read-held");
+    L.in_read_cs = false;
+  }
+  WireWriter payload(64);
+  protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
+  WireWriter w(payload.size() + 16);
+  w.put(lock);
+  w.put(kModeRead);
+  w.put_bytes(std::move(payload).take());
+  ctx_.send(MsgType::kLockRelease, ctx_.lock_home(lock), std::move(w).take());
+}
+
+void SyncAgent::acquire_write(LockId lock) {
+  DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
+  ctx_.stats->counter("sync.rw_write_acquires").add();
+  const VirtualTime t0 = ctx_.clock->now();
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
+  }
+  WireWriter req(32);
+  protocol_.fill_lock_request(lock, req);
+  WireWriter w(req.size() + 16);
+  w.put(lock);
+  w.put(ctx_.id);
+  w.put(kModeWrite);
+  w.put_bytes(std::move(req).take());
+  ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
+
+  std::unique_lock<std::mutex> guard(mutex_);
+  auto& L = local_[lock];
+  cv_.wait(guard, [&] { return L.granted; });
+  L.granted = false;
+  L.in_cs = true;
+  ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
+}
+
+void SyncAgent::release_write(LockId lock) {
+  protocol_.before_release(lock);
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[lock];
+    DSM_CHECK_MSG(L.in_cs, "release_write of lock " << lock << " not write-held");
+    L.in_cs = false;
+  }
+  WireWriter payload(64);
+  protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
+  WireWriter w(payload.size() + 16);
+  w.put(lock);
+  w.put(kModeWrite);
+  w.put_bytes(std::move(payload).take());
+  ctx_.send(MsgType::kLockRelease, ctx_.lock_home(lock), std::move(w).take());
+}
+
+void SyncAgent::handle_rw_request(const Message& msg, LockId lock, NodeId origin,
+                                  bool write, std::span<const std::byte> /*payload*/) {
+  DSM_CHECK(ctx_.lock_home(lock) == ctx_.id);
+  bool grant_now = false;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& H = home_[lock];
+    if (write) {
+      if (H.rw_writer_active || H.readers_active > 0) {
+        H.rw_write_queue.push_back(msg);
+        ctx_.stats->counter("sync.lock_queued").add();
+      } else {
+        H.rw_writer_active = true;
+        grant_now = true;
+      }
+    } else {
+      // Queued writers block new readers (no writer starvation).
+      if (H.rw_writer_active || !H.rw_write_queue.empty()) {
+        H.rw_read_queue.push_back(msg);
+        ctx_.stats->counter("sync.lock_queued").add();
+      } else {
+        ++H.readers_active;
+        grant_now = true;
+      }
+    }
+  }
+  if (grant_now) send_grant_centralized(lock, origin);
+}
+
+void SyncAgent::handle_rw_release(LockId lock, bool write,
+                                  std::span<const std::byte> payload) {
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& H = home_[lock];
+    // Knowledge dumps only grow between GCs, so the latest release payload
+    // (reader or writer) always covers every prior one.
+    H.release_payload.assign(payload.begin(), payload.end());
+    if (write) {
+      DSM_CHECK(H.rw_writer_active);
+      H.rw_writer_active = false;
+    } else {
+      DSM_CHECK(H.readers_active > 0);
+      --H.readers_active;
+    }
+  }
+  rw_drain_queues(lock);
+}
+
+void SyncAgent::rw_drain_queues(LockId lock) {
+  // Writer preference: a queued writer goes next once readers drain;
+  // otherwise admit every queued reader at once.
+  std::vector<Message> grants;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& H = home_[lock];
+    if (H.rw_writer_active) return;
+    if (!H.rw_write_queue.empty()) {
+      if (H.readers_active > 0) return;  // writer waits for readers to drain
+      grants.push_back(std::move(H.rw_write_queue.front()));
+      H.rw_write_queue.pop_front();
+      H.rw_writer_active = true;
+    } else {
+      while (!H.rw_read_queue.empty()) {
+        grants.push_back(std::move(H.rw_read_queue.front()));
+        H.rw_read_queue.pop_front();
+        ++H.readers_active;
+      }
+    }
+  }
+  for (const auto& g : grants) {
+    const auto req = parse_lock_request(g);
+    send_grant_centralized(lock, req.origin);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Locks: service-thread side
+// --------------------------------------------------------------------------
+
+void SyncAgent::handle_lock_request(const Message& msg) {
+  const auto req = parse_lock_request(msg);
+
+  if (req.mode == kModeRead || req.mode == kModeWrite) {
+    handle_rw_request(msg, req.lock, req.origin, req.mode == kModeWrite, req.payload);
+    return;
+  }
+
+  if (ctx_.cfg->lock_policy == LockPolicy::kCentralized) {
+    DSM_CHECK(ctx_.lock_home(req.lock) == ctx_.id);
+    bool grant_now = false;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      auto& H = home_[req.lock];
+      if (H.held) {
+        H.waiting.push_back(msg);
+        ctx_.stats->counter("sync.lock_queued").add();
+      } else {
+        H.held = true;
+        grant_now = true;
+      }
+    }
+    if (grant_now) send_grant_centralized(req.lock, req.origin);
+    return;
+  }
+
+  // Forward-chain.
+  if (req.mode != kModeForwarded) {
+    DSM_CHECK(ctx_.lock_home(req.lock) == ctx_.id);
+    route_to_tail(msg, req.lock, req.origin);
+    return;
+  }
+
+  // Holder side: we are (or are about to become) the previous holder.
+  bool grant_now = false;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& L = local_[req.lock];
+    if (L.have_token && !L.in_cs) {
+      L.have_token = false;
+      grant_now = true;
+    } else {
+      DSM_CHECK_MSG(!L.successor.has_value(),
+                    "two successors for lock " << req.lock << " at node " << ctx_.id);
+      L.successor = msg;
+    }
+  }
+  if (grant_now) send_grant(req.lock, req.origin, req.payload);
+}
+
+void SyncAgent::route_to_tail(const Message& msg, LockId lock, NodeId origin) {
+  NodeId previous_tail;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& H = home_[lock];
+    previous_tail = H.tail;
+    H.tail = origin;
+  }
+  DSM_CHECK_MSG(previous_tail != origin,
+                "lock " << lock << ": chain tail re-requesting without token");
+  // Re-encode with the forwarded flag set; the protocol payload rides along.
+  WireReader r(msg.payload);
+  r.get<LockId>();
+  r.get<NodeId>();
+  r.get<std::uint8_t>();
+  const auto payload = r.get_bytes();
+  WireWriter w(payload.size() + 16);
+  w.put(lock);
+  w.put(origin);
+  w.put(kModeForwarded);
+  w.put_bytes(payload);
+  ctx_.send(MsgType::kLockRequest, previous_tail, std::move(w).take());
+}
+
+void SyncAgent::send_grant(LockId lock, NodeId origin,
+                           std::span<const std::byte> request_payload) {
+  WireWriter payload(64);
+  protocol_.fill_lock_grant(lock, origin, request_payload, payload);
+  WireWriter w(payload.size() + 8);
+  w.put(lock);
+  w.put_bytes(std::move(payload).take());
+  ctx_.send(MsgType::kLockGrant, origin, std::move(w).take());
+}
+
+void SyncAgent::send_grant_centralized(LockId lock, NodeId origin) {
+  std::vector<std::byte> stored;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    stored = home_[lock].release_payload;
+  }
+  WireWriter w(stored.size() + 8);
+  w.put(lock);
+  w.put_bytes(stored);
+  ctx_.send(MsgType::kLockGrant, origin, std::move(w).take());
+}
+
+void SyncAgent::handle_lock_grant(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto lock = r.get<LockId>();
+  auto payload = r.get_bytes();
+  WireReader payload_reader(payload);
+  protocol_.on_lock_granted(lock, payload_reader);
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    local_[lock].granted = true;
+  }
+  cv_.notify_all();
+}
+
+void SyncAgent::handle_lock_release(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto lock = r.get<LockId>();
+  const auto mode = r.get<std::uint8_t>();
+  const auto payload = r.get_bytes();
+  DSM_CHECK(ctx_.lock_home(lock) == ctx_.id);
+
+  if (mode == kModeRead || mode == kModeWrite) {
+    handle_rw_release(lock, mode == kModeWrite, payload);
+    return;
+  }
+  DSM_CHECK(ctx_.cfg->lock_policy == LockPolicy::kCentralized);
+
+  std::optional<Message> next;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    auto& H = home_[lock];
+    DSM_CHECK(H.held);
+    H.release_payload.assign(payload.begin(), payload.end());
+    if (H.waiting.empty()) {
+      H.held = false;
+    } else {
+      next = std::move(H.waiting.front());
+      H.waiting.pop_front();
+    }
+  }
+  if (next.has_value()) {
+    const auto req = parse_lock_request(*next);
+    send_grant_centralized(lock, req.origin);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Barriers
+// --------------------------------------------------------------------------
+
+void SyncAgent::barrier(BarrierId barrier) {
+  DSM_CHECK_MSG(barrier < barrier_gen_.size(), "barrier id " << barrier << " out of range");
+  ctx_.stats->counter("sync.barriers").add();
+  const VirtualTime t0 = ctx_.clock->now();
+
+  protocol_.before_barrier(barrier);
+  WireWriter payload(64);
+  protocol_.fill_barrier_arrive(barrier, payload);
+  WireWriter w(payload.size() + 8);
+  w.put(barrier);
+  w.put(std::uint8_t{0});  // phase 0: arrive
+  w.put_bytes(std::move(payload).take());
+
+  std::uint64_t target;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    target = ++barrier_entered_[barrier];
+  }
+  ctx_.send(MsgType::kBarrierArrive, ctx_.barrier_home(barrier), std::move(w).take());
+
+  std::unique_lock<std::mutex> guard(mutex_);
+  cv_.wait(guard, [&] { return barrier_gen_[barrier] >= target; });
+  ctx_.stats->histogram("sync.barrier_wait_ns").record(ctx_.clock->now() - t0);
+}
+
+void SyncAgent::handle_barrier_arrive(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto barrier = r.get<BarrierId>();
+  const auto phase = r.get<std::uint8_t>();
+  const auto payload = r.get_bytes();
+  DSM_CHECK(ctx_.barrier_home(barrier) == ctx_.id);
+
+  const auto broadcast_release = [&](std::uint8_t release_phase,
+                                     std::vector<std::byte> release_payload) {
+    WireWriter w(release_payload.size() + 16);
+    w.put(barrier);
+    w.put(release_phase);
+    w.put_bytes(release_payload);
+    const Message prototype =
+        ctx_.make(MsgType::kBarrierRelease, kNoNode, std::move(w).take());
+    std::vector<NodeId> everyone(ctx_.n_nodes);
+    for (std::size_t n = 0; n < ctx_.n_nodes; ++n) everyone[n] = static_cast<NodeId>(n);
+    ctx_.net->multicast(everyone, prototype);
+  };
+
+  if (phase == 1) {
+    // Settlement ack (two-phase barrier): everyone applied the release.
+    bool complete = false;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      if (++barrier_acked_[barrier] == ctx_.n_nodes) {
+        barrier_acked_[barrier] = 0;
+        complete = true;
+      }
+    }
+    if (complete) broadcast_release(1, {});
+    return;
+  }
+
+  WireReader payload_reader(payload);
+  protocol_.on_barrier_collect(barrier, msg.src, payload_reader);
+
+  bool complete = false;
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    if (++barrier_arrived_[barrier] == ctx_.n_nodes) {
+      barrier_arrived_[barrier] = 0;
+      complete = true;
+    }
+  }
+  if (!complete) return;
+
+  WireWriter release(64);
+  protocol_.fill_barrier_release(barrier, release);
+  broadcast_release(0, std::move(release).take());
+}
+
+void SyncAgent::handle_barrier_release(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto barrier = r.get<BarrierId>();
+  const auto phase = r.get<std::uint8_t>();
+  const auto payload = r.get_bytes();
+
+  if (phase == 0) {
+    WireReader payload_reader(payload);
+    protocol_.on_barrier_release(barrier, payload_reader);
+    if (protocol_.barrier_needs_settlement()) {
+      // Two-phase: ack, and only resume on the phase-1 broadcast, so no
+      // node can observe a peer that has not yet applied the release.
+      WireWriter w(16);
+      w.put(barrier);
+      w.put(std::uint8_t{1});
+      w.put_bytes({});
+      ctx_.send(MsgType::kBarrierArrive, ctx_.barrier_home(barrier), std::move(w).take());
+      return;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> guard(mutex_);
+    ++barrier_gen_[barrier];
+  }
+  cv_.notify_all();
+}
+
+}  // namespace dsm

@@ -1,0 +1,112 @@
+// Distributed synchronization: queue-based locks (two policies) and a
+// centralized sense-counting barrier. The SyncAgent owns the mechanics;
+// consistency protocols piggyback their payloads (write notices, bound data)
+// through the Protocol hooks at well-defined points:
+//
+//   acquire:  fill_lock_request ──request──▶ grantor: fill_lock_grant
+//             ◀──grant── on_lock_granted (service thread) → app resumes
+//   release:  before_release (flush/interval close), then grant or release
+//   barrier:  before_barrier + fill_barrier_arrive ──▶ manager collects
+//             (on_barrier_collect), then fill_barrier_release ──▶ everyone
+//             runs on_barrier_release.
+//
+// Lock policies (compared by bench_locks, F5):
+//   * kCentralized — request/grant/release all via the lock's home node;
+//     the home stores the last release payload and ships it with grants.
+//   * kForwardChain — the home only remembers the chain tail and forwards
+//     each request to it; grants flow holder → next holder directly, and an
+//     uncontended re-acquire by the last holder is free (lock caching).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/context.hpp"
+#include "net/message.hpp"
+#include "proto/protocol.hpp"
+
+namespace dsm {
+
+class SyncAgent {
+ public:
+  SyncAgent(NodeContext& ctx, Protocol& protocol);
+
+  // --- application-thread operations --------------------------------------
+  void acquire(LockId lock);
+  void release(LockId lock);
+  /// Reader-writer mode: any number of concurrent readers OR one writer
+  /// (via the plain acquire/release above on the same lock id). Managed at
+  /// the lock's home under every policy; queued writers block new readers.
+  /// Grants carry the same consistency payload as write grants, so a reader
+  /// sees everything the last writer released.
+  void acquire_read(LockId lock);
+  void release_read(LockId lock);
+  /// The writer side of reader-writer mode. (Distinct from acquire():
+  /// rw locks are always home-managed and never cache the token.)
+  void acquire_write(LockId lock);
+  void release_write(LockId lock);
+  void barrier(BarrierId barrier);
+
+  /// True for message types this agent dispatches (the runtime routes all
+  /// other types to the protocol).
+  static bool handles(MsgType type);
+
+  // --- service-thread dispatch ---------------------------------------------
+  void on_message(const Message& msg);
+
+ private:
+  struct HomeLock {
+    bool held = false;                        // centralized: token is out
+    std::deque<Message> waiting;              // centralized: queued requests
+    std::vector<std::byte> release_payload;   // centralized: last release's payload
+    NodeId tail = kNoNode;                    // forward-chain: last requester
+    // Reader-writer extension (always home-managed). A lock id is used in
+    // either mutex mode or rw mode by the application, not both at once.
+    std::uint32_t readers_active = 0;
+    bool rw_writer_active = false;
+    std::deque<Message> rw_read_queue;
+    std::deque<Message> rw_write_queue;
+  };
+  struct LocalLock {
+    bool have_token = false;
+    bool in_cs = false;       // between acquire() return and release() call
+    bool granted = false;     // grant arrived; app thread may resume
+    bool in_read_cs = false;  // between acquire_read() and release_read()
+    std::optional<Message> successor;  // forwarded request awaiting our release
+  };
+
+  void handle_lock_request(const Message& msg);
+  void handle_lock_grant(const Message& msg);
+  void handle_lock_release(const Message& msg);
+  /// Home-side reader-writer state machine (request modes 2/3, releases).
+  void handle_rw_request(const Message& msg, LockId lock, NodeId origin, bool write,
+                         std::span<const std::byte> payload);
+  void handle_rw_release(LockId lock, bool write, std::span<const std::byte> payload);
+  /// Grants every queued rw request that is now admissible.
+  void rw_drain_queues(LockId lock);
+  void handle_barrier_arrive(const Message& msg);
+  void handle_barrier_release(const Message& msg);
+
+  /// Home-side (forward-chain): route a fresh request to the chain tail.
+  void route_to_tail(const Message& msg, LockId lock, NodeId origin);
+  /// Holder-side: grant the token to `origin` now.
+  void send_grant(LockId lock, NodeId origin, std::span<const std::byte> request_payload);
+  void send_grant_centralized(LockId lock, NodeId origin);
+
+  NodeContext& ctx_;
+  Protocol& protocol_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<HomeLock> home_;     // indexed by LockId; used when home == self
+  std::vector<LocalLock> local_;   // indexed by LockId
+  std::vector<std::uint64_t> barrier_gen_;       // client: generations released
+  std::vector<std::uint64_t> barrier_entered_;   // client: generations entered
+  std::vector<std::size_t> barrier_arrived_;     // manager: arrivals this round
+  std::vector<std::size_t> barrier_acked_;       // manager: settlement acks (two-phase)
+};
+
+}  // namespace dsm

@@ -1,0 +1,84 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(NodeSet, StartsEmpty) {
+  NodeSet s(64);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(NodeSet, InsertContains) {
+  NodeSet s(10);
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(NodeSet, InsertIsIdempotent) {
+  NodeSet s(8);
+  s.insert(2);
+  s.insert(2);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(NodeSet, EraseRemoves) {
+  NodeSet s(8);
+  s.insert(5);
+  s.erase(5);
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, WorksAcrossWordBoundary) {
+  NodeSet s(130);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(129);
+  EXPECT_EQ(s.count(), 4u);
+  const auto members = s.members();
+  EXPECT_EQ(members, (std::vector<NodeId>{0, 63, 64, 129}));
+}
+
+TEST(NodeSet, MembersAscending) {
+  NodeSet s(16);
+  s.insert(9);
+  s.insert(1);
+  s.insert(4);
+  EXPECT_EQ(s.members(), (std::vector<NodeId>{1, 4, 9}));
+}
+
+TEST(NodeSet, ClearEmpties) {
+  NodeSet s(8);
+  s.insert(1);
+  s.insert(2);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(NodeSet, MergeUnions) {
+  NodeSet a(8), b(8);
+  a.insert(1);
+  b.insert(2);
+  b.insert(1);
+  a.merge(b);
+  EXPECT_EQ(a.members(), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(NodeSet, EqualityComparesContents) {
+  NodeSet a(8), b(8);
+  a.insert(3);
+  EXPECT_NE(a, b);
+  b.insert(3);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,62 @@
+#include "common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dsm {
+namespace {
+
+TEST(LogicalClock, StartsAtZero) {
+  LogicalClock c;
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(LogicalClock, AdvanceAccumulates) {
+  LogicalClock c;
+  EXPECT_EQ(c.advance(10), 10u);
+  EXPECT_EQ(c.advance(5), 15u);
+  EXPECT_EQ(c.now(), 15u);
+}
+
+TEST(LogicalClock, AdvanceToNeverGoesBackwards) {
+  LogicalClock c;
+  c.advance(100);
+  EXPECT_EQ(c.advance_to(50), 100u);  // stays at 100
+  EXPECT_EQ(c.now(), 100u);
+  EXPECT_EQ(c.advance_to(200), 200u);
+  EXPECT_EQ(c.now(), 200u);
+}
+
+TEST(LogicalClock, ResetZeroes) {
+  LogicalClock c;
+  c.advance(42);
+  c.reset();
+  EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(LogicalClock, ConcurrentAdvancesAllCount) {
+  LogicalClock c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) c.advance(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.now(), 40'000u);
+}
+
+TEST(LogicalClock, ConcurrentAdvanceToTakesMax) {
+  LogicalClock c;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 4; ++t) {
+    threads.emplace_back([&c, t] { c.advance_to(static_cast<VirtualTime>(t) * 1000); });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.now(), 4000u);
+}
+
+}  // namespace
+}  // namespace dsm

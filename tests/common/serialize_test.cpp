@@ -1,0 +1,106 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace dsm {
+namespace {
+
+TEST(Wire, RoundTripScalars) {
+  WireWriter w;
+  w.put<std::uint32_t>(0xDEADBEEF);
+  w.put<std::uint8_t>(7);
+  w.put<std::uint64_t>(1ULL << 60);
+  w.put<double>(3.25);
+
+  WireReader r(w.view());
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::uint8_t>(), 7u);
+  EXPECT_EQ(r.get<std::uint64_t>(), 1ULL << 60);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RoundTripBytes) {
+  std::vector<std::byte> data{std::byte{1}, std::byte{2}, std::byte{3}};
+  WireWriter w;
+  w.put_bytes(data);
+  WireReader r(w.view());
+  const auto out = r.get_bytes();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], std::byte{2});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, EmptyBytesRoundTrip) {
+  WireWriter w;
+  w.put_bytes({});
+  WireReader r(w.view());
+  EXPECT_EQ(r.get_bytes().size(), 0u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RoundTripVector) {
+  std::vector<std::uint32_t> v{10, 20, 30, 40};
+  WireWriter w;
+  w.put_vector(v);
+  WireReader r(w.view());
+  EXPECT_EQ(r.get_vector<std::uint32_t>(), v);
+}
+
+TEST(Wire, RawBytesAreUnprefixed) {
+  std::vector<std::byte> data(16, std::byte{0xAB});
+  WireWriter w;
+  w.put_raw(data);
+  EXPECT_EQ(w.size(), 16u);  // no length header
+  WireReader r(w.view());
+  const auto out = r.get_raw(16);
+  EXPECT_EQ(out[15], std::byte{0xAB});
+}
+
+TEST(Wire, MixedSequence) {
+  WireWriter w;
+  w.put<std::uint32_t>(42);
+  w.put_vector(std::vector<std::uint16_t>{1, 2, 3});
+  w.put_bytes(std::vector<std::byte>{std::byte{9}});
+  WireReader r(w.view());
+  EXPECT_EQ(r.get<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.get_vector<std::uint16_t>().size(), 3u);
+  EXPECT_EQ(r.get_bytes()[0], std::byte{9});
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, RemainingCountsDown) {
+  WireWriter w;
+  w.put<std::uint32_t>(1);
+  w.put<std::uint32_t>(2);
+  WireReader r(w.view());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+TEST(WireDeathTest, UnderflowAborts) {
+  WireWriter w;
+  w.put<std::uint16_t>(1);
+  WireReader r(w.view());
+  EXPECT_DEATH(r.get<std::uint64_t>(), "wire underflow");
+}
+
+TEST(WireDeathTest, TruncatedBytesAbort) {
+  WireWriter w;
+  w.put<std::uint32_t>(100);  // claims 100 bytes follow; none do
+  WireReader r(w.view());
+  EXPECT_DEATH(r.get_bytes(), "wire underflow");
+}
+
+TEST(Wire, TakeMovesBuffer) {
+  WireWriter w;
+  w.put<std::uint32_t>(5);
+  auto buffer = std::move(w).take();
+  EXPECT_EQ(buffer.size(), 4u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,149 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dsm {
+namespace {
+
+TEST(Counter, StartsAtZero) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, AddAccumulates) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, ResetClears) {
+  Counter c;
+  c.add(7);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Histogram, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+}
+
+TEST(Histogram, MaxTracksLargest) {
+  Histogram h;
+  h.record(5);
+  h.record(500);
+  h.record(50);
+  EXPECT_EQ(h.max(), 500u);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  Histogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.record(i);
+  const auto p50 = h.quantile(0.5);
+  const auto p90 = h.quantile(0.9);
+  const auto p99 = h.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Log2 buckets: p50 of 1..1000 must land within a factor of 2 of 500.
+  EXPECT_GE(p50, 255u);
+  EXPECT_LE(p50, 1023u);
+}
+
+TEST(Histogram, ZeroSamplesLandInZeroBucket) {
+  Histogram h;
+  h.record(0);
+  h.record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(StatsRegistry, CounterIsStableAcrossLookups) {
+  StatsRegistry reg;
+  reg.counter("x").add(3);
+  reg.counter("x").add(4);
+  EXPECT_EQ(reg.snapshot().counter("x"), 7u);
+}
+
+TEST(StatsRegistry, UnknownCounterReadsZero) {
+  StatsRegistry reg;
+  EXPECT_EQ(reg.snapshot().counter("never-touched"), 0u);
+}
+
+TEST(StatsRegistry, SnapshotCapturesHistograms) {
+  StatsRegistry reg;
+  reg.histogram("h").record(10);
+  reg.histogram("h").record(30);
+  const auto snap = reg.snapshot();
+  const auto it = snap.histograms.find("h");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, 2u);
+  EXPECT_DOUBLE_EQ(it->second.mean, 20.0);
+}
+
+TEST(StatsRegistry, ResetClearsEverything) {
+  StatsRegistry reg;
+  reg.counter("c").add(5);
+  reg.histogram("h").record(5);
+  reg.reset();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("c"), 0u);
+  EXPECT_EQ(snap.histograms.at("h").count, 0u);
+}
+
+TEST(StatsRegistry, ToStringMentionsNames) {
+  StatsRegistry reg;
+  reg.counter("net.msgs").add(12);
+  const auto text = reg.snapshot().to_string();
+  EXPECT_NE(text.find("net.msgs"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+}
+
+TEST(StatsRegistry, ConcurrentRegistrationIsSafe) {
+  StatsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, t] {
+      for (int i = 0; i < 100; ++i) {
+        reg.counter("shared").add();
+        reg.counter("own." + std::to_string(t)).add();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.snapshot().counter("shared"), 800u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,77 @@
+#include "common/vclock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock vc(4);
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(vc[n], 0u);
+}
+
+TEST(VectorClock, TickAdvancesOwnComponent) {
+  VectorClock vc(3);
+  vc.tick(1);
+  vc.tick(1);
+  EXPECT_EQ(vc[0], 0u);
+  EXPECT_EQ(vc[1], 2u);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3), b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a[0], 5u);
+  EXPECT_EQ(a[1], 4u);
+  EXPECT_EQ(a[2], 2u);
+}
+
+TEST(VectorClock, DominatesReflexive) {
+  VectorClock a(2);
+  a.set(0, 3);
+  EXPECT_TRUE(a.dominates(a));
+}
+
+TEST(VectorClock, DominatesPartialOrder) {
+  VectorClock lo(2), hi(2), mixed(2);
+  hi.set(0, 2);
+  hi.set(1, 2);
+  mixed.set(0, 3);
+  EXPECT_TRUE(hi.dominates(lo));
+  EXPECT_FALSE(lo.dominates(hi));
+  // Concurrent: neither dominates.
+  EXPECT_FALSE(hi.dominates(mixed));
+  EXPECT_FALSE(mixed.dominates(hi));
+}
+
+TEST(VectorClock, CoversChecksSingleComponent) {
+  VectorClock vc(2);
+  vc.set(1, 7);
+  EXPECT_TRUE(vc.covers(1, 7));
+  EXPECT_TRUE(vc.covers(1, 1));
+  EXPECT_FALSE(vc.covers(1, 8));
+  EXPECT_FALSE(vc.covers(0, 1));
+}
+
+TEST(VectorClock, MergeIsIdempotent) {
+  VectorClock a(2), b(2);
+  a.set(0, 2);
+  b.set(1, 3);
+  a.merge(b);
+  const VectorClock once = a;
+  a.merge(b);
+  EXPECT_EQ(a, once);
+}
+
+TEST(VectorClock, ToStringIsReadable) {
+  VectorClock vc(3);
+  vc.set(1, 9);
+  EXPECT_EQ(vc.to_string(), "[0,9,0]");
+}
+
+}  // namespace
+}  // namespace dsm

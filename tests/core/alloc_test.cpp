@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+Config cfg_pages(std::size_t n_pages) {
+  Config cfg;
+  cfg.n_nodes = 2;
+  cfg.n_pages = n_pages;
+  cfg.page_size = ViewRegion::os_page_size();
+  return cfg;
+}
+
+TEST(Alloc, OffsetsAdvance) {
+  System sys(cfg_pages(4));
+  const auto a = sys.alloc<int>();
+  const auto b = sys.alloc<int>();
+  EXPECT_EQ(b.offset, a.offset + sizeof(int));
+}
+
+TEST(Alloc, RespectsAlignment) {
+  System sys(cfg_pages(4));
+  sys.alloc<char>(3);
+  const auto d = sys.alloc<double>();
+  EXPECT_EQ(d.offset % alignof(double), 0u);
+}
+
+TEST(Alloc, PageAlignedVariant) {
+  System sys(cfg_pages(4));
+  sys.alloc<char>(100);
+  const auto p = sys.alloc_page_aligned<int>(10);
+  EXPECT_EQ(p.offset % sys.config().page_size, 0u);
+}
+
+TEST(Alloc, HandleArithmetic) {
+  System sys(cfg_pages(4));
+  const auto arr = sys.alloc<std::uint64_t>(8);
+  EXPECT_EQ((arr + 3).offset, arr.offset + 3 * sizeof(std::uint64_t));
+}
+
+TEST(Alloc, HeapUsedTracksAllocations) {
+  System sys(cfg_pages(4));
+  EXPECT_EQ(sys.heap_used(), 0u);
+  sys.alloc<int>(10);
+  EXPECT_EQ(sys.heap_used(), 40u);
+}
+
+TEST(Alloc, MemoryIsZeroInitialized) {
+  System sys(cfg_pages(4));
+  const auto arr = sys.alloc<std::uint64_t>(128);
+  std::atomic<int> nonzero{0};
+  sys.run([&](Worker& w) {
+    if (w.id() != 0) return;
+    for (int i = 0; i < 128; ++i) {
+      if (w.get(arr)[i] != 0) nonzero++;
+    }
+  });
+  EXPECT_EQ(nonzero.load(), 0);
+}
+
+TEST(Alloc, DifferentNodesResolveToSameOffset) {
+  System sys(cfg_pages(4));
+  const auto cell = sys.alloc<int>();
+  std::vector<std::size_t> offsets(2);
+  sys.run([&](Worker& w) {
+    offsets[w.id()] = static_cast<std::size_t>(
+        reinterpret_cast<std::byte*>(w.get(cell)) -
+        reinterpret_cast<std::byte*>(w.get(Shared<int>{0})));
+  });
+  EXPECT_EQ(offsets[0], offsets[1]);
+  EXPECT_EQ(offsets[0], cell.offset);
+}
+
+TEST(AllocDeathTest, ExhaustionAborts) {
+  System sys(cfg_pages(1));
+  EXPECT_DEATH(sys.alloc<std::byte>(2 * sys.config().page_size), "heap exhausted");
+}
+
+}  // namespace
+}  // namespace dsm

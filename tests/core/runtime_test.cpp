@@ -1,0 +1,143 @@
+// End-to-end runtime behaviour that is protocol-independent: SPMD execution,
+// shared-memory visibility through barriers, virtual time, stats, reuse.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+Config small_config(ProtocolKind protocol = ProtocolKind::kIvyDynamic,
+                    std::size_t nodes = 4) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = 32;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = protocol;
+  return cfg;
+}
+
+TEST(Runtime, RunsBodyOncePerNode) {
+  System sys(small_config());
+  std::vector<std::atomic<int>> ran(4);
+  for (auto& r : ran) r = 0;
+  sys.run([&](Worker& w) { ran[w.id()]++; });
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(Runtime, WorkerIdentity) {
+  System sys(small_config());
+  sys.run([&](Worker& w) {
+    EXPECT_LT(w.id(), 4u);
+    EXPECT_EQ(w.n_nodes(), 4u);
+  });
+}
+
+TEST(Runtime, SharedWriteVisibleAfterBarrier) {
+  System sys(small_config());
+  const auto cell = sys.alloc<int>();
+  std::atomic<int> mismatches{0};
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) *w.get(cell) = 1234;
+    w.barrier(0);
+    if (*w.get(cell) != 1234) mismatches++;
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Runtime, VirtualTimeAdvancesWithCompute) {
+  System sys(small_config());
+  sys.reset_clocks();
+  sys.run([&](Worker& w) { w.compute(1000); });
+  // 1000 ops × 10 ns default.
+  EXPECT_GE(sys.virtual_time(), 10'000u);
+}
+
+TEST(Runtime, ResetClocksZeroes) {
+  System sys(small_config());
+  sys.run([&](Worker& w) { w.compute(10); });
+  sys.reset_clocks();
+  EXPECT_EQ(sys.virtual_time(), 0u);
+}
+
+TEST(Runtime, WorkerNowIsMonotone) {
+  System sys(small_config());
+  sys.run([&](Worker& w) {
+    const auto t0 = w.now();
+    w.compute(100);
+    EXPECT_GT(w.now(), t0);
+  });
+}
+
+TEST(Runtime, RunCanBeRepeated) {
+  System sys(small_config());
+  const auto cell = sys.alloc<int>();
+  for (int round = 1; round <= 3; ++round) {
+    std::atomic<int> seen{0};
+    sys.run([&](Worker& w) {
+      if (w.id() == 0) *w.get(cell) = round;
+      w.barrier(0);
+      if (*w.get(cell) == round) seen++;
+    });
+    EXPECT_EQ(seen.load(), 4) << "round " << round;
+  }
+}
+
+TEST(Runtime, SingleNodeSystemWorks) {
+  System sys(small_config(ProtocolKind::kIvyDynamic, 1));
+  const auto data = sys.alloc<int>(100);
+  int sum = 0;
+  sys.run([&](Worker& w) {
+    for (int i = 0; i < 100; ++i) w.get(data)[i] = i;
+    w.barrier(0);
+    for (int i = 0; i < 100; ++i) sum += w.get(data)[i];
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(Runtime, StatsCountFaults) {
+  System sys(small_config());
+  sys.reset_stats();
+  const auto cell = sys.alloc_page_aligned<int>();
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) *w.get(cell) = 7;  // cell's home is page 0 → node 0
+    w.barrier(0);
+  });
+  const auto snap = sys.stats();
+  EXPECT_GE(snap.counter("proto.write_faults"), 1u);
+  EXPECT_GT(snap.counter("net.msgs"), 0u);
+}
+
+TEST(Runtime, MessageCountsBalanceAfterRun) {
+  System sys(small_config());
+  const auto data = sys.alloc<int>(64);
+  sys.run([&](Worker& w) {
+    w.get(data)[w.id()] = static_cast<int>(w.id());
+    w.barrier(0);
+  });
+  // If drain worked, a second run cannot see stale traffic: just verify a
+  // subsequent trivial run completes (would deadlock/abort otherwise).
+  sys.run([](Worker& w) { w.barrier(0); });
+  SUCCEED();
+}
+
+TEST(Runtime, EveryNodeSeesItsOwnView) {
+  System sys(small_config());
+  std::vector<const std::byte*> bases(4, nullptr);
+  const auto cell = sys.alloc<int>();
+  sys.run([&](Worker& w) { bases[w.id()] = reinterpret_cast<std::byte*>(w.get(cell)); });
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_NE(bases[i], bases[j]);
+  }
+}
+
+TEST(RuntimeDeathTest, ReentrantRunAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  System sys(small_config(ProtocolKind::kIvyDynamic, 1));
+  EXPECT_DEATH(sys.run([&](Worker&) { sys.run([](Worker&) {}); }), "not reentrant");
+}
+
+}  // namespace
+}  // namespace dsm

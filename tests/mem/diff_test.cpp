@@ -1,0 +1,185 @@
+#include "mem/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace dsm {
+namespace {
+
+std::vector<std::byte> bytes(std::size_t n, unsigned char fill = 0) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(Diff, IdenticalPagesProduceEmptyDiff) {
+  auto page = bytes(4096, 0xAA);
+  const auto twin = make_twin(page);
+  EXPECT_TRUE(encode_diff(page, {twin.get(), page.size()}).empty());
+}
+
+TEST(Diff, SingleWordChange) {
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  page[100] = std::byte{0xFF};
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+  const auto stats = inspect_diff(diff);
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_LE(stats.payload_bytes, 8u);  // one word
+}
+
+TEST(Diff, ApplyRestoresChanges) {
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  page[0] = std::byte{1};
+  page[1000] = std::byte{2};
+  page[4095] = std::byte{3};
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+
+  auto other = bytes(4096);
+  apply_diff(other, diff);
+  EXPECT_EQ(other, page);
+}
+
+TEST(Diff, AdjacentChangesCoalesce) {
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  for (std::size_t i = 64; i < 128; ++i) page[i] = std::byte{0xCC};
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+  EXPECT_EQ(inspect_diff(diff).runs, 1u);
+}
+
+TEST(Diff, DistantChangesStaySeparate) {
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  page[0] = std::byte{1};
+  page[2048] = std::byte{1};
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+  EXPECT_EQ(inspect_diff(diff).runs, 2u);
+}
+
+TEST(Diff, ExactDiffsKeepCleanGapsOut) {
+  // Exact (merge_gap = 0) diffs must NOT ship unchanged words: an absorbed
+  // gap would clobber a concurrent writer's words at merge time.
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  page[0] = std::byte{1};
+  page[16] = std::byte{1};  // one clean 8-byte word between the two writes
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+  const auto stats = inspect_diff(diff);
+  EXPECT_EQ(stats.runs, 2u);
+  EXPECT_EQ(stats.payload_bytes, 16u);
+}
+
+TEST(Diff, ExplicitMergeGapAbsorbsShortGaps) {
+  auto page = bytes(4096);
+  const auto twin = make_twin(page);
+  page[0] = std::byte{1};
+  page[16] = std::byte{1};
+  const auto diff = encode_diff(page, {twin.get(), page.size()}, /*merge_gap=*/8);
+  EXPECT_EQ(inspect_diff(diff).runs, 1u);
+}
+
+TEST(Diff, FullPageChangeIsOneRun) {
+  auto page = bytes(4096, 0x11);
+  const auto twin = make_twin(page);
+  std::memset(page.data(), 0x22, page.size());
+  const auto diff = encode_diff(page, {twin.get(), page.size()});
+  const auto stats = inspect_diff(diff);
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.payload_bytes, 4096u);
+}
+
+TEST(Diff, NonOverlappingDiffsCompose) {
+  // Two writers touch disjoint halves; applying both diffs to the base gives
+  // the merged page — the multiple-writer property ERC/LRC rely on.
+  const auto base = bytes(4096);
+  auto w1 = base;
+  auto w2 = base;
+  for (std::size_t i = 0; i < 1024; ++i) w1[i] = std::byte{0xA1};
+  for (std::size_t i = 3000; i < 3500; ++i) w2[i] = std::byte{0xB2};
+  const auto d1 = encode_diff(w1, base);
+  const auto d2 = encode_diff(w2, base);
+
+  auto merged = base;
+  apply_diff(merged, d1);
+  apply_diff(merged, d2);
+  for (std::size_t i = 0; i < 1024; ++i) ASSERT_EQ(merged[i], std::byte{0xA1});
+  for (std::size_t i = 3000; i < 3500; ++i) ASSERT_EQ(merged[i], std::byte{0xB2});
+  for (std::size_t i = 1024; i < 3000; ++i) ASSERT_EQ(merged[i], std::byte{0});
+}
+
+TEST(Diff, LaterApplyWinsOnOverlap) {
+  const auto base = bytes(64);
+  auto w1 = base;
+  auto w2 = base;
+  w1[8] = std::byte{0x11};
+  w2[8] = std::byte{0x22};
+  auto out = base;
+  apply_diff(out, encode_diff(w1, base));
+  apply_diff(out, encode_diff(w2, base));
+  EXPECT_EQ(out[8], std::byte{0x22});
+}
+
+TEST(Diff, NonPageSizedSpans) {
+  // EC diffs arbitrary bound regions, not just pages.
+  auto region = bytes(100);
+  const auto twin = make_twin(region);
+  region[99] = std::byte{9};
+  const auto diff = encode_diff(region, {twin.get(), region.size()});
+  auto other = bytes(100);
+  apply_diff(other, diff);
+  EXPECT_EQ(other[99], std::byte{9});
+}
+
+TEST(Diff, RandomizedRoundTrip) {
+  SplitMix64 rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto base = bytes(4096);
+    for (auto& b : base) b = std::byte{static_cast<unsigned char>(rng.next())};
+    auto modified = base;
+    const auto n_changes = 1 + rng.next_below(200);
+    for (std::uint64_t c = 0; c < n_changes; ++c) {
+      modified[rng.next_below(4096)] = std::byte{static_cast<unsigned char>(rng.next())};
+    }
+    const auto diff = encode_diff(modified, base);
+    auto restored = base;
+    apply_diff(restored, diff);
+    ASSERT_EQ(restored, modified) << "trial " << trial;
+  }
+}
+
+TEST(Diff, DiffSizeScalesWithDirtyFraction) {
+  const auto base = bytes(4096);
+  auto quarter = base;
+  auto full = base;
+  for (std::size_t i = 0; i < 1024; ++i) quarter[i] = std::byte{1};
+  for (std::size_t i = 0; i < 4096; ++i) full[i] = std::byte{1};
+  EXPECT_LT(encode_diff(quarter, base).size(), encode_diff(full, base).size());
+  EXPECT_LE(encode_diff(full, base).size(), 4096u + 16u);
+}
+
+TEST(DiffDeathTest, MalformedDiffAborts) {
+  auto page = bytes(64);
+  std::vector<std::byte> garbage(6, std::byte{0xFF});
+  EXPECT_DEATH(apply_diff(page, garbage), "truncated diff");
+}
+
+TEST(DiffDeathTest, OutOfRangeRunAborts) {
+  auto small_page = bytes(16);
+  auto big_page = bytes(4096);
+  const auto twin = make_twin(big_page);
+  big_page[100] = std::byte{1};
+  const auto diff = encode_diff(big_page, {twin.get(), big_page.size()});
+  EXPECT_DEATH(apply_diff(small_page, diff), "exceeds page");
+}
+
+TEST(Diff, SizeMismatchedTwinAborts) {
+  auto page = bytes(64);
+  auto twin = bytes(32);
+  EXPECT_DEATH(encode_diff(page, twin), "size mismatch");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,142 @@
+// End-to-end tests of the SIGSEGV machinery: the same syscall path the
+// protocols use, exercised directly.
+#include "mem/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mem/region.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(FaultRouter, ReadFaultIsReportedAndResolved) {
+  auto& router = FaultRouter::instance();
+  ViewRegion view(2, ViewRegion::os_page_size());
+  std::atomic<int> faults{0};
+  std::atomic<bool> last_was_write{true};
+
+  const int token = router.add_region(
+      &view,
+      [&](PageId page, bool is_write) {
+        ++faults;
+        last_was_write = is_write;
+        view.protect(page, Access::kReadWrite);  // resolve
+      },
+      [](PageId) { return false; });
+
+  volatile std::byte* p = view.page_ptr(1);
+  const std::byte value = *p;  // read fault
+  EXPECT_EQ(value, std::byte{0});
+  EXPECT_EQ(faults.load(), 1);
+  EXPECT_FALSE(last_was_write.load());
+
+  router.remove_region(token);
+}
+
+TEST(FaultRouter, WriteFaultDistinguishedFromRead) {
+  auto& router = FaultRouter::instance();
+  ViewRegion view(1, ViewRegion::os_page_size());
+  view.protect(0, Access::kRead);
+  std::atomic<bool> saw_write{false};
+
+  const int token = router.add_region(
+      &view,
+      [&](PageId page, bool is_write) {
+        saw_write = is_write;
+        view.protect(page, Access::kReadWrite);
+      },
+      [](PageId) { return true; });
+
+  volatile std::byte* p = view.page_ptr(0);
+  *p = std::byte{42};  // write fault on a read-only page
+  EXPECT_TRUE(saw_write.load());
+  EXPECT_EQ(static_cast<std::byte>(*p), std::byte{42});
+
+  router.remove_region(token);
+}
+
+TEST(FaultRouter, FaultReportsCorrectPage) {
+  auto& router = FaultRouter::instance();
+  const auto os = ViewRegion::os_page_size();
+  ViewRegion view(4, os);
+  std::atomic<PageId> faulted{kNoPage};
+
+  const int token = router.add_region(
+      &view,
+      [&](PageId page, bool) {
+        faulted = page;
+        view.protect(page, Access::kReadWrite);
+      },
+      [](PageId) { return false; });
+
+  volatile std::byte* p = view.page_ptr(2) + 17;
+  (void)*p;
+  EXPECT_EQ(faulted.load(), 2u);
+  router.remove_region(token);
+}
+
+TEST(FaultRouter, TwoRegionsRouteIndependently) {
+  auto& router = FaultRouter::instance();
+  ViewRegion a(1, ViewRegion::os_page_size());
+  ViewRegion b(1, ViewRegion::os_page_size());
+  std::atomic<int> a_faults{0}, b_faults{0};
+
+  const int ta = router.add_region(
+      &a,
+      [&](PageId page, bool) {
+        ++a_faults;
+        a.protect(page, Access::kReadWrite);
+      },
+      [](PageId) { return false; });
+  const int tb = router.add_region(
+      &b,
+      [&](PageId page, bool) {
+        ++b_faults;
+        b.protect(page, Access::kReadWrite);
+      },
+      [](PageId) { return false; });
+
+  (void)*static_cast<volatile std::byte*>(b.page_ptr(0));
+  (void)*static_cast<volatile std::byte*>(a.page_ptr(0));
+  EXPECT_EQ(a_faults.load(), 1);
+  EXPECT_EQ(b_faults.load(), 1);
+  router.remove_region(ta);
+  router.remove_region(tb);
+}
+
+TEST(FaultRouter, NoRefaultAfterResolution) {
+  auto& router = FaultRouter::instance();
+  ViewRegion view(1, ViewRegion::os_page_size());
+  std::atomic<int> faults{0};
+  const int token = router.add_region(
+      &view,
+      [&](PageId page, bool) {
+        ++faults;
+        view.protect(page, Access::kReadWrite);
+      },
+      [](PageId) { return false; });
+
+  volatile std::byte* p = view.page_ptr(0);
+  (void)*p;
+  (void)*p;
+  *p = std::byte{1};
+  EXPECT_EQ(faults.load(), 1);
+  router.remove_region(token);
+}
+
+TEST(FaultRouter, ActiveRegionsTracksRegistrations) {
+  auto& router = FaultRouter::instance();
+  const int before = router.active_regions();
+  ViewRegion view(1, ViewRegion::os_page_size());
+  const int token = router.add_region(
+      &view, [&](PageId page, bool) { view.protect(page, Access::kReadWrite); },
+      [](PageId) { return false; });
+  EXPECT_EQ(router.active_regions(), before + 1);
+  router.remove_region(token);
+  EXPECT_EQ(router.active_regions(), before);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,58 @@
+#include "mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(PageTable, InitialState) {
+  PageTable table(16, 4);
+  EXPECT_EQ(table.n_pages(), 16u);
+  for (PageId p = 0; p < 16; ++p) {
+    EXPECT_EQ(table.state_of(p), PageState::kInvalid);
+    EXPECT_TRUE(table.entry(p).copyset.empty());
+    EXPECT_FALSE(table.entry(p).busy);
+    EXPECT_FALSE(table.entry(p).has_base);
+  }
+}
+
+TEST(PageTable, EntriesAreIndependent) {
+  PageTable table(4, 2);
+  {
+    const std::lock_guard<std::mutex> lock(table.entry(1).mutex);
+    table.entry(1).state = PageState::kReadWrite;
+  }
+  EXPECT_EQ(table.state_of(1), PageState::kReadWrite);
+  EXPECT_EQ(table.state_of(0), PageState::kInvalid);
+}
+
+TEST(PageTable, CountInState) {
+  PageTable table(8, 2);
+  for (PageId p = 0; p < 3; ++p) {
+    const std::lock_guard<std::mutex> lock(table.entry(p).mutex);
+    table.entry(p).state = PageState::kReadOnly;
+  }
+  EXPECT_EQ(table.count_in_state(PageState::kReadOnly), 3u);
+  EXPECT_EQ(table.count_in_state(PageState::kInvalid), 5u);
+}
+
+TEST(PageTable, CopysetSizedToNodes) {
+  PageTable table(1, 7);
+  auto& e = table.entry(0);
+  e.copyset.insert(6);
+  EXPECT_TRUE(e.copyset.contains(6));
+}
+
+TEST(PageTable, StateNamesReadable) {
+  EXPECT_STREQ(to_string(PageState::kInvalid), "Invalid");
+  EXPECT_STREQ(to_string(PageState::kReadOnly), "ReadOnly");
+  EXPECT_STREQ(to_string(PageState::kReadWrite), "ReadWrite");
+}
+
+TEST(PageTableDeathTest, OutOfRangeAborts) {
+  PageTable table(2, 2);
+  EXPECT_DEATH(table.entry(2), "out of range");
+}
+
+}  // namespace
+}  // namespace dsm

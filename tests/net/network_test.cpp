@@ -1,0 +1,122 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace dsm {
+namespace {
+
+Message make_msg(MsgType type, NodeId src, NodeId dst, std::size_t payload_bytes = 0,
+                 VirtualTime send_time = 0) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.send_time = send_time;
+  m.payload.resize(payload_bytes);
+  return m;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  StatsRegistry stats_;
+  LinkModel link_{.latency_ns = 1000, .ns_per_byte = 10, .loopback_ns = 50};
+  Network net_{4, link_, &stats_};
+};
+
+TEST_F(NetworkTest, DeliversToDestination) {
+  net_.send(make_msg(MsgType::kReadRequest, 0, 2));
+  const auto msg = net_.recv(2);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kReadRequest);
+  EXPECT_EQ(msg->src, 0u);
+}
+
+TEST_F(NetworkTest, StampsArrivalWithLatencyAndBandwidth) {
+  net_.send(make_msg(MsgType::kUpdate, 0, 1, /*payload=*/100, /*send_time=*/500));
+  const auto msg = net_.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  // wire = 14-byte header + 100 payload; cost = 1000 + 10 * 114.
+  EXPECT_EQ(msg->arrival_time, 500u + 1000u + 10u * msg->wire_size());
+}
+
+TEST_F(NetworkTest, LoopbackIsCheap) {
+  net_.send(make_msg(MsgType::kConfirm, 3, 3, 0, 100));
+  const auto msg = net_.recv(3);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->arrival_time, 150u);
+}
+
+TEST_F(NetworkTest, PerLinkFifo) {
+  for (int i = 0; i < 10; ++i) {
+    auto m = make_msg(MsgType::kUpdate, 0, 1, 0, static_cast<VirtualTime>(i));
+    net_.send(std::move(m));
+  }
+  VirtualTime last = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto msg = net_.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_GE(msg->send_time, last);
+    last = msg->send_time;
+  }
+}
+
+TEST_F(NetworkTest, MulticastReachesAllDestinations) {
+  const std::vector<NodeId> dsts{1, 2, 3};
+  net_.multicast(dsts, make_msg(MsgType::kInvalidate, 0, kNoNode));
+  for (const NodeId d : dsts) {
+    const auto msg = net_.recv(d);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->dst, d);
+  }
+}
+
+TEST_F(NetworkTest, CountsTrafficByType) {
+  net_.send(make_msg(MsgType::kReadRequest, 0, 1));
+  net_.send(make_msg(MsgType::kReadRequest, 0, 1));
+  net_.send(make_msg(MsgType::kInvalidate, 1, 0));
+  const auto snap = stats_.snapshot();
+  EXPECT_EQ(snap.counter("net.msgs"), 3u);
+  EXPECT_EQ(snap.counter("net.msgs.ReadRequest"), 2u);
+  EXPECT_EQ(snap.counter("net.msgs.Invalidate"), 1u);
+  EXPECT_GT(snap.counter("net.bytes"), 0u);
+}
+
+TEST_F(NetworkTest, DropHookDiscards) {
+  net_.set_drop_hook([](const Message& m) { return m.type == MsgType::kUpdate; });
+  net_.send(make_msg(MsgType::kUpdate, 0, 1));
+  net_.send(make_msg(MsgType::kConfirm, 0, 1));
+  const auto msg = net_.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kConfirm);
+  EXPECT_EQ(stats_.snapshot().counter("net.dropped"), 1u);
+  EXPECT_EQ(net_.messages_sent(), 1u);
+}
+
+TEST_F(NetworkTest, ShutdownUnblocksReceivers) {
+  std::thread receiver([&] { EXPECT_FALSE(net_.recv(1).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  net_.shutdown();
+  receiver.join();
+}
+
+TEST_F(NetworkTest, WireSizeIncludesHeader) {
+  const auto m = make_msg(MsgType::kUpdate, 0, 1, 100);
+  EXPECT_EQ(m.wire_size(), 114u);
+}
+
+TEST(MessageType, AllTypesHaveNames) {
+  for (std::uint16_t t = 0; t < static_cast<std::uint16_t>(MsgType::kCount_); ++t) {
+    EXPECT_NE(to_string(static_cast<MsgType>(t)), "Unknown");
+  }
+}
+
+TEST(NetworkDeathTest, SendToUnknownNodeAborts) {
+  StatsRegistry stats;
+  Network net(2, LinkModel{}, &stats);
+  EXPECT_DEATH(net.send(make_msg(MsgType::kConfirm, 0, 5)), "unknown node");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,244 @@
+// White-box tests of the IVY family: page states, copyset maintenance,
+// ownership migration, and manager behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/dsm.hpp"
+
+#include "../test_util.hpp"
+
+namespace dsm {
+namespace {
+
+Config ivy_config(ProtocolKind kind, std::size_t nodes) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = 16;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = kind;
+  return cfg;
+}
+
+class IvyVariantTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(IvyVariantTest, InitialOwnerHasWriteAccess) {
+  System sys(ivy_config(GetParam(), 4));
+  sys.run([](Worker&) {});  // init_pages runs
+  // Page p is homed at p % 4: the home starts ReadWrite, everyone else Invalid.
+  for (PageId p = 0; p < 8; ++p) {
+    for (NodeId n = 0; n < 4; ++n) {
+      const auto expected = (p % 4 == n) ? PageState::kReadWrite : PageState::kInvalid;
+      EXPECT_EQ(sys.table(n).state_of(p), expected) << "page " << p << " node " << n;
+    }
+  }
+}
+
+TEST_P(IvyVariantTest, ReadSharingLeavesReadOnlyCopies) {
+  System sys(ivy_config(GetParam(), 3));
+  const auto cell = sys.alloc_page_aligned<int>();  // page 0, home node 0
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) *w.get(cell) = 77;
+    w.barrier(0);
+    EXPECT_EQ(*w.get(cell), 77);  // all nodes read
+    w.barrier(0);
+  });
+  // Everyone holds a copy; nobody has exclusive access anymore.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(sys.table(n).state_of(0), PageState::kReadOnly) << "node " << n;
+  }
+}
+
+TEST_P(IvyVariantTest, WriteInvalidatesAllOtherCopies) {
+  System sys(ivy_config(GetParam(), 3));
+  const auto cell = sys.alloc_page_aligned<int>();
+  sys.run([&](Worker& w) {
+    test::force_read(w.get(cell));  // replicate everywhere
+    w.barrier(0);
+    if (w.id() == 2) *w.get(cell) = 5;
+    w.barrier(0);
+  });
+  EXPECT_EQ(sys.table(2).state_of(0), PageState::kReadWrite);
+  EXPECT_EQ(sys.table(0).state_of(0), PageState::kInvalid);
+  EXPECT_EQ(sys.table(1).state_of(0), PageState::kInvalid);
+}
+
+TEST_P(IvyVariantTest, WriteMakesValueVisibleEverywhere) {
+  System sys(ivy_config(GetParam(), 4));
+  const auto arr = sys.alloc_page_aligned<int>(64);
+  std::atomic<int> errors{0};
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) {
+      for (int i = 0; i < 64; ++i) w.get(arr)[i] = i * 3;
+    }
+    w.barrier(0);
+    for (int i = 0; i < 64; ++i) {
+      if (w.get(arr)[i] != i * 3) errors++;
+    }
+    w.barrier(0);
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_P(IvyVariantTest, OwnershipMigratesToWriter) {
+  System sys(ivy_config(GetParam(), 2));
+  const auto cell = sys.alloc_page_aligned<int>();  // home node 0
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) *w.get(cell) = 1;  // node 1 takes ownership
+    w.barrier(0);
+  });
+  EXPECT_EQ(sys.table(1).state_of(0), PageState::kReadWrite);
+  EXPECT_EQ(sys.table(0).state_of(0), PageState::kInvalid);
+  // A later write by node 1 must be free (no new faults).
+  sys.reset_stats();
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) *w.get(cell) = 2;
+    w.barrier(0);
+  });
+  EXPECT_EQ(sys.stats().counter("proto.write_faults"), 0u);
+}
+
+TEST_P(IvyVariantTest, SequentialReadersShareWithoutStealingOwnership) {
+  System sys(ivy_config(GetParam(), 4));
+  const auto cell = sys.alloc_page_aligned<int>();
+  sys.reset_stats();
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) *w.get(cell) = 9;
+    w.barrier(0);
+    test::force_read(w.get(cell));
+    w.barrier(0);
+    // Second read round: all copies cached, zero new read faults.
+    test::force_read(w.get(cell));
+    w.barrier(0);
+  });
+  // 3 non-writers fault exactly once each.
+  EXPECT_EQ(sys.stats().counter("proto.read_faults"), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, IvyVariantTest,
+                         ::testing::Values(ProtocolKind::kIvyCentral,
+                                           ProtocolKind::kIvyFixed,
+                                           ProtocolKind::kIvyDynamic),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& pi) {
+                           std::string s = to_string(pi.param);
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST_P(IvyVariantTest, SequentialPrefetchCutsDemandMisses) {
+  Config cfg = ivy_config(GetParam(), 2);
+  cfg.n_pages = 16;
+  cfg.prefetch_pages = 2;
+  System sys(cfg);
+  const std::size_t per_page = cfg.page_size / sizeof(std::uint64_t);
+  const auto arr = sys.alloc_page_aligned<std::uint64_t>(12 * per_page);
+  std::atomic<std::uint64_t> sum{0};
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) {
+      for (std::size_t p = 0; p < 12; ++p) w.get(arr)[p * per_page] = p + 1;
+    }
+    w.barrier(0);
+    if (w.id() == 1) {
+      // Sequential scan of 12 pages; with depth-2 prefetch most are already
+      // in flight or resident when the scan reaches them.
+      std::uint64_t s = 0;
+      for (std::size_t p = 0; p < 12; ++p) s += test::force_read(&w.get(arr)[p * per_page]);
+      sum = s;
+    }
+    w.barrier(0);
+  });
+  EXPECT_EQ(sum.load(), 78u);
+  const auto snap = sys.stats();
+  EXPECT_GE(snap.counter("proto.prefetches"), 4u);
+  // Demand transactions started by the scanner: strictly fewer than 12.
+  EXPECT_LT(snap.counter("proto.read_faults"), 12u);
+}
+
+TEST(IvyDynamic, ForwardingChainsResolveAndCompress) {
+  System sys(ivy_config(ProtocolKind::kIvyDynamic, 4));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  // Pass ownership around the ring twice; probable-owner chains must chase.
+  sys.run([&](Worker& w) {
+    for (int round = 0; round < 2; ++round) {
+      for (std::uint32_t turn = 0; turn < 4; ++turn) {
+        if (turn == w.id()) *w.get(cell) += 1;
+        w.barrier(0);
+      }
+    }
+    if (w.id() == 0) { EXPECT_EQ(*w.get(cell), 8u); }
+    w.barrier(0);
+  });
+  EXPECT_GT(sys.stats().counter("ivy.forwards"), 0u);
+}
+
+TEST(IvyCentral, AllRequestsGoThroughNodeZero) {
+  System sys(ivy_config(ProtocolKind::kIvyCentral, 4));
+  // Touch pages homed at nodes 1..3; every miss still messages node 0 first.
+  const auto arr = sys.alloc_page_aligned<int>(
+      3 * sys.config().page_size / sizeof(int));
+  sys.reset_stats();
+  sys.run([&](Worker& w) {
+    if (w.id() == 3) {
+      const std::size_t per_page = sys.config().page_size / sizeof(int);
+      for (std::size_t p = 0; p < 3; ++p) test::force_read(&w.get(arr)[p * per_page]);
+    }
+    w.barrier(0);
+  });
+  const auto snap = sys.stats();
+  EXPECT_EQ(snap.counter("proto.read_faults"), 3u);
+  EXPECT_EQ(snap.counter("net.msgs.ReadRequest"), 3u);
+  EXPECT_EQ(snap.counter("net.msgs.ReadForward"), 3u);
+  EXPECT_EQ(snap.counter("net.msgs.Confirm"), 3u);
+}
+
+TEST(IvyDynamic, LateReadReplyDoesNotResurrectInvalidatedCopy) {
+  // Regression for the in-flight-reply race: reader R is added to the
+  // owner's copyset and the reply is sent; a writer then takes ownership
+  // and invalidates R before the reply lands. R must discard the stale
+  // reply (it already acknowledged the invalidation), or it keeps a
+  // read-only copy the writer believes is gone — a silent SC violation
+  // that corrupted Gaussian elimination at 16 nodes.
+  Config cfg = ivy_config(ProtocolKind::kIvyDynamic, 16);
+  cfg.n_pages = 32;
+  System sys(cfg);
+  const auto page_words = cfg.page_size / sizeof(std::uint64_t);
+  const auto data = sys.alloc_page_aligned<std::uint64_t>(page_words);
+  std::atomic<std::uint64_t> stale_reads{0};
+  sys.run([&](Worker& w) {
+    // Rounds of: writer bumps a version word; everyone else reads it while
+    // the next writer is already lining up — a read/invalidate storm.
+    for (std::uint64_t round = 1; round <= 12; ++round) {
+      const NodeId writer = static_cast<NodeId>(round % w.n_nodes());
+      if (w.id() == writer) *w.get(data) = round;
+      w.barrier(0);
+      if (test::force_read(w.get(data)) != round) stale_reads++;
+      w.barrier(1);
+    }
+  });
+  EXPECT_EQ(stale_reads.load(), 0u);
+}
+
+TEST(IvyManager, ConcurrentWritersSerializeCorrectly) {
+  // All nodes hammer one page without locks. Not DRF, but IVY is
+  // sequentially consistent: total increments ≤ actual value is not
+  // guaranteed (lost updates are possible semantically: read-modify-write is
+  // not atomic) — what IS guaranteed is no crash, no protocol wedge, and the
+  // final state is some node's last write. We verify liveness + single
+  // final owner.
+  System sys(ivy_config(ProtocolKind::kIvyFixed, 4));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  sys.run([&](Worker& w) {
+    for (int i = 0; i < 25; ++i) *w.get(cell) = w.id() * 1000u + static_cast<unsigned>(i);
+    w.barrier(0);
+  });
+  int owners = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (sys.table(n).state_of(0) == PageState::kReadWrite) ++owners;
+  }
+  EXPECT_EQ(owners, 1);
+}
+
+}  // namespace
+}  // namespace dsm

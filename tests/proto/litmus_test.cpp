@@ -1,0 +1,166 @@
+// Memory-model litmus tests. The IVY family claims sequential consistency:
+// the classic message-passing and store-buffering shapes must never show
+// their forbidden outcomes, even with no locks at all. (The relaxed
+// protocols make no such promise — their guarantees are exercised through
+// sync operations in their own test files.)
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/dsm.hpp"
+
+#include "../test_util.hpp"
+
+namespace dsm {
+namespace {
+
+Config ivy_config(ProtocolKind kind) {
+  Config cfg;
+  cfg.n_nodes = 2;
+  cfg.n_pages = 16;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = kind;
+  return cfg;
+}
+
+class SequentialConsistencyLitmus : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(SequentialConsistencyLitmus, MessagePassingNeverSeesStaleData) {
+  // data and flag live on different pages. Writer: data=i; flag=i.
+  // Reader: spin until flag==i, then data must already be i.
+  System sys(ivy_config(GetParam()));
+  const auto data = sys.alloc_page_aligned<std::uint64_t>();
+  const auto flag = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<int> violations{0};
+  constexpr std::uint64_t kRounds = 40;
+
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) {
+      for (std::uint64_t i = 1; i <= kRounds; ++i) {
+        *w.get(data) = i;
+        *w.get(flag) = i;
+      }
+    } else {
+      for (std::uint64_t i = 1; i <= kRounds; ++i) {
+        while (test::force_read(w.get(flag)) < i) {
+          std::this_thread::yield();  // single-core host: let service threads run
+        }
+        // Under SC, flag ≥ i implies data ≥ i.
+        if (test::force_read(w.get(data)) < i) violations++;
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST_P(SequentialConsistencyLitmus, StoreBufferingForbiddenOutcome) {
+  // SB: n0: x=1; r0=y.   n1: y=1; r1=x.   SC forbids r0==0 && r1==0.
+  System sys(ivy_config(GetParam()));
+  const auto x = sys.alloc_page_aligned<std::uint64_t>();
+  const auto y = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<int> forbidden{0};
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::atomic<std::uint64_t> r0{9}, r1{9};
+    sys.run([&](Worker& w) {
+      // Reset under mutual visibility, then replicate both pages.
+      if (w.id() == 0) {
+        *w.get(x) = 0;
+        *w.get(y) = 0;
+      }
+      w.barrier(0);
+      test::force_read(w.get(x));
+      test::force_read(w.get(y));
+      w.barrier(0);
+      if (w.id() == 0) {
+        *w.get(x) = 1;
+        r0 = test::force_read(w.get(y));
+      } else {
+        *w.get(y) = 1;
+        r1 = test::force_read(w.get(x));
+      }
+      w.barrier(0);
+    });
+    if (r0.load() == 0 && r1.load() == 0) forbidden++;
+  }
+  EXPECT_EQ(forbidden.load(), 0);
+}
+
+TEST_P(SequentialConsistencyLitmus, WriteAtomicityIRIW) {
+  // Independent reads of independent writes: two readers must not observe
+  // the two writes in opposite orders under SC.
+  Config cfg = ivy_config(GetParam());
+  cfg.n_nodes = 4;
+  System sys(cfg);
+  const auto x = sys.alloc_page_aligned<std::uint64_t>();
+  const auto y = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<int> violations{0};
+
+  for (int trial = 0; trial < 10; ++trial) {
+    std::atomic<std::uint64_t> r[4] = {};
+    sys.run([&](Worker& w) {
+      if (w.id() == 0) {
+        *w.get(x) = 0;
+        *w.get(y) = 0;
+      }
+      w.barrier(0);
+      test::force_read(w.get(x));
+      test::force_read(w.get(y));
+      w.barrier(0);
+      switch (w.id()) {
+        case 0: *w.get(x) = 1; break;
+        case 1: *w.get(y) = 1; break;
+        case 2:
+          r[0] = test::force_read(w.get(x));
+          r[1] = test::force_read(w.get(y));
+          break;
+        case 3:
+          r[2] = test::force_read(w.get(y));
+          r[3] = test::force_read(w.get(x));
+          break;
+      }
+      w.barrier(0);
+    });
+    // Forbidden: reader2 sees x=1,y=0 while reader3 sees y=1,x=0.
+    if (r[0] == 1 && r[1] == 0 && r[2] == 1 && r[3] == 0) violations++;
+  }
+  EXPECT_EQ(violations.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(IvyVariants, SequentialConsistencyLitmus,
+                         ::testing::Values(ProtocolKind::kIvyCentral,
+                                           ProtocolKind::kIvyFixed,
+                                           ProtocolKind::kIvyDynamic),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& pi) {
+                           std::string s = to_string(pi.param);
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(RelaxedModels, SyncMakesWritesVisible) {
+  // The relaxed protocols' contract: writes are visible after the proper
+  // synchronization (not before, necessarily). MP through a barrier.
+  for (const auto kind : {ProtocolKind::kErcInvalidate, ProtocolKind::kErcUpdate,
+                          ProtocolKind::kLrc, ProtocolKind::kHlrc}) {
+    Config cfg;
+    cfg.n_nodes = 2;
+    cfg.n_pages = 16;
+    cfg.page_size = ViewRegion::os_page_size();
+    cfg.protocol = kind;
+    System sys(cfg);
+    const auto data = sys.alloc_page_aligned<std::uint64_t>();
+    std::atomic<std::uint64_t> seen{0};
+    sys.run([&](Worker& w) {
+      if (w.id() == 0) *w.get(data) = 42;
+      w.barrier(0);
+      if (w.id() == 1) seen = test::force_read(w.get(data));
+      w.barrier(0);
+    });
+    EXPECT_EQ(seen.load(), 42u) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,151 @@
+// The cross-protocol correctness matrix: every protocol × several node
+// counts × two page sizes, each running small workloads with exact expected
+// results. If a protocol mis-orders, loses, or duplicates a write, these
+// checksums break.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/kernels.hpp"
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+struct MatrixCase {
+  ProtocolKind protocol;
+  std::size_t n_nodes;
+  std::size_t os_pages_per_dsm_page;
+};
+
+std::string case_name(const ::testing::TestParamInfo<MatrixCase>& pi) {
+  std::string s = to_string(pi.param.protocol);
+  for (auto& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s + "_n" + std::to_string(pi.param.n_nodes) + "_p" +
+         std::to_string(pi.param.os_pages_per_dsm_page);
+}
+
+class ProtocolMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  Config make_config(std::size_t n_pages = 32) const {
+    Config cfg;
+    cfg.n_nodes = GetParam().n_nodes;
+    cfg.page_size = GetParam().os_pages_per_dsm_page * ViewRegion::os_page_size();
+    cfg.n_pages = n_pages;
+    cfg.protocol = GetParam().protocol;
+    return cfg;
+  }
+};
+
+TEST_P(ProtocolMatrixTest, ScatterThenGather) {
+  System sys(make_config());
+  const std::size_t n = GetParam().n_nodes;
+  const std::size_t stride = sys.config().page_size / sizeof(std::uint64_t);
+  const auto slots = sys.alloc_page_aligned<std::uint64_t>(n * stride);
+  std::uint64_t gathered = 0;
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      w.bind_barrier(0, slots, n * stride);
+    }
+    w.get(slots)[w.id() * stride] = 100 + w.id();
+    w.barrier(0);
+    if (w.id() == 0) {
+      std::uint64_t sum = 0;
+      for (std::uint64_t i = 0; i < n; ++i) sum += w.get(slots)[i * stride];
+      gathered = sum;
+    }
+    w.barrier(0);
+  });
+  EXPECT_EQ(gathered, 100u * n + n * (n - 1) / 2);
+}
+
+TEST_P(ProtocolMatrixTest, BroadcastReadAfterBarrier) {
+  System sys(make_config());
+  const auto data = sys.alloc_page_aligned<std::uint64_t>(512);
+  std::atomic<int> errors{0};
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) w.bind_barrier(0, data, 512);
+    if (w.id() == 0) {
+      for (std::uint64_t i = 0; i < 512; ++i) w.get(data)[i] = i * i;
+    }
+    w.barrier(0);
+    for (std::uint64_t i = 0; i < 512; ++i) {
+      if (w.get(data)[i] != i * i) errors++;
+    }
+    w.barrier(0);
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_P(ProtocolMatrixTest, FalseSharingKernelExactCounts) {
+  System sys(make_config());
+  apps::FalseSharingParams params;
+  params.counters_per_node = 4;
+  params.iterations = 6;
+  const auto result = apps::run_false_sharing(sys, params);
+  EXPECT_EQ(result.checksum,
+            static_cast<std::uint64_t>(params.iterations) * params.counters_per_node *
+                GetParam().n_nodes);
+}
+
+TEST_P(ProtocolMatrixTest, MigratoryCounterExact) {
+  System sys(make_config());
+  apps::MigratoryParams params;
+  params.rounds = 5;
+  const auto result = apps::run_migratory(sys, params);
+  EXPECT_EQ(result.checksum, 5u * GetParam().n_nodes);
+}
+
+TEST_P(ProtocolMatrixTest, ReductionExact) {
+  System sys(make_config());
+  apps::ReduceParams params;
+  params.elements_per_node = 500;
+  const auto result = apps::run_reduce(sys, params);
+  const std::uint64_t total = 500u * GetParam().n_nodes;
+  EXPECT_EQ(result.checksum, total * (total - 1) / 2);
+}
+
+TEST_P(ProtocolMatrixTest, PingPongThroughLock) {
+  System sys(make_config());
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::uint64_t final_value = 0;
+  constexpr int kRounds = 30;
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) w.bind(0, cell);
+    w.barrier(0);
+    for (int i = 0; i < kRounds; ++i) {
+      w.acquire(0);
+      *w.get(cell) += 1;
+      w.release(0);
+    }
+    w.barrier(0);
+    if (w.id() == 0) {
+      w.acquire(0);
+      final_value = *w.get(cell);
+      w.release(0);
+    }
+  });
+  EXPECT_EQ(final_value, static_cast<std::uint64_t>(kRounds) * GetParam().n_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolMatrixTest,
+    ::testing::Values(
+        MatrixCase{ProtocolKind::kIvyCentral, 2, 1}, MatrixCase{ProtocolKind::kIvyCentral, 5, 1},
+        MatrixCase{ProtocolKind::kIvyFixed, 3, 1}, MatrixCase{ProtocolKind::kIvyFixed, 4, 2},
+        MatrixCase{ProtocolKind::kIvyDynamic, 2, 1}, MatrixCase{ProtocolKind::kIvyDynamic, 6, 1},
+        MatrixCase{ProtocolKind::kIvyDynamic, 4, 2},
+        MatrixCase{ProtocolKind::kErcInvalidate, 2, 1},
+        MatrixCase{ProtocolKind::kErcInvalidate, 5, 1},
+        MatrixCase{ProtocolKind::kErcUpdate, 3, 1}, MatrixCase{ProtocolKind::kErcUpdate, 4, 2},
+        MatrixCase{ProtocolKind::kLrc, 2, 1}, MatrixCase{ProtocolKind::kLrc, 5, 1},
+        MatrixCase{ProtocolKind::kLrc, 4, 2},
+        MatrixCase{ProtocolKind::kHlrc, 2, 1}, MatrixCase{ProtocolKind::kHlrc, 5, 1},
+        MatrixCase{ProtocolKind::kHlrc, 4, 2}, MatrixCase{ProtocolKind::kEc, 3, 1},
+        MatrixCase{ProtocolKind::kEc, 5, 1}),
+    case_name);
+
+}  // namespace
+}  // namespace dsm

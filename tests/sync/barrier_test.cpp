@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+Config make_config(ProtocolKind protocol, std::size_t nodes) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = 32;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = protocol;
+  return cfg;
+}
+
+class BarrierTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(BarrierTest, NobodyPassesEarly) {
+  System sys(make_config(GetParam(), 5));
+  std::atomic<int> arrived{0};
+  std::atomic<int> early{0};
+  sys.run([&](Worker& w) {
+    arrived++;
+    w.barrier(0);
+    if (arrived.load() != 5) early++;
+  });
+  EXPECT_EQ(early.load(), 0);
+}
+
+TEST_P(BarrierTest, ReusableAcrossGenerations) {
+  System sys(make_config(GetParam(), 3));
+  std::atomic<int> phase{0};
+  std::atomic<int> errors{0};
+  sys.run([&](Worker& w) {
+    for (int round = 0; round < 20; ++round) {
+      if (w.id() == 0) phase = round;
+      w.barrier(0);
+      if (phase.load() != round) errors++;
+      w.barrier(0);
+    }
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_P(BarrierTest, MultipleBarrierIdsIndependent) {
+  System sys(make_config(GetParam(), 3));
+  std::atomic<int> count{0};
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    count++;
+    w.barrier(1);
+    w.barrier(2);
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST_P(BarrierTest, SingleNodeBarrierIsImmediate) {
+  System sys(make_config(GetParam(), 1));
+  sys.run([&](Worker& w) {
+    for (int i = 0; i < 100; ++i) w.barrier(0);
+  });
+  SUCCEED();
+}
+
+TEST_P(BarrierTest, PublishesDataAcrossIt) {
+  System sys(make_config(GetParam(), 4));
+  const auto slots = sys.alloc_page_aligned<std::uint64_t>(
+      4 * sys.config().page_size / sizeof(std::uint64_t));
+  const std::size_t stride = sys.config().page_size / sizeof(std::uint64_t);
+  std::atomic<int> errors{0};
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      w.bind_barrier(0, slots, 4 * stride);
+    }
+    w.get(slots)[w.id() * stride] = 1000 + w.id();
+    w.barrier(0);
+    for (std::uint64_t n = 0; n < 4; ++n) {
+      if (w.get(slots)[n * stride] != 1000 + n) errors++;
+    }
+    w.barrier(0);
+  });
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST_P(BarrierTest, BarrierCountStat) {
+  System sys(make_config(GetParam(), 2));
+  sys.reset_stats();
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    w.barrier(0);
+  });
+  EXPECT_EQ(sys.stats().counter("sync.barriers"), 4u);  // 2 nodes × 2
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, BarrierTest,
+                         ::testing::Values(ProtocolKind::kIvyCentral,
+                                           ProtocolKind::kIvyFixed,
+                                           ProtocolKind::kIvyDynamic,
+                                           ProtocolKind::kErcInvalidate,
+                                           ProtocolKind::kErcUpdate, ProtocolKind::kLrc, ProtocolKind::kHlrc,
+                                           ProtocolKind::kEc),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& pi) {
+                           std::string s = to_string(pi.param);
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,171 @@
+// Reader-writer locks: concurrent readers, exclusive writers, writer
+// preference, and consistency payloads riding the grants — across the
+// protocols whose grant plumbing differs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/dsm.hpp"
+
+#include "../test_util.hpp"
+
+namespace dsm {
+namespace {
+
+Config rw_config(ProtocolKind protocol, std::size_t nodes) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = 16;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = protocol;
+  return cfg;
+}
+
+class RwLockTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RwLockTest, ReadersOverlapWritersExclude) {
+  System sys(rw_config(GetParam(), 6));
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> writers_inside{0};
+  std::atomic<int> max_readers{0};
+  std::atomic<int> violations{0};
+
+  sys.run([&](Worker& w) {
+    for (int i = 0; i < 10; ++i) {
+      if (w.id() % 3 == 0) {
+        // Writer.
+        w.acquire_write(1);
+        if (writers_inside.fetch_add(1) != 0) violations++;
+        if (readers_inside.load() != 0) violations++;
+        std::this_thread::sleep_for(std::chrono::microseconds(30));
+        writers_inside.fetch_sub(1);
+        w.release_write(1);
+      } else {
+        // Reader.
+        w.acquire_read(1);
+        const int now = readers_inside.fetch_add(1) + 1;
+        int prev = max_readers.load();
+        while (prev < now && !max_readers.compare_exchange_weak(prev, now)) {
+        }
+        if (writers_inside.load() != 0) violations++;
+        std::this_thread::sleep_for(std::chrono::microseconds(30));
+        readers_inside.fetch_sub(1);
+        w.release_read(1);
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+  // With 4 readers hammering, overlap should actually happen.
+  EXPECT_GE(max_readers.load(), 2);
+}
+
+TEST_P(RwLockTest, ReadersSeeTheLastWritersData) {
+  System sys(rw_config(GetParam(), 4));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<int> stale{0};
+  std::atomic<std::uint64_t> published{0};
+
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) w.bind(1, cell);
+    w.barrier(0);
+    if (w.id() == 0) {
+      for (std::uint64_t round = 1; round <= 8; ++round) {
+        w.acquire_write(1);
+        *w.get(cell) = round;
+        published = round;
+        w.release_write(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        w.acquire_read(1);
+        // Must see at least the last value published BEFORE our acquire.
+        const std::uint64_t floor = published.load();
+        if (test::force_read(w.get(cell)) < floor) stale++;
+        w.release_read(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+  EXPECT_EQ(stale.load(), 0);
+}
+
+TEST_P(RwLockTest, WriterNotStarvedByReaderStream) {
+  System sys(rw_config(GetParam(), 5));
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> reads_after_writer_queued{0};
+  std::atomic<bool> writer_queued{false};
+
+  sys.run([&](Worker& w) {
+    if (w.id() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      writer_queued = true;
+      w.acquire_write(2);
+      writer_done = true;
+      w.release_write(2);
+    } else {
+      for (int i = 0; i < 50 && !writer_done.load(); ++i) {
+        w.acquire_read(2);
+        if (writer_queued.load() && !writer_done.load()) reads_after_writer_queued++;
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+        w.release_read(2);
+      }
+    }
+  });
+  EXPECT_TRUE(writer_done.load());
+  // Writer preference: once queued, at most the already-admitted readers
+  // (≤ 4) plus a small scheduling window may still read.
+  EXPECT_LE(reads_after_writer_queued.load(), 12);
+}
+
+TEST_P(RwLockTest, RwAndMutexLocksCoexistOnDifferentIds) {
+  System sys(rw_config(GetParam(), 3));
+  const auto a = sys.alloc_page_aligned<std::uint64_t>();
+  const auto b = sys.alloc_page_aligned<std::uint64_t>();
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) {
+      w.bind(3, a);
+      w.bind(4, b);
+    }
+    w.barrier(0);
+    for (int i = 0; i < 10; ++i) {
+      w.acquire(3);  // plain mutex
+      *w.get(a) += 1;
+      w.release(3);
+      w.acquire_write(4);  // rw writer
+      *w.get(b) += 1;
+      w.release_write(4);
+    }
+    w.barrier(0);
+    if (w.id() == 0) {
+      w.acquire(3);
+      EXPECT_EQ(*w.get(a), 30u);
+      w.release(3);
+      w.acquire_read(4);
+      EXPECT_EQ(test::force_read(w.get(b)), 30u);
+      w.release_read(4);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, RwLockTest,
+                         ::testing::Values(ProtocolKind::kIvyDynamic,
+                                           ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+                                           ProtocolKind::kHlrc, ProtocolKind::kEc),
+                         [](const ::testing::TestParamInfo<ProtocolKind>& pi) {
+                           std::string s = to_string(pi.param);
+                           for (auto& c : s) {
+                             if (c == '-') c = '_';
+                           }
+                           return s;
+                         });
+
+TEST(RwLockDeathTest, ReleaseReadWithoutAcquireAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Config cfg = rw_config(ProtocolKind::kIvyDynamic, 1);
+  System sys(cfg);
+  EXPECT_DEATH(sys.run([](Worker& w) { w.release_read(0); }), "not read-held");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,13 @@
+// Shared test helpers.
+#pragma once
+
+namespace dsm::test {
+
+/// A load the optimizer cannot elide — plain `(void)*p` may be removed at
+/// -O2, which would silently skip the page fault the test is exercising.
+template <typename T>
+T force_read(const T* p) {
+  return *const_cast<const volatile T*>(p);
+}
+
+}  // namespace dsm::test
