@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o"
+  "CMakeFiles/bench_false_sharing.dir/bench_false_sharing.cpp.o.d"
+  "CMakeFiles/bench_false_sharing.dir/harness.cpp.o"
+  "CMakeFiles/bench_false_sharing.dir/harness.cpp.o.d"
+  "bench_false_sharing"
+  "bench_false_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

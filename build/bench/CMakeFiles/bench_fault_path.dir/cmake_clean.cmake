@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_path.dir/bench_fault_path.cpp.o"
+  "CMakeFiles/bench_fault_path.dir/bench_fault_path.cpp.o.d"
+  "CMakeFiles/bench_fault_path.dir/harness.cpp.o"
+  "CMakeFiles/bench_fault_path.dir/harness.cpp.o.d"
+  "bench_fault_path"
+  "bench_fault_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrc_ablation.dir/bench_lrc_ablation.cpp.o"
+  "CMakeFiles/bench_lrc_ablation.dir/bench_lrc_ablation.cpp.o.d"
+  "CMakeFiles/bench_lrc_ablation.dir/harness.cpp.o"
+  "CMakeFiles/bench_lrc_ablation.dir/harness.cpp.o.d"
+  "bench_lrc_ablation"
+  "bench_lrc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_manager.dir/bench_manager.cpp.o"
+  "CMakeFiles/bench_manager.dir/bench_manager.cpp.o.d"
+  "CMakeFiles/bench_manager.dir/harness.cpp.o"
+  "CMakeFiles/bench_manager.dir/harness.cpp.o.d"
+  "bench_manager"
+  "bench_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quicksort.dir/bench_quicksort.cpp.o"
+  "CMakeFiles/bench_quicksort.dir/bench_quicksort.cpp.o.d"
+  "CMakeFiles/bench_quicksort.dir/harness.cpp.o"
+  "CMakeFiles/bench_quicksort.dir/harness.cpp.o.d"
+  "bench_quicksort"
+  "bench_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taskqueue.dir/bench_taskqueue.cpp.o"
+  "CMakeFiles/bench_taskqueue.dir/bench_taskqueue.cpp.o.d"
+  "CMakeFiles/bench_taskqueue.dir/harness.cpp.o"
+  "CMakeFiles/bench_taskqueue.dir/harness.cpp.o.d"
+  "bench_taskqueue"
+  "bench_taskqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taskqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

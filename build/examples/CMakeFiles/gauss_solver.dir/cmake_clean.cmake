@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_solver.dir/gauss_solver.cpp.o"
+  "CMakeFiles/gauss_solver.dir/gauss_solver.cpp.o.d"
+  "gauss_solver"
+  "gauss_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_board.dir/reader_board.cpp.o"
+  "CMakeFiles/reader_board.dir/reader_board.cpp.o.d"
+  "reader_board"
+  "reader_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

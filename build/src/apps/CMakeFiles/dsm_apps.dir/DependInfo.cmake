@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/gauss.cpp" "src/apps/CMakeFiles/dsm_apps.dir/gauss.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/gauss.cpp.o.d"
+  "/root/repo/src/apps/kernels.cpp" "src/apps/CMakeFiles/dsm_apps.dir/kernels.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/kernels.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/dsm_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/quicksort.cpp" "src/apps/CMakeFiles/dsm_apps.dir/quicksort.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/quicksort.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/dsm_apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/task_queue.cpp" "src/apps/CMakeFiles/dsm_apps.dir/task_queue.cpp.o" "gcc" "src/apps/CMakeFiles/dsm_apps.dir/task_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/dsm_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/dsm_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_apps.dir/gauss.cpp.o"
+  "CMakeFiles/dsm_apps.dir/gauss.cpp.o.d"
+  "CMakeFiles/dsm_apps.dir/kernels.cpp.o"
+  "CMakeFiles/dsm_apps.dir/kernels.cpp.o.d"
+  "CMakeFiles/dsm_apps.dir/matmul.cpp.o"
+  "CMakeFiles/dsm_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/dsm_apps.dir/quicksort.cpp.o"
+  "CMakeFiles/dsm_apps.dir/quicksort.cpp.o.d"
+  "CMakeFiles/dsm_apps.dir/sor.cpp.o"
+  "CMakeFiles/dsm_apps.dir/sor.cpp.o.d"
+  "CMakeFiles/dsm_apps.dir/task_queue.cpp.o"
+  "CMakeFiles/dsm_apps.dir/task_queue.cpp.o.d"
+  "libdsm_apps.a"
+  "libdsm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_common.dir/logging.cpp.o"
+  "CMakeFiles/dsm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dsm_common.dir/serialize.cpp.o"
+  "CMakeFiles/dsm_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/dsm_common.dir/stats.cpp.o"
+  "CMakeFiles/dsm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dsm_common.dir/vclock.cpp.o"
+  "CMakeFiles/dsm_common.dir/vclock.cpp.o.d"
+  "libdsm_common.a"
+  "libdsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

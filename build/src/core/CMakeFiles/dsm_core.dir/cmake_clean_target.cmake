@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsm_core.a"
+)

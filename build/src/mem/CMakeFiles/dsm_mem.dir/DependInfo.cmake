@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/diff.cpp" "src/mem/CMakeFiles/dsm_mem.dir/diff.cpp.o" "gcc" "src/mem/CMakeFiles/dsm_mem.dir/diff.cpp.o.d"
+  "/root/repo/src/mem/fault.cpp" "src/mem/CMakeFiles/dsm_mem.dir/fault.cpp.o" "gcc" "src/mem/CMakeFiles/dsm_mem.dir/fault.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/dsm_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/dsm_mem.dir/page_table.cpp.o.d"
+  "/root/repo/src/mem/region.cpp" "src/mem/CMakeFiles/dsm_mem.dir/region.cpp.o" "gcc" "src/mem/CMakeFiles/dsm_mem.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dsm_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_mem.dir/diff.cpp.o"
+  "CMakeFiles/dsm_mem.dir/diff.cpp.o.d"
+  "CMakeFiles/dsm_mem.dir/fault.cpp.o"
+  "CMakeFiles/dsm_mem.dir/fault.cpp.o.d"
+  "CMakeFiles/dsm_mem.dir/page_table.cpp.o"
+  "CMakeFiles/dsm_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/dsm_mem.dir/region.cpp.o"
+  "CMakeFiles/dsm_mem.dir/region.cpp.o.d"
+  "libdsm_mem.a"
+  "libdsm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

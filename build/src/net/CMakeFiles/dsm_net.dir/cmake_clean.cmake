@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_net.dir/message.cpp.o"
+  "CMakeFiles/dsm_net.dir/message.cpp.o.d"
+  "CMakeFiles/dsm_net.dir/network.cpp.o"
+  "CMakeFiles/dsm_net.dir/network.cpp.o.d"
+  "libdsm_net.a"
+  "libdsm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/ec.cpp" "src/proto/CMakeFiles/dsm_proto.dir/ec.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/ec.cpp.o.d"
+  "/root/repo/src/proto/erc.cpp" "src/proto/CMakeFiles/dsm_proto.dir/erc.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/erc.cpp.o.d"
+  "/root/repo/src/proto/factory.cpp" "src/proto/CMakeFiles/dsm_proto.dir/factory.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/factory.cpp.o.d"
+  "/root/repo/src/proto/hlrc.cpp" "src/proto/CMakeFiles/dsm_proto.dir/hlrc.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/hlrc.cpp.o.d"
+  "/root/repo/src/proto/ivy_dynamic.cpp" "src/proto/CMakeFiles/dsm_proto.dir/ivy_dynamic.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/ivy_dynamic.cpp.o.d"
+  "/root/repo/src/proto/ivy_manager.cpp" "src/proto/CMakeFiles/dsm_proto.dir/ivy_manager.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/ivy_manager.cpp.o.d"
+  "/root/repo/src/proto/lrc.cpp" "src/proto/CMakeFiles/dsm_proto.dir/lrc.cpp.o" "gcc" "src/proto/CMakeFiles/dsm_proto.dir/lrc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dsm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dsm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dsm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

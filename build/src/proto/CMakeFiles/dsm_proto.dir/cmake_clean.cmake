@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_proto.dir/ec.cpp.o"
+  "CMakeFiles/dsm_proto.dir/ec.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/erc.cpp.o"
+  "CMakeFiles/dsm_proto.dir/erc.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/factory.cpp.o"
+  "CMakeFiles/dsm_proto.dir/factory.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/hlrc.cpp.o"
+  "CMakeFiles/dsm_proto.dir/hlrc.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/ivy_dynamic.cpp.o"
+  "CMakeFiles/dsm_proto.dir/ivy_dynamic.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/ivy_manager.cpp.o"
+  "CMakeFiles/dsm_proto.dir/ivy_manager.cpp.o.d"
+  "CMakeFiles/dsm_proto.dir/lrc.cpp.o"
+  "CMakeFiles/dsm_proto.dir/lrc.cpp.o.d"
+  "libdsm_proto.a"
+  "libdsm_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

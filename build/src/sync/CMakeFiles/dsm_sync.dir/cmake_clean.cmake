@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_sync.dir/sync_agent.cpp.o"
+  "CMakeFiles/dsm_sync.dir/sync_agent.cpp.o.d"
+  "libdsm_sync.a"
+  "libdsm_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/proto/ec_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/ec_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/erc_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/erc_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/hlrc_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/hlrc_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/ivy_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/ivy_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/litmus_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/litmus_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/lrc_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/lrc_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/protocol_matrix_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/protocol_matrix_test.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/proto/random_drf_test.cpp.o"
+  "CMakeFiles/test_protocols.dir/proto/random_drf_test.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
