@@ -23,8 +23,11 @@ class WireWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& value) {
-    const auto* src = reinterpret_cast<const std::byte*>(&value);
-    buffer_.insert(buffer_.end(), src, src + sizeof(T));
+    // resize + memcpy rather than insert: GCC 12 misattributes the insert
+    // inline chain as a write past the old capacity (-Wstringop-overflow).
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + sizeof(T));
+    std::memcpy(buffer_.data() + old_size, &value, sizeof(T));
   }
 
   /// Length-prefixed byte range.

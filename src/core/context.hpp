@@ -48,6 +48,17 @@ struct Config {
   LockPolicy lock_policy = LockPolicy::kForwardChain;
   LinkModel link{};
 
+  /// Ack/retransmit policy of the reliable transport sublayer (on by
+  /// default; disable only to measure its overhead).
+  ReliabilityConfig reliability{};
+  /// Seeded fault injection (off by default). See DESIGN.md "Reliable
+  /// transport & chaos".
+  ChaosConfig chaos{};
+  /// An app thread blocked in the fault path or a sync operation longer
+  /// than this (real milliseconds) triggers a diagnostic dump and a clean
+  /// abort instead of an infinite hang. 0 disables the watchdog.
+  std::uint32_t watchdog_ms = 30'000;
+
   // Virtual-time cost model (see DESIGN.md "Virtual time").
   VirtualTime fault_ns = 5'000;    ///< trap + kernel + handler entry per fault
   VirtualTime service_ns = 2'000;  ///< protocol software overhead per message

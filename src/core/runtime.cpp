@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <chrono>
+#include <ostream>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -11,13 +12,36 @@ namespace dsm {
 // Worker
 // ---------------------------------------------------------------------------
 
-void Worker::acquire(LockId lock) { system_->nodes_[node_]->sync->acquire(lock); }
-void Worker::release(LockId lock) { system_->nodes_[node_]->sync->release(lock); }
-void Worker::acquire_read(LockId lock) { system_->nodes_[node_]->sync->acquire_read(lock); }
-void Worker::release_read(LockId lock) { system_->nodes_[node_]->sync->release_read(lock); }
-void Worker::acquire_write(LockId lock) { system_->nodes_[node_]->sync->acquire_write(lock); }
-void Worker::release_write(LockId lock) { system_->nodes_[node_]->sync->release_write(lock); }
-void Worker::barrier(BarrierId barrier) { system_->nodes_[node_]->sync->barrier(barrier); }
+// Every sync operation can block on remote state, so each brackets itself
+// with a watchdog guard — a wedged wait becomes a diagnostic abort.
+void Worker::acquire(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-acquire", lock);
+  system_->nodes_[node_]->sync->acquire(lock);
+}
+void Worker::release(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-release", lock);
+  system_->nodes_[node_]->sync->release(lock);
+}
+void Worker::acquire_read(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-read", lock);
+  system_->nodes_[node_]->sync->acquire_read(lock);
+}
+void Worker::release_read(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-read", lock);
+  system_->nodes_[node_]->sync->release_read(lock);
+}
+void Worker::acquire_write(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-write", lock);
+  system_->nodes_[node_]->sync->acquire_write(lock);
+}
+void Worker::release_write(LockId lock) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-write", lock);
+  system_->nodes_[node_]->sync->release_write(lock);
+}
+void Worker::barrier(BarrierId barrier) {
+  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "barrier", barrier);
+  system_->nodes_[node_]->sync->barrier(barrier);
+}
 
 void Worker::compute(std::uint64_t ops) {
   system_->nodes_[node_]->clock.advance(ops * system_->config().ns_per_op);
@@ -42,7 +66,11 @@ System::System(Config cfg) : cfg_(cfg) {
   DSM_CHECK_MSG(cfg_.page_size % ViewRegion::os_page_size() == 0,
                 "page_size must be a multiple of the OS page size ("
                     << ViewRegion::os_page_size() << ")");
-  network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_);
+  network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
+                                       cfg_.reliability, cfg_.chaos);
+  watchdog_ = std::make_unique<Watchdog>(
+      cfg_.n_nodes, cfg_.watchdog_ms,
+      [this](std::ostream& os) { dump_diagnostics(os); });
 
   nodes_.reserve(cfg_.n_nodes);
   for (NodeId id = 0; id < cfg_.n_nodes; ++id) {
@@ -65,7 +93,9 @@ System::System(Config cfg) : cfg_(cfg) {
     Node* raw = node.get();
     node->fault_token = FaultRouter::instance().add_region(
         node->view.get(),
-        [raw](PageId page, bool is_write) {
+        [this, raw](PageId page, bool is_write) {
+          const auto g = Watchdog::guard(watchdog_.get(), raw->ctx.id,
+                                         is_write ? "write-fault" : "read-fault", page);
           if (is_write) {
             raw->protocol->on_write_fault(page);
           } else {
@@ -127,13 +157,45 @@ void System::service_loop(Node& node) {
 void System::drain() {
   // A handler may send more messages before bumping `processed_`, so the
   // fabric is quiescent exactly when sent == processed (no app threads are
-  // alive to inject new work at this point).
+  // alive to inject new work at this point). Under chaos, a message may
+  // additionally be awaiting retransmission or sitting in a delay queue
+  // before it is ever counted as sent — hence the idle() check.
   for (;;) {
     const auto sent = network_->messages_sent();
     const auto processed = processed_.load(std::memory_order_acquire);
-    if (sent == processed) return;
+    if (sent == processed && network_->idle()) return;
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
+}
+
+void System::dump_diagnostics(std::ostream& os) const {
+  os << "[tutordsm] diagnostic dump (" << to_string(cfg_.protocol) << ", "
+     << cfg_.n_nodes << " nodes, " << cfg_.n_pages << " pages)\n";
+  network_->debug_dump(os);
+  for (const auto& node : nodes_) {
+    os << "  node " << node->ctx.id << " clock=" << node->clock.now() << "ns\n";
+    for (PageId p = 0; p < node->table->n_pages(); ++p) {
+      const PageEntry& e = node->table->entry(p);
+      // Racy reads by design: the dump runs while threads are wedged, and
+      // must not take the entry mutex a stuck transaction may hold.
+      const bool interesting = e.busy || e.manager_busy || e.acks_outstanding > 0 ||
+                               !e.parked.empty() || !e.manager_parked.empty();
+      if (!interesting) continue;
+      os << "    page " << p << " state=" << to_string(e.state)
+         << (e.busy ? " busy" : "") << (e.manager_busy ? " manager_busy" : "")
+         << " owner=" << e.owner << " prob_owner=" << e.prob_owner
+         << " acks_outstanding=" << e.acks_outstanding
+         << " parked=" << e.parked.size()
+         << " manager_parked=" << e.manager_parked.size() << '\n';
+    }
+  }
+  const auto snap = stats_.snapshot();
+  os << "  counters: msgs=" << snap.counter("net.msgs")
+     << " retransmits=" << snap.counter("net.retransmits")
+     << " dups_suppressed=" << snap.counter("net.dups_suppressed")
+     << " acks=" << snap.counter("net.acks")
+     << " gave_up=" << snap.counter("net.gave_up")
+     << " dropped=" << snap.counter("net.dropped") << '\n';
 }
 
 void System::run(const std::function<void(Worker&)>& body) {

@@ -14,6 +14,7 @@
 #include "common/stats.hpp"
 #include "core/context.hpp"
 #include "core/shared.hpp"
+#include "core/watchdog.hpp"
 #include "mem/fault.hpp"
 #include "proto/protocol.hpp"
 #include "sync/sync_agent.hpp"
@@ -115,6 +116,10 @@ class System {
   ViewRegion& view(NodeId node) { return *nodes_[node]->view; }
   StatsRegistry& stats_registry() { return stats_; }
 
+  /// Writes the watchdog's diagnostic report: per-node page-table state,
+  /// parked work, mailbox backlogs, and the fabric's in-flight messages.
+  void dump_diagnostics(std::ostream& os) const;
+
  private:
   friend class Worker;
   struct Node {
@@ -135,6 +140,7 @@ class System {
   Config cfg_;
   StatsRegistry stats_;
   std::unique_ptr<Network> network_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::size_t heap_used_ = 0;
   bool running_ = false;

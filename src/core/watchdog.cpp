@@ -1,0 +1,91 @@
+#include "core/watchdog.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(std::size_t n_slots, std::uint32_t bound_ms, DumpFn dump)
+    : bound_ms_(bound_ms), dump_(std::move(dump)), slots_(n_slots) {
+  if (enabled()) scanner_ = std::thread([this] { scan_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!scanner_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  cv_.notify_all();
+  scanner_.join();
+}
+
+Watchdog::Guard::Guard(Watchdog* wd, std::size_t slot, const char* what,
+                       std::uint64_t detail)
+    : wd_(wd), slot_(slot) {
+  if (wd_ != nullptr) wd_->push(slot, what, detail);
+}
+
+Watchdog::Guard::~Guard() {
+  if (wd_ != nullptr) wd_->pop(slot_);
+}
+
+void Watchdog::push(std::size_t slot, const char* what, std::uint64_t detail) {
+  Slot& s = slots_[slot];
+  const int d = s.depth.load(std::memory_order_relaxed);
+  DSM_CHECK_MSG(d < kMaxDepth, "watchdog guard stack overflow on slot " << slot);
+  Slot::Frame& f = s.frames[d];
+  f.what.store(what, std::memory_order_relaxed);
+  f.detail.store(detail, std::memory_order_relaxed);
+  f.since_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  s.depth.store(d + 1, std::memory_order_release);
+}
+
+void Watchdog::pop(std::size_t slot) {
+  Slot& s = slots_[slot];
+  const int d = s.depth.load(std::memory_order_relaxed);
+  DSM_CHECK(d > 0);
+  s.depth.store(d - 1, std::memory_order_release);
+}
+
+void Watchdog::scan_loop() {
+  const auto bound = std::chrono::milliseconds(bound_ms_);
+  const auto tick = std::min<std::chrono::milliseconds>(bound / 4 + std::chrono::milliseconds(1),
+                                                        std::chrono::milliseconds(250));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    cv_.wait_for(lock, tick);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+
+    const std::int64_t now = steady_now_ns();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      const int d = s.depth.load(std::memory_order_acquire);
+      if (d <= 0) continue;
+      const Slot::Frame& f = s.frames[d - 1];
+      const std::int64_t since = f.since_ns.load(std::memory_order_relaxed);
+      const std::int64_t stuck_ms = (now - since) / 1'000'000;
+      if (stuck_ms < static_cast<std::int64_t>(bound_ms_)) continue;
+
+      const char* what = f.what.load(std::memory_order_relaxed);
+      std::cerr << "[tutordsm] WATCHDOG: node " << i << " stuck in "
+                << (what != nullptr ? what : "?") << " (detail="
+                << f.detail.load(std::memory_order_relaxed) << ") for " << stuck_ms
+                << " ms (bound " << bound_ms_ << " ms) — dumping state and aborting\n";
+      if (dump_) dump_(std::cerr);
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+}
+
+}  // namespace dsm

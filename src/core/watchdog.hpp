@@ -1,0 +1,94 @@
+// Fault-path watchdog: turns a protocol deadlock into a debuggable failure.
+//
+// Every blocking entry point an application thread can wedge in — the
+// SIGSEGV fault path and the sync operations (lock acquire, barrier) —
+// brackets itself with a Guard. A background thread scans the guard table;
+// any guard older than the configured bound means a protocol transaction
+// lost its wakeup (a message permanently lost, a state-machine bug), so the
+// watchdog prints a diagnostic dump (page-table state, mailbox backlogs,
+// in-flight/parked messages — supplied by the runtime as a callback) and
+// aborts the process instead of hanging forever. Real fault service is
+// microseconds; the default bound is seconds — firing is always a bug or a
+// chaos give-up, never a slow run.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+class Watchdog {
+ public:
+  /// Diagnostic dump callback, invoked (on the watchdog thread) right
+  /// before abort. Receives the stream to write the report to.
+  using DumpFn = std::function<void(std::ostream&)>;
+
+  /// One watcher per System: `n_slots` = number of nodes (one app thread
+  /// each). `bound_ms == 0` disables the thread entirely.
+  Watchdog(std::size_t n_slots, std::uint32_t bound_ms, DumpFn dump);
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  bool enabled() const { return bound_ms_ > 0; }
+
+  /// RAII bracket around one blocking operation on `slot`'s app thread.
+  /// Nests (a fault taken inside a release flush); cheap: two relaxed
+  /// atomic stores each way.
+  class Guard {
+   public:
+    Guard(Watchdog* wd, std::size_t slot, const char* what, std::uint64_t detail);
+    ~Guard();
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Watchdog* wd_;
+    std::size_t slot_;
+  };
+
+  /// Convenience factory (no-op guard when `wd` is null or disabled).
+  static Guard guard(Watchdog* wd, std::size_t slot, const char* what,
+                     std::uint64_t detail) {
+    return Guard(wd != nullptr && wd->enabled() ? wd : nullptr, slot, what, detail);
+  }
+
+ private:
+  static constexpr int kMaxDepth = 4;
+
+  /// One app thread's stack of active blocking operations. Written only by
+  /// that thread; read by the watchdog thread (acquire on depth pairs with
+  /// release on push, so a nonzero depth implies the frame is visible).
+  struct Slot {
+    struct Frame {
+      std::atomic<const char*> what{nullptr};
+      std::atomic<std::uint64_t> detail{0};
+      std::atomic<std::int64_t> since_ns{0};  // steady_clock epoch offset
+    };
+    Frame frames[kMaxDepth];
+    std::atomic<int> depth{0};
+  };
+
+  void push(std::size_t slot, const char* what, std::uint64_t detail);
+  void pop(std::size_t slot);
+  void scan_loop();
+
+  std::uint32_t bound_ms_;
+  DumpFn dump_;
+  std::vector<Slot> slots_;
+  std::atomic<bool> stopping_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread scanner_;
+};
+
+}  // namespace dsm

@@ -1,0 +1,132 @@
+// Deterministic chaos injection for the simulated interconnect. Every fault
+// decision (drop / duplicate / delay / ack loss / node pause) is a pure
+// function of (seed, src, dst, seq, attempt): the same message always gets
+// the same fate, so injection adds no nondeterminism beyond the workload's
+// own scheduling (a contended run can still order its traffic differently,
+// as in the seed fabric). This replaces the old
+// bare drop hook, which nothing could recover from; the reliability sublayer
+// in Network (ack/retransmit/dedup) is what turns these faults into latency
+// instead of hangs. See DESIGN.md "Reliable transport & chaos".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dsm {
+
+/// Knobs for the seeded fault injector. All probabilities are per wire
+/// attempt (a retransmit rolls fresh dice), in [0, 1].
+struct ChaosConfig {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  /// Probability a wire attempt vanishes (counted under net.dropped).
+  double drop_probability = 0.0;
+  /// Probability a wire attempt arrives twice (dedup suppresses the clone).
+  double duplicate_probability = 0.0;
+  /// Probability the (internal) delivery acknowledgement is lost: the sender
+  /// retransmits a message that already arrived, exercising dedup.
+  double ack_drop_probability = 0.0;
+  /// Probability a wire attempt is held for a jittered real-time delay
+  /// before arriving — later traffic overtakes it (reordering).
+  double delay_probability = 0.0;
+  /// Maximum hold for a delayed attempt, microseconds of real time. The
+  /// same value is charged to the message's virtual arrival time.
+  std::uint32_t delay_max_us = 500;
+  /// Probability an accepted message freezes the destination node: all
+  /// subsequent deliveries to it are held for `pause_us` (a GC stall / page
+  /// daemon hiccup). Retransmits pile up against the pause and are deduped.
+  double pause_probability = 0.0;
+  std::uint32_t pause_us = 1000;
+
+  /// Restrict injection to these message types; empty = every protocol
+  /// type. Control traffic (Shutdown/Wakeup) and loopback are never faulted.
+  std::vector<MsgType> only_types;
+};
+
+/// Stateless decision engine over a ChaosConfig. Thread-safe by construction
+/// (no mutable state): decisions hash the identifying coordinates of the
+/// wire attempt through SplitMix64.
+class ChaosEngine {
+ public:
+  ChaosEngine() = default;
+  explicit ChaosEngine(const ChaosConfig& cfg) : cfg_(cfg) {}
+
+  const ChaosConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.enabled; }
+
+  /// True if this message type is eligible for injection.
+  bool targets(MsgType type) const {
+    if (!cfg_.enabled) return false;
+    if (type == MsgType::kShutdown || type == MsgType::kWakeup) return false;
+    if (cfg_.only_types.empty()) return true;
+    for (const MsgType t : cfg_.only_types) {
+      if (t == type) return true;
+    }
+    return false;
+  }
+
+  bool should_drop(const Message& msg, std::uint32_t attempt) const {
+    return targets(msg.type) &&
+           roll(msg, attempt, Salt::kDrop) < cfg_.drop_probability;
+  }
+  bool should_duplicate(const Message& msg, std::uint32_t attempt) const {
+    return targets(msg.type) &&
+           roll(msg, attempt, Salt::kDuplicate) < cfg_.duplicate_probability;
+  }
+  bool should_drop_ack(const Message& msg, std::uint32_t attempt) const {
+    return targets(msg.type) &&
+           roll(msg, attempt, Salt::kAck) < cfg_.ack_drop_probability;
+  }
+  bool should_pause_dst(const Message& msg, std::uint32_t attempt) const {
+    return targets(msg.type) &&
+           roll(msg, attempt, Salt::kPause) < cfg_.pause_probability;
+  }
+  /// 0 = deliver immediately; otherwise hold for this many microseconds.
+  std::uint32_t delay_us(const Message& msg, std::uint32_t attempt) const {
+    if (!targets(msg.type)) return 0;
+    if (roll(msg, attempt, Salt::kDelay) >= cfg_.delay_probability) return 0;
+    if (cfg_.delay_max_us == 0) return 0;
+    const std::uint64_t h = mix(hash_base(msg, attempt, Salt::kDelayAmount));
+    return 1 + static_cast<std::uint32_t>(h % cfg_.delay_max_us);
+  }
+
+ private:
+  enum class Salt : std::uint64_t {
+    kDrop = 0x9E6D,
+    kDuplicate = 0x51CA,
+    kAck = 0xAC4B,
+    kDelay = 0xDE1A,
+    kDelayAmount = 0xDE1B,
+    kPause = 0x9A05,
+  };
+
+  std::uint64_t hash_base(const Message& msg, std::uint32_t attempt, Salt salt) const {
+    std::uint64_t h = cfg_.seed;
+    h = mix(h ^ (static_cast<std::uint64_t>(msg.src) << 32 | msg.dst));
+    h = mix(h ^ msg.seq);
+    h = mix(h ^ (static_cast<std::uint64_t>(attempt) << 16 |
+                 static_cast<std::uint64_t>(salt)));
+    return h;
+  }
+
+  /// Uniform double in [0, 1) from the attempt's identifying coordinates.
+  double roll(const Message& msg, std::uint32_t attempt, Salt salt) const {
+    return static_cast<double>(hash_base(msg, attempt, salt) >> 11) * 0x1.0p-53;
+  }
+
+  /// SplitMix64 finalizer (common/rng.hpp), usable as a stateless hash.
+  static std::uint64_t mix(std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  ChaosConfig cfg_;
+};
+
+}  // namespace dsm

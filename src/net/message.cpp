@@ -32,8 +32,9 @@ std::string_view to_string(MsgType type) {
 }
 
 std::size_t Message::wire_size() const {
-  // Envelope header a real transport would carry: type + src + dst + length.
-  constexpr std::size_t kHeader = 2 + 4 + 4 + 4;
+  // Envelope header a real transport would carry:
+  // type + src + dst + seq + length.
+  constexpr std::size_t kHeader = 2 + 4 + 4 + 8 + 4;
   return kHeader + payload.size();
 }
 

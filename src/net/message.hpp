@@ -48,11 +48,16 @@ std::string_view to_string(MsgType type);
 
 /// The envelope the fabric moves. `arrival_time` is stamped by the network
 /// from `send_time` plus the link-model cost; receivers advance their logical
-/// clock to it (see DESIGN.md "Virtual time").
+/// clock to it (see DESIGN.md "Virtual time"). `seq` is the reliable
+/// sublayer's per-(src,dst) sequence number, assigned by Network::send;
+/// control traffic (Shutdown/Wakeup) and loopback carry kNoSeq.
 struct Message {
+  static constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
   MsgType type = MsgType::kShutdown;
   NodeId src = kNoNode;
   NodeId dst = kNoNode;
+  std::uint64_t seq = kNoSeq;
   VirtualTime send_time = 0;
   VirtualTime arrival_time = 0;
   std::vector<std::byte> payload;

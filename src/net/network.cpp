@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "common/assert.hpp"
@@ -46,38 +48,266 @@ std::size_t Mailbox::size() const {
   return queue_.size();
 }
 
-Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats)
-    : link_(link), stats_(stats), mailboxes_(n_nodes) {
+namespace {
+
+constexpr auto kNever = std::chrono::steady_clock::time_point::max();
+
+/// Min-heap order for Network::Delayed (generic: the type is private).
+struct DelayedOrder {
+  bool operator()(const auto& a, const auto& b) const { return a.due > b.due; }
+};
+
+}  // namespace
+
+Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
+                 ReliabilityConfig reliability, ChaosConfig chaos)
+    : link_(link),
+      stats_(stats),
+      reliability_(reliability),
+      chaos_(chaos),
+      mailboxes_(n_nodes),
+      links_(n_nodes * n_nodes),
+      pause_until_(n_nodes, SteadyTime::min()),
+      dropped_(stats->counter("net.dropped")),
+      retransmits_(stats->counter("net.retransmits")),
+      dups_suppressed_(stats->counter("net.dups_suppressed")),
+      acks_(stats->counter("net.acks")),
+      acks_dropped_(stats->counter("net.acks_dropped")),
+      gave_up_(stats->counter("net.gave_up")),
+      delayed_count_(stats->counter("net.chaos_delayed")),
+      pauses_(stats->counter("net.chaos_pauses")) {
   DSM_CHECK(n_nodes > 0);
   DSM_CHECK(stats != nullptr);
+  daemon_ = std::thread([this] { daemon_loop(); });
 }
+
+Network::~Network() { stop_daemon(); }
 
 void Network::send(Message msg) {
   DSM_CHECK_MSG(msg.dst < mailboxes_.size(), "send to unknown node " << msg.dst);
   DSM_CHECK_MSG(msg.src < mailboxes_.size(), "send from unknown node " << msg.src);
-  if (drop_hook_ && drop_hook_(msg)) {
-    stats_->counter("net.dropped").add();
+
+  if (!reliable_eligible(msg)) {
+    // Control traffic and loopback: an in-process self-send cannot be lost.
+    msg.seq = Message::kNoSeq;
+    msg.arrival_time = msg.send_time + link_.cost(msg.src, msg.dst, msg.wire_size());
+    deliver(std::move(msg));
     return;
   }
-  const std::size_t bytes = msg.wire_size();
-  msg.arrival_time = msg.send_time + link_.cost(msg.src, msg.dst, bytes);
 
+  if (reliability_.enabled) {
+    {
+      const std::lock_guard<std::mutex> lock(links_mutex_);
+      msg.seq = links_[link_index(msg.src, msg.dst)].next_seq++;
+    }
+    bool daemon_was_idle;
+    {
+      const std::lock_guard<std::mutex> lock(flight_mutex_);
+      daemon_was_idle = in_flight_.empty() && delayed_.empty();
+      in_flight_.emplace(
+          FlightKey{link_index(msg.src, msg.dst), msg.seq},
+          InFlight{msg, 0,
+                   std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(reliability_.rto_ms)});
+    }
+    // A fresh entry's deadline is never earlier than an existing one's
+    // (backoff only lengthens), so the daemon needs waking only from idle.
+    if (daemon_was_idle) flight_cv_.notify_one();
+  } else {
+    msg.seq = Message::kNoSeq;
+  }
+  wire_attempt(std::move(msg), 0);
+}
+
+void Network::wire_attempt(Message msg, std::uint32_t attempt) {
+  if (drop_hook_ && drop_hook_(msg)) {
+    dropped_.add();
+    return;
+  }
+  if (chaos_.should_drop(msg, attempt)) {
+    dropped_.add();
+    return;
+  }
+  const std::uint32_t delay_us = chaos_.delay_us(msg, attempt);
+
+  msg.arrival_time =
+      msg.send_time + link_.cost(msg.src, msg.dst, msg.wire_size()) +
+      static_cast<VirtualTime>(attempt) * reliability_.rto_virtual_ns +
+      static_cast<VirtualTime>(delay_us) * 1000;
+
+  if (chaos_.should_duplicate(msg, attempt)) {
+    // The clone takes the direct path, so a delayed original is overtaken —
+    // the reorder buffer and dedup both get exercised.
+    arrive(msg, attempt);
+  }
+  if (delay_us > 0) {
+    delayed_count_.add();
+    defer(std::move(msg), attempt,
+          std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us));
+    return;
+  }
+  arrive(std::move(msg), attempt);
+}
+
+void Network::arrive(Message msg, std::uint32_t attempt) {
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const SteadyTime paused = pause_until_[msg.dst];
+    if (paused > std::chrono::steady_clock::now()) {
+      delayed_.push_back(Delayed{paused, std::move(msg), attempt});
+      std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
+      flight_cv_.notify_one();
+      return;
+    }
+  }
+  if (chaos_.should_pause_dst(msg, attempt)) {
+    pauses_.add();
+    inject_pause(msg.dst, chaos_.config().pause_us);
+  }
+
+  if (msg.seq == Message::kNoSeq || !reliability_.enabled) {
+    deliver(std::move(msg));
+    return;
+  }
+
+  // Transport-level ack: completing the sender's in-flight entry. A lost
+  // ack leaves the entry live — the daemon retransmits, we dedup below.
+  if (chaos_.should_drop_ack(msg, attempt)) {
+    acks_dropped_.add();
+  } else {
+    complete_inflight(msg);
+  }
+
+  const std::lock_guard<std::mutex> lock(links_mutex_);
+  LinkState& st = links_[link_index(msg.src, msg.dst)];
+  if (msg.seq < st.expected) {
+    dups_suppressed_.add();
+    return;
+  }
+  if (msg.seq > st.expected) {
+    // Hole in the link: park until the gap fills (retransmit or delayed
+    // original). emplace refuses duplicates of an already-parked seq.
+    if (!st.reorder.emplace(msg.seq, std::move(msg)).second) dups_suppressed_.add();
+    return;
+  }
+  deliver(std::move(msg));
+  ++st.expected;
+  for (auto it = st.reorder.begin();
+       it != st.reorder.end() && it->first == st.expected;
+       it = st.reorder.erase(it), ++st.expected) {
+    deliver(std::move(it->second));
+  }
+}
+
+void Network::deliver(Message msg) {
   messages_sent_.add();
   if (msg.type == MsgType::kShutdown || msg.type == MsgType::kWakeup) {
     // Runtime control, not protocol traffic: deliver but do not account.
     mailboxes_[msg.dst].push(std::move(msg));
     return;
   }
+  const std::size_t bytes = msg.wire_size();
   stats_->counter("net.msgs").add();
   stats_->counter("net.bytes").add(bytes);
   stats_->counter(std::string("net.msgs.") + std::string(to_string(msg.type))).add();
   stats_->histogram("net.msg_size").record(bytes);
   if (log_enabled(LogLevel::kTrace)) {
-    DSM_LOG_TRACE << "send " << to_string(msg.type) << ' ' << msg.src << "->" << msg.dst
-                  << " bytes=" << bytes << " t=" << msg.send_time;
+    DSM_LOG_TRACE << "deliver " << to_string(msg.type) << ' ' << msg.src << "->"
+                  << msg.dst << " seq=" << msg.seq << " bytes=" << bytes
+                  << " t=" << msg.send_time;
   }
-
   mailboxes_[msg.dst].push(std::move(msg));
+}
+
+void Network::complete_inflight(const Message& msg) {
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  if (in_flight_.erase(FlightKey{link_index(msg.src, msg.dst), msg.seq}) > 0) {
+    acks_.add();
+  }
+}
+
+void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due) {
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    delayed_.push_back(Delayed{due, std::move(msg), attempt});
+    std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
+  }
+  flight_cv_.notify_one();
+}
+
+void Network::inject_pause(NodeId node, std::uint32_t us) {
+  DSM_CHECK(node < mailboxes_.size());
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  pause_until_[node] = std::max(
+      pause_until_[node], std::chrono::steady_clock::now() + std::chrono::microseconds(us));
+}
+
+void Network::daemon_loop() {
+  std::unique_lock<std::mutex> lock(flight_mutex_);
+  while (!stopping_) {
+    SteadyTime next = kNever;
+    if (!delayed_.empty()) next = std::min(next, delayed_.front().due);
+    for (const auto& [key, entry] : in_flight_) next = std::min(next, entry.deadline);
+
+    if (next == kNever) {
+      flight_cv_.wait(lock);
+    } else {
+      flight_cv_.wait_until(lock, next);
+    }
+    if (stopping_) break;
+
+    const auto now = std::chrono::steady_clock::now();
+
+    std::vector<Delayed> due_now;
+    while (!delayed_.empty() && delayed_.front().due <= now) {
+      std::pop_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
+      due_now.push_back(std::move(delayed_.back()));
+      delayed_.pop_back();
+    }
+
+    std::vector<std::pair<Message, std::uint32_t>> resends;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      InFlight& entry = it->second;
+      if (entry.deadline > now) {
+        ++it;
+        continue;
+      }
+      if (entry.attempt >= reliability_.max_retries) {
+        gave_up_.add();
+        DSM_LOG_WARN << "reliable: giving up on " << to_string(entry.msg.type) << ' '
+                     << entry.msg.src << "->" << entry.msg.dst << " seq="
+                     << entry.msg.seq << " after " << entry.attempt << " retransmits";
+        it = in_flight_.erase(it);
+        continue;
+      }
+      ++entry.attempt;
+      const double scaled = static_cast<double>(reliability_.rto_ms) *
+                            std::pow(reliability_.backoff, entry.attempt);
+      const auto rto_ms = std::min<double>(scaled, reliability_.rto_max_ms);
+      entry.deadline = now + std::chrono::microseconds(
+                                 static_cast<std::int64_t>(rto_ms * 1000.0));
+      resends.emplace_back(entry.msg, entry.attempt);
+      ++it;
+    }
+
+    lock.unlock();
+    for (auto& d : due_now) arrive(std::move(d.msg), d.attempt);
+    for (auto& [msg, attempt] : resends) {
+      retransmits_.add();
+      wire_attempt(msg, attempt);
+    }
+    lock.lock();
+  }
+}
+
+void Network::stop_daemon() {
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  flight_cv_.notify_all();
+  if (daemon_.joinable()) daemon_.join();
 }
 
 void Network::multicast(std::span<const NodeId> destinations, const Message& prototype) {
@@ -93,7 +323,46 @@ std::optional<Message> Network::recv(NodeId node) {
   return mailboxes_[node].pop();
 }
 
+bool Network::idle() const {
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  return in_flight_.empty() && delayed_.empty();
+}
+
+void Network::debug_dump(std::ostream& os) const {
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    os << "  net: in-flight=" << in_flight_.size() << " delayed=" << delayed_.size()
+       << '\n';
+    for (const auto& [key, entry] : in_flight_) {
+      os << "    unacked " << to_string(entry.msg.type) << ' ' << entry.msg.src << "->"
+         << entry.msg.dst << " seq=" << entry.msg.seq << " attempt=" << entry.attempt
+         << '\n';
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(links_mutex_);
+    const std::size_t n = mailboxes_.size();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const LinkState& st = links_[i];
+      if (st.next_seq == 0 && st.reorder.empty()) continue;
+      if (!st.reorder.empty() || st.expected != st.next_seq) {
+        os << "    link " << i / n << "->" << i % n << ": sent=" << st.next_seq
+           << " delivered=" << st.expected << " parked=" << st.reorder.size() << '\n';
+      }
+    }
+  }
+  for (std::size_t node = 0; node < mailboxes_.size(); ++node) {
+    os << "    mailbox[" << node << "] backlog=" << mailboxes_[node].size() << '\n';
+  }
+}
+
 void Network::shutdown() {
+  stop_daemon();
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    in_flight_.clear();
+    delayed_.clear();
+  }
   for (auto& mb : mailboxes_) mb.close();
 }
 

@@ -1,19 +1,27 @@
-// The simulated interconnect: one mailbox per node, explicit messages,
-// a configurable link cost model, per-type traffic accounting, and a drop
-// hook for fault-injection tests. This is the substitution for the 1992
-// workstation network — see DESIGN.md "Substitutions".
+// The simulated interconnect: one mailbox per node, explicit messages, a
+// configurable link cost model, per-type traffic accounting, and a reliable
+// delivery sublayer (per-link sequence numbers, ack/retransmit with
+// exponential backoff, duplicate suppression, in-order reassembly) driven
+// against a seeded chaos injector. This is the substitution for the 1992
+// workstation network — see DESIGN.md "Substitutions" and "Reliable
+// transport & chaos".
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "net/chaos.hpp"
 #include "net/message.hpp"
 
 namespace dsm {
@@ -31,6 +39,29 @@ struct LinkModel {
     if (src == dst) return loopback_ns;
     return latency_ns + ns_per_byte * static_cast<VirtualTime>(bytes);
   }
+};
+
+/// Ack/retransmit policy of the reliable sublayer. Timeouts are *real* time
+/// (a lost message produces no virtual-time event to wait on); each
+/// retransmit additionally charges `rto_virtual_ns` to the message's virtual
+/// arrival so modeled completion times degrade with loss, like the real
+/// thing. At zero loss no retransmit ever fires and virtual results are
+/// bit-identical to an unreliable fabric.
+struct ReliabilityConfig {
+  /// Master switch. Off = the seed's fire-and-forget fabric (any lost
+  /// message wedges its waiter forever); kept for overhead measurement.
+  bool enabled = true;
+  /// Base retransmit timeout, real milliseconds.
+  std::uint32_t rto_ms = 5;
+  /// Timeout multiplier per retry (exponential backoff).
+  double backoff = 2.0;
+  /// Backoff ceiling, real milliseconds.
+  std::uint32_t rto_max_ms = 200;
+  /// Retransmits before the sender gives up (net.gave_up). A permanently
+  /// lost protocol message hangs its waiter — that is the watchdog's cue.
+  std::uint32_t max_retries = 12;
+  /// Virtual-time charge per retransmit (a 90s-era timeout constant).
+  VirtualTime rto_virtual_ns = 200'000;
 };
 
 /// Blocking MPSC queue of messages for one node's service thread.
@@ -52,22 +83,36 @@ class Mailbox {
   bool closed_ = false;
 };
 
-/// N-endpoint reliable, per-link-FIFO fabric.
+/// N-endpoint fabric with reliable, per-link-FIFO delivery.
 ///
 /// Delivery order: messages from the same (src,dst) pair are delivered in
 /// send order (link FIFO), matching what DSM protocols of this era assumed
-/// from their transport. Cross-source interleaving at a destination is
-/// arbitrary, as on a real network.
+/// from their transport. The reliable sublayer preserves this invariant
+/// under loss, duplication, and reordering: receivers suppress duplicate
+/// sequence numbers and hold out-of-order arrivals until the gap fills.
+/// Cross-source interleaving at a destination is arbitrary, as on a real
+/// network.
+///
+/// Acknowledgements are internal to the fabric (the in-process analogue of
+/// a transport-level ack): accepting an eligible message completes the
+/// sender's in-flight entry directly, unless chaos decides the ack was lost
+/// — in which case the retransmit daemon resends and the receiver dedups.
 class Network {
  public:
-  Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats);
+  Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
+          ReliabilityConfig reliability = {}, ChaosConfig chaos = {});
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   std::size_t size() const { return mailboxes_.size(); }
   const LinkModel& link() const { return link_; }
+  const ReliabilityConfig& reliability() const { return reliability_; }
 
-  /// Stamps arrival time, accounts traffic, and enqueues at `msg.dst`.
-  /// If a drop hook is installed and returns true, the message vanishes
-  /// (counted under net.dropped).
+  /// Assigns a sequence number (protocol traffic between distinct nodes),
+  /// tracks the message for retransmission, and attempts the wire transfer.
+  /// Chaos may drop/duplicate/delay the attempt; the retransmit daemon
+  /// recovers dropped attempts until `max_retries` is exhausted.
   void send(Message msg);
 
   /// Sends a copy of `prototype` to every node in `destinations`
@@ -77,24 +122,118 @@ class Network {
   /// Blocking receive for `node`'s service thread.
   std::optional<Message> recv(NodeId node);
 
-  /// Closes every mailbox, releasing all blocked receivers.
+  /// Stops the retransmit daemon and closes every mailbox, releasing all
+  /// blocked receivers.
   void shutdown();
 
-  /// Installs a fault-injection predicate; return true to drop the message.
-  /// Not thread-safe with in-flight sends — install before traffic starts.
+  /// Wire-level fault filter for deterministic tests: return true to drop
+  /// this attempt. Applied before chaos; the reliable sublayer still
+  /// retransmits. Install before traffic starts.
   void set_drop_hook(std::function<bool(const Message&)> hook) {
     drop_hook_ = std::move(hook);
   }
 
-  /// Total messages sent so far (excluding dropped).
+  /// Injects a node stall: deliveries to `node` are held for `us` real
+  /// microseconds from now (the chaos pause injector's explicit form).
+  void inject_pause(NodeId node, std::uint32_t us);
+
+  /// Messages accepted into mailboxes so far (dedup-suppressed duplicates
+  /// and dropped attempts excluded) — the count the service loops will see.
   std::uint64_t messages_sent() const { return messages_sent_.value(); }
 
+  /// True when no unacked message awaits retransmission and no delayed
+  /// delivery is pending; with `messages_sent() == processed` this makes
+  /// the fabric quiescent (see System::drain).
+  bool idle() const;
+
+  /// One-line-per-item diagnostic dump of in-flight and delayed messages
+  /// and per-link reassembly state (watchdog reports).
+  void debug_dump(std::ostream& os) const;
+
  private:
+  using SteadyTime = std::chrono::steady_clock::time_point;
+
+  /// Per-(src,dst) reliable-channel state. Sender side assigns `next_seq`;
+  /// receiver side delivers `expected` and parks later seqs in `reorder`.
+  struct LinkState {
+    std::uint64_t next_seq = 0;
+    std::uint64_t expected = 0;
+    std::map<std::uint64_t, Message> reorder;
+  };
+
+  /// An unacked reliable message awaiting (re)transmission.
+  struct InFlight {
+    Message msg;
+    std::uint32_t attempt = 0;  // retransmits so far
+    SteadyTime deadline;
+  };
+  /// Key: (src*n_nodes + dst, seq).
+  using FlightKey = std::pair<std::size_t, std::uint64_t>;
+
+  /// A chaos-delayed or pause-held delivery.
+  struct Delayed {
+    SteadyTime due;
+    Message msg;
+    std::uint32_t attempt = 0;
+  };
+
+  /// True for traffic the reliable sublayer covers: protocol messages
+  /// between distinct nodes. Control (Shutdown/Wakeup) and loopback are
+  /// delivered directly — an in-process self-send cannot be lost.
+  static bool reliable_eligible(const Message& msg) {
+    return msg.src != msg.dst && msg.type != MsgType::kShutdown &&
+           msg.type != MsgType::kWakeup;
+  }
+
+  std::size_t link_index(NodeId src, NodeId dst) const {
+    return static_cast<std::size_t>(src) * mailboxes_.size() + dst;
+  }
+
+  /// One transfer attempt: test hook + chaos (drop/duplicate/delay), then
+  /// arrival. Called from send() (attempt 0) and the daemon (retransmits).
+  void wire_attempt(Message msg, std::uint32_t attempt);
+  /// Receiver side: ack (unless chaos eats it), dedup, reorder, deliver.
+  void arrive(Message msg, std::uint32_t attempt);
+  /// Final step: traffic accounting + mailbox push, in-order per link.
+  void deliver(Message msg);
+  /// Completes (erases) the sender's in-flight entry — the internal ack.
+  void complete_inflight(const Message& msg);
+  /// Queues a delivery for the daemon at `due`.
+  void defer(Message msg, std::uint32_t attempt, SteadyTime due);
+
+  void daemon_loop();
+  void stop_daemon();
+
   LinkModel link_;
   StatsRegistry* stats_;
+  ReliabilityConfig reliability_;
+  ChaosEngine chaos_;
   std::vector<Mailbox> mailboxes_;
   std::function<bool(const Message&)> drop_hook_;
+
+  // Sender/receiver channel state (seq assignment, dedup, reorder).
+  mutable std::mutex links_mutex_;
+  std::vector<LinkState> links_;
+
+  // Retransmit daemon state: unacked messages, delayed deliveries, pauses.
+  mutable std::mutex flight_mutex_;
+  std::condition_variable flight_cv_;
+  std::map<FlightKey, InFlight> in_flight_;
+  std::vector<Delayed> delayed_;  // min-heap by `due`
+  std::vector<SteadyTime> pause_until_;
+  bool stopping_ = false;
+  std::thread daemon_;
+
+  // Cached hot counters (StatsRegistry lookup is a lock + map walk).
   Counter messages_sent_;
+  Counter& dropped_;
+  Counter& retransmits_;
+  Counter& dups_suppressed_;
+  Counter& acks_;
+  Counter& acks_dropped_;
+  Counter& gave_up_;
+  Counter& delayed_count_;
+  Counter& pauses_;
 };
 
 }  // namespace dsm

@@ -134,7 +134,7 @@ TEST(Runtime, EveryNodeSeesItsOwnView) {
 }
 
 TEST(RuntimeDeathTest, ReentrantRunAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   System sys(small_config(ProtocolKind::kIvyDynamic, 1));
   EXPECT_DEATH(sys.run([&](Worker&) { sys.run([](Worker&) {}); }), "not reentrant");
 }

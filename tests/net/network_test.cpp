@@ -37,7 +37,7 @@ TEST_F(NetworkTest, StampsArrivalWithLatencyAndBandwidth) {
   net_.send(make_msg(MsgType::kUpdate, 0, 1, /*payload=*/100, /*send_time=*/500));
   const auto msg = net_.recv(1);
   ASSERT_TRUE(msg.has_value());
-  // wire = 14-byte header + 100 payload; cost = 1000 + 10 * 114.
+  // wire = 22-byte header + 100 payload; cost = 1000 + 10 * 122.
   EXPECT_EQ(msg->arrival_time, 500u + 1000u + 10u * msg->wire_size());
 }
 
@@ -83,15 +83,19 @@ TEST_F(NetworkTest, CountsTrafficByType) {
   EXPECT_GT(snap.counter("net.bytes"), 0u);
 }
 
-TEST_F(NetworkTest, DropHookDiscards) {
-  net_.set_drop_hook([](const Message& m) { return m.type == MsgType::kUpdate; });
-  net_.send(make_msg(MsgType::kUpdate, 0, 1));
-  net_.send(make_msg(MsgType::kConfirm, 0, 1));
-  const auto msg = net_.recv(1);
+TEST_F(NetworkTest, DropHookDiscardsWhenUnreliable) {
+  // With the reliable sublayer disabled (the seed's fire-and-forget fabric),
+  // a dropped message is simply gone and later traffic overtakes it.
+  StatsRegistry stats;
+  Network net(4, link_, &stats, ReliabilityConfig{.enabled = false});
+  net.set_drop_hook([](const Message& m) { return m.type == MsgType::kUpdate; });
+  net.send(make_msg(MsgType::kUpdate, 0, 1));
+  net.send(make_msg(MsgType::kConfirm, 0, 1));
+  const auto msg = net.recv(1);
   ASSERT_TRUE(msg.has_value());
   EXPECT_EQ(msg->type, MsgType::kConfirm);
-  EXPECT_EQ(stats_.snapshot().counter("net.dropped"), 1u);
-  EXPECT_EQ(net_.messages_sent(), 1u);
+  EXPECT_EQ(stats.snapshot().counter("net.dropped"), 1u);
+  EXPECT_EQ(net.messages_sent(), 1u);
 }
 
 TEST_F(NetworkTest, ShutdownUnblocksReceivers) {
@@ -102,8 +106,9 @@ TEST_F(NetworkTest, ShutdownUnblocksReceivers) {
 }
 
 TEST_F(NetworkTest, WireSizeIncludesHeader) {
+  // type(2) + src(4) + dst(4) + seq(8) + length(4) = 22-byte header.
   const auto m = make_msg(MsgType::kUpdate, 0, 1, 100);
-  EXPECT_EQ(m.wire_size(), 114u);
+  EXPECT_EQ(m.wire_size(), 122u);
 }
 
 TEST(MessageType, AllTypesHaveNames) {

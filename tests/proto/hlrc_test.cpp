@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "core/dsm.hpp"
 #include "proto/hlrc.hpp"
@@ -207,7 +209,13 @@ TEST(Hlrc, SequentialPrefetchCutsDemandMisses) {
     w.barrier(0);
     if (w.id() == 1) {
       std::uint64_t s = 0;
-      for (std::size_t p = 0; p < 12; ++p) s += test::force_read(&w.get(arr)[p * per_page]);
+      for (std::size_t p = 0; p < 12; ++p) {
+        s += test::force_read(&w.get(arr)[p * per_page]);
+        // Real-time pause between pages: prefetch hides latency behind
+        // per-page work, and without any the async responses race the next
+        // demand fault and the miss count is nondeterministic.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
       sum = s;
     }
     w.barrier(0);

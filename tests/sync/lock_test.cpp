@@ -155,7 +155,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(LockDeathTest, RecursiveAcquireAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   Config cfg;
   cfg.n_nodes = 1;
   cfg.n_pages = 8;
@@ -169,7 +169,7 @@ TEST(LockDeathTest, RecursiveAcquireAborts) {
 }
 
 TEST(LockDeathTest, ReleaseWithoutAcquireAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   Config cfg;
   cfg.n_nodes = 1;
   cfg.n_pages = 8;

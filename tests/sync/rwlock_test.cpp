@@ -161,7 +161,7 @@ INSTANTIATE_TEST_SUITE_P(Protocols, RwLockTest,
                          });
 
 TEST(RwLockDeathTest, ReleaseReadWithoutAcquireAborts) {
-  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
   Config cfg = rw_config(ProtocolKind::kIvyDynamic, 1);
   System sys(cfg);
   EXPECT_DEATH(sys.run([](Worker& w) { w.release_read(0); }), "not read-held");
