@@ -2,7 +2,13 @@
 // Re-derives the classic per-protocol cost tables (Li & Hudak §4;
 // Nitzberg & Lo's protocol comparison): what does a cold read miss, a write
 // miss on a read-shared page, and a lock-protected migratory update cost?
-#include <atomic>
+//
+// Tracing is always on here: the fault p50 column and the T2 leg table are
+// derived from recorded spans (fault-txn spans and net-transit spans), and
+// `--trace=FILE` exports the exact same spans as Chrome-trace JSON — the
+// printed tables are reproducible from the file.
+#include <map>
+#include <string_view>
 
 #include "../tests/test_util.hpp"
 #include "harness.hpp"
@@ -15,32 +21,74 @@ struct Probe {
   std::uint64_t msgs = 0;
   std::uint64_t bytes = 0;
   std::uint64_t fault_p50_ns = 0;
+  std::vector<TraceEvent> spans;  // everything this scenario recorded
 };
 
 Probe measure(System& sys, const std::function<void(Worker&)>& body) {
   sys.reset_stats();
+  bench::SpanDiff diff(*sys.tracer());
   sys.run(body);
   const auto snap = sys.stats();
   Probe p;
   p.msgs = snap.counter("net.msgs");
   p.bytes = snap.counter("net.bytes");
-  const auto it = snap.histograms.find("proto.fault_service_ns");
-  if (it != snap.histograms.end() && it->second.count > 0) p.fault_p50_ns = it->second.p50;
+  p.spans = diff.take();
+  // Fault service latency from fault-txn spans — the same request→grant
+  // interval the protocols' fault paths time, but read back from the trace.
+  std::vector<TraceEvent> txns;
+  for (const auto& ev : p.spans) {
+    if (ev.cat == TraceCat::kProto && std::string_view(ev.name) == "fault-txn") {
+      txns.push_back(ev);
+    }
+  }
+  p.fault_p50_ns = bench::median_duration(txns);
   return p;
+}
+
+/// One row per distinct message type seen in the scenario's net-transit
+/// spans: how many wire legs of that type, and their total virtual cost.
+void add_leg_rows(bench::Table& legs, ProtocolKind protocol, const char* scenario,
+                  const std::vector<TraceEvent>& spans) {
+  std::map<std::string, std::pair<std::uint64_t, VirtualTime>> by_type;
+  for (const auto& ev : spans) {
+    if (ev.cat != TraceCat::kNet) continue;
+    const std::string_view name(ev.name);
+    if (name == "send" || name == "retransmit") continue;  // point events
+    auto& [count, total] = by_type[std::string(name)];
+    ++count;
+    total += ev.vend - ev.vstart;
+  }
+  for (const auto& [name, leg] : by_type) {
+    legs.add_row({std::string(to_string(protocol)), scenario, name,
+                  bench::fmt_count(leg.first),
+                  bench::fmt_double(static_cast<double>(leg.second) / 1000.0, 1)});
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_arg(argc, argv);
+
   bench::Table table("T1/T2 — fault-path cost per protocol (4 nodes, 10 us links, 10 MB/s)",
                      {"protocol", "scenario", "msgs", "bytes", "fault p50 (us)"});
   table.note("cold-read: node 1 first touch of a page homed at node 0");
   table.note("write-upgrade: write to a page all 4 nodes hold read-only (+release where eager)");
   table.note("migratory: one lock-protected counter update by a non-owner");
   table.note("EC has no page faults by design: data moves with its lock.");
+  table.note("fault p50 is the median fault-txn span (request -> grant, virtual time)");
+
+  bench::Table legs("T2 — transaction legs from trace spans (net transit per message type)",
+                    {"protocol", "scenario", "leg", "count", "total (us)"});
+  legs.note("each leg is one net-transit span: send_time -> arrival_time");
+
+  std::vector<TraceGroup> groups;
+  std::uint64_t dropped = 0;
 
   for (const auto protocol : bench::all_protocols()) {
-    System sys(bench::base_config(4, 16, protocol));
+    Config cfg = bench::base_config(4, 16, protocol);
+    cfg.trace.enabled = true;
+    System sys(cfg);
     const auto cell = sys.alloc_page_aligned<std::uint64_t>();  // page 0, home node 0
     const bool ec = protocol == ProtocolKind::kEc;
 
@@ -67,6 +115,7 @@ int main() {
     table.add_row({std::string(to_string(protocol)), "cold-read",
                    bench::fmt_count(cold.msgs), bench::fmt_count(cold.bytes),
                    bench::fmt_double(static_cast<double>(cold.fault_p50_ns) / 1000.0, 1)});
+    add_leg_rows(legs, protocol, "cold-read", cold.spans);
 
     // --- replicate everywhere, then write-upgrade by node 1 ---
     sys.run([&](Worker& w) {
@@ -89,6 +138,7 @@ int main() {
     table.add_row({std::string(to_string(protocol)), "write-upgrade",
                    bench::fmt_count(upgrade.msgs), bench::fmt_count(upgrade.bytes),
                    bench::fmt_double(static_cast<double>(upgrade.fault_p50_ns) / 1000.0, 1)});
+    add_leg_rows(legs, protocol, "write-upgrade", upgrade.spans);
 
     // --- migratory: node 2 takes the counter from node 1 ---
     const auto migratory = measure(sys, [&](Worker& w) {
@@ -101,8 +151,15 @@ int main() {
     table.add_row({std::string(to_string(protocol)), "migratory",
                    bench::fmt_count(migratory.msgs), bench::fmt_count(migratory.bytes),
                    bench::fmt_double(static_cast<double>(migratory.fault_p50_ns) / 1000.0, 1)});
+    add_leg_rows(legs, protocol, "migratory", migratory.spans);
+
+    groups.push_back(TraceGroup{std::string(to_string(protocol)), cfg.n_nodes,
+                                sys.tracer()->all_events()});
+    dropped += sys.tracer()->dropped();
   }
 
   table.print();
+  legs.print();
+  bench::write_trace(trace_path, groups, dropped);
   return 0;
 }

@@ -1,16 +1,28 @@
 // F5 — Lock performance under contention: centralized vs forward-chain
 // queue locks, and the EC/LRC "data rides the grant" advantage. N
 // contenders hammer one lock guarding one page.
+//
+// Handoff latency is read back from lock-acquire trace spans (slow-path
+// acquires only — cached re-acquires never open a span), so the printed
+// p50 is the exact median, and `--trace=FILE` exports every configuration's
+// spans for inspection.
+#include <string_view>
+
 #include "harness.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dsm;
+  const std::string trace_path = bench::trace_arg(argc, argv);
 
   bench::Table table("F5 — one hot lock, one hot page: N contenders, 20 CS each",
                      {"nodes", "policy", "protocol", "virt ms", "lock msgs",
                       "wait p50 (us)", "coherence msgs"});
   table.note("forward-chain grants flow holder->next; centralized bounces via the home");
   table.note("EC ships the guarded data inside the grant; LRC ships notices + lazy diffs");
+  table.note("wait p50: median lock-acquire span (slow-path handoff latency)");
+
+  std::vector<TraceGroup> groups;
+  std::uint64_t dropped = 0;
 
   for (const std::size_t nodes : {2u, 4u, 8u, 16u, 32u}) {
     for (const auto policy : {LockPolicy::kCentralized, LockPolicy::kForwardChain}) {
@@ -19,6 +31,7 @@ int main() {
             ProtocolKind::kEc}) {
         Config cfg = bench::base_config(nodes, 16, protocol);
         cfg.lock_policy = policy;
+        cfg.trace.enabled = true;
         System sys(cfg);
         const auto cell = sys.alloc_page_aligned<std::uint64_t>();
 
@@ -41,18 +54,33 @@ int main() {
         const auto coherence = snap.counter("net.msgs") - lock_msgs -
                                snap.counter("net.msgs.BarrierArrive") -
                                snap.counter("net.msgs.BarrierRelease");
-        const auto wait = snap.histograms.count("sync.lock_wait_ns")
-                              ? snap.histograms.at("sync.lock_wait_ns").p50
-                              : 0;
-        table.add_row({std::to_string(nodes),
-                       policy == LockPolicy::kCentralized ? "central" : "chain",
+
+        std::vector<TraceEvent> acquires;
+        auto all = sys.tracer()->all_events();
+        for (const auto& ev : all) {
+          if (ev.cat == TraceCat::kSync && std::string_view(ev.name) == "lock-acquire") {
+            acquires.push_back(ev);
+          }
+        }
+        const auto wait = bench::median_duration(acquires);
+
+        const std::string policy_name =
+            policy == LockPolicy::kCentralized ? "central" : "chain";
+        table.add_row({std::to_string(nodes), policy_name,
                        std::string(to_string(protocol)), bench::fmt_ms(sys.virtual_time()),
                        bench::fmt_count(lock_msgs),
                        bench::fmt_double(static_cast<double>(wait) / 1000.0, 1),
                        bench::fmt_count(coherence)});
+        if (!trace_path.empty()) {
+          groups.push_back(TraceGroup{std::to_string(nodes) + "/" + policy_name + "/" +
+                                          std::string(to_string(protocol)),
+                                      nodes, std::move(all)});
+          dropped += sys.tracer()->dropped();
+        }
       }
     }
   }
   table.print();
+  bench::write_trace(trace_path, groups, dropped);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace dsm::bench {
@@ -70,6 +72,52 @@ std::string fmt_double(double v, int precision) {
   char buffer[32];
   std::snprintf(buffer, sizeof buffer, "%.*f", precision, v);
   return buffer;
+}
+
+std::string trace_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) return arg.substr(8);
+  }
+  return "";
+}
+
+void write_trace(const std::string& path, const std::vector<TraceGroup>& groups,
+                 std::uint64_t dropped) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  write_chrome_trace(os, groups, dropped);
+  std::size_t spans = 0;
+  for (const auto& g : groups) spans += g.events.size();
+  std::printf("\nwrote %zu spans to %s (chrome://tracing or ui.perfetto.dev)\n",
+              spans, path.c_str());
+}
+
+SpanDiff::SpanDiff(const Tracer& tracer) : tracer_(tracer), seen_(tracer.n_nodes()) {
+  for (NodeId n = 0; n < seen_.size(); ++n) seen_[n] = tracer_.events(n).size();
+}
+
+std::vector<TraceEvent> SpanDiff::take() {
+  std::vector<TraceEvent> out;
+  for (NodeId n = 0; n < seen_.size(); ++n) {
+    auto per_node = tracer_.events(n);
+    for (std::size_t i = seen_[n]; i < per_node.size(); ++i) out.push_back(per_node[i]);
+    seen_[n] = per_node.size();
+  }
+  return out;
+}
+
+VirtualTime median_duration(const std::vector<TraceEvent>& spans) {
+  if (spans.empty()) return 0;
+  std::vector<VirtualTime> d;
+  d.reserve(spans.size());
+  for (const auto& ev : spans) d.push_back(ev.vend - ev.vstart);
+  std::nth_element(d.begin(), d.begin() + static_cast<std::ptrdiff_t>(d.size() / 2), d.end());
+  return d[d.size() / 2];
 }
 
 }  // namespace dsm::bench

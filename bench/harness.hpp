@@ -40,4 +40,30 @@ std::string fmt_ms(VirtualTime ns);
 std::string fmt_count(std::uint64_t v);
 std::string fmt_double(double v, int precision = 2);
 
+// --- tracing support --------------------------------------------------------
+
+/// Parses a `--trace=FILE` argument (any position); "" when absent.
+std::string trace_arg(int argc, char** argv);
+
+/// Writes merged trace groups as Chrome-trace JSON to `path` and prints a
+/// confirmation line. No-op when `path` is empty.
+void write_trace(const std::string& path, const std::vector<TraceGroup>& groups,
+                 std::uint64_t dropped = 0);
+
+/// Snapshot-diff over a tracer's rings: take() returns the events recorded
+/// since construction or the previous take(), letting a bench attribute
+/// spans to the scenario that produced them.
+class SpanDiff {
+ public:
+  explicit SpanDiff(const Tracer& tracer);
+  std::vector<TraceEvent> take();
+
+ private:
+  const Tracer& tracer_;
+  std::vector<std::size_t> seen_;
+};
+
+/// Median duration (vend - vstart) of the given spans; 0 when empty.
+VirtualTime median_duration(const std::vector<TraceEvent>& spans);
+
 }  // namespace dsm::bench

@@ -3,11 +3,14 @@
 // barrier; every other node reads the data as ordinary memory — the page
 // faults, coherence messages, and data shipping all happen underneath.
 //
-//   ./quickstart [protocol]
+//   ./quickstart [protocol] [--trace=FILE]
 // where protocol is one of: ivy-central ivy-fixed ivy-dynamic
 // erc-invalidate erc-update lrc hlrc ec (default ivy-dynamic).
+// --trace=FILE records every fault, protocol leg, sync wait, and message
+// as Chrome-trace JSON — open it in chrome://tracing or ui.perfetto.dev.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/dsm.hpp"
@@ -36,7 +39,17 @@ int main(int argc, char** argv) {
   cfg.n_nodes = 4;
   cfg.n_pages = 32;
   cfg.page_size = dsm::ViewRegion::os_page_size();
-  cfg.protocol = argc > 1 ? parse_protocol(argv[1]) : dsm::ProtocolKind::kIvyDynamic;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      cfg.trace.enabled = true;
+    } else {
+      cfg.protocol = parse_protocol(argv[i]);
+    }
+  }
 
   dsm::System sys(cfg);
   constexpr std::size_t kWords = 1024;
@@ -71,5 +84,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(snap.counter("net.bytes")),
               static_cast<unsigned long long>(snap.counter("proto.read_faults")),
               static_cast<double>(sys.virtual_time()) / 1e6);
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    sys.tracer()->write_json(os);
+    std::printf("trace written to %s (chrome://tracing or ui.perfetto.dev)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

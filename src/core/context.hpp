@@ -14,6 +14,7 @@
 #include "mem/page_table.hpp"
 #include "mem/region.hpp"
 #include "net/network.hpp"
+#include "trace/trace.hpp"
 
 namespace dsm {
 
@@ -58,6 +59,9 @@ struct Config {
   /// than this (real milliseconds) triggers a diagnostic dump and a clean
   /// abort instead of an infinite hang. 0 disables the watchdog.
   std::uint32_t watchdog_ms = 30'000;
+  /// Virtual-time span tracing (off by default; ~zero overhead when off).
+  /// See DESIGN.md "Observability" and Tracer::write_json.
+  TraceConfig trace{};
 
   // Virtual-time cost model (see DESIGN.md "Virtual time").
   VirtualTime fault_ns = 5'000;    ///< trap + kernel + handler entry per fault
@@ -91,6 +95,7 @@ struct NodeContext {
   PageTable* table = nullptr;
   LogicalClock* clock = nullptr;
   StatsRegistry* stats = nullptr;
+  Tracer* trace = nullptr;  ///< null when tracing is off
 
   /// Static distribution of pages to their home nodes.
   NodeId home_of(PageId page) const {

@@ -66,8 +66,12 @@ System::System(Config cfg) : cfg_(cfg) {
   DSM_CHECK_MSG(cfg_.page_size % ViewRegion::os_page_size() == 0,
                 "page_size must be a multiple of the OS page size ("
                     << ViewRegion::os_page_size() << ")");
+  if (cfg_.trace.enabled) {
+    tracer_ = std::make_unique<Tracer>(cfg_.n_nodes, cfg_.trace,
+                                       &stats_.counter("trace.dropped"));
+  }
   network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
-                                       cfg_.reliability, cfg_.chaos);
+                                       cfg_.reliability, cfg_.chaos, tracer_.get());
   watchdog_ = std::make_unique<Watchdog>(
       cfg_.n_nodes, cfg_.watchdog_ms,
       [this](std::ostream& os) { dump_diagnostics(os); });
@@ -86,6 +90,7 @@ System::System(Config cfg) : cfg_(cfg) {
         .table = node->table.get(),
         .clock = &node->clock,
         .stats = &stats_,
+        .trace = tracer_.get(),
     };
     node->protocol = make_protocol(node->ctx);
     node->sync = std::make_unique<SyncAgent>(node->ctx, *node->protocol);
@@ -96,6 +101,9 @@ System::System(Config cfg) : cfg_(cfg) {
         [this, raw](PageId page, bool is_write) {
           const auto g = Watchdog::guard(watchdog_.get(), raw->ctx.id,
                                          is_write ? "write-fault" : "read-fault", page);
+          const TraceScope span(tracer_.get(), raw->ctx.id, TraceCat::kFault,
+                                is_write ? "write-fault" : "read-fault",
+                                &raw->clock, "page", page);
           if (is_write) {
             raw->protocol->on_write_fault(page);
           } else {
@@ -145,10 +153,19 @@ void System::service_loop(Node& node) {
     if (msg->type == MsgType::kShutdown) break;
     node.clock.advance_to(msg->arrival_time);
     node.clock.advance(cfg_.service_ns);
-    if (SyncAgent::handles(msg->type)) {
-      node.sync->on_message(*msg);
-    } else {
-      node.protocol->on_message(*msg);
+    const bool is_sync = SyncAgent::handles(msg->type);
+    {
+      // One span per message handled: the service-side half of a protocol
+      // transaction leg (or a sync-agent step).
+      const TraceScope span(tracer_.get(), node.ctx.id,
+                            is_sync ? TraceCat::kSync : TraceCat::kProto,
+                            to_string(msg->type).data(), &node.clock, "src",
+                            msg->src, "seq", msg->seq);
+      if (is_sync) {
+        node.sync->on_message(*msg);
+      } else {
+        node.protocol->on_message(*msg);
+      }
     }
     processed_.fetch_add(1, std::memory_order_release);
   }
@@ -172,6 +189,7 @@ void System::dump_diagnostics(std::ostream& os) const {
   os << "[tutordsm] diagnostic dump (" << to_string(cfg_.protocol) << ", "
      << cfg_.n_nodes << " nodes, " << cfg_.n_pages << " pages)\n";
   network_->debug_dump(os);
+  if (tracer_ != nullptr) tracer_->dump_tail(os, cfg_.trace.dump_tail_spans);
   for (const auto& node : nodes_) {
     os << "  node " << node->ctx.id << " clock=" << node->clock.now() << "ns\n";
     for (PageId p = 0; p < node->table->n_pages(); ++p) {

@@ -109,6 +109,11 @@ class System {
   VirtualTime virtual_time() const;
   void reset_clocks();
 
+  /// The span tracer, or nullptr when Config::trace.enabled is false.
+  /// Export with tracer()->write_json(os) after run() returns.
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+
   // --- white-box access (tests, benches) -----------------------------------
   Network& network() { return *network_; }
   PageTable& table(NodeId node) { return *nodes_[node]->table; }
@@ -139,6 +144,7 @@ class System {
 
   Config cfg_;
   StatsRegistry stats_;
+  std::unique_ptr<Tracer> tracer_;  // null when tracing is off
   std::unique_ptr<Network> network_;
   std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace dsm {
 
@@ -60,9 +61,10 @@ struct DelayedOrder {
 }  // namespace
 
 Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
-                 ReliabilityConfig reliability, ChaosConfig chaos)
+                 ReliabilityConfig reliability, ChaosConfig chaos, Tracer* tracer)
     : link_(link),
       stats_(stats),
+      tracer_(tracer),
       reliability_(reliability),
       chaos_(chaos),
       mailboxes_(n_nodes),
@@ -91,6 +93,11 @@ void Network::send(Message msg) {
     // Control traffic and loopback: an in-process self-send cannot be lost.
     msg.seq = Message::kNoSeq;
     msg.arrival_time = msg.send_time + link_.cost(msg.src, msg.dst, msg.wire_size());
+    if (tracer_ != nullptr && msg.type != MsgType::kShutdown &&
+        msg.type != MsgType::kWakeup) {
+      tracer_->instant(msg.src, TraceCat::kNet, "send", msg.send_time, "dst", msg.dst,
+                       "seq", msg.seq);
+    }
     deliver(std::move(msg));
     return;
   }
@@ -115,6 +122,10 @@ void Network::send(Message msg) {
     if (daemon_was_idle) flight_cv_.notify_one();
   } else {
     msg.seq = Message::kNoSeq;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->instant(msg.src, TraceCat::kNet, "send", msg.send_time, "dst", msg.dst,
+                     "seq", msg.seq);
   }
   wire_attempt(std::move(msg), 0);
 }
@@ -207,6 +218,13 @@ void Network::deliver(Message msg) {
     return;
   }
   const std::size_t bytes = msg.wire_size();
+  if (tracer_ != nullptr) {
+    // The transit leg: virtual span from the sender's stamp to the modeled
+    // arrival, on the destination's "net" track. to_string returns a
+    // literal, so .data() is a stable NUL-terminated name.
+    tracer_->complete(msg.dst, TraceCat::kNet, to_string(msg.type).data(),
+                      msg.send_time, msg.arrival_time, "src", msg.src, "seq", msg.seq);
+  }
   stats_->counter("net.msgs").add();
   stats_->counter("net.bytes").add(bytes);
   stats_->counter(std::string("net.msgs.") + std::string(to_string(msg.type))).add();
@@ -294,6 +312,10 @@ void Network::daemon_loop() {
     for (auto& d : due_now) arrive(std::move(d.msg), d.attempt);
     for (auto& [msg, attempt] : resends) {
       retransmits_.add();
+      if (tracer_ != nullptr) {
+        tracer_->instant(msg.src, TraceCat::kNet, "retransmit", msg.send_time, "seq",
+                         msg.seq, "attempt", attempt);
+      }
       wire_attempt(msg, attempt);
     }
     lock.lock();

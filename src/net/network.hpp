@@ -26,6 +26,8 @@
 
 namespace dsm {
 
+class Tracer;
+
 /// Virtual-time cost of moving a message across one link.
 struct LinkModel {
   /// Per-message base latency (wire + protocol stack), nanoseconds.
@@ -100,7 +102,8 @@ class Mailbox {
 class Network {
  public:
   Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
-          ReliabilityConfig reliability = {}, ChaosConfig chaos = {});
+          ReliabilityConfig reliability = {}, ChaosConfig chaos = {},
+          Tracer* tracer = nullptr);
   ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -206,6 +209,7 @@ class Network {
 
   LinkModel link_;
   StatsRegistry* stats_;
+  Tracer* tracer_;  // null when tracing is off
   ReliabilityConfig reliability_;
   ChaosEngine chaos_;
   std::vector<Mailbox> mailboxes_;

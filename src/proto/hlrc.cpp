@@ -89,6 +89,9 @@ void HlrcProtocol::on_read_fault(PageId page) {
     lock.lock();
     e.cv.wait(lock, [&] { return !e.busy; });
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+    if (ctx_.trace != nullptr)
+      ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
+                           ctx_.clock->now(), "page", page);
   }
 }
 

@@ -102,6 +102,9 @@ void IvyManagerProtocol::fault(PageId page, bool is_write) {
     lock.lock();
     e.cv.wait(lock, [&] { return !e.busy; });
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+    if (ctx_.trace != nullptr)
+      ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
+                           ctx_.clock->now(), "page", page);
   }
 }
 

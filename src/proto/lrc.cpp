@@ -195,6 +195,9 @@ void LrcProtocol::make_page_valid(PageId page) {
   }
   e.busy = false;
   ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
+  if (ctx_.trace != nullptr)
+    ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
+                         ctx_.clock->now(), "page", page);
 }
 
 // --------------------------------------------------------------------------

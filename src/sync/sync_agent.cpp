@@ -100,6 +100,10 @@ void SyncAgent::acquire(LockId lock) {
   }
 
   const VirtualTime t0 = ctx_.clock->now();
+  // Slow path only: cached re-acquires above never wait, so the span set
+  // measures genuine handoff latency (bench_locks reads these).
+  const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "lock-acquire",
+                        ctx_.clock, "lock", lock);
   WireWriter req(32);
   protocol_.fill_lock_request(lock, req);
   WireWriter w(req.size() + 16);
@@ -120,6 +124,8 @@ void SyncAgent::acquire(LockId lock) {
 
 void SyncAgent::release(LockId lock) {
   DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
+  const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "lock-release",
+                        ctx_.clock, "lock", lock);
   // Consistency actions must complete before anyone else can hold the lock.
   protocol_.before_release(lock);
 
@@ -169,6 +175,8 @@ void SyncAgent::acquire_read(LockId lock) {
   DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
   ctx_.stats->counter("sync.rw_read_acquires").add();
   const VirtualTime t0 = ctx_.clock->now();
+  const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-read",
+                        ctx_.clock, "lock", lock);
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& L = local_[lock];
@@ -214,6 +222,8 @@ void SyncAgent::acquire_write(LockId lock) {
   DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
   ctx_.stats->counter("sync.rw_write_acquires").add();
   const VirtualTime t0 = ctx_.clock->now();
+  const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-write",
+                        ctx_.clock, "lock", lock);
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& L = local_[lock];
@@ -481,6 +491,8 @@ void SyncAgent::barrier(BarrierId barrier) {
   DSM_CHECK_MSG(barrier < barrier_gen_.size(), "barrier id " << barrier << " out of range");
   ctx_.stats->counter("sync.barriers").add();
   const VirtualTime t0 = ctx_.clock->now();
+  const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "barrier-wait",
+                        ctx_.clock, "barrier", barrier);
 
   protocol_.before_barrier(barrier);
   WireWriter payload(64);

@@ -1,0 +1,280 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Minimal JSON string escape (names are static strings, but keep the
+/// exporter safe against anything).
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+/// Virtual ns → Chrome-trace microseconds with ns resolution kept.
+std::string fmt_us(VirtualTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kFault: return "fault";
+    case TraceCat::kProto: return "proto";
+    case TraceCat::kSync: return "sync";
+    case TraceCat::kNet: return "net";
+    case TraceCat::kCount_: break;
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t n_nodes, const TraceConfig& cfg, Counter* dropped_counter)
+    : capacity_(round_up_pow2(std::max<std::size_t>(cfg.buffer_spans, 2))),
+      mask_(capacity_ - 1),
+      dropped_counter_(dropped_counter),
+      epoch_(std::chrono::steady_clock::now()) {
+  DSM_CHECK(n_nodes > 0);
+  rings_.reserve(n_nodes);
+  for (std::size_t n = 0; n < n_nodes; ++n) {
+    rings_.push_back(std::make_unique<Ring>(capacity_));
+  }
+}
+
+std::uint64_t Tracer::real_now() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  DSM_CHECK(ev.node < rings_.size());
+  Ring& ring = *rings_[ev.node];
+  const std::uint64_t idx = ring.head.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_ && dropped_counter_ != nullptr) dropped_counter_->add();
+  Slot& slot = ring.slots[idx & mask_];
+  // The only way two writers meet here is a full ring wrap racing one
+  // in-progress write; the flag turns that into a bounded spin.
+  while (slot.busy.exchange(1, std::memory_order_acquire) != 0) {
+  }
+  slot.ev = ev;
+  slot.busy.store(0, std::memory_order_release);
+}
+
+void Tracer::instant(NodeId node, TraceCat cat, const char* name, VirtualTime at,
+                     const char* key0, std::uint64_t val0, const char* key1,
+                     std::uint64_t val1) {
+  complete(node, cat, name, at, at, key0, val0, key1, val1);
+}
+
+void Tracer::complete(NodeId node, TraceCat cat, const char* name, VirtualTime vstart,
+                      VirtualTime vend, const char* key0, std::uint64_t val0,
+                      const char* key1, std::uint64_t val1) {
+  TraceEvent ev;
+  ev.node = node;
+  ev.cat = cat;
+  ev.name = name;
+  ev.vstart = vstart;
+  ev.vend = vend;
+  ev.rstart_ns = ev.rend_ns = real_now();
+  ev.key0 = key0;
+  ev.val0 = val0;
+  ev.key1 = key1;
+  ev.val1 = val1;
+  record(ev);
+}
+
+void Tracer::scope_open(NodeId node) {
+  DSM_CHECK(node < rings_.size());
+  rings_[node]->opened.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::scope_close(NodeId node) {
+  DSM_CHECK(node < rings_.size());
+  rings_[node]->closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->head.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Tracer::dropped(NodeId node) const {
+  DSM_CHECK(node < rings_.size());
+  const auto head = rings_[node]->head.load(std::memory_order_relaxed);
+  return head > capacity_ ? head - capacity_ : 0;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total = 0;
+  for (NodeId n = 0; n < rings_.size(); ++n) total += dropped(n);
+  return total;
+}
+
+std::int64_t Tracer::open_spans(NodeId node) const {
+  DSM_CHECK(node < rings_.size());
+  const Ring& ring = *rings_[node];
+  return static_cast<std::int64_t>(ring.opened.load(std::memory_order_relaxed)) -
+         static_cast<std::int64_t>(ring.closed.load(std::memory_order_relaxed));
+}
+
+std::int64_t Tracer::open_spans() const {
+  std::int64_t total = 0;
+  for (NodeId n = 0; n < rings_.size(); ++n) total += open_spans(n);
+  return total;
+}
+
+std::vector<TraceEvent> Tracer::snapshot_ring(const Ring& ring,
+                                              std::size_t max_tail) const {
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t survivors = std::min<std::uint64_t>(head, capacity_);
+  const std::uint64_t take = std::min<std::uint64_t>(survivors, max_tail);
+  std::vector<TraceEvent> out;
+  out.reserve(take);
+  for (std::uint64_t i = head - take; i < head; ++i) {
+    Slot& slot = ring.slots[i & mask_];
+    while (slot.busy.exchange(1, std::memory_order_acquire) != 0) {
+    }
+    out.push_back(slot.ev);
+    slot.busy.store(0, std::memory_order_release);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> Tracer::events(NodeId node) const {
+  DSM_CHECK(node < rings_.size());
+  return snapshot_ring(*rings_[node], capacity_);
+}
+
+std::vector<TraceEvent> Tracer::all_events() const {
+  std::vector<TraceEvent> out;
+  for (NodeId n = 0; n < rings_.size(); ++n) {
+    auto per_node = events(n);
+    out.insert(out.end(), per_node.begin(), per_node.end());
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  for (auto& ring : rings_) {
+    ring->head.store(0, std::memory_order_relaxed);
+    ring->opened.store(0, std::memory_order_relaxed);
+    ring->closed.store(0, std::memory_order_relaxed);
+  }
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<TraceGroup>& groups,
+                        std::uint64_t dropped) {
+  std::size_t stride = 1;
+  for (const auto& g : groups) stride = std::max(stride, g.n_nodes);
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  // Metadata: name each process (group/node) and thread (category).
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::size_t n = 0; n < groups[g].n_nodes; ++n) {
+      const std::size_t pid = g * stride + n;
+      comma();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":\"";
+      if (!groups[g].label.empty()) {
+        write_escaped(os, groups[g].label.c_str());
+        os << "/";
+      }
+      os << "node " << n << "\"}}";
+      for (std::uint8_t c = 0; c < static_cast<std::uint8_t>(TraceCat::kCount_); ++c) {
+        comma();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":" << static_cast<int>(c) << ",\"args\":{\"name\":\""
+           << to_string(static_cast<TraceCat>(c)) << "\"}}";
+      }
+    }
+  }
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const TraceEvent& ev : groups[g].events) {
+      comma();
+      os << "{\"name\":\"";
+      write_escaped(os, ev.name != nullptr ? ev.name : "?");
+      os << "\",\"cat\":\"" << to_string(ev.cat) << "\",\"ph\":\"X\",\"pid\":"
+         << g * stride + ev.node << ",\"tid\":" << static_cast<int>(ev.cat)
+         << ",\"ts\":" << fmt_us(ev.vstart) << ",\"dur\":" << fmt_us(ev.vend - ev.vstart)
+         << ",\"args\":{";
+      os << "\"real_start_ns\":" << ev.rstart_ns << ",\"real_end_ns\":" << ev.rend_ns;
+      if (ev.key0 != nullptr) {
+        os << ",\"";
+        write_escaped(os, ev.key0);
+        os << "\":" << ev.val0;
+      }
+      if (ev.key1 != nullptr) {
+        os << ",\"";
+        write_escaped(os, ev.key1);
+        os << "\":" << ev.val1;
+      }
+      os << "}}";
+    }
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{\"clock\":\"virtual\","
+     << "\"dropped\":" << dropped << "}}\n";
+}
+
+void Tracer::write_json(std::ostream& os) const {
+  write_chrome_trace(os, {TraceGroup{"", rings_.size(), all_events()}}, dropped());
+}
+
+void Tracer::dump_tail(std::ostream& os, std::size_t per_node) const {
+  os << "  trace: recorded=" << recorded() << " dropped=" << dropped()
+     << " open=" << open_spans() << '\n';
+  for (NodeId n = 0; n < rings_.size(); ++n) {
+    const auto tail = snapshot_ring(*rings_[n], per_node);
+    if (tail.empty()) continue;
+    os << "    node " << n << " last " << tail.size() << " spans (open="
+       << open_spans(n) << "):\n";
+    for (const TraceEvent& ev : tail) {
+      os << "      [" << to_string(ev.cat) << "] " << (ev.name != nullptr ? ev.name : "?")
+         << " v=" << ev.vstart << ".." << ev.vend;
+      if (ev.key0 != nullptr) os << ' ' << ev.key0 << '=' << ev.val0;
+      if (ev.key1 != nullptr) os << ' ' << ev.key1 << '=' << ev.val1;
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace dsm

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -87,6 +88,103 @@ TEST(Histogram, ZeroSamplesLandInZeroBucket) {
   h.record(0);
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, QuantileOnEmptyHistogramIsZeroForAllQ) {
+  Histogram h;
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(Histogram, QuantileSingleSampleIsThatSampleAtBothEnds) {
+  Histogram h;
+  h.record(100);
+  EXPECT_EQ(h.quantile(0.0), 100u);
+  EXPECT_EQ(h.quantile(0.5), 100u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+}
+
+TEST(Histogram, QuantileOneIsExactMax) {
+  // quantile(1.0) must return max() exactly, not a bucket upper bound.
+  Histogram h;
+  h.record(1);
+  h.record(1000);  // bucket upper bound 1023
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(Histogram, QuantileZeroBoundsTheSmallestSample) {
+  Histogram h;
+  h.record(5);
+  h.record(100);
+  // q=0 lands in the smallest occupied bucket: [4,7] for sample 5.
+  EXPECT_GE(h.quantile(0.0), 5u);
+  EXPECT_LE(h.quantile(0.0), 7u);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeQ) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, LargeSamplesSaturateWithoutOverflow) {
+  Histogram h;
+  h.record(~0ULL);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_EQ(h.quantile(1.0), ~0ULL);
+}
+
+TEST(StatsRegistry, SnapshotDeterministicAfterConcurrentRecord) {
+  StatsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      auto& h = reg.histogram("lat");
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) h.record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every concurrent record landed, and repeated snapshots agree exactly.
+  const auto a = reg.snapshot();
+  const auto b = reg.snapshot();
+  const auto& ha = a.histograms.at("lat");
+  const auto& hb = b.histograms.at("lat");
+  EXPECT_EQ(ha.count, kThreads * kPerThread);
+  EXPECT_EQ(ha.sum, kThreads * kPerThread * (kPerThread + 1) / 2);
+  EXPECT_EQ(ha.max, kPerThread);
+  EXPECT_EQ(ha.count, hb.count);
+  EXPECT_EQ(ha.sum, hb.sum);
+  EXPECT_EQ(ha.p50, hb.p50);
+  EXPECT_EQ(ha.p99, hb.p99);
+}
+
+TEST(StatsRegistry, SnapshotUnderLiveWritersIsInternallyBounded) {
+  // A snapshot may straddle concurrent records; it must still be sane:
+  // counts never go backwards and no value escapes the sample domain.
+  StatsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto& h = reg.histogram("live");
+    std::uint64_t i = 1;
+    while (!stop.load(std::memory_order_relaxed)) h.record(i++ % 4096);
+  });
+  std::uint64_t last_count = 0;
+  for (int k = 0; k < 200; ++k) {
+    const auto snap = reg.snapshot();
+    const auto it = snap.histograms.find("live");
+    if (it == snap.histograms.end()) continue;
+    EXPECT_GE(it->second.count, last_count);
+    last_count = it->second.count;
+    EXPECT_LE(it->second.max, 4095u);
+    EXPECT_LE(it->second.p50, it->second.p99);
+  }
+  stop.store(true);
+  writer.join();
 }
 
 TEST(StatsRegistry, CounterIsStableAcrossLookups) {

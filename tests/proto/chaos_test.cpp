@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 
 #include "apps/kernels.hpp"
 #include "core/dsm.hpp"
@@ -147,6 +148,45 @@ TEST(ChaosStatsTest, HeavyLossActuallyExercisesRetransmits) {
   EXPECT_GE(snap.counter("net.dropped"), 1u);
   EXPECT_GE(snap.counter("net.retransmits"), 1u);
   EXPECT_EQ(snap.counter("net.gave_up"), 0u);
+}
+
+TEST(ChaosTraceTest, RetransmitSpansAppearAndBalanceHoldsUnderLoss) {
+  // The trace must tell the loss story: at 5% seeded drop the retransmit
+  // instants mirror the net.retransmits counter exactly, every span still
+  // closes, and the workload's checksum stays exact.
+  Config cfg;
+  cfg.n_nodes = 3;
+  cfg.protocol = ProtocolKind::kIvyDynamic;
+  cfg.reliability.rto_ms = 2;
+  cfg.reliability.rto_max_ms = 32;
+  cfg.chaos.enabled = true;
+  cfg.chaos.seed = 1992;
+  cfg.chaos.drop_probability = 0.05;
+  cfg.watchdog_ms = 60'000;
+  cfg.trace.enabled = true;
+  cfg.trace.buffer_spans = 1 << 16;  // keep every span: no drop-oldest here
+  System sys(cfg);
+  apps::MigratoryParams params;
+  params.rounds = 8;
+  const auto result = apps::run_migratory(sys, params);
+  EXPECT_EQ(result.checksum, 8u * cfg.n_nodes);
+
+  ASSERT_NE(sys.tracer(), nullptr);
+  const Tracer& tracer = *sys.tracer();
+  EXPECT_EQ(tracer.open_spans(), 0);
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  std::uint64_t retransmit_spans = 0;
+  for (const auto& ev : tracer.all_events()) {
+    EXPECT_LE(ev.vstart, ev.vend);
+    if (ev.cat == TraceCat::kNet && std::string(ev.name) == "retransmit") {
+      ++retransmit_spans;
+    }
+  }
+  const auto snap = sys.stats();
+  EXPECT_GE(snap.counter("net.retransmits"), 1u);
+  EXPECT_EQ(retransmit_spans, snap.counter("net.retransmits"));
+  EXPECT_EQ(snap.counter("trace.dropped"), tracer.dropped());
 }
 
 TEST(WatchdogDeathTest, AbortsWithDiagnosticsOnPermanentLoss) {

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string_view>
+#include <tuple>
 
 #include "apps/kernels.hpp"
 #include "core/dsm.hpp"
@@ -128,6 +131,68 @@ TEST_P(ProtocolMatrixTest, PingPongThroughLock) {
     }
   });
   EXPECT_EQ(final_value, static_cast<std::uint64_t>(kRounds) * GetParam().n_nodes);
+}
+
+TEST_P(ProtocolMatrixTest, TraceInvariantsHold) {
+  Config cfg = make_config();
+  cfg.trace.enabled = true;
+  cfg.trace.buffer_spans = 1 << 16;  // invariants need every span: no drops
+  System sys(cfg);
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::uint64_t final_value = 0;
+  constexpr int kRounds = 5;
+  sys.run([&](Worker& w) {
+    if (sys.config().protocol == ProtocolKind::kEc) w.bind(0, cell);
+    w.barrier(0);
+    for (int i = 0; i < kRounds; ++i) {
+      w.acquire(0);
+      *w.get(cell) += 1;
+      w.release(0);
+    }
+    w.barrier(0);
+    if (w.id() == 0) {
+      w.acquire(0);
+      final_value = *w.get(cell);
+      w.release(0);
+    }
+  });
+  EXPECT_EQ(final_value, static_cast<std::uint64_t>(kRounds) * GetParam().n_nodes);
+
+  ASSERT_NE(sys.tracer(), nullptr);
+  const Tracer& tracer = *sys.tracer();
+  // 1. Balance: every fault/proto/sync span closed; nothing outlives the
+  //    drain inside System::run.
+  EXPECT_EQ(tracer.open_spans(), 0);
+  ASSERT_EQ(tracer.dropped(), 0u);
+
+  // 2. Message lifecycle: every non-loopback send instant has exactly one
+  //    matching transit (deliver) span by (src, dst, seq) — the fabric
+  //    neither loses nor duplicates under zero chaos.
+  std::multiset<std::tuple<NodeId, NodeId, std::uint64_t>> sends, delivers;
+  std::size_t fault_spans = 0;
+  for (const auto& ev : tracer.all_events()) {
+    EXPECT_LE(ev.vstart, ev.vend);
+    if (ev.cat == TraceCat::kFault) ++fault_spans;
+    if (ev.cat != TraceCat::kNet) continue;
+    const std::string_view name(ev.name);
+    if (name == "send") {
+      const auto dst = static_cast<NodeId>(ev.val0);
+      if (dst != ev.node) sends.insert({ev.node, dst, ev.val1});
+    } else if (name != "retransmit") {
+      const auto src = static_cast<NodeId>(ev.val0);
+      if (src != ev.node) delivers.insert({src, ev.node, ev.val1});
+    }
+  }
+  EXPECT_EQ(sends, delivers);
+  EXPECT_GT(sends.size(), 0u);
+
+  // 3. Fault coverage: the page-fault protocols record fault spans; EC moves
+  //    data with its lock and must record none.
+  if (GetParam().protocol == ProtocolKind::kEc) {
+    EXPECT_EQ(fault_spans, 0u);
+  } else {
+    EXPECT_GT(fault_spans, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

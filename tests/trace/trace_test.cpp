@@ -1,0 +1,481 @@
+// Tracer unit + integration suite: span open/close balance, ring-buffer
+// overflow accounting, timestamp monotonicity, Chrome-trace JSON round-trip
+// (validated with a minimal in-test JSON parser), and the zero-overhead-off
+// contract at the System level.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough to round-trip the exporter's output.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject } type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const { return obj.at(key); }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = Json::Type::kString;
+      return string(out.str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.type = Json::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return number(out);
+  }
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            c = static_cast<char>(std::stoi(s_.substr(pos_, 4), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out.type = Json::Type::kNumber;
+    out.number = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+  bool array(Json& out) {
+    if (!consume('[')) return false;
+    out.type = Json::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      Json elem;
+      if (!value(elem)) return false;
+      out.arr.push_back(std::move(elem));
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool object(Json& out) {
+    if (!consume('{')) return false;
+    out.type = Json::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return false;
+      Json val;
+      if (!value(val)) return false;
+      out.obj.emplace(std::move(key), std::move(val));
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TraceConfig small_config(std::size_t spans) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.buffer_spans = spans;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Balance and accounting
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, ScopesBalanceOpenAndClose) {
+  Tracer tracer(2, small_config(64));
+  LogicalClock clock;
+  EXPECT_EQ(tracer.open_spans(), 0);
+  {
+    TraceScope outer(&tracer, 0, TraceCat::kFault, "outer", &clock, "page", 7);
+    clock.advance(100);
+    EXPECT_EQ(tracer.open_spans(0), 1);
+    {
+      TraceScope inner(&tracer, 0, TraceCat::kProto, "inner", &clock);
+      clock.advance(50);
+      EXPECT_EQ(tracer.open_spans(0), 2);
+    }
+    EXPECT_EQ(tracer.open_spans(0), 1);
+  }
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.events(0).size(), 2u);
+  EXPECT_EQ(tracer.events(1).size(), 0u);
+}
+
+TEST(TracerTest, NullTracerScopeIsANoOp) {
+  LogicalClock clock;
+  TraceScope scope(nullptr, 0, TraceCat::kSync, "nothing", &clock);
+  // No crash, nothing to assert — the scope must simply not dereference.
+}
+
+TEST(TracerTest, DirectRecordsNeverUnbalance) {
+  Tracer tracer(1, small_config(64));
+  tracer.instant(0, TraceCat::kNet, "send", 10, "dst", 1, "seq", 3);
+  tracer.complete(0, TraceCat::kNet, "transit", 10, 25, "src", 0);
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_EQ(tracer.recorded(), 2u);
+}
+
+TEST(TracerTest, OverflowDropsOldestAndAccountsEveryLoss) {
+  Counter dropped;
+  TraceConfig cfg = small_config(4);  // power of two already
+  Tracer tracer(1, cfg, &dropped);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.complete(0, TraceCat::kProto, "span", i, i + 1, "i", i);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.dropped(0), 6u);
+  EXPECT_EQ(dropped.value(), 6u);
+  const auto events = tracer.events(0);
+  ASSERT_EQ(events.size(), 4u);
+  // Drop-oldest: the survivors are the newest four, oldest first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].vstart, 6 + i);
+  }
+}
+
+TEST(TracerTest, CapacityRoundsUpToPowerOfTwo) {
+  Tracer tracer(1, small_config(5));
+  EXPECT_EQ(tracer.capacity(), 8u);
+}
+
+TEST(TracerTest, ClearResetsEverything) {
+  Counter dropped;
+  Tracer tracer(2, small_config(4), &dropped);
+  for (int i = 0; i < 9; ++i) tracer.instant(1, TraceCat::kSync, "x", 1);
+  tracer.clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.open_spans(), 0);
+  EXPECT_TRUE(tracer.events(1).empty());
+}
+
+TEST(TracerTest, ConcurrentRecordsAllLand) {
+  Counter dropped;
+  Tracer tracer(2, small_config(1 << 12), &dropped);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kEach = 1'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        tracer.complete(static_cast<NodeId>(t % 2), TraceCat::kNet, "c", i, i + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.recorded(), kThreads * kEach);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.events(0).size() + tracer.events(1).size(), kThreads * kEach);
+}
+
+// ---------------------------------------------------------------------------
+// Timestamp monotonicity
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, VirtualAndRealTimestampsAreMonotonePerSpan) {
+  Tracer tracer(1, small_config(256));
+  LogicalClock clock;
+  for (int i = 0; i < 50; ++i) {
+    TraceScope scope(&tracer, 0, TraceCat::kProto, "work", &clock);
+    clock.advance(static_cast<VirtualTime>(i * 3 + 1));
+  }
+  const auto events = tracer.events(0);
+  ASSERT_EQ(events.size(), 50u);
+  VirtualTime prev_vstart = 0;
+  for (const auto& ev : events) {
+    EXPECT_LE(ev.vstart, ev.vend);
+    EXPECT_LE(ev.rstart_ns, ev.rend_ns);
+    // Single-threaded recording: ring order matches virtual-time order.
+    EXPECT_GE(ev.vstart, prev_vstart);
+    prev_vstart = ev.vstart;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, JsonParsesAndRoundTripsEveryRecordedSpan) {
+  Tracer tracer(3, small_config(256));
+  LogicalClock clock;
+  tracer.complete(0, TraceCat::kFault, "read-fault", 1'000, 6'500, "page", 4);
+  tracer.complete(1, TraceCat::kNet, "ReadRequest", 2'000, 12'345, "src", 0, "seq", 9);
+  tracer.instant(2, TraceCat::kNet, "send", 777);
+
+  std::ostringstream os;
+  tracer.write_json(os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  ASSERT_EQ(root.type, Json::Type::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+
+  std::vector<const Json*> spans;
+  for (const auto& ev : root.at("traceEvents").arr) {
+    ASSERT_EQ(ev.type, Json::Type::kObject);
+    ASSERT_TRUE(ev.has("ph"));
+    const auto& ph = ev.at("ph").str;
+    ASSERT_TRUE(ph == "X" || ph == "M") << ph;
+    if (ph == "X") spans.push_back(&ev);
+  }
+  ASSERT_EQ(spans.size(), 3u);
+
+  // pid = node, tid = category, ts/dur in µs carrying the exact virtual ns.
+  EXPECT_EQ(spans[0]->at("name").str, "read-fault");
+  EXPECT_EQ(spans[0]->at("pid").number, 0);
+  EXPECT_EQ(spans[0]->at("cat").str, "fault");
+  EXPECT_DOUBLE_EQ(spans[0]->at("ts").number * 1000.0, 1'000.0);
+  EXPECT_DOUBLE_EQ(spans[0]->at("dur").number * 1000.0, 5'500.0);
+  EXPECT_EQ(spans[0]->at("args").at("page").number, 4);
+
+  EXPECT_EQ(spans[1]->at("name").str, "ReadRequest");
+  EXPECT_EQ(spans[1]->at("pid").number, 1);
+  EXPECT_EQ(spans[1]->at("cat").str, "net");
+  EXPECT_DOUBLE_EQ(spans[1]->at("ts").number * 1000.0, 2'000.0);
+  EXPECT_DOUBLE_EQ(spans[1]->at("dur").number * 1000.0, 10'345.0);
+  EXPECT_EQ(spans[1]->at("args").at("src").number, 0);
+  EXPECT_EQ(spans[1]->at("args").at("seq").number, 9);
+
+  EXPECT_EQ(spans[2]->at("pid").number, 2);
+  EXPECT_DOUBLE_EQ(spans[2]->at("dur").number, 0.0);
+
+  EXPECT_EQ(root.at("otherData").at("dropped").number, 0);
+}
+
+TEST(TracerTest, MergedGroupsRemapPidsAndLabelProcesses) {
+  std::vector<TraceGroup> groups;
+  groups.push_back({"alpha", 2, {TraceEvent{"a", nullptr, nullptr, 0, 0, 1, 2, 0, 0, 1,
+                                            TraceCat::kProto}}});
+  groups.push_back({"beta", 2, {TraceEvent{"b", nullptr, nullptr, 0, 0, 3, 4, 0, 0, 0,
+                                           TraceCat::kNet}}});
+  std::ostringstream os;
+  write_chrome_trace(os, groups, 5);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  double pid_a = -1, pid_b = -1;
+  bool saw_beta_label = false;
+  for (const auto& ev : root.at("traceEvents").arr) {
+    if (ev.at("ph").str == "X" && ev.at("name").str == "a") pid_a = ev.at("pid").number;
+    if (ev.at("ph").str == "X" && ev.at("name").str == "b") pid_b = ev.at("pid").number;
+    if (ev.at("ph").str == "M" && ev.at("name").str == "process_name" &&
+        ev.at("args").at("name").str == "beta/node 0") {
+      saw_beta_label = true;
+    }
+  }
+  EXPECT_EQ(pid_a, 1);  // group 0, node 1
+  EXPECT_EQ(pid_b, 2);  // group 1, node 0 → stride 2
+  EXPECT_TRUE(saw_beta_label);
+  EXPECT_EQ(root.at("otherData").at("dropped").number, 5);
+}
+
+TEST(TracerTest, JsonEscapesControlCharactersInNames) {
+  Tracer tracer(1, small_config(16));
+  tracer.instant(0, TraceCat::kSync, "quote\"back\\slash\nnewline", 1);
+  std::ostringstream os;
+  tracer.write_json(os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+  for (const auto& ev : root.at("traceEvents").arr) {
+    if (ev.at("ph").str == "X") {
+      EXPECT_EQ(ev.at("name").str, "quote\"back\\slash\nnewline");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostic dump
+// ---------------------------------------------------------------------------
+
+TEST(TracerTest, DumpTailShowsAccountingAndLastSpans) {
+  Tracer tracer(2, small_config(16));
+  tracer.complete(0, TraceCat::kFault, "write-fault", 100, 900, "page", 3);
+  std::ostringstream os;
+  tracer.dump_tail(os, 8);
+  const auto text = os.str();
+  EXPECT_NE(text.find("recorded=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("write-fault"), std::string::npos) << text;
+  EXPECT_NE(text.find("page=3"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// System integration: the overhead contract and end-to-end spans
+// ---------------------------------------------------------------------------
+
+TEST(TraceSystemTest, TracerIsNullWhenDisabled) {
+  Config cfg;
+  cfg.n_nodes = 2;
+  System sys(cfg);
+  EXPECT_EQ(sys.tracer(), nullptr);
+  // And the diagnostic dump carries no trace section.
+  std::ostringstream os;
+  sys.dump_diagnostics(os);
+  EXPECT_EQ(os.str().find("trace:"), std::string::npos);
+}
+
+TEST(TraceSystemTest, TracedRunRecordsAllCategoriesAndBalances) {
+  Config cfg;
+  cfg.n_nodes = 3;
+  cfg.protocol = ProtocolKind::kIvyDynamic;
+  cfg.trace.enabled = true;
+  System sys(cfg);
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    for (int i = 0; i < 3; ++i) {
+      w.acquire(1);
+      *w.get(cell) += 1;
+      w.release(1);
+    }
+    w.barrier(0);
+  });
+
+  ASSERT_NE(sys.tracer(), nullptr);
+  const Tracer& tracer = *sys.tracer();
+  EXPECT_EQ(tracer.open_spans(), 0);  // nothing outlives System::run
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  bool saw_fault = false, saw_proto = false, saw_sync = false, saw_net = false;
+  for (const auto& ev : tracer.all_events()) {
+    EXPECT_LE(ev.vstart, ev.vend);
+    EXPECT_LE(ev.rstart_ns, ev.rend_ns);
+    switch (ev.cat) {
+      case TraceCat::kFault: saw_fault = true; break;
+      case TraceCat::kProto: saw_proto = true; break;
+      case TraceCat::kSync: saw_sync = true; break;
+      case TraceCat::kNet: saw_net = true; break;
+      case TraceCat::kCount_: FAIL() << "invalid category"; break;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_proto);
+  EXPECT_TRUE(saw_sync);
+  EXPECT_TRUE(saw_net);
+
+  // The whole run exports as parseable Chrome-trace JSON.
+  std::ostringstream os;
+  tracer.write_json(os);
+  Json root;
+  ASSERT_TRUE(JsonParser(os.str()).parse(root));
+  EXPECT_GT(root.at("traceEvents").arr.size(), 0u);
+
+  // And the watchdog's diagnostic dump now carries the trace tail.
+  std::ostringstream dump;
+  sys.dump_diagnostics(dump);
+  EXPECT_NE(dump.str().find("trace: recorded="), std::string::npos);
+}
+
+TEST(TraceSystemTest, TracingDoesNotChangeVirtualResults) {
+  // Tracing must never advance virtual time: the same workload, traced and
+  // untraced, produces the same checksum (virtual makespans are compared
+  // loosely — thread interleaving may differ, the data must not).
+  std::uint64_t sums[2] = {};
+  for (int pass = 0; pass < 2; ++pass) {
+    Config cfg;
+    cfg.n_nodes = 3;
+    cfg.trace.enabled = pass == 1;
+    System sys(cfg);
+    const auto data = sys.alloc_page_aligned<std::uint64_t>(64);
+    sys.run([&](Worker& w) {
+      w.get(data)[w.id()] = w.id() + 10;
+      w.barrier(0);
+      if (w.id() == 0) {
+        std::uint64_t s = 0;
+        for (std::size_t i = 0; i < sys.config().n_nodes; ++i) s += w.get(data)[i];
+        sums[pass] = s;
+      }
+      w.barrier(0);
+    });
+  }
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(sums[0], 33u);
+}
+
+}  // namespace
+}  // namespace dsm
