@@ -1,11 +1,76 @@
 // T3 — Space and traffic overhead per protocol on a real application run
 // (SOR 64x64 on 8 nodes): bytes on the wire, messages per class, diff bytes
 // created, and how many page copies exist at the end.
+//
+// `--check` instead measures the dsmcheck overhead: the same run per
+// protocol at check_level off/count/assert, with real wall time and the
+// check.* counters. "off" constructs no checker at all — its row is the
+// zero-overhead baseline the other two are compared against.
+#include <chrono>
+#include <cstring>
+
 #include "apps/sor.hpp"
 #include "harness.hpp"
 
-int main() {
+namespace {
+
+int run_check_overhead() {
   using namespace dsm;
+
+  apps::SorParams params;
+  params.rows = 64;
+  params.cols = 64;
+  params.iterations = 6;
+  const std::size_t grid_bytes = (params.rows + 2) * (params.cols + 2) * sizeof(double);
+
+  bench::Table table("dsmcheck overhead on SOR 64x64, 8 nodes, 6 sweeps",
+                     {"protocol", "level", "wall ms", "overhead", "accesses",
+                      "violations"});
+  table.note("'off' builds no checker (hooks test a null pointer) — the baseline");
+  table.note("'accesses' = faulting accesses observed by the race detector");
+
+  constexpr CheckLevel kLevels[] = {CheckLevel::kOff, CheckLevel::kCount,
+                                    CheckLevel::kAssert};
+  for (const auto protocol : bench::all_protocols()) {
+    double base_ms = 0.0;
+    for (const auto level : kLevels) {
+      Config cfg = bench::base_config(8, 0, protocol);
+      cfg.n_pages = 2 * (grid_bytes / cfg.page_size + 2);
+      cfg.check_level = level;
+      System sys(cfg);
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = apps::run_sor(sys, params);
+      const auto wall = std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start);
+      const double expected = apps::sor_reference_checksum(params);
+      if (std::abs(result.checksum - expected) > 1e-6 * std::abs(expected)) {
+        table.add_row({std::string(to_string(protocol)), to_string(level),
+                       "BAD CHECKSUM", "", "", ""});
+        continue;
+      }
+      if (level == CheckLevel::kOff) base_ms = wall.count();
+      const auto snap = sys.stats();
+      const double ratio = base_ms > 0.0 ? wall.count() / base_ms : 1.0;
+      table.add_row({std::string(to_string(protocol)), to_string(level),
+                     bench::fmt_double(wall.count(), 2),
+                     level == CheckLevel::kOff ? "1.00x"
+                                               : bench::fmt_double(ratio, 2) + "x",
+                     bench::fmt_count(snap.counter("check.accesses")),
+                     bench::fmt_count(snap.counter("check.violations"))});
+    }
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) return run_check_overhead();
+  }
 
   apps::SorParams params;
   params.rows = 64;

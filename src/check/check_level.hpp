@@ -1,0 +1,19 @@
+// CheckLevel lives in its own tiny header so core/context.hpp can carry the
+// knob without pulling the checker (and its dependencies) into every
+// translation unit that includes a NodeContext.
+#pragma once
+
+#include <cstdint>
+
+namespace dsm {
+
+/// How much online verification a run performs. See DESIGN.md "dsmcheck".
+enum class CheckLevel : std::uint8_t {
+  kOff = 0,     ///< no checker is constructed: zero overhead
+  kCount = 1,   ///< violations increment check.* counters; the run continues
+  kAssert = 2,  ///< first violation prints a report + diagnostic dump, aborts
+};
+
+const char* to_string(CheckLevel level);
+
+}  // namespace dsm

@@ -1,0 +1,405 @@
+#include "check/checker.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+namespace dsm {
+
+const char* to_string(CheckLevel level) {
+  switch (level) {
+    case CheckLevel::kOff: return "off";
+    case CheckLevel::kCount: return "count";
+    case CheckLevel::kAssert: return "assert";
+  }
+  return "?";
+}
+
+DsmChecker::DsmChecker(Setup setup)
+    : n_nodes_(setup.n_nodes),
+      n_pages_(setup.n_pages),
+      page_size_(setup.page_size),
+      level_(setup.level),
+      swmr_(setup.swmr),
+      ivy_dynamic_(setup.ivy_dynamic),
+      home_copyset_(setup.home_copyset),
+      protocol_(setup.protocol),
+      manager_of_(std::move(setup.manager_of)),
+      home_of_(std::move(setup.home_of)),
+      dump_(std::move(setup.dump)),
+      accesses_(setup.stats->counter("check.accesses")),
+      violations_(setup.stats->counter("check.violations")),
+      races_(setup.stats->counter("check.races")),
+      swmr_violations_(setup.stats->counter("check.swmr")),
+      copyset_violations_(setup.stats->counter("check.copyset")),
+      version_violations_(setup.stats->counter("check.version")),
+      vclock_violations_(setup.stats->counter("check.vclock")),
+      token_violations_(setup.stats->counter("check.token")),
+      order_violations_(setup.stats->counter("check.order")),
+      mirror_violations_(setup.stats->counter("check.mirror")) {
+  vc_.reserve(n_nodes_);
+  for (std::size_t n = 0; n < n_nodes_; ++n) {
+    VectorClock vc(n_nodes_);
+    // Start every node in its own interval 1, so a clock entry of 0 in an
+    // epoch means "never accessed" and first-segment accesses are not
+    // spuriously covered by the all-zero initial clocks.
+    vc.tick(static_cast<NodeId>(n));
+    vc_.push_back(std::move(vc));
+  }
+  lock_vc_.assign(setup.n_locks, VectorClock(n_nodes_));
+  occupancy_.assign(setup.n_locks, LockOccupancy{kNoNode, NodeSet(n_nodes_)});
+  arrive_gen_.assign(setup.n_barriers * n_nodes_, 0);
+  depart_gen_.assign(setup.n_barriers * n_nodes_, 0);
+  states_.assign(n_nodes_ * n_pages_, PageState::kInvalid);
+  page_version_.assign(n_nodes_ * n_pages_, 0);
+  last_vc_.assign(n_nodes_, VectorClock{});
+  next_seq_.assign(n_nodes_ * n_nodes_, 0);
+}
+
+std::string DsmChecker::epoch(NodeId node, std::uint32_t clock) const {
+  return std::to_string(clock) + "@" + std::to_string(node);
+}
+
+void DsmChecker::report(Counter& category, const std::string& text, bool dump_ok) {
+  // Caller holds mutex_ (recursive, so dump_ may call dump_last_violation).
+  category.add();
+  violations_.add();
+  last_violation_ = text;
+  if (level_ == CheckLevel::kAssert) {
+    std::cerr << "[dsmcheck] VIOLATION (" << protocol_ << "): " << text << "\n";
+    // dump_ok is false when the reporting hook runs under a Network lock
+    // that the diagnostic dump would re-take (self-deadlock on the abort
+    // path); the one-line report above still identifies the violation.
+    if (dump_ok && dump_) dump_(std::cerr);
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+void DsmChecker::on_access(NodeId node, PageId page, std::size_t offset,
+                           bool is_write) {
+  accesses_.add();
+  std::lock_guard lk(mutex_);
+  const std::uint64_t word = offset & ~std::uint64_t{7};
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(page) * page_size_ + word;
+  auto [it, fresh] = words_.try_emplace(key);
+  WordState& ws = it->second;
+  if (fresh) ws.read_clocks.assign(n_nodes_, 0);
+
+  const VectorClock& vc = vc_[node];
+  const char* kind = is_write ? "write" : "read";
+
+  // Conflict with the last write: racy unless this node's clock has seen
+  // the writer's interval (i.e. a release/acquire or barrier chain orders
+  // the write before us).
+  if (ws.write_node != kNoNode && ws.write_node != node &&
+      ws.write_clock > vc[ws.write_node]) {
+    std::ostringstream os;
+    os << "data race on page " << page << " (word +" << word << "): " << kind
+       << " by node " << node << " at epoch " << epoch(node, vc[node])
+       << " conflicts with write at epoch "
+       << epoch(ws.write_node, ws.write_clock)
+       << "; no happens-before edge (release/acquire or barrier) orders "
+       << epoch(ws.write_node, ws.write_clock) << " before this access"
+       << " (node " << node << " has seen only interval "
+       << vc[ws.write_node] << " of node " << ws.write_node << ")";
+    report(races_, os.str(), true);
+  }
+
+  if (is_write) {
+    // A write also conflicts with every unordered prior read.
+    for (std::size_t m = 0; m < n_nodes_; ++m) {
+      if (m == node) continue;
+      const NodeId mn = static_cast<NodeId>(m);
+      if (ws.read_clocks[m] > vc[mn]) {
+        std::ostringstream os;
+        os << "data race on page " << page << " (word +" << word
+           << "): write by node " << node << " at epoch "
+           << epoch(node, vc[node]) << " conflicts with read at epoch "
+           << epoch(mn, ws.read_clocks[m])
+           << "; no happens-before edge (release/acquire or barrier) orders "
+           << epoch(mn, ws.read_clocks[m]) << " before this access"
+           << " (node " << node << " has seen only interval " << vc[mn]
+           << " of node " << mn << ")";
+        report(races_, os.str(), true);
+      }
+    }
+    ws.write_node = node;
+    ws.write_clock = vc[node];
+  } else {
+    ws.read_clocks[node] = vc[node];
+  }
+}
+
+void DsmChecker::on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
+  std::lock_guard lk(mutex_);
+  LockOccupancy& occ = occupancy_[lock];
+  if (mode == LockMode::kRead) {
+    if (occ.exclusive != kNoNode) {
+      std::ostringstream os;
+      os << "lock token violation: read lock " << lock << " granted to node "
+         << node << " while node " << occ.exclusive << " holds it exclusively";
+      report(token_violations_, os.str(), true);
+    }
+    occ.readers.insert(node);
+  } else {
+    if (occ.exclusive != kNoNode) {
+      std::ostringstream os;
+      os << "lock token violation: lock " << lock
+         << " granted exclusively to node " << node << " while node "
+         << occ.exclusive << " still holds it";
+      report(token_violations_, os.str(), true);
+    }
+    if (!occ.readers.empty()) {
+      std::ostringstream os;
+      os << "lock token violation: lock " << lock
+         << " granted exclusively to node " << node << " while "
+         << occ.readers.count() << " reader(s) hold it";
+      report(token_violations_, os.str(), true);
+    }
+    occ.exclusive = node;
+  }
+  // The acquirer learns everything the last releaser knew.
+  vc_[node].merge(lock_vc_[lock]);
+}
+
+void DsmChecker::on_lock_released(NodeId node, LockId lock, LockMode mode) {
+  std::lock_guard lk(mutex_);
+  LockOccupancy& occ = occupancy_[lock];
+  if (mode == LockMode::kRead) {
+    if (!occ.readers.contains(node)) {
+      std::ostringstream os;
+      os << "lock token violation: node " << node << " released read lock "
+         << lock << " it does not hold";
+      report(token_violations_, os.str(), true);
+    }
+    occ.readers.erase(node);
+  } else {
+    if (occ.exclusive != node) {
+      std::ostringstream os;
+      os << "lock token violation: node " << node << " released lock " << lock
+         << " held by "
+         << (occ.exclusive == kNoNode ? std::string("nobody")
+                                      : "node " + std::to_string(occ.exclusive));
+      report(token_violations_, os.str(), true);
+    }
+    occ.exclusive = kNoNode;
+  }
+  // Publish this node's knowledge to the next acquirer, then open a new
+  // interval. (For read releases the merge is conservative: it can only
+  // make later acquirers appear to know more, masking at worst — a sound
+  // under-approximation, never a false positive.)
+  lock_vc_[lock].merge(vc_[node]);
+  vc_[node].tick(node);
+}
+
+void DsmChecker::on_barrier_arrive(NodeId node, BarrierId barrier) {
+  std::lock_guard lk(mutex_);
+  const std::uint64_t gen = arrive_gen_[barrier * n_nodes_ + node]++;
+  Round& round = rounds_[{barrier, gen}];
+  if (round.acc.size() == 0) round.acc = VectorClock(n_nodes_);
+  round.acc.merge(vc_[node]);
+  ++round.arrivals;
+}
+
+void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
+  std::lock_guard lk(mutex_);
+  const std::uint64_t gen = depart_gen_[barrier * n_nodes_ + node]++;
+  auto it = rounds_.find({barrier, gen});
+  if (it == rounds_.end() || it->second.arrivals < n_nodes_) {
+    // The home broadcasts the release only after all N arrivals, and every
+    // arrive hook runs before its node's arrive message is sent — so a
+    // depart without a fully-assembled round means a hook was missed.
+    std::ostringstream os;
+    os << "barrier order violation: node " << node << " departed barrier "
+       << barrier << " round " << gen << " with only "
+       << (it == rounds_.end() ? std::size_t{0} : it->second.arrivals) << "/"
+       << n_nodes_ << " recorded arrivals";
+    report(order_violations_, os.str(), true);
+  }
+  if (it != rounds_.end()) {
+    vc_[node].merge(it->second.acc);
+    if (++it->second.departures == n_nodes_) rounds_.erase(it);
+  }
+  vc_[node].tick(node);
+}
+
+void DsmChecker::on_page_state(NodeId node, PageId page, PageState state) {
+  std::lock_guard lk(mutex_);
+  if (swmr_ && state != PageState::kInvalid) {
+    for (std::size_t m = 0; m < n_nodes_; ++m) {
+      if (m == node) continue;
+      const PageState other = states_[m * n_pages_ + page];
+      const bool two_writable =
+          state == PageState::kReadWrite && other != PageState::kInvalid;
+      const bool writer_with_reader =
+          state == PageState::kReadOnly && other == PageState::kReadWrite;
+      if (two_writable || writer_with_reader) {
+        std::ostringstream os;
+        os << "SWMR violation on page " << page << ": node " << node
+           << " transitions to " << to_string(state) << " while node " << m
+           << " holds " << to_string(other);
+        report(swmr_violations_, os.str(), true);
+      }
+    }
+  }
+  states_[node * n_pages_ + page] = state;
+}
+
+void DsmChecker::on_page_version(NodeId node, PageId page,
+                                 std::uint32_t version) {
+  std::lock_guard lk(mutex_);
+  std::uint32_t& stored = page_version_[node * n_pages_ + page];
+  if (version <= stored) {
+    std::ostringstream os;
+    os << "version monotonicity violation: node " << node << " page " << page
+       << " moved to version " << version << " after version " << stored;
+    report(version_violations_, os.str(), true);
+  }
+  stored = version;
+}
+
+void DsmChecker::on_lock_version(NodeId node, LockId lock,
+                                 std::uint64_t version) {
+  std::lock_guard lk(mutex_);
+  std::uint64_t& stored = lock_version_[{node, lock}];
+  if (version < stored) {
+    std::ostringstream os;
+    os << "version monotonicity violation: node " << node << " lock " << lock
+       << " regressed to data version " << version << " from " << stored;
+    report(version_violations_, os.str(), true);
+  }
+  stored = version;
+}
+
+void DsmChecker::on_vclock(NodeId node, const VectorClock& vc) {
+  std::lock_guard lk(mutex_);
+  VectorClock& prev = last_vc_[node];
+  if (prev.size() != 0 && !vc.dominates(prev)) {
+    std::ostringstream os;
+    os << "vector clock regression on node " << node << ": " << vc.to_string()
+       << " does not dominate previous " << prev.to_string();
+    report(vclock_violations_, os.str(), true);
+  }
+  prev = vc;
+}
+
+void DsmChecker::on_deliver(const Message& msg) {
+  if (msg.seq == Message::kNoSeq) return;
+  std::lock_guard lk(mutex_);
+  std::uint64_t& expected = next_seq_[msg.src * n_nodes_ + msg.dst];
+  if (msg.seq != expected) {
+    std::ostringstream os;
+    os << "delivery order violation on link " << msg.src << "->" << msg.dst
+       << ": " << to_string(msg.type) << " seq " << msg.seq
+       << " delivered, expected seq " << expected
+       << " (reliable sublayer must dedup and reassemble in order)";
+    // dump_ok=false: deliver() runs under Network::links_mutex_, which the
+    // diagnostic dump's debug_dump would re-take.
+    report(order_violations_, os.str(), false);
+  }
+  expected = msg.seq + 1;
+}
+
+void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
+  std::lock_guard lk(mutex_);
+
+  // 1. The mirror must agree with every real page table — a mismatch means
+  //    a protocol mutated `state` without the note_state hook.
+  for (std::size_t n = 0; n < n_nodes_; ++n) {
+    for (PageId p = 0; p < n_pages_; ++p) {
+      const PageState actual = tables[n]->state_of(p);
+      const PageState mirrored = states_[n * n_pages_ + p];
+      if (actual != mirrored) {
+        std::ostringstream os;
+        os << "state mirror mismatch: node " << n << " page " << p
+           << " is " << to_string(actual) << " but hooks recorded "
+           << to_string(mirrored) << " (missed instrumentation?)";
+        report(mirror_violations_, os.str(), true);
+      }
+    }
+  }
+
+  // 2. IVY copyset soundness: every holder is known to the owner.
+  if (swmr_) {
+    for (PageId p = 0; p < n_pages_; ++p) {
+      NodeId owner = kNoNode;
+      if (ivy_dynamic_) {
+        for (std::size_t n = 0; n < n_nodes_; ++n) {
+          if (!tables[n]->entry(p).is_owner) continue;
+          if (owner != kNoNode) {
+            std::ostringstream os;
+            os << "copyset violation: page " << p << " has two owners (node "
+               << owner << " and node " << n << ")";
+            report(copyset_violations_, os.str(), true);
+          }
+          owner = static_cast<NodeId>(n);
+        }
+      } else {
+        owner = tables[manager_of_(p)]->entry(p).owner;
+      }
+      if (owner == kNoNode || owner >= n_nodes_) {
+        std::ostringstream os;
+        os << "copyset violation: page " << p << " has no owner at quiescence";
+        report(copyset_violations_, os.str(), true);
+        continue;
+      }
+      if (tables[owner]->state_of(p) == PageState::kInvalid) {
+        std::ostringstream os;
+        os << "copyset violation: owner node " << owner << " of page " << p
+           << " holds no copy";
+        report(copyset_violations_, os.str(), true);
+      }
+      const PageEntry& oe = tables[owner]->entry(p);
+      for (std::size_t n = 0; n < n_nodes_; ++n) {
+        if (n == owner) continue;
+        if (tables[n]->state_of(p) == PageState::kInvalid) continue;
+        if (!oe.copyset.contains(static_cast<NodeId>(n))) {
+          std::ostringstream os;
+          os << "copyset violation: node " << n << " holds page " << p
+             << " (" << to_string(tables[n]->state_of(p))
+             << ") but is missing from owner " << owner << "'s copyset";
+          report(copyset_violations_, os.str(), true);
+        }
+      }
+    }
+  }
+
+  // 3. ERC home copyset soundness: the home knows every non-home holder
+  //    (keepers included — handle_invalidate re-adds kept copies).
+  if (home_copyset_) {
+    for (PageId p = 0; p < n_pages_; ++p) {
+      const NodeId home = home_of_(p);
+      const PageEntry& he = tables[home]->entry(p);
+      for (std::size_t n = 0; n < n_nodes_; ++n) {
+        if (n == home) continue;
+        if (tables[n]->state_of(p) == PageState::kInvalid) continue;
+        if (!he.copyset.contains(static_cast<NodeId>(n))) {
+          std::ostringstream os;
+          os << "copyset violation: node " << n << " holds page " << p
+             << " (" << to_string(tables[n]->state_of(p))
+             << ") but is missing from home " << home << "'s copyset";
+          report(copyset_violations_, os.str(), true);
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t DsmChecker::violations() const { return violations_.value(); }
+
+std::string DsmChecker::last_violation() const {
+  std::lock_guard lk(mutex_);
+  return last_violation_;
+}
+
+void DsmChecker::dump_last_violation(std::ostream& os) const {
+  std::lock_guard lk(mutex_);
+  if (last_violation_.empty()) return;
+  os << "[dsmcheck] violations: " << violations_.value()
+     << "; last: " << last_violation_ << "\n";
+}
+
+}  // namespace dsm

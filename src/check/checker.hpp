@@ -1,0 +1,199 @@
+// dsmcheck: in-fabric verification of the DSM's two correctness contracts.
+//
+//  1. The *program* contract — data-race freedom. A FastTrack-style detector
+//     keyed by the faulting address builds per-word epochs from the sync
+//     layer's release/acquire and barrier edges and reports any pair of
+//     conflicting accesses not ordered by happens-before. It observes only
+//     accesses that fault (a page already mapped with sufficient rights is
+//     invisible), so it under-approximates: every report is a real race, but
+//     silence is not a proof. See DESIGN.md "dsmcheck".
+//
+//  2. The *protocol* contract — coherence invariants. State-transition hooks
+//     in src/proto mirror every page-state assignment so the checker can
+//     assert SWMR (IVY family: never two writable copies), copyset soundness
+//     (holders ⊆ manager/home copyset), version and vector-clock monotonicity
+//     (ERC/EC/LRC/HLRC), lock-token uniqueness (sync layer), and strict
+//     per-link delivery order (reliable transport).
+//
+// Gated by Config::check_level: kOff constructs no checker at all (the hook
+// sites test a null pointer — zero overhead), kCount records violations in
+// check.* counters and keeps running, kAssert prints a report plus the
+// watchdog-style diagnostic dump and aborts on the first violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/check_level.hpp"
+#include "common/bitset.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "common/vclock.hpp"
+#include "mem/page_table.hpp"
+#include "net/message.hpp"
+
+namespace dsm {
+
+class DsmChecker {
+ public:
+  /// Which flavour of critical section a lock hook reports. Mutex and write
+  /// sections are exclusive; read sections may overlap each other.
+  enum class LockMode : std::uint8_t { kMutex, kRead, kWrite };
+
+  /// Static wiring. The checker deliberately knows nothing about System or
+  /// the protocol classes: the runtime distills what it needs into traits
+  /// and callbacks, so src/check sits below src/proto, src/sync, src/core.
+  struct Setup {
+    std::size_t n_nodes = 0;
+    std::size_t n_pages = 0;
+    std::size_t page_size = 0;
+    std::size_t n_locks = 0;
+    std::size_t n_barriers = 0;
+    CheckLevel level = CheckLevel::kCount;
+
+    /// Protocol traits (see DESIGN.md "dsmcheck: invariant catalogue").
+    bool swmr = false;          ///< IVY family: strict single-writer
+    bool ivy_dynamic = false;   ///< owner found via is_owner, not a manager
+    bool home_copyset = false;  ///< ERC: home tracks all non-home holders
+    const char* protocol = "";
+
+    /// Manager of a page (IVY central/fixed); unset for other protocols.
+    std::function<NodeId(PageId)> manager_of;
+    /// Static home of a page (ERC copyset checks).
+    std::function<NodeId(PageId)> home_of;
+
+    StatsRegistry* stats = nullptr;
+    /// Full diagnostic dump (the watchdog path) emitted before an
+    /// assert-mode abort. May be empty.
+    std::function<void(std::ostream&)> dump;
+  };
+
+  explicit DsmChecker(Setup setup);
+
+  // --- data-race detector (called from the fault path) -------------------
+  /// One faulting access by `node` to `offset` within `page`. Granularity
+  /// is the aligned 8-byte word, so false sharing within a word is the only
+  /// source of over-reporting (and none of the repo's workloads pack
+  /// unrelated data into one word).
+  void on_access(NodeId node, PageId page, std::size_t offset, bool is_write);
+
+  // --- happens-before edges (called from the sync agent) -----------------
+  void on_lock_acquired(NodeId node, LockId lock, LockMode mode);
+  void on_lock_released(NodeId node, LockId lock, LockMode mode);
+  void on_barrier_arrive(NodeId node, BarrierId barrier);
+  void on_barrier_depart(NodeId node, BarrierId barrier);
+
+  // --- protocol invariant hooks (called from src/proto) ------------------
+  /// Mirror of every PageEntry::state assignment; checks SWMR for IVY.
+  void on_page_state(NodeId node, PageId page, PageState state);
+  /// ERC home version: must be strictly increasing per (node, page).
+  void on_page_version(NodeId node, PageId page, std::uint32_t version);
+  /// EC per-lock data version: must be non-decreasing per (node, lock).
+  void on_lock_version(NodeId node, LockId lock, std::uint64_t version);
+  /// LRC/HLRC node vector clock after a mutation: must dominate its
+  /// previous value (intervals only ever advance).
+  void on_vclock(NodeId node, const VectorClock& vc);
+
+  // --- fabric hook (called from Network::deliver) ------------------------
+  /// Strict per-(src,dst) sequence contiguity for reliable traffic; the
+  /// reliable sublayer promises dedup + in-order reassembly, so any gap or
+  /// repeat here is a transport bug. Messages with kNoSeq (loopback,
+  /// control, reliability off) are ignored.
+  void on_deliver(const Message& msg);
+
+  // --- end-of-run structural checks --------------------------------------
+  /// Called by System::run after all service threads have joined. Compares
+  /// the state mirror against each node's real page table (catches missed
+  /// instrumentation) and walks copysets against actual holders.
+  void at_quiescence(const std::vector<const PageTable*>& tables);
+
+  std::uint64_t violations() const;
+  std::string last_violation() const;
+  /// Appends the last violation (if any) to a diagnostic dump, so a
+  /// watchdog abort shows the coherence state that caused it.
+  void dump_last_violation(std::ostream& os) const;
+
+ private:
+  /// FastTrack-style per-word epochs. `write_clock`/`write_node` is the
+  /// epoch of the last write; `read_clocks[m]` the clock of node m's last
+  /// read. A clock of 0 means "never" (node clocks start at 1).
+  struct WordState {
+    NodeId write_node = kNoNode;
+    std::uint32_t write_clock = 0;
+    std::vector<std::uint32_t> read_clocks;
+  };
+
+  /// Per-(barrier, generation) rendezvous. The barrier home releases only
+  /// after all N arrivals, so by the time any depart hook runs the
+  /// accumulator holds every participant's clock.
+  struct Round {
+    VectorClock acc;
+    std::size_t arrivals = 0;
+    std::size_t departures = 0;
+  };
+
+  /// Lock occupancy per lock: at most one exclusive holder; readers may
+  /// share only with each other.
+  struct LockOccupancy {
+    NodeId exclusive = kNoNode;
+    NodeSet readers;
+  };
+
+  void report(Counter& category, const std::string& text, bool dump_ok);
+  std::string epoch(NodeId node, std::uint32_t clock) const;
+
+  const std::size_t n_nodes_;
+  const std::size_t n_pages_;
+  const std::size_t page_size_;
+  const CheckLevel level_;
+  const bool swmr_;
+  const bool ivy_dynamic_;
+  const bool home_copyset_;
+  const char* const protocol_;
+  const std::function<NodeId(PageId)> manager_of_;
+  const std::function<NodeId(PageId)> home_of_;
+  const std::function<void(std::ostream&)> dump_;
+
+  // Recursive: an assert-mode report invokes dump_, which (via
+  // System::dump_diagnostics) calls back into dump_last_violation.
+  mutable std::recursive_mutex mutex_;
+
+  // Race detector state.
+  std::vector<VectorClock> vc_;                     // per node
+  std::unordered_map<std::uint64_t, WordState> words_;  // word key → epochs
+  std::vector<VectorClock> lock_vc_;                // per lock
+  std::vector<LockOccupancy> occupancy_;            // per lock
+  std::map<std::pair<BarrierId, std::uint64_t>, Round> rounds_;
+  std::vector<std::uint64_t> arrive_gen_;           // per (barrier, node)
+  std::vector<std::uint64_t> depart_gen_;           // per (barrier, node)
+
+  // Protocol invariant state.
+  std::vector<PageState> states_;            // mirror, node-major
+  std::vector<std::uint32_t> page_version_;  // node-major
+  std::map<std::pair<NodeId, LockId>, std::uint64_t> lock_version_;
+  std::vector<VectorClock> last_vc_;         // per node, LRC/HLRC
+  std::vector<std::uint64_t> next_seq_;      // per (src, dst) link
+
+  std::string last_violation_;
+
+  // Cached counters (StatsRegistry lookup is a lock + map walk).
+  Counter& accesses_;
+  Counter& violations_;
+  Counter& races_;
+  Counter& swmr_violations_;
+  Counter& copyset_violations_;
+  Counter& version_violations_;
+  Counter& vclock_violations_;
+  Counter& token_violations_;
+  Counter& order_violations_;
+  Counter& mirror_violations_;
+};
+
+}  // namespace dsm

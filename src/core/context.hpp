@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <span>
 
+#include "check/check_level.hpp"
 #include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -17,6 +18,8 @@
 #include "trace/trace.hpp"
 
 namespace dsm {
+
+class DsmChecker;
 
 /// Which coherence protocol a run uses. See DESIGN.md §System inventory.
 enum class ProtocolKind {
@@ -62,6 +65,9 @@ struct Config {
   /// Virtual-time span tracing (off by default; ~zero overhead when off).
   /// See DESIGN.md "Observability" and Tracer::write_json.
   TraceConfig trace{};
+  /// In-fabric race detection + protocol invariant checking (dsmcheck).
+  /// kOff constructs no checker at all; see DESIGN.md "dsmcheck".
+  CheckLevel check_level = CheckLevel::kOff;
 
   // Virtual-time cost model (see DESIGN.md "Virtual time").
   VirtualTime fault_ns = 5'000;    ///< trap + kernel + handler entry per fault
@@ -95,7 +101,8 @@ struct NodeContext {
   PageTable* table = nullptr;
   LogicalClock* clock = nullptr;
   StatsRegistry* stats = nullptr;
-  Tracer* trace = nullptr;  ///< null when tracing is off
+  Tracer* trace = nullptr;      ///< null when tracing is off
+  DsmChecker* check = nullptr;  ///< null when check_level is kOff
 
   /// Static distribution of pages to their home nodes.
   NodeId home_of(PageId page) const {

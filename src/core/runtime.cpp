@@ -70,8 +70,44 @@ System::System(Config cfg) : cfg_(cfg) {
     tracer_ = std::make_unique<Tracer>(cfg_.n_nodes, cfg_.trace,
                                        &stats_.counter("trace.dropped"));
   }
+  if (cfg_.check_level != CheckLevel::kOff) {
+    // Distill the protocol's invariant profile into checker traits so
+    // src/check never depends on src/proto or src/core.
+    const bool ivy = cfg_.protocol == ProtocolKind::kIvyCentral ||
+                     cfg_.protocol == ProtocolKind::kIvyFixed ||
+                     cfg_.protocol == ProtocolKind::kIvyDynamic;
+    DsmChecker::Setup setup;
+    setup.n_nodes = cfg_.n_nodes;
+    setup.n_pages = cfg_.n_pages;
+    setup.page_size = cfg_.page_size;
+    setup.n_locks = cfg_.n_locks;
+    setup.n_barriers = cfg_.n_barriers;
+    setup.level = cfg_.check_level;
+    setup.swmr = ivy;
+    setup.ivy_dynamic = cfg_.protocol == ProtocolKind::kIvyDynamic;
+    setup.home_copyset = cfg_.protocol == ProtocolKind::kErcInvalidate ||
+                         cfg_.protocol == ProtocolKind::kErcUpdate;
+    setup.protocol = to_string(cfg_.protocol);
+    if (cfg_.protocol == ProtocolKind::kIvyCentral) {
+      setup.manager_of = [](PageId) { return NodeId{0}; };
+    } else {
+      setup.manager_of = [n = cfg_.n_nodes](PageId p) {
+        return static_cast<NodeId>(p % n);
+      };
+    }
+    setup.home_of = [n = cfg_.n_nodes](PageId p) {
+      return static_cast<NodeId>(p % n);
+    };
+    setup.stats = &stats_;
+    setup.dump = [this](std::ostream& os) { dump_diagnostics(os); };
+    checker_ = std::make_unique<DsmChecker>(std::move(setup));
+  }
   network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
                                        cfg_.reliability, cfg_.chaos, tracer_.get());
+  if (checker_ != nullptr) {
+    network_->set_delivery_hook(
+        [chk = checker_.get()](const Message& msg) { chk->on_deliver(msg); });
+  }
   watchdog_ = std::make_unique<Watchdog>(
       cfg_.n_nodes, cfg_.watchdog_ms,
       [this](std::ostream& os) { dump_diagnostics(os); });
@@ -91,6 +127,7 @@ System::System(Config cfg) : cfg_(cfg) {
         .clock = &node->clock,
         .stats = &stats_,
         .trace = tracer_.get(),
+        .check = checker_.get(),
     };
     node->protocol = make_protocol(node->ctx);
     node->sync = std::make_unique<SyncAgent>(node->ctx, *node->protocol);
@@ -98,12 +135,15 @@ System::System(Config cfg) : cfg_(cfg) {
     Node* raw = node.get();
     node->fault_token = FaultRouter::instance().add_region(
         node->view.get(),
-        [this, raw](PageId page, bool is_write) {
+        [this, raw](PageId page, std::size_t offset, bool is_write) {
           const auto g = Watchdog::guard(watchdog_.get(), raw->ctx.id,
                                          is_write ? "write-fault" : "read-fault", page);
           const TraceScope span(tracer_.get(), raw->ctx.id, TraceCat::kFault,
                                 is_write ? "write-fault" : "read-fault",
                                 &raw->clock, "page", page);
+          if (raw->ctx.check != nullptr) {
+            raw->ctx.check->on_access(raw->ctx.id, page, offset, is_write);
+          }
           if (is_write) {
             raw->protocol->on_write_fault(page);
           } else {
@@ -214,6 +254,7 @@ void System::dump_diagnostics(std::ostream& os) const {
      << " acks=" << snap.counter("net.acks")
      << " gave_up=" << snap.counter("net.gave_up")
      << " dropped=" << snap.counter("net.dropped") << '\n';
+  if (checker_ != nullptr) checker_->dump_last_violation(os);
 }
 
 void System::run(const std::function<void(Worker&)>& body) {
@@ -249,6 +290,14 @@ void System::run(const std::function<void(Worker&)>& body) {
   for (auto& node : nodes_) node->service_thread.join();
   // The shutdown messages were never "processed"; resynchronize the counter.
   processed_.store(network_->messages_sent(), std::memory_order_relaxed);
+  if (checker_ != nullptr) {
+    // All service and app threads are gone: compare the checker's state
+    // mirror and copyset model against the real page tables.
+    std::vector<const PageTable*> tables;
+    tables.reserve(nodes_.size());
+    for (const auto& node : nodes_) tables.push_back(node->table.get());
+    checker_->at_quiescence(tables);
+  }
   running_ = false;
 }
 

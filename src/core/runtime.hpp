@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "core/context.hpp"
@@ -114,6 +115,10 @@ class System {
   Tracer* tracer() { return tracer_.get(); }
   const Tracer* tracer() const { return tracer_.get(); }
 
+  /// The dsmcheck verifier, or nullptr when Config::check_level is kOff.
+  DsmChecker* checker() { return checker_.get(); }
+  const DsmChecker* checker() const { return checker_.get(); }
+
   // --- white-box access (tests, benches) -----------------------------------
   Network& network() { return *network_; }
   PageTable& table(NodeId node) { return *nodes_[node]->table; }
@@ -144,7 +149,8 @@ class System {
 
   Config cfg_;
   StatsRegistry stats_;
-  std::unique_ptr<Tracer> tracer_;  // null when tracing is off
+  std::unique_ptr<Tracer> tracer_;       // null when tracing is off
+  std::unique_ptr<DsmChecker> checker_;  // null when check_level is kOff
   std::unique_ptr<Network> network_;
   std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -51,10 +51,12 @@ void sigsegv_handler(int signo, siginfo_t* info, void* context) {
       std::byte* base = slot.base.load(std::memory_order_acquire);
       if (base == nullptr || addr < base || addr >= base + slot.size) continue;
       const PageId page = slot.view->page_of(addr);
+      const std::size_t offset =
+          static_cast<std::size_t>(addr - base) % slot.view->page_size();
       bool known = false;
       bool is_write = fault_was_write(static_cast<ucontext_t*>(context), &known);
       if (!known) is_write = slot.infer_write ? slot.infer_write(page) : true;
-      slot.on_fault(page, is_write);
+      slot.on_fault(page, offset, is_write);
       return;  // protection has been fixed; retry the faulting instruction
     }
   }

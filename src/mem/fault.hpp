@@ -20,8 +20,11 @@
 namespace dsm {
 
 /// Callback invoked for a fault on `page` of the registered region.
-/// `is_write` distinguishes a read miss from a write miss/upgrade.
-using FaultHandler = std::function<void(PageId page, bool is_write)>;
+/// `offset` is the faulting byte within the page (from si_addr; feeds the
+/// word-granular race detector); `is_write` distinguishes a read miss from a
+/// write miss/upgrade.
+using FaultHandler =
+    std::function<void(PageId page, std::size_t offset, bool is_write)>;
 
 /// Fallback used on architectures where the trap does not report read vs
 /// write: given the page, return true if the faulting access must have been a

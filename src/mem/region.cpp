@@ -33,14 +33,26 @@ ViewRegion::ViewRegion(std::size_t n_pages, std::size_t page_size)
                 "DSM page size " << page_size_ << " must be a multiple of the OS page size "
                                  << os_page_size());
   DSM_CHECK(n_pages_ > 0);
-  void* addr = ::mmap(nullptr, size_bytes(), PROT_NONE,
-                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-  DSM_CHECK_MSG(addr != MAP_FAILED, "mmap failed: " << std::strerror(errno));
-  base_ = static_cast<std::byte*>(addr);
+  // Both the app view and the service window must alias the same physical
+  // pages with independent protections, which anonymous MAP_PRIVATE memory
+  // cannot do — back the region with a memfd and map it twice.
+  const int fd = ::memfd_create("dsm-view", MFD_CLOEXEC);
+  DSM_CHECK_MSG(fd >= 0, "memfd_create failed: " << std::strerror(errno));
+  const int trc = ::ftruncate(fd, static_cast<off_t>(size_bytes()));
+  DSM_CHECK_MSG(trc == 0, "ftruncate failed: " << std::strerror(errno));
+  void* app = ::mmap(nullptr, size_bytes(), PROT_NONE, MAP_SHARED | MAP_NORESERVE, fd, 0);
+  DSM_CHECK_MSG(app != MAP_FAILED, "mmap (app view) failed: " << std::strerror(errno));
+  void* alias = ::mmap(nullptr, size_bytes(), PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_NORESERVE, fd, 0);
+  DSM_CHECK_MSG(alias != MAP_FAILED, "mmap (service window) failed: " << std::strerror(errno));
+  ::close(fd);  // the mappings keep the backing alive
+  base_ = static_cast<std::byte*>(app);
+  alias_ = static_cast<std::byte*>(alias);
 }
 
 ViewRegion::~ViewRegion() {
   if (base_ != nullptr) ::munmap(base_, size_bytes());
+  if (alias_ != nullptr) ::munmap(alias_, size_bytes());
 }
 
 void ViewRegion::protect(PageId page, Access access) const {
@@ -48,13 +60,5 @@ void ViewRegion::protect(PageId page, Access access) const {
   const int rc = ::mprotect(page_ptr(page), page_size_, to_prot(access));
   DSM_CHECK_MSG(rc == 0, "mprotect(page " << page << ") failed: " << std::strerror(errno));
 }
-
-ViewRegion::ScopedWritable::ScopedWritable(const ViewRegion& view, PageId page,
-                                           Access restore_to)
-    : view_(view), page_(page), restore_to_(restore_to) {
-  view_.protect(page_, Access::kReadWrite);
-}
-
-ViewRegion::ScopedWritable::~ScopedWritable() { view_.protect(page_, restore_to_); }
 
 }  // namespace dsm

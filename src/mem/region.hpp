@@ -1,9 +1,20 @@
-// A node's private "view" of the shared address space: an anonymous mmap
-// whose per-page protection encodes the coherence state (PROT_NONE =
-// invalid, PROT_READ = read-only copy, PROT_READ|WRITE = owned/writable).
-// This is the same mprotect/SIGSEGV machinery IVY- and TreadMarks-class
-// systems used; here every node's view lives in one process at a distinct
-// base address (see DESIGN.md "Substitutions").
+// A node's private "view" of the shared address space, mapped twice over
+// one memfd backing:
+//
+//   * the *app view* (`base()`): per-page protection encodes the coherence
+//     state (PROT_NONE = invalid, PROT_READ = read-only copy,
+//     PROT_READ|WRITE = owned/writable) — the same mprotect/SIGSEGV
+//     machinery IVY- and TreadMarks-class systems used;
+//   * the *service window* (`alias_ptr()`): an always-writable alias of the
+//     same pages, for service threads installing remote data or applying
+//     diffs.
+//
+// The service window exists because flipping the app view's protection to
+// write into it opens a race: an app-thread store to a read-only page that
+// lands inside the writable window retires silently instead of faulting, so
+// the protocol never twins/diffs it and the write is lost. Writing through
+// the alias leaves the app view's protection — and therefore the fault
+// semantics — untouched at all times.
 #pragma once
 
 #include <cstddef>
@@ -40,6 +51,16 @@ class ViewRegion {
     return {page_ptr(page), page_size_};
   }
 
+  /// The service window: the same physical page as `page_ptr(page)`, always
+  /// readable and writable, never faulting. Service threads MUST move page
+  /// contents through this alias — never by relaxing the app view's
+  /// protection, which would let concurrent app-thread stores slip past the
+  /// fault handler unrecorded (a lost update).
+  std::byte* alias_ptr(PageId page) const { return alias_ + page * page_size_; }
+  std::span<std::byte> alias_span(PageId page) const {
+    return {alias_ptr(page), page_size_};
+  }
+
   bool contains(const void* addr) const {
     const auto* p = static_cast<const std::byte*>(addr);
     return p >= base_ && p < base_ + size_bytes();
@@ -52,29 +73,15 @@ class ViewRegion {
     return static_cast<std::size_t>(static_cast<const std::byte*>(addr) - base_);
   }
 
-  /// Sets a page's protection. Aborts on mprotect failure (programming error).
+  /// Sets a page's protection on the app view. Aborts on mprotect failure
+  /// (programming error).
   void protect(PageId page, Access access) const;
-
-  /// Temporarily opens a page for the protocol to copy data in/out without
-  /// disturbing the logical access state; restores `restore_to` on
-  /// destruction. Used by service threads installing remote data.
-  class ScopedWritable {
-   public:
-    ScopedWritable(const ViewRegion& view, PageId page, Access restore_to);
-    ~ScopedWritable();
-    ScopedWritable(const ScopedWritable&) = delete;
-    ScopedWritable& operator=(const ScopedWritable&) = delete;
-
-   private:
-    const ViewRegion& view_;
-    PageId page_;
-    Access restore_to_;
-  };
 
  private:
   std::size_t n_pages_;
   std::size_t page_size_;
-  std::byte* base_ = nullptr;
+  std::byte* base_ = nullptr;   ///< app view: protection = coherence state
+  std::byte* alias_ = nullptr;  ///< service window: always PROT_READ|WRITE
 };
 
 }  // namespace dsm

@@ -217,6 +217,7 @@ void Network::deliver(Message msg) {
     mailboxes_[msg.dst].push(std::move(msg));
     return;
   }
+  if (delivery_hook_) delivery_hook_(msg);
   const std::size_t bytes = msg.wire_size();
   if (tracer_ != nullptr) {
     // The transit leg: virtual span from the sender's stamp to the modeled

@@ -136,6 +136,14 @@ class Network {
     drop_hook_ = std::move(hook);
   }
 
+  /// Observer invoked for every message accepted into a mailbox (after
+  /// dedup/reorder, in final delivery order). Used by dsmcheck to verify
+  /// per-link sequence contiguity. Runs under internal locks — the hook
+  /// must not call back into the Network. Install before traffic starts.
+  void set_delivery_hook(std::function<void(const Message&)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
   /// Injects a node stall: deliveries to `node` are held for `us` real
   /// microseconds from now (the chaos pause injector's explicit form).
   void inject_pause(NodeId node, std::uint32_t us);
@@ -214,6 +222,7 @@ class Network {
   ChaosEngine chaos_;
   std::vector<Mailbox> mailboxes_;
   std::function<bool(const Message&)> drop_hook_;
+  std::function<void(const Message&)> delivery_hook_;
 
   // Sender/receiver channel state (seq assignment, dedup, reorder).
   mutable std::mutex links_mutex_;

@@ -4,6 +4,7 @@
 
 #include "common/logging.hpp"
 #include "mem/diff.hpp"
+#include "proto/page_io.hpp"
 
 namespace dsm {
 namespace {
@@ -34,6 +35,7 @@ void EcProtocol::init_pages() {
     auto& e = ctx_.table->entry(p);
     const std::lock_guard<std::mutex> lock(e.mutex);
     e.state = PageState::kReadWrite;
+    page_io::note_state(ctx_, p, PageState::kReadWrite);
     ctx_.view->protect(p, Access::kReadWrite);
   }
   const std::lock_guard<std::mutex> guard(mutex_);
@@ -127,6 +129,9 @@ void EcProtocol::fill_lock_grant(LockId lock, NodeId /*to*/,
   }
   if (dirty) {
     entry.version = ++L.seen_version;
+    if (ctx_.check != nullptr) {
+      ctx_.check->on_lock_version(ctx_.id, lock, L.seen_version);
+    }
     L.log.push_back(std::move(entry));
     while (L.log.size() > kLogCap) L.log.pop_front();
   }
@@ -205,6 +210,9 @@ void EcProtocol::on_lock_granted(LockId lock, WireReader& in) {
       }
     }
     L.seen_version = std::max(L.seen_version, current);
+    if (ctx_.check != nullptr) {
+      ctx_.check->on_lock_version(ctx_.id, lock, L.seen_version);
+    }
   } else if (kind == kGrantFull) {
     const auto current = in.get<std::uint32_t>();
     const auto n_regions = in.get<std::uint32_t>();
@@ -216,6 +224,9 @@ void EcProtocol::on_lock_granted(LockId lock, WireReader& in) {
       std::memcpy(live.data(), bytes.data(), bytes.size());
     }
     L.seen_version = std::max(L.seen_version, current);
+    if (ctx_.check != nullptr) {
+      ctx_.check->on_lock_version(ctx_.id, lock, L.seen_version);
+    }
     L.log.clear();  // our old entries are useless to anyone we could serve
   } else {
     DSM_CHECK_MSG(kind == kGrantUnbound, "ec: bad grant kind");

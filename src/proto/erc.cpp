@@ -36,9 +36,11 @@ void ErcProtocol::init_pages() {
       // The home's copy is authoritative from the start; read-only so the
       // home's own writes are trapped and diffed like anyone else's.
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, p, PageState::kReadOnly);
       ctx_.view->protect(p, Access::kRead);
     } else {
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, p, PageState::kInvalid);
       ctx_.view->protect(p, Access::kNone);
     }
     e.copyset.clear();
@@ -124,6 +126,7 @@ void ErcProtocol::on_write_fault(PageId page) {
       e.twin = make_twin(ctx_.view->page_span(page));
       ctx_.view->protect(page, Access::kReadWrite);
       e.state = PageState::kReadWrite;
+      page_io::note_state(ctx_, page, PageState::kReadWrite);
       if (!e.dirty) {
         e.dirty = true;
         dirty_pages_.push_back(page);
@@ -166,6 +169,7 @@ void ErcProtocol::flush_dirty() {
       // Re-protect so the next write re-twins in a fresh interval.
       ctx_.view->protect(page, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
     }
     ctx_.stats->counter("erc.diff_bytes").add(diff.size());
     WireWriter w(diff.size() + 16);
@@ -221,6 +225,7 @@ void ErcProtocol::handle_page_reply(const Message& msg) {
     const std::lock_guard<std::mutex> lock(e.mutex);
     page_io::install_page(ctx_, page, bytes, Access::kRead);
     e.state = PageState::kReadOnly;
+    page_io::note_state(ctx_, page, PageState::kReadOnly);
     e.busy = false;
   }
   e.cv.notify_all();
@@ -239,9 +244,10 @@ void ErcProtocol::handle_update(const Message& msg) {
     {
       const std::lock_guard<std::mutex> lock(e.mutex);
       if (e.state != PageState::kInvalid) {
-        const ViewRegion::ScopedWritable open(*ctx_.view, page,
-                                              page_io::rights_for(e.state));
-        apply_diff(ctx_.view->page_span(page), diff);
+        // Service window: never relax the app view's protection to write —
+        // a concurrent app-thread store would slip through without faulting
+        // (no twin, no dirty bit) and the write would be silently lost.
+        apply_diff(ctx_.view->alias_span(page), diff);
       }
       if (e.twin != nullptr) {
         apply_diff({e.twin.get(), ctx_.cfg->page_size}, diff);
@@ -276,13 +282,12 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
 
     // The home copy is authoritative: fold the diff in (and into the home's
     // own twin if the home is itself mid-write on this page).
-    {
-      const ViewRegion::ScopedWritable open(*ctx_.view, page,
-                                            page_io::rights_for(e.state));
-      apply_diff(ctx_.view->page_span(page), diff);
-    }
+    apply_diff(ctx_.view->alias_span(page), diff);
     if (e.twin != nullptr) apply_diff({e.twin.get(), ctx_.cfg->page_size}, diff);
     ++e.version;
+    if (ctx_.check != nullptr) {
+      ctx_.check->on_page_version(ctx_.id, page, e.version);
+    }
 
     for (const NodeId n : e.copyset.members()) {
       if (n != writer) targets.push_back(n);
@@ -431,6 +436,7 @@ void ErcProtocol::handle_invalidate(const Message& msg) {
     } else if (e.state != PageState::kInvalid) {
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, page, PageState::kInvalid);
     }
   }
   WireWriter w(8);

@@ -45,9 +45,11 @@ void HlrcProtocol::init_pages() {
     const std::lock_guard<std::mutex> lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, p, PageState::kReadOnly);
       ctx_.view->protect(p, Access::kRead);
     } else {
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, p, PageState::kInvalid);
       ctx_.view->protect(p, Access::kNone);
     }
     e.busy = false;
@@ -128,6 +130,7 @@ void HlrcProtocol::on_write_fault(PageId page) {
       if (e.twin == nullptr) e.twin = make_twin(ctx_.view->page_span(page));
       ctx_.view->protect(page, Access::kReadWrite);
       e.state = PageState::kReadWrite;
+      page_io::note_state(ctx_, page, PageState::kReadWrite);
       if (!e.dirty) {
         e.dirty = true;
         dirty_pages_.push_back(page);
@@ -161,19 +164,16 @@ void HlrcProtocol::close_and_flush() {
   {
     const std::lock_guard<std::mutex> meta(meta_mutex_);
     vc_.tick(ctx_.id);
+    if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
     rec.interval = vc_[ctx_.id];
     for (const PageId page : dirty_pages_) {
       auto& e = ctx_.table->entry(page);
       const std::lock_guard<std::mutex> lock(e.mutex);
       DSM_CHECK(e.dirty && e.twin != nullptr);
-      std::vector<std::byte> diff;
-      {
-        // The page may have been invalidated (PROT_NONE) while dirty; open
-        // protection for the read to avoid a self-deadlocking fault.
-        const ViewRegion::ScopedWritable open(*ctx_.view, page,
-                                              page_io::rights_for(e.state));
-        diff = encode_diff(ctx_.view->page_span(page), {e.twin.get(), ctx_.cfg->page_size});
-      }
+      // Read through the service window: the page may have been invalidated
+      // (PROT_NONE) while dirty, and a fault here would self-deadlock.
+      std::vector<std::byte> diff =
+          encode_diff(ctx_.view->alias_span(page), {e.twin.get(), ctx_.cfg->page_size});
       ctx_.stats->counter("hlrc.flush_bytes").add(diff.size());
       e.twin.reset();
       e.dirty = false;
@@ -182,6 +182,7 @@ void HlrcProtocol::close_and_flush() {
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(page, Access::kRead);
         e.state = PageState::kReadOnly;
+        page_io::note_state(ctx_, page, PageState::kReadOnly);
       }
       WireWriter w(diff.size() + 16);
       w.put(page);
@@ -210,9 +211,10 @@ void HlrcProtocol::handle_flush(const Message& msg) {
     const std::lock_guard<std::mutex> lock(e.mutex);
     DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "hlrc: flush at non-home");
     // Arrival order is happens-before-consistent: an hb-later writer could
-    // only have started after this diff was acknowledged.
-    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
-    apply_diff(ctx_.view->page_span(page), diff);
+    // only have started after this diff was acknowledged. Apply through the
+    // service window — relaxing the app view's protection would let a
+    // concurrent app-thread store retire without faulting (lost update).
+    apply_diff(ctx_.view->alias_span(page), diff);
     if (e.twin != nullptr) apply_diff({e.twin.get(), ctx_.cfg->page_size}, diff);
   }
   ctx_.send(MsgType::kUpdateAck, msg.src, {});
@@ -241,8 +243,7 @@ void HlrcProtocol::handle_page_request(const Message& msg) {
   std::vector<std::byte> bytes(ctx_.cfg->page_size);
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
-    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
-    std::memcpy(bytes.data(), ctx_.view->page_ptr(page), bytes.size());
+    std::memcpy(bytes.data(), ctx_.view->alias_ptr(page), bytes.size());
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
@@ -260,19 +261,21 @@ void HlrcProtocol::handle_page_reply(const Message& msg) {
     if (e.twin != nullptr) {
       // We were mid-write when the copy was invalidated: preserve the
       // unflushed local words (disjoint from remote ones under DRF) by
-      // re-applying our local diff over the fetched page. Open protection
-      // before touching the page — it is PROT_NONE right now, and a fault
-      // on the service thread would deadlock.
-      const ViewRegion::ScopedWritable open(*ctx_.view, page, Access::kReadWrite);
-      const auto local = encode_diff(ctx_.view->page_span(page),
+      // re-applying our local diff over the fetched page. All moves go
+      // through the service window — the page is PROT_NONE right now, and
+      // a fault on the service thread would deadlock.
+      const auto local = encode_diff(ctx_.view->alias_span(page),
                                      {e.twin.get(), ctx_.cfg->page_size});
-      std::memcpy(ctx_.view->page_ptr(page), bytes.data(), bytes.size());
+      std::memcpy(ctx_.view->alias_ptr(page), bytes.data(), bytes.size());
       std::memcpy(e.twin.get(), bytes.data(), bytes.size());
-      apply_diff(ctx_.view->page_span(page), local);
+      apply_diff(ctx_.view->alias_span(page), local);
+      ctx_.view->protect(page, Access::kReadWrite);
       e.state = PageState::kReadWrite;
+      page_io::note_state(ctx_, page, PageState::kReadWrite);
     } else {
       page_io::install_page(ctx_, page, bytes, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
     }
     e.busy = false;
   }
@@ -335,6 +338,7 @@ void HlrcProtocol::ingest_records(WireReader& in, std::size_t count) {
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(page, Access::kNone);
         e.state = PageState::kInvalid;
+        page_io::note_state(ctx_, page, PageState::kInvalid);
         ctx_.stats->counter("hlrc.notice_invalidations").add();
       }
     }
@@ -349,6 +353,7 @@ void HlrcProtocol::on_lock_granted(LockId, WireReader& in) {
   const std::lock_guard<std::mutex> meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(granter_vc);
+  if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
 }
 
 void HlrcProtocol::fill_barrier_arrive(BarrierId, WireWriter& out) {
@@ -393,6 +398,7 @@ void HlrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
   const std::lock_guard<std::mutex> meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(merged);
+  if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
   // All homes were flushed before anyone arrived and everyone has now seen
   // every notice: the interval logs can be collected. (No diff caches exist
   // to collect — that is the point of HLRC.)

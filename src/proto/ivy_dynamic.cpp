@@ -49,9 +49,11 @@ void IvyDynamicProtocol::init_pages() {
     e.is_owner = home == ctx_.id;
     if (e.is_owner) {
       e.state = PageState::kReadWrite;
+      page_io::note_state(ctx_, p, PageState::kReadWrite);
       ctx_.view->protect(p, Access::kReadWrite);
     } else {
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, p, PageState::kInvalid);
       ctx_.view->protect(p, Access::kNone);
     }
     e.copyset.clear();
@@ -94,6 +96,7 @@ void IvyDynamicProtocol::fault(PageId page, bool is_write) {
       if (holders.empty()) {
         ctx_.view->protect(page, Access::kReadWrite);
         e.state = PageState::kReadWrite;
+        page_io::note_state(ctx_, page, PageState::kReadWrite);
         e.busy = false;
       } else {
         e.acks_outstanding = static_cast<int>(holders.size());
@@ -201,6 +204,7 @@ void IvyDynamicProtocol::serve_read(PageId page, NodeId requester) {
     if (e.state == PageState::kReadWrite) {
       ctx_.view->protect(page, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
     }
     e.copyset.insert(requester);
     bytes = page_io::read_page(ctx_, page, e.state);
@@ -227,6 +231,7 @@ void IvyDynamicProtocol::serve_write(PageId page, NodeId requester) {
     e.prob_owner = requester;
     ctx_.view->protect(page, Access::kNone);
     e.state = PageState::kInvalid;
+    page_io::note_state(ctx_, page, PageState::kInvalid);
   }
   WireWriter w(bytes.size() + 16);
   w.put(page);
@@ -254,6 +259,7 @@ void IvyDynamicProtocol::handle_read_reply(const Message& msg) {
     } else {
       page_io::install_page(ctx_, page, bytes, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
       e.prob_owner = msg.src;  // learned: the replier is the owner
       e.busy = false;
     }
@@ -297,6 +303,7 @@ void IvyDynamicProtocol::handle_write_reply(const Message& msg) {
 bool IvyDynamicProtocol::finish_write_locked(PageId page, PageEntry& e) {
   ctx_.view->protect(page, Access::kReadWrite);
   e.state = PageState::kReadWrite;
+  page_io::note_state(ctx_, page, PageState::kReadWrite);
   e.busy = false;
   return true;
 }
@@ -311,6 +318,7 @@ void IvyDynamicProtocol::handle_invalidate(const Message& msg) {
     if (e.state != PageState::kInvalid) {
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, page, PageState::kInvalid);
     }
     if (e.busy && !e.is_owner) {
       // Our read request is outstanding: its reply may carry the very copy

@@ -55,9 +55,11 @@ void IvyManagerProtocol::init_pages() {
     e.owner = ctx_.home_of(p);  // meaningful at the manager; harmless elsewhere
     if (e.owner == ctx_.id) {
       e.state = PageState::kReadWrite;
+      page_io::note_state(ctx_, p, PageState::kReadWrite);
       ctx_.view->protect(p, Access::kReadWrite);
     } else {
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, p, PageState::kInvalid);
       ctx_.view->protect(p, Access::kNone);
     }
     e.copyset.clear();
@@ -170,6 +172,7 @@ void IvyManagerProtocol::handle_read_forward(const Message& msg) {
     if (e.state == PageState::kReadWrite) {
       ctx_.view->protect(page, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
     }
     e.copyset.insert(requester);
     bytes = page_io::read_page(ctx_, page, e.state);
@@ -213,6 +216,7 @@ void IvyManagerProtocol::handle_write_forward(const Message& msg) {
     // The old owner's copy dies right here — no invalidate message needed.
     ctx_.view->protect(page, Access::kNone);
     e.state = PageState::kInvalid;
+    page_io::note_state(ctx_, page, PageState::kInvalid);
   }
 
   WireWriter w(bytes.size() + 16);
@@ -231,6 +235,7 @@ void IvyManagerProtocol::handle_read_reply(const Message& msg) {
     const std::lock_guard<std::mutex> lock(e.mutex);
     page_io::install_page(ctx_, page, bytes, Access::kRead);
     e.state = PageState::kReadOnly;
+    page_io::note_state(ctx_, page, PageState::kReadOnly);
     e.busy = false;
   }
   e.cv.notify_all();
@@ -281,6 +286,7 @@ bool IvyManagerProtocol::start_invalidation(PageId page, PageEntry& e,
 void IvyManagerProtocol::finish_write(PageId page, PageEntry& e) {
   ctx_.view->protect(page, Access::kReadWrite);
   e.state = PageState::kReadWrite;
+  page_io::note_state(ctx_, page, PageState::kReadWrite);
   e.busy = false;
   WireWriter w(4);
   w.put(page);
@@ -297,6 +303,7 @@ void IvyManagerProtocol::handle_invalidate(const Message& msg) {
     if (e.state != PageState::kInvalid) {
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, page, PageState::kInvalid);
     }
   }
   WireWriter w(4);

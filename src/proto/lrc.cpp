@@ -52,10 +52,12 @@ void LrcProtocol::init_pages() {
     const std::lock_guard<std::mutex> lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, p, PageState::kReadOnly);
       e.has_base = true;
       ctx_.view->protect(p, Access::kRead);
     } else {
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, p, PageState::kInvalid);
       e.has_base = false;
       ctx_.view->protect(p, Access::kNone);
     }
@@ -104,6 +106,7 @@ void LrcProtocol::on_write_fault(PageId page) {
         if (e.twin == nullptr) e.twin = make_twin(ctx_.view->page_span(page));
         ctx_.view->protect(page, Access::kReadWrite);
         e.state = PageState::kReadWrite;
+        page_io::note_state(ctx_, page, PageState::kReadWrite);
         if (!e.dirty) {
           e.dirty = true;
           dirty_pages_.push_back(page);
@@ -172,13 +175,11 @@ void LrcProtocol::make_page_valid(PageId page) {
       return a.lamport != b.lamport ? a.lamport < b.lamport : a.writer < b.writer;
     });
     lock.lock();
-    {
-      const ViewRegion::ScopedWritable open(*ctx_.view, page, Access::kNone);
-      for (const auto& rec : records) {
-        apply_diff(ctx_.view->page_span(page), rec.bytes);
-        if (e.twin != nullptr) {
-          apply_diff({e.twin.get(), ctx_.cfg->page_size}, rec.bytes);
-        }
+    // Service window: the page stays PROT_NONE while the diffs land.
+    for (const auto& rec : records) {
+      apply_diff(ctx_.view->alias_span(page), rec.bytes);
+      if (e.twin != nullptr) {
+        apply_diff({e.twin.get(), ctx_.cfg->page_size}, rec.bytes);
       }
     }
     lock.unlock();
@@ -189,9 +190,11 @@ void LrcProtocol::make_page_valid(PageId page) {
     // We were mid-write when the page was invalidated: restore write access.
     ctx_.view->protect(page, Access::kReadWrite);
     e.state = PageState::kReadWrite;
+    page_io::note_state(ctx_, page, PageState::kReadWrite);
   } else {
     ctx_.view->protect(page, Access::kRead);
     e.state = PageState::kReadOnly;
+    page_io::note_state(ctx_, page, PageState::kReadOnly);
   }
   e.busy = false;
   ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
@@ -209,6 +212,7 @@ void LrcProtocol::close_interval() {
   const std::lock_guard<std::mutex> meta(meta_mutex_);
   ++lamport_;
   vc_.tick(ctx_.id);
+  if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
   const std::uint32_t interval = vc_[ctx_.id];
 
   IntervalRecord rec;
@@ -225,13 +229,10 @@ void LrcProtocol::close_interval() {
     d.interval = interval;
     d.lamport = lamport_;
     d.writer = ctx_.id;
-    {
-      // The page may have been invalidated (PROT_NONE) while dirty; open
-      // protection for the read — a fault here would deadlock on our own
-      // entry lock.
-      const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
-      d.bytes = encode_diff(ctx_.view->page_span(page), {e.twin.get(), ctx_.cfg->page_size});
-    }
+    // Read through the service window: the page may have been invalidated
+    // (PROT_NONE) while dirty, and a fault here would deadlock on our own
+    // entry lock.
+    d.bytes = encode_diff(ctx_.view->alias_span(page), {e.twin.get(), ctx_.cfg->page_size});
     ctx_.stats->counter("lrc.diff_bytes_created").add(d.bytes.size());
     diff_cache_[page].push_back(std::move(d));
     e.twin.reset();
@@ -239,11 +240,13 @@ void LrcProtocol::close_interval() {
     if (pending_[page].empty()) {
       ctx_.view->protect(page, Access::kRead);
       e.state = PageState::kReadOnly;
+      page_io::note_state(ctx_, page, PageState::kReadOnly);
     } else {
       // Unseen remote writes exist: stay invalid so the next access fetches
       // their diffs before reading.
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
+      page_io::note_state(ctx_, page, PageState::kInvalid);
     }
   }
   interval_log_[ctx_.id].push_back(std::move(rec));
@@ -347,6 +350,7 @@ void LrcProtocol::ingest_records(WireReader& in, std::size_t count) {
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(page, Access::kNone);
         e.state = PageState::kInvalid;
+        page_io::note_state(ctx_, page, PageState::kInvalid);
         ctx_.stats->counter("lrc.notice_invalidations").add();
       }
     }
@@ -362,6 +366,7 @@ void LrcProtocol::on_lock_granted(LockId, WireReader& in) {
   const std::lock_guard<std::mutex> meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(granter_vc);
+  if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
   lamport_ = std::max(lamport_, granter_lamport);
 }
 
@@ -421,9 +426,9 @@ void LrcProtocol::handle_page_request(const Message& msg) {
     DSM_CHECK(e.has_base);
     // The home's bytes are always *some* consistent base (its applied-diff
     // prefix respects happens-before); the faulter layers its pending diffs
-    // on top. Open the protection: the copy may be access-revoked here.
-    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
-    std::memcpy(bytes.data(), ctx_.view->page_ptr(page), bytes.size());
+    // on top. Read through the service window: the copy may be
+    // access-revoked here.
+    std::memcpy(bytes.data(), ctx_.view->alias_ptr(page), bytes.size());
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
@@ -439,8 +444,7 @@ void LrcProtocol::handle_page_reply(const Message& msg) {
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
     DSM_CHECK(!e.has_base && e.twin == nullptr);
-    const ViewRegion::ScopedWritable open(*ctx_.view, page, Access::kNone);
-    std::memcpy(ctx_.view->page_ptr(page), bytes.data(), bytes.size());
+    std::memcpy(ctx_.view->alias_ptr(page), bytes.data(), bytes.size());
     e.has_base = true;
   }
   e.cv.notify_all();
@@ -576,6 +580,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
     const std::lock_guard<std::mutex> meta(meta_mutex_);
     ingest_records(in, count);
     vc_.merge(merged);
+    if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
     lamport_ = std::max(lamport_, lamport);
     ctx_.stats->counter("lrc.lazy_barriers").add();
     return;
@@ -591,6 +596,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
     const std::lock_guard<std::mutex> meta(meta_mutex_);
     ingest_records(in, count);
     vc_.merge(merged);
+    if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
     lamport_ = std::max(lamport_, lamport);
     pushed = std::move(settle_buffer_);
     settle_buffer_.clear();
@@ -607,9 +613,8 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
     const std::lock_guard<std::mutex> lock(e.mutex);
     DSM_CHECK_MSG(e.twin == nullptr && !e.dirty, "lrc: open interval at barrier");
     DSM_CHECK(e.has_base);
-    const ViewRegion::ScopedWritable open(*ctx_.view, page, page_io::rights_for(e.state));
     for (const auto& rec : records) {
-      apply_diff(ctx_.view->page_span(page), rec.bytes);
+      apply_diff(ctx_.view->alias_span(page), rec.bytes);
     }
   }
 
@@ -622,6 +627,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
       if (e.state == PageState::kInvalid) {
         ctx_.view->protect(p, Access::kRead);
         e.state = PageState::kReadOnly;
+        page_io::note_state(ctx_, p, PageState::kReadOnly);
       }
       continue;
     }
@@ -632,6 +638,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(p, Access::kNone);
         e.state = PageState::kInvalid;
+        page_io::note_state(ctx_, p, PageState::kInvalid);
       }
       e.has_base = false;
       ctx_.stats->counter("lrc.settle_dropped_copies").add();

@@ -6,14 +6,25 @@
 #include <span>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "common/assert.hpp"
 #include "core/context.hpp"
 #include "mem/page_table.hpp"
 
 namespace dsm::page_io {
 
-/// Copies the page's current contents out of the view. The caller must hold
-/// the page entry lock; the page may be in any protection state.
+/// Reports a page-state transition to dsmcheck (no-op when checking is
+/// off). Protocols call this alongside every `entry.state` assignment so
+/// the checker can mirror coherence state and assert SWMR; the quiescence
+/// pass cross-checks the mirror against the real tables, which catches any
+/// assignment that forgets this call.
+inline void note_state(const NodeContext& ctx, PageId page, PageState state) {
+  if (ctx.check != nullptr) ctx.check->on_page_state(ctx.id, page, state);
+}
+
+/// Copies the page's current contents out of the view (through the service
+/// window, so any protection state is readable). The caller must hold the
+/// page entry lock.
 inline std::vector<std::byte> read_page(const NodeContext& ctx, PageId page,
                                         PageState current_state) {
   std::vector<std::byte> bytes(ctx.cfg->page_size);
@@ -21,18 +32,20 @@ inline std::vector<std::byte> read_page(const NodeContext& ctx, PageId page,
     // Owner invariant violations are protocol bugs; readable is required.
     DSM_CHECK_MSG(false, "read_page of invalid page " << page);
   }
-  std::memcpy(bytes.data(), ctx.view->page_ptr(page), bytes.size());
+  std::memcpy(bytes.data(), ctx.view->alias_ptr(page), bytes.size());
   return bytes;
 }
 
 /// Installs `bytes` into the view and leaves the page with `rights`.
 /// The caller must hold the page entry lock and update entry.state itself.
+/// The copy goes through the service window: the app view's protection is
+/// set exactly once, never relaxed-then-restored, so a concurrent app-thread
+/// store can never slip into a transiently writable page unrecorded.
 inline void install_page(const NodeContext& ctx, PageId page,
                          std::span<const std::byte> bytes, Access rights) {
   DSM_CHECK(bytes.size() == ctx.cfg->page_size);
-  ctx.view->protect(page, Access::kReadWrite);
-  std::memcpy(ctx.view->page_ptr(page), bytes.data(), bytes.size());
-  if (rights != Access::kReadWrite) ctx.view->protect(page, rights);
+  std::memcpy(ctx.view->alias_ptr(page), bytes.data(), bytes.size());
+  ctx.view->protect(page, rights);
 }
 
 /// Maps a PageState onto the mprotect rights that represent it.

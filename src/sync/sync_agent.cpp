@@ -1,5 +1,6 @@
 #include "sync/sync_agent.hpp"
 
+#include "check/checker.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
 
@@ -95,6 +96,9 @@ void SyncAgent::acquire(LockId lock) {
       DSM_CHECK(!L.successor.has_value());
       L.in_cs = true;
       ctx_.stats->counter("sync.local_acquires").add();
+      if (ctx_.check != nullptr) {
+        ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+      }
       return;
     }
   }
@@ -119,6 +123,9 @@ void SyncAgent::acquire(LockId lock) {
   L.granted = false;
   L.have_token = true;
   L.in_cs = true;
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+  }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
 
@@ -128,6 +135,11 @@ void SyncAgent::release(LockId lock) {
                         ctx_.clock, "lock", lock);
   // Consistency actions must complete before anyone else can hold the lock.
   protocol_.before_release(lock);
+  // Hook after the consistency flush but before any grant can be sent: the
+  // checker's release edge must precede the next acquirer's acquire edge.
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+  }
 
   if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain) {
     std::optional<Message> successor;
@@ -196,6 +208,9 @@ void SyncAgent::acquire_read(LockId lock) {
   cv_.wait(guard, [&] { return L.granted; });
   L.granted = false;
   L.in_read_cs = true;
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kRead);
+  }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
 
@@ -203,6 +218,9 @@ void SyncAgent::release_read(LockId lock) {
   // Conservative: a reader may have written *other* data; flush it so this
   // release is a proper release for the consistency protocol too.
   protocol_.before_release(lock);
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kRead);
+  }
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& L = local_[lock];
@@ -243,11 +261,17 @@ void SyncAgent::acquire_write(LockId lock) {
   cv_.wait(guard, [&] { return L.granted; });
   L.granted = false;
   L.in_cs = true;
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kWrite);
+  }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
 
 void SyncAgent::release_write(LockId lock) {
   protocol_.before_release(lock);
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kWrite);
+  }
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& L = local_[lock];
@@ -507,10 +531,15 @@ void SyncAgent::barrier(BarrierId barrier) {
     const std::lock_guard<std::mutex> guard(mutex_);
     target = ++barrier_entered_[barrier];
   }
+  // Arrive hook strictly before the arrive message: the home releases only
+  // after all N arrivals, so every arrive hook precedes every depart hook
+  // for this round — the checker's accumulator is complete by departure.
+  if (ctx_.check != nullptr) ctx_.check->on_barrier_arrive(ctx_.id, barrier);
   ctx_.send(MsgType::kBarrierArrive, ctx_.barrier_home(barrier), std::move(w).take());
 
   std::unique_lock<std::mutex> guard(mutex_);
   cv_.wait(guard, [&] { return barrier_gen_[barrier] >= target; });
+  if (ctx_.check != nullptr) ctx_.check->on_barrier_depart(ctx_.id, barrier);
   ctx_.stats->histogram("sync.barrier_wait_ns").record(ctx_.clock->now() - t0);
 }
 

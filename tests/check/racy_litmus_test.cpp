@@ -1,0 +1,144 @@
+// Negative litmus tests for the race detector: small programs with a known,
+// deliberate data race must be flagged, and their DRF twins must stay
+// silent. Layout puts the contended cell on page 0 (homed/managed on node
+// 0), and the racy accessors are nodes 1 and 2 — non-home nodes start with
+// the page invalid, so both racy accesses fault and both are observed.
+//
+// NOTE: these programs contain real C++ data races by design, so this
+// binary must never run under TSan (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/dsm.hpp"
+
+#include "../test_util.hpp"
+
+namespace dsm {
+namespace {
+
+std::string case_name(const ::testing::TestParamInfo<ProtocolKind>& pi) {
+  std::string s = to_string(pi.param);
+  for (auto& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+Config racy_config(ProtocolKind protocol, CheckLevel level) {
+  Config cfg;
+  cfg.n_nodes = 3;
+  cfg.n_pages = 8;
+  cfg.protocol = protocol;
+  cfg.check_level = level;
+  return cfg;
+}
+
+/// The report must name the page, both access epochs, and the missing
+/// happens-before edge — enough to debug the race from the one line.
+void expect_race_report(const System& sys) {
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_GE(sys.stats().counter("check.races"), 1u);
+  const std::string report = sys.checker()->last_violation();
+  EXPECT_NE(report.find("data race on page 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("at epoch"), std::string::npos) << report;
+  EXPECT_NE(report.find("conflicts with"), std::string::npos) << report;
+  EXPECT_NE(report.find("@"), std::string::npos) << report;
+  EXPECT_NE(report.find("no happens-before edge"), std::string::npos) << report;
+}
+
+// Every page-fault protocol: the detector sits on the fault path, so it is
+// protocol-independent. EC is excluded — its pages are writable everywhere
+// and never fault, so the detector is blind there by design.
+class RacyLitmusTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(RacyLitmusTest, UnorderedWritesAreFlagged) {
+  System sys(racy_config(GetParam(), CheckLevel::kCount));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    // Nodes 1 and 2 write the same word in the same barrier round with no
+    // lock between them: a write-write race whichever order they land in.
+    if (w.id() == 1) *w.get(cell) = 1;
+    if (w.id() == 2) *w.get(cell) = 2;
+    w.barrier(0);
+  });
+  expect_race_report(sys);
+}
+
+TEST_P(RacyLitmusTest, UnorderedWriteAgainstReadIsFlagged) {
+  System sys(racy_config(GetParam(), CheckLevel::kCount));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<std::uint64_t> sink{0};
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    if (w.id() == 1) *w.get(cell) = 42;
+    if (w.id() == 2) sink = test::force_read(w.get(cell));
+    w.barrier(0);
+  });
+  expect_race_report(sys);
+}
+
+TEST_P(RacyLitmusTest, LockOrderedTwinStaysSilent) {
+  // The same two writes, now each inside the same critical section: the
+  // release/acquire edge orders them and the detector must stay silent.
+  System sys(racy_config(GetParam(), CheckLevel::kCount));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    if (w.id() == 1 || w.id() == 2) {
+      w.acquire(0);
+      *w.get(cell) += w.id();
+      w.release(0);
+    }
+    w.barrier(0);
+  });
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_EQ(sys.checker()->violations(), 0u);
+  EXPECT_GT(sys.stats().counter("check.accesses"), 0u);
+}
+
+TEST_P(RacyLitmusTest, BarrierOrderedTwinStaysSilent) {
+  // Write and read separated by a barrier: ordered, silent.
+  System sys(racy_config(GetParam(), CheckLevel::kCount));
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<std::uint64_t> sink{0};
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) *w.get(cell) = 7;
+    w.barrier(0);
+    if (w.id() == 2) sink = test::force_read(w.get(cell));
+    w.barrier(0);
+  });
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_EQ(sys.checker()->violations(), 0u);
+  EXPECT_EQ(sink.load(), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultingProtocols, RacyLitmusTest,
+    ::testing::Values(ProtocolKind::kIvyCentral, ProtocolKind::kIvyFixed,
+                      ProtocolKind::kIvyDynamic, ProtocolKind::kErcInvalidate,
+                      ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+                      ProtocolKind::kHlrc),
+    case_name);
+
+TEST(RacyLitmusDeathTest, AssertModeAbortsWithTheRaceReport) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        System sys(racy_config(ProtocolKind::kIvyDynamic, CheckLevel::kAssert));
+        const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+        sys.run([&](Worker& w) {
+          w.barrier(0);
+          if (w.id() == 1) *w.get(cell) = 1;
+          if (w.id() == 2) *w.get(cell) = 2;
+          w.barrier(0);
+        });
+      },
+      "\\[dsmcheck\\] VIOLATION.*data race on page 0");
+}
+
+}  // namespace
+}  // namespace dsm

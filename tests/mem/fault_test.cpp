@@ -19,7 +19,7 @@ TEST(FaultRouter, ReadFaultIsReportedAndResolved) {
 
   const int token = router.add_region(
       &view,
-      [&](PageId page, bool is_write) {
+      [&](PageId page, std::size_t, bool is_write) {
         ++faults;
         last_was_write = is_write;
         view.protect(page, Access::kReadWrite);  // resolve
@@ -43,7 +43,7 @@ TEST(FaultRouter, WriteFaultDistinguishedFromRead) {
 
   const int token = router.add_region(
       &view,
-      [&](PageId page, bool is_write) {
+      [&](PageId page, std::size_t, bool is_write) {
         saw_write = is_write;
         view.protect(page, Access::kReadWrite);
       },
@@ -57,16 +57,18 @@ TEST(FaultRouter, WriteFaultDistinguishedFromRead) {
   router.remove_region(token);
 }
 
-TEST(FaultRouter, FaultReportsCorrectPage) {
+TEST(FaultRouter, FaultReportsCorrectPageAndOffset) {
   auto& router = FaultRouter::instance();
   const auto os = ViewRegion::os_page_size();
   ViewRegion view(4, os);
   std::atomic<PageId> faulted{kNoPage};
+  std::atomic<std::size_t> offset{~std::size_t{0}};
 
   const int token = router.add_region(
       &view,
-      [&](PageId page, bool) {
+      [&](PageId page, std::size_t off, bool) {
         faulted = page;
+        offset = off;
         view.protect(page, Access::kReadWrite);
       },
       [](PageId) { return false; });
@@ -74,6 +76,7 @@ TEST(FaultRouter, FaultReportsCorrectPage) {
   volatile std::byte* p = view.page_ptr(2) + 17;
   (void)*p;
   EXPECT_EQ(faulted.load(), 2u);
+  EXPECT_EQ(offset.load(), 17u);
   router.remove_region(token);
 }
 
@@ -85,14 +88,14 @@ TEST(FaultRouter, TwoRegionsRouteIndependently) {
 
   const int ta = router.add_region(
       &a,
-      [&](PageId page, bool) {
+      [&](PageId page, std::size_t, bool) {
         ++a_faults;
         a.protect(page, Access::kReadWrite);
       },
       [](PageId) { return false; });
   const int tb = router.add_region(
       &b,
-      [&](PageId page, bool) {
+      [&](PageId page, std::size_t, bool) {
         ++b_faults;
         b.protect(page, Access::kReadWrite);
       },
@@ -112,7 +115,7 @@ TEST(FaultRouter, NoRefaultAfterResolution) {
   std::atomic<int> faults{0};
   const int token = router.add_region(
       &view,
-      [&](PageId page, bool) {
+      [&](PageId page, std::size_t, bool) {
         ++faults;
         view.protect(page, Access::kReadWrite);
       },
@@ -131,7 +134,7 @@ TEST(FaultRouter, ActiveRegionsTracksRegistrations) {
   const int before = router.active_regions();
   ViewRegion view(1, ViewRegion::os_page_size());
   const int token = router.add_region(
-      &view, [&](PageId page, bool) { view.protect(page, Access::kReadWrite); },
+      &view, [&](PageId page, std::size_t, bool) { view.protect(page, Access::kReadWrite); },
       [](PageId) { return false; });
   EXPECT_EQ(router.active_regions(), before + 1);
   router.remove_region(token);

@@ -57,17 +57,34 @@ TEST(ViewRegion, MemoryStartsZeroed) {
   }
 }
 
-TEST(ViewRegion, ScopedWritableRestores) {
+TEST(ViewRegion, ServiceWindowAliasesTheAppView) {
+  const auto os = ViewRegion::os_page_size();
+  ViewRegion view(2, os);
+  // Writable through the alias regardless of the app view's protection —
+  // including PROT_NONE (page 1 is never opened).
+  view.alias_ptr(1)[0] = std::byte{9};
+  view.protect(0, Access::kRead);
+  view.alias_ptr(0)[0] = std::byte{7};  // must not fault
+  // The same physical bytes show through both mappings.
+  EXPECT_EQ(view.page_ptr(0)[0], std::byte{7});
+  EXPECT_EQ(view.alias_ptr(0)[0], std::byte{7});
+  view.protect(1, Access::kRead);
+  EXPECT_EQ(view.page_ptr(1)[0], std::byte{9});
+}
+
+TEST(ViewRegion, AppViewWritesShowThroughTheAlias) {
   const auto os = ViewRegion::os_page_size();
   ViewRegion view(1, os);
-  view.protect(0, Access::kRead);
-  {
-    const ViewRegion::ScopedWritable open(view, 0, Access::kRead);
-    view.page_ptr(0)[0] = std::byte{7};  // must not fault
-  }
-  // Still readable afterwards (we can't probe "not writable" without the
-  // fault router, covered by fault_test).
-  EXPECT_EQ(view.page_ptr(0)[0], std::byte{7});
+  view.protect(0, Access::kReadWrite);
+  view.page_ptr(0)[5] = std::byte{42};
+  EXPECT_EQ(view.alias_ptr(0)[5], std::byte{42});
+}
+
+TEST(ViewRegion, AliasPagesAreContiguous) {
+  const auto os = ViewRegion::os_page_size();
+  ViewRegion view(4, os);
+  EXPECT_EQ(view.alias_ptr(3), view.alias_ptr(0) + 3 * os);
+  EXPECT_FALSE(view.contains(view.alias_ptr(0)));  // alias is not the app view
 }
 
 TEST(ViewRegionDeathTest, NonMultiplePageSizeAborts) {

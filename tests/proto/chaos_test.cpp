@@ -44,6 +44,10 @@ class ChaosProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
     // Safety net: a protocol bug under chaos should abort with a dump, not
     // eat the CI timeout.
     cfg.watchdog_ms = 60'000;
+    // Chaos + check: retransmits and dedup must never let a duplicate or
+    // reordered message violate SWMR, version monotonicity, or per-link
+    // delivery order — dsmcheck aborts the run if they do.
+    cfg.check_level = CheckLevel::kAssert;
     return cfg;
   }
 };

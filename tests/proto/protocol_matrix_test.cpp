@@ -38,6 +38,9 @@ class ProtocolMatrixTest : public ::testing::TestWithParam<MatrixCase> {
     cfg.page_size = GetParam().os_pages_per_dsm_page * ViewRegion::os_page_size();
     cfg.n_pages = n_pages;
     cfg.protocol = GetParam().protocol;
+    // Every matrix case also runs under dsmcheck's strictest mode: the
+    // workloads are DRF, so any race report or invariant violation aborts.
+    cfg.check_level = CheckLevel::kAssert;
     return cfg;
   }
 };

@@ -36,8 +36,11 @@ std::string case_name(const ::testing::TestParamInfo<DrfCase>& pi) {
 
 class RandomDrfTest : public ::testing::TestWithParam<DrfCase> {};
 
-TEST_P(RandomDrfTest, LockProtectedCountersMatchShadow) {
-  const auto& param = GetParam();
+// The generated program is DRF by construction, so it doubles as a negative
+// control for dsmcheck: every case runs once plain and once under
+// check_level=assert, where a single false race report or invariant
+// violation would abort the whole binary.
+void run_drf_case(const DrfCase& param, CheckLevel check_level) {
   constexpr std::size_t kVars = 6;
   constexpr int kRounds = 4;
   constexpr int kOpsPerRound = 12;
@@ -47,6 +50,7 @@ TEST_P(RandomDrfTest, LockProtectedCountersMatchShadow) {
   cfg.page_size = ViewRegion::os_page_size();
   cfg.n_pages = 32;
   cfg.protocol = param.protocol;
+  cfg.check_level = check_level;
   System sys(cfg);
 
   // Layout: packed = all counters on one page (maximum interference);
@@ -104,6 +108,27 @@ TEST_P(RandomDrfTest, LockProtectedCountersMatchShadow) {
   std::uint64_t total = 0;
   for (const auto& s : shadow) total += s.load();
   EXPECT_EQ(total, param.n_nodes * kRounds * kOpsPerRound);
+
+  if (check_level != CheckLevel::kOff) {
+    ASSERT_NE(sys.checker(), nullptr);
+    EXPECT_EQ(sys.checker()->violations(), 0u);
+    // The detector saw real traffic (EC never faults — its pages are
+    // writable everywhere — so it contributes no observed accesses).
+    if (param.protocol != ProtocolKind::kEc) {
+      EXPECT_GT(sys.stats().counter("check.accesses"), 0u);
+    }
+  } else {
+    EXPECT_EQ(sys.checker(), nullptr);
+    EXPECT_EQ(sys.stats().counter("check.accesses"), 0u);
+  }
+}
+
+TEST_P(RandomDrfTest, LockProtectedCountersMatchShadow) {
+  run_drf_case(GetParam(), CheckLevel::kOff);
+}
+
+TEST_P(RandomDrfTest, StaysSilentUnderCheckAssert) {
+  run_drf_case(GetParam(), CheckLevel::kAssert);
 }
 
 INSTANTIATE_TEST_SUITE_P(

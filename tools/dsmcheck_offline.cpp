@@ -1,0 +1,479 @@
+// dsmcheck_offline: replay a Chrome-trace JSON export (from `--trace=FILE`
+// on any bench, or Tracer::write_json) and re-verify the fabric's structural
+// invariants from the trace alone — no live System required:
+//
+//   1. Well-formedness: parseable JSON, a traceEvents array, every span
+//      ("ph":"X") carrying numeric ts/dur and a pid named by metadata.
+//   2. Span sanity: ts >= 0 and dur >= 0 (virtual spans never run backwards).
+//   3. Message lifecycle: every non-loopback "send" instant has exactly one
+//      matching transit span per (group, src, dst, seq) and vice versa —
+//      the fabric neither loses nor duplicates.
+//   4. Per-link contiguity: the send seqs on each (src, dst) link count
+//      0..n-1 with no holes.
+//   5. Happens-before consistency: a matched send and its transit span carry
+//      the same send timestamp, and the transit's nonnegative dur puts
+//      arrival after send.
+//
+// Checks 3–5 need every span retained; if the export records dropped > 0
+// (ring-buffer overwrite) they are skipped with a note. Exit 0 when the
+// trace verifies, 1 on any violation or parse error.
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON parser (objects, arrays, strings, numbers, literals) ----
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const std::string& what) {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    std::ostringstream os;
+    os << what << " (line " << line << ")";
+    error_ = os.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't' || c == 'f') return parse_literal(out);
+    if (c == 'n') return parse_literal(out);
+    return parse_number(out);
+  }
+
+  bool parse_literal(JsonValue& out) {
+    const auto match = [&](const char* word) {
+      const std::size_t len = std::char_traits<char>::length(word);
+      if (text_.compare(pos_, len, word) != 0) return false;
+      pos_ += len;
+      return true;
+    };
+    if (match("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("invalid value");
+    const std::string slice = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(slice.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    out.type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            pos_ += 4;  // names in our exports are ASCII; keep a placeholder
+            out.push_back('?');
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.type = JsonValue::Type::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      if (!parse_value(elem)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.type = JsonValue::Type::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- the verifier ---------------------------------------------------------
+
+// Loopback and control traffic carry seq = kNoSeq = 2^64-1, which survives
+// the JSON round trip as a double far above any real sequence number.
+constexpr double kNoSeqThreshold = 1e18;
+
+struct Verifier {
+  int violations = 0;
+
+  void violation(const std::string& text) {
+    ++violations;
+    std::cerr << "[dsmcheck-offline] VIOLATION: " << text << "\n";
+  }
+
+  /// pid → (group label, node id) from the process_name metadata.
+  std::map<long long, std::pair<std::string, long long>> pids;
+
+  bool number(const JsonValue& ev, const char* key, double& out) {
+    const JsonValue* v = ev.find(key);
+    if (v == nullptr || v->type != JsonValue::Type::kNumber) return false;
+    out = v->number;
+    return true;
+  }
+
+  void register_metadata(const JsonValue& ev) {
+    const JsonValue* name = ev.find("name");
+    if (name == nullptr || name->string != "process_name") return;
+    double pid = 0;
+    if (!number(ev, "pid", pid)) {
+      violation("process_name metadata without numeric pid");
+      return;
+    }
+    const JsonValue* args = ev.find("args");
+    const JsonValue* pname = args != nullptr ? args->find("name") : nullptr;
+    if (pname == nullptr || pname->type != JsonValue::Type::kString) {
+      violation("process_name metadata without args.name");
+      return;
+    }
+    // "node N" or "label/node N"
+    const std::string& label = pname->string;
+    const std::size_t at = label.rfind("node ");
+    if (at == std::string::npos) {
+      violation("process name '" + label + "' does not name a node");
+      return;
+    }
+    const long long node = std::atoll(label.c_str() + at + 5);
+    const std::string group = at >= 1 ? label.substr(0, at - 1) : std::string();
+    pids[static_cast<long long>(pid)] = {group, node};
+  }
+
+  int run(const JsonValue& doc) {
+    const JsonValue* events = doc.find("traceEvents");
+    if (events == nullptr || events->type != JsonValue::Type::kArray) {
+      violation("document has no traceEvents array");
+      return 1;
+    }
+
+    double dropped = 0;
+    if (const JsonValue* other = doc.find("otherData"); other != nullptr) {
+      number(*other, "dropped", dropped);
+    }
+
+    for (const JsonValue& ev : events->array) {
+      const JsonValue* ph = ev.find("ph");
+      if (ph == nullptr || ph->type != JsonValue::Type::kString) {
+        violation("event without ph");
+        continue;
+      }
+      if (ph->string == "M") register_metadata(ev);
+    }
+
+    // (group, src, dst, seq) → send timestamp / transit count.
+    using LinkKey = std::tuple<std::string, long long, long long, double>;
+    std::map<LinkKey, std::vector<double>> sends;
+    std::map<LinkKey, std::vector<double>> delivers;
+    std::size_t spans = 0;
+
+    for (const JsonValue& ev : events->array) {
+      const JsonValue* ph = ev.find("ph");
+      if (ph == nullptr || ph->string != "X") continue;
+      ++spans;
+
+      const JsonValue* name = ev.find("name");
+      const JsonValue* cat = ev.find("cat");
+      double pid = 0;
+      double ts = 0;
+      double dur = 0;
+      if (name == nullptr || cat == nullptr || !number(ev, "pid", pid) ||
+          !number(ev, "ts", ts) || !number(ev, "dur", dur)) {
+        violation("span missing name/cat/pid/ts/dur");
+        continue;
+      }
+      const auto pid_it = pids.find(static_cast<long long>(pid));
+      if (pid_it == pids.end()) {
+        violation("span on pid " + std::to_string(static_cast<long long>(pid)) +
+                  " with no process_name metadata");
+        continue;
+      }
+      if (ts < 0 || dur < 0) {
+        std::ostringstream os;
+        os << "span '" << name->string << "' on pid "
+           << static_cast<long long>(pid) << " runs backwards (ts=" << ts
+           << ", dur=" << dur << ")";
+        violation(os.str());
+      }
+      if (cat->string != "net") continue;
+
+      const auto& [group, node] = pid_it->second;
+      const JsonValue* args = ev.find("args");
+      double seq = 0;
+      if (name->string == "send") {
+        double dst = 0;
+        if (args == nullptr || args->find("dst") == nullptr ||
+            !number(*args, "dst", dst) || !number(*args, "seq", seq)) {
+          violation("send instant without dst/seq args");
+          continue;
+        }
+        if (seq >= kNoSeqThreshold) continue;  // loopback/control
+        if (static_cast<long long>(dst) == node) continue;
+        sends[{group, node, static_cast<long long>(dst), seq}].push_back(ts);
+      } else if (name->string != "retransmit") {
+        // A transit span: named by message type, stamped with src + seq on
+        // the destination's net track.
+        double src = 0;
+        if (args == nullptr || args->find("src") == nullptr ||
+            !number(*args, "src", src) || !number(*args, "seq", seq)) {
+          continue;  // some other net-track span; nothing to pair
+        }
+        if (seq >= kNoSeqThreshold) continue;
+        if (static_cast<long long>(src) == node) continue;
+        delivers[{group, static_cast<long long>(src), node, seq}].push_back(ts);
+      }
+    }
+
+    if (spans == 0) violation("trace contains no spans");
+
+    if (dropped > 0) {
+      std::cout << "[dsmcheck-offline] note: export recorded "
+                << static_cast<long long>(dropped)
+                << " dropped span(s); skipping lifecycle/contiguity checks\n";
+    } else {
+      verify_lifecycle(sends, delivers);
+    }
+
+    std::cout << "[dsmcheck-offline] " << spans << " spans, " << sends.size()
+              << " reliable messages, " << violations << " violation(s)\n";
+    return violations == 0 ? 0 : 1;
+  }
+
+  template <typename LinkMap>
+  void verify_lifecycle(const LinkMap& sends, const LinkMap& delivers) {
+    const auto describe = [](const typename LinkMap::key_type& key) {
+      std::ostringstream os;
+      const auto& [group, src, dst, seq] = key;
+      if (!group.empty()) os << group << " ";
+      os << "link " << src << "->" << dst << " seq "
+         << static_cast<long long>(seq);
+      return os.str();
+    };
+
+    for (const auto& [key, stamps] : sends) {
+      if (stamps.size() > 1) {
+        violation("duplicate send: " + describe(key));
+      }
+      const auto it = delivers.find(key);
+      if (it == delivers.end()) {
+        violation("lost message: " + describe(key) +
+                  " was sent but never delivered");
+      } else {
+        if (it->second.size() > 1) {
+          violation("duplicate delivery: " + describe(key));
+        }
+        // HB consistency: the transit span starts at the send's stamp.
+        if (it->second.front() != stamps.front()) {
+          std::ostringstream os;
+          os << "timestamp mismatch: " << describe(key) << " sent at ts "
+             << stamps.front() << " but its transit span starts at ts "
+             << it->second.front();
+          violation(os.str());
+        }
+      }
+    }
+    for (const auto& [key, stamps] : delivers) {
+      (void)stamps;
+      if (sends.find(key) == sends.end()) {
+        violation("spurious delivery: " + describe(key) +
+                  " was delivered but never sent");
+      }
+    }
+
+    // Per-link seq contiguity: group the send keys by link and require
+    // 0..n-1. Keys iterate in (group, src, dst, seq) order, so each link's
+    // seqs arrive sorted.
+    std::tuple<std::string, long long, long long> link{"", -1, -1};
+    double expected = 0;
+    for (const auto& [key, stamps] : sends) {
+      (void)stamps;
+      const auto& [group, src, dst, seq] = key;
+      if (std::tie(group, src, dst) != link) {
+        link = {group, src, dst};
+        expected = 0;
+      }
+      if (seq != expected) {
+        std::ostringstream os;
+        os << "seq hole on ";
+        if (!group.empty()) os << group << " ";
+        os << "link " << src << "->" << dst << ": expected seq "
+           << static_cast<long long>(expected) << ", saw seq "
+           << static_cast<long long>(seq);
+        violation(os.str());
+      }
+      expected = seq + 1;
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dsmcheck_offline <trace.json>\n"
+              << "Re-verifies a Chrome-trace export's span pairing, per-link\n"
+              << "seq contiguity, and send/transit timestamp consistency.\n";
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "[dsmcheck-offline] cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue doc;
+  JsonParser parser(text);
+  if (!parser.parse(doc)) {
+    std::cerr << "[dsmcheck-offline] VIOLATION: malformed JSON: "
+              << parser.error() << "\n";
+    return 1;
+  }
+  Verifier verifier;
+  return verifier.run(doc);
+}
