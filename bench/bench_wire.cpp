@@ -1,0 +1,294 @@
+// W1 — wire-level batching ablation: per-link coalescing, piggybacked acks,
+// and payload compression, off vs on, over the release fan-out pattern the
+// optimisation targets plus regenerated F1/F5 rows to show protocol message
+// counts and orderings are untouched.
+//
+// The physical-datagram metric charges the unbatched transport one implied
+// datagram per ack (its acks complete in-fabric and are not otherwise
+// counted); with piggybacking on, standalone delayed acks are already
+// physical sends inside net.datagrams.
+//
+// `--check` exits 1 if any batched configuration regresses above its
+// unbatched baseline (or the erc fan-out misses the 40% reduction target),
+// `--json=FILE` emits every table machine-readably, `--trace=FILE` exports
+// the batched fan-out runs for dsmcheck_offline replay.
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "apps/kernels.hpp"
+#include "harness.hpp"
+
+namespace {
+
+dsm::WireConfig wire_on() {
+  dsm::WireConfig wire;
+  wire.batching = true;
+  wire.piggyback_acks = true;
+  wire.compress_pages = true;
+  wire.compress_diffs = true;
+  return wire;
+}
+
+/// Physical datagrams including (implied or real) ack traffic — see header
+/// comment.
+std::uint64_t total_datagrams(const dsm::StatsSnapshot& snap, bool piggyback) {
+  const auto data = snap.counter("net.datagrams");
+  return piggyback ? data : data + snap.counter("net.acks");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  const std::string json_path = bench::json_arg(argc, argv);
+  const std::string trace_path = bench::trace_arg(argc, argv);
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--check") check = true;
+  }
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    ++failures;
+    std::fprintf(stderr, "[bench_wire] CHECK FAILED: %s\n", what.c_str());
+  };
+
+  std::vector<TraceGroup> groups;
+  std::uint64_t dropped = 0;
+
+  // --- W1a: the pattern batching exists for — release-time fan-out --------
+  // Every node writes its own word in each of 32 shared pages, then hits a
+  // barrier; the eager protocols flush one diff per dirty page to the
+  // page's home at that point, i.e. 4 same-link updates per remote home.
+  bench::Table w1a("W1a — release fan-out: 8 nodes, 32 shared pages, 4 epochs",
+                   {"protocol", "wire", "virt ms", "datagrams", "batches",
+                    "batched msgs", "acks piggybacked", "acks standalone",
+                    "bytes saved"});
+  w1a.note("datagrams: physical sends + one implied datagram per unbatched ack");
+  w1a.note("wire=on: batching + piggybacked acks + page/diff compression");
+
+  const std::size_t kPages = 32;
+  const ProtocolKind fanout_kinds[] = {ProtocolKind::kErcInvalidate,
+                                       ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+                                       ProtocolKind::kHlrc};
+  for (const auto protocol : fanout_kinds) {
+    std::uint64_t baseline = 0;
+    for (const bool on : {false, true}) {
+      Config cfg = bench::base_config(8, 64, protocol);
+      if (on) cfg.wire = wire_on();
+      cfg.trace.enabled = on && !trace_path.empty();
+      System sys(cfg);
+      const std::size_t wpp = cfg.page_size / sizeof(std::uint64_t);
+      const auto data = sys.alloc_page_aligned<std::uint64_t>(kPages * wpp);
+      std::atomic<int> mismatches{0};
+      sys.run([&](Worker& w) {
+        auto* a = w.get(data);
+        w.barrier(0);
+        for (int epoch = 0; epoch < 4; ++epoch) {
+          for (std::size_t p = 0; p < kPages; ++p) a[p * wpp + w.id()] += 1;
+          w.barrier(0);
+        }
+        for (std::size_t p = 0; p < kPages; ++p) {
+          if (a[p * wpp + w.id()] != 4) mismatches.fetch_add(1);
+        }
+      });
+      const auto snap = sys.stats();
+      const auto total = total_datagrams(snap, on);
+      if (!on) baseline = total;
+      if (mismatches.load() != 0) {
+        fail(std::string(to_string(protocol)) + " fan-out produced wrong counters");
+      }
+      w1a.add_row({std::string(to_string(protocol)), on ? "on" : "off",
+                   bench::fmt_ms(sys.virtual_time()), bench::fmt_count(total),
+                   bench::fmt_count(snap.counter("net.batches")),
+                   bench::fmt_count(snap.counter("net.batched_msgs")),
+                   bench::fmt_count(snap.counter("net.acks_piggybacked")),
+                   bench::fmt_count(snap.counter("net.acks_standalone")),
+                   bench::fmt_count(snap.counter("net.bytes_saved"))});
+      if (on) {
+        if (total > baseline) {
+          fail(std::string(to_string(protocol)) + " fan-out regressed: " +
+               std::to_string(total) + " datagrams vs " + std::to_string(baseline));
+        }
+        const bool erc = protocol == ProtocolKind::kErcInvalidate ||
+                         protocol == ProtocolKind::kErcUpdate;
+        if (erc && total * 10 > baseline * 6) {
+          fail(std::string(to_string(protocol)) + " fan-out reduction under 40%: " +
+               std::to_string(total) + " of " + std::to_string(baseline));
+        }
+        if (!trace_path.empty()) {
+          groups.push_back(TraceGroup{"w1a/" + std::string(to_string(protocol)), 8,
+                                      sys.tracer()->all_events()});
+          dropped += sys.tracer()->dropped();
+        }
+      }
+    }
+  }
+
+  // --- W1b: F1 regen — batching must not change protocol message counts --
+  bench::Table w1b("W1b — F1 regen: migratory counter, manager placement",
+                   {"nodes", "protocol", "wire", "virt ms", "msgs/handoff",
+                    "datagrams"});
+  w1b.note("msgs/handoff must match the unbatched F1 rows exactly");
+  const ProtocolKind ivy_kinds[] = {ProtocolKind::kIvyCentral, ProtocolKind::kIvyFixed,
+                                    ProtocolKind::kIvyDynamic};
+  for (const std::size_t nodes : {4u, 8u}) {
+    for (const auto protocol : ivy_kinds) {
+      double baseline_ratio = 0;
+      std::uint64_t baseline_total = 0;
+      for (const bool on : {false, true}) {
+        Config cfg = bench::base_config(nodes, 16, protocol);
+        if (on) cfg.wire = wire_on();
+        System sys(cfg);
+        apps::MigratoryParams params;
+        params.rounds = 8;
+        const auto result = apps::run_migratory(sys, params);
+        const auto snap = sys.stats();
+        if (result.checksum != 8u * nodes) {
+          fail("migratory checksum wrong at " + std::to_string(nodes) + " nodes");
+        }
+        const std::uint64_t coherence =
+            snap.counter("net.msgs.ReadRequest") + snap.counter("net.msgs.WriteRequest") +
+            snap.counter("net.msgs.ReadForward") + snap.counter("net.msgs.WriteForward") +
+            snap.counter("net.msgs.ReadReply") + snap.counter("net.msgs.WriteReply") +
+            snap.counter("net.msgs.Invalidate") + snap.counter("net.msgs.InvalidateAck") +
+            snap.counter("net.msgs.Confirm");
+        const double ratio =
+            static_cast<double>(coherence) / (8.0 * static_cast<double>(nodes));
+        const auto total = total_datagrams(snap, on);
+        if (!on) {
+          baseline_ratio = ratio;
+          baseline_total = total;
+        } else {
+          if (ratio != baseline_ratio) {
+            fail("F1 msgs/handoff changed under batching at " +
+                 std::to_string(nodes) + " nodes " + std::string(to_string(protocol)));
+          }
+          if (total > baseline_total) {
+            fail("F1 datagrams regressed under batching at " + std::to_string(nodes) +
+                 " nodes " + std::string(to_string(protocol)));
+          }
+        }
+        w1b.add_row({std::to_string(nodes), std::string(to_string(protocol)),
+                     on ? "on" : "off", bench::fmt_ms(result.virtual_ns),
+                     bench::fmt_double(ratio, 2), bench::fmt_count(total)});
+      }
+    }
+  }
+
+  // --- W1c: payload compression on page transfers -------------------------
+  // Node 0 seeds one word per page; the others read every page — the
+  // fetched pages are almost all zero, the best case zero-run RLE targets.
+  bench::Table w1c("W1c — page compression: sparse pages, 8 nodes, 16 pages",
+                   {"protocol", "wire", "virt ms", "net bytes", "bytes saved"});
+  const ProtocolKind read_kinds[] = {ProtocolKind::kIvyDynamic, ProtocolKind::kHlrc};
+  for (const auto protocol : read_kinds) {
+    std::uint64_t baseline_bytes = 0;
+    for (const bool on : {false, true}) {
+      Config cfg = bench::base_config(8, 16, protocol);
+      if (on) cfg.wire = wire_on();
+      System sys(cfg);
+      const std::size_t wpp = cfg.page_size / sizeof(std::uint64_t);
+      const auto data = sys.alloc_page_aligned<std::uint64_t>(16 * wpp);
+      std::atomic<std::uint64_t> sum{0};
+      sys.run([&](Worker& w) {
+        auto* a = w.get(data);
+        if (w.id() == 0) {
+          for (std::size_t p = 0; p < 16; ++p) a[p * wpp] = p + 1;
+        }
+        w.barrier(0);
+        std::uint64_t local = 0;
+        for (std::size_t p = 0; p < 16; ++p) local += a[p * wpp];
+        sum.fetch_add(local);
+      });
+      const auto snap = sys.stats();
+      if (sum.load() != 8u * (16u * 17u / 2u)) {
+        fail(std::string(to_string(protocol)) + " sparse-read checksum wrong");
+      }
+      if (!on) {
+        baseline_bytes = snap.counter("net.bytes");
+      } else if (snap.counter("net.bytes") >= baseline_bytes) {
+        fail(std::string(to_string(protocol)) + " compression saved no bytes");
+      }
+      w1c.add_row({std::string(to_string(protocol)), on ? "on" : "off",
+                   bench::fmt_ms(sys.virtual_time()),
+                   bench::fmt_count(snap.counter("net.bytes")),
+                   bench::fmt_count(snap.counter("net.bytes_saved"))});
+    }
+  }
+
+  // --- W1d: F5 regen — lock handoff counts under batching ------------------
+  bench::Table w1d("W1d — F5 regen: one hot lock, 8 contenders, 20 CS each",
+                   {"policy", "protocol", "wire", "virt ms", "lock msgs",
+                    "datagrams", "datagrams/msg"});
+  w1d.note("central lock msgs are deterministic (3 per CS) and must not change;");
+  w1d.note("chain counts are contention-timing dependent, so the batching check");
+  w1d.note("is normalized: physical datagrams per protocol message must not rise");
+  const ProtocolKind lock_kinds[] = {ProtocolKind::kIvyDynamic, ProtocolKind::kErcUpdate,
+                                     ProtocolKind::kEc};
+  for (const auto policy : {LockPolicy::kCentralized, LockPolicy::kForwardChain}) {
+    for (const auto protocol : lock_kinds) {
+      std::uint64_t baseline_locks = 0;
+      double baseline_per_msg = 0;
+      for (const bool on : {false, true}) {
+        Config cfg = bench::base_config(8, 16, protocol);
+        cfg.lock_policy = policy;
+        if (on) cfg.wire = wire_on();
+        System sys(cfg);
+        const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+        sys.run([&](Worker& w) {
+          if (sys.config().protocol == ProtocolKind::kEc) w.bind(1, cell);
+          w.barrier(0);
+          for (int i = 0; i < 20; ++i) {
+            w.acquire(1);
+            *w.get(cell) += 1;
+            w.compute(2'000);
+            w.release(1);
+          }
+          w.barrier(0);
+        });
+        const auto snap = sys.stats();
+        const auto lock_msgs = snap.counter("net.msgs.LockRequest") +
+                               snap.counter("net.msgs.LockGrant") +
+                               snap.counter("net.msgs.LockRelease");
+        const auto total = total_datagrams(snap, on);
+        const double per_msg = static_cast<double>(total) /
+                               static_cast<double>(snap.counter("net.msgs"));
+        const std::string policy_name =
+            policy == LockPolicy::kCentralized ? "central" : "chain";
+        if (!on) {
+          baseline_locks = lock_msgs;
+          baseline_per_msg = per_msg;
+        } else {
+          if (policy == LockPolicy::kCentralized && lock_msgs != baseline_locks) {
+            fail("F5 lock msgs changed under batching: " + policy_name + " " +
+                 std::string(to_string(protocol)));
+          }
+          if (per_msg > baseline_per_msg) {
+            fail("F5 datagrams per message regressed under batching: " + policy_name +
+                 " " + std::string(to_string(protocol)));
+          }
+        }
+        w1d.add_row({policy_name, std::string(to_string(protocol)), on ? "on" : "off",
+                     bench::fmt_ms(sys.virtual_time()), bench::fmt_count(lock_msgs),
+                     bench::fmt_count(total), bench::fmt_double(per_msg, 2)});
+      }
+    }
+  }
+
+  w1a.print();
+  w1b.print();
+  w1c.print();
+  w1d.print();
+  bench::write_json(json_path, {w1a, w1b, w1c, w1d});
+  bench::write_trace(trace_path, groups, dropped);
+  if (check) {
+    if (failures == 0) {
+      std::printf("\nall wire-batching checks passed\n");
+    } else {
+      std::printf("\n%d wire-batching check(s) FAILED\n", failures);
+      return 1;
+    }
+  }
+  return 0;
+}

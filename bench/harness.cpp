@@ -82,6 +82,65 @@ std::string trace_arg(int argc, char** argv) {
   return "";
 }
 
+std::string json_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const std::string& path, const std::vector<Table>& tables) {
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"tables\": [\n";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const Table& table = tables[t];
+    os << "    {\n      \"title\": \"" << json_escape(table.title()) << "\",\n";
+    os << "      \"notes\": [";
+    for (std::size_t i = 0; i < table.notes().size(); ++i) {
+      os << (i != 0 ? ", " : "") << '"' << json_escape(table.notes()[i]) << '"';
+    }
+    os << "],\n      \"rows\": [\n";
+    const auto& columns = table.columns();
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      const auto& row = table.rows()[r];
+      os << "        {";
+      for (std::size_t c = 0; c < row.size() && c < columns.size(); ++c) {
+        os << (c != 0 ? ", " : "") << '"' << json_escape(columns[c]) << "\": \""
+           << json_escape(row[c]) << '"';
+      }
+      os << '}' << (r + 1 != table.rows().size() ? "," : "") << '\n';
+    }
+    os << "      ]\n    }" << (t + 1 != tables.size() ? "," : "") << '\n';
+  }
+  os << "  ]\n}\n";
+  std::printf("\nwrote %zu table(s) to %s\n", tables.size(), path.c_str());
+}
+
 void write_trace(const std::string& path, const std::vector<TraceGroup>& groups,
                  std::uint64_t dropped) {
   if (path.empty()) return;

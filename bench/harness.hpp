@@ -21,6 +21,11 @@ class Table {
   void add_row(const std::vector<std::string>& cells);
   void print() const;
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& notes() const { return notes_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> notes_;
@@ -44,6 +49,14 @@ std::string fmt_double(double v, int precision = 2);
 
 /// Parses a `--trace=FILE` argument (any position); "" when absent.
 std::string trace_arg(int argc, char** argv);
+
+/// Parses a `--json=FILE` argument (any position); "" when absent.
+std::string json_arg(int argc, char** argv);
+
+/// Writes the tables as machine-readable JSON to `path` — each row becomes
+/// an object keyed by column name, so CI jobs can assert on metrics without
+/// scraping the aligned text output. No-op when `path` is empty.
+void write_json(const std::string& path, const std::vector<Table>& tables);
 
 /// Writes merged trace groups as Chrome-trace JSON to `path` and prints a
 /// confirmation line. No-op when `path` is empty.

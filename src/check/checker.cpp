@@ -303,6 +303,24 @@ void DsmChecker::on_deliver(const Message& msg) {
   expected = msg.seq + 1;
 }
 
+void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
+  if (envelope.seq == Message::kNoSeq) return;
+  std::lock_guard lk(mutex_);
+  const std::uint64_t expected = next_seq_[envelope.src * n_nodes_ + envelope.dst];
+  if (envelope.seq != expected || count == 0) {
+    std::ostringstream os;
+    os << "batch envelope violation on link " << envelope.src << "->" << envelope.dst
+       << ": envelope covers seqs [" << envelope.seq << ", " << envelope.seq + count
+       << "), expected it to start at seq " << expected
+       << " (envelopes must be accepted whole, in order)";
+    // dump_ok=false: the hook runs under Network::links_mutex_, which the
+    // diagnostic dump's debug_dump would re-take.
+    report(order_violations_, os.str(), false);
+  }
+  // No cursor advance here: the per-inner on_deliver calls that follow walk
+  // next_seq_ across the envelope's range one message at a time.
+}
+
 void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
   std::lock_guard lk(mutex_);
 

@@ -107,6 +107,11 @@ class DsmChecker {
   /// repeat here is a transport bug. Messages with kNoSeq (loopback,
   /// control, reliability off) are ignored.
   void on_deliver(const Message& msg);
+  /// Called once per accepted kBatch envelope (before its inner messages
+  /// are delivered): the envelope must land exactly on the link's next
+  /// expected seq and cover a contiguous inner range — the subsequent
+  /// per-inner on_deliver calls then advance the link cursor one by one.
+  void on_batch(const Message& envelope, std::uint32_t count);
 
   // --- end-of-run structural checks --------------------------------------
   /// Called by System::run after all service threads have joined. Compares

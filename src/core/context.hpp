@@ -58,6 +58,10 @@ struct Config {
   /// Seeded fault injection (off by default). See DESIGN.md "Reliable
   /// transport & chaos".
   ChaosConfig chaos{};
+  /// Wire-level optimisations: message coalescing, piggybacked acks, and
+  /// payload compression (all off by default). See DESIGN.md "Wire-level
+  /// batching & compression".
+  WireConfig wire{};
   /// An app thread blocked in the fault path or a sync operation longer
   /// than this (real milliseconds) triggers a diagnostic dump and a clean
   /// abort instead of an infinite hang. 0 disables the watchdog.

@@ -103,10 +103,15 @@ System::System(Config cfg) : cfg_(cfg) {
     checker_ = std::make_unique<DsmChecker>(std::move(setup));
   }
   network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
-                                       cfg_.reliability, cfg_.chaos, tracer_.get());
+                                       cfg_.reliability, cfg_.chaos, cfg_.wire,
+                                       tracer_.get());
   if (checker_ != nullptr) {
     network_->set_delivery_hook(
         [chk = checker_.get()](const Message& msg) { chk->on_deliver(msg); });
+    network_->set_batch_hook(
+        [chk = checker_.get()](const Message& envelope, std::uint32_t count) {
+          chk->on_batch(envelope, count);
+        });
   }
   watchdog_ = std::make_unique<Watchdog>(
       cfg_.n_nodes, cfg_.watchdog_ms,
@@ -189,25 +194,45 @@ void System::reset_clocks() {
 }
 
 void System::service_loop(Node& node) {
-  while (auto msg = network_->recv(node.ctx.id)) {
-    if (msg->type == MsgType::kShutdown) break;
-    node.clock.advance_to(msg->arrival_time);
-    node.clock.advance(cfg_.service_ns);
-    const bool is_sync = SyncAgent::handles(msg->type);
+  bool running = true;
+  while (running) {
+    // Burst dispatch: everything queued under one mailbox lock acquisition.
+    std::deque<Message> burst = network_->recv_all(node.ctx.id);
+    if (burst.empty()) break;  // mailbox closed
+    std::size_t handled = 0;
     {
-      // One span per message handled: the service-side half of a protocol
-      // transaction leg (or a sync-agent step).
-      const TraceScope span(tracer_.get(), node.ctx.id,
-                            is_sync ? TraceCat::kSync : TraceCat::kProto,
-                            to_string(msg->type).data(), &node.clock, "src",
-                            msg->src, "seq", msg->seq);
-      if (is_sync) {
-        node.sync->on_message(*msg);
-      } else {
-        node.protocol->on_message(*msg);
+      // Replies generated while handling this burst coalesce per
+      // destination into kBatch envelopes (inert when batching is off).
+      Network::BatchScope batch(network_.get());
+      for (Message& msg : burst) {
+        if (msg.type == MsgType::kShutdown) {
+          running = false;
+          break;
+        }
+        node.clock.advance_to(msg.arrival_time);
+        node.clock.advance(cfg_.service_ns);
+        const bool is_sync = SyncAgent::handles(msg.type);
+        {
+          // One span per message handled: the service-side half of a
+          // protocol transaction leg (or a sync-agent step).
+          const TraceScope span(tracer_.get(), node.ctx.id,
+                                is_sync ? TraceCat::kSync : TraceCat::kProto,
+                                to_string(msg.type).data(), &node.clock, "src",
+                                msg.src, "seq", msg.seq);
+          if (is_sync) {
+            node.sync->on_message(msg);
+          } else {
+            node.protocol->on_message(msg);
+          }
+        }
+        ++handled;
       }
     }
-    processed_.fetch_add(1, std::memory_order_release);
+    // Count the burst only after the batch scope flushed: anything our
+    // handlers sent is in flight (and counted) before `processed_` can make
+    // sent == processed, so drain() cannot observe a false quiescence while
+    // replies sit staged.
+    processed_.fetch_add(handled, std::memory_order_release);
   }
 }
 

@@ -22,21 +22,24 @@ std::uint32_t read_u32(std::span<const std::byte> data, std::size_t at) {
   return v;
 }
 
+void append_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof v);
+}
+
+std::uint16_t read_u16(std::span<const std::byte> data, std::size_t at) {
+  std::uint16_t v;
+  std::memcpy(&v, data.data() + at, sizeof v);
+  return v;
+}
+
 bool words_equal(const std::byte* a, const std::byte* b, std::size_t n) {
   return std::memcmp(a, b, n) == 0;
 }
 
-}  // namespace
-
-std::unique_ptr<std::byte[]> make_twin(std::span<const std::byte> page) {
-  auto twin = std::make_unique<std::byte[]>(page.size());
-  std::memcpy(twin.get(), page.data(), page.size());
-  return twin;
-}
-
-std::vector<std::byte> encode_diff(std::span<const std::byte> current,
-                                   std::span<const std::byte> twin,
-                                   std::size_t merge_gap) {
+std::vector<std::byte> encode_diff_impl(std::span<const std::byte> current,
+                                        std::span<const std::byte> twin,
+                                        std::size_t merge_gap, bool xor_payload) {
   DSM_CHECK_MSG(current.size() == twin.size(), "diff size mismatch");
   std::vector<std::byte> out;
 
@@ -48,8 +51,14 @@ std::vector<std::byte> encode_diff(std::span<const std::byte> current,
     if (run_start >= size) return;
     append_u32(out, static_cast<std::uint32_t>(run_start));
     append_u32(out, static_cast<std::uint32_t>(run_end - run_start));
-    out.insert(out.end(), current.begin() + static_cast<std::ptrdiff_t>(run_start),
-               current.begin() + static_cast<std::ptrdiff_t>(run_end));
+    if (xor_payload) {
+      for (std::size_t k = run_start; k < run_end; ++k) {
+        out.push_back(current[k] ^ twin[k]);
+      }
+    } else {
+      out.insert(out.end(), current.begin() + static_cast<std::ptrdiff_t>(run_start),
+                 current.begin() + static_cast<std::ptrdiff_t>(run_end));
+    }
     run_start = size;
   };
 
@@ -67,6 +76,101 @@ std::vector<std::byte> encode_diff(std::span<const std::byte> current,
     }
   }
   flush_run();
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<std::byte[]> make_twin(std::span<const std::byte> page) {
+  auto twin = std::make_unique<std::byte[]>(page.size());
+  std::memcpy(twin.get(), page.data(), page.size());
+  return twin;
+}
+
+std::vector<std::byte> encode_diff(std::span<const std::byte> current,
+                                   std::span<const std::byte> twin,
+                                   std::size_t merge_gap) {
+  return encode_diff_impl(current, twin, merge_gap, /*xor_payload=*/false);
+}
+
+std::vector<std::byte> encode_diff_xor(std::span<const std::byte> current,
+                                       std::span<const std::byte> twin,
+                                       std::size_t merge_gap) {
+  return encode_diff_impl(current, twin, merge_gap, /*xor_payload=*/true);
+}
+
+std::vector<std::byte> xor_diff_to_value(std::span<const std::byte> diff,
+                                         std::span<const std::byte> base) {
+  std::vector<std::byte> out;
+  out.reserve(diff.size());
+  std::size_t at = 0;
+  while (at < diff.size()) {
+    DSM_CHECK_MSG(at + kRecordHeader <= diff.size(), "truncated diff header");
+    const std::uint32_t offset = read_u32(diff, at);
+    const std::uint32_t length = read_u32(diff, at + sizeof(std::uint32_t));
+    append_u32(out, offset);
+    append_u32(out, length);
+    at += kRecordHeader;
+    DSM_CHECK_MSG(at + length <= diff.size(), "truncated diff payload");
+    DSM_CHECK_MSG(static_cast<std::size_t>(offset) + length <= base.size(),
+                  "diff run [" << offset << "," << offset + length << ") exceeds page");
+    for (std::uint32_t k = 0; k < length; ++k) {
+      out.push_back(diff[at + k] ^ base[offset + k]);
+    }
+    at += length;
+  }
+  DSM_CHECK(at == diff.size());
+  return out;
+}
+
+std::vector<std::byte> zrle_encode(std::span<const std::byte> data) {
+  // Record: u16 zeros | u16 literals | literal bytes. A literal run is only
+  // broken for a zero run long enough that a fresh record header (4 bytes)
+  // pays for itself.
+  constexpr std::size_t kMax = 0xFFFF;
+  constexpr std::size_t kMinZeroRun = 8;
+  std::vector<std::byte> out;
+  out.reserve(data.size() / 8 + 16);
+  const std::size_t n = data.size();
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t zeros = 0;
+    while (i + zeros < n && zeros < kMax && data[i + zeros] == std::byte{0}) ++zeros;
+    i += zeros;
+    const std::size_t lit_start = i;
+    while (i < n && i - lit_start < kMax) {
+      if (data[i] != std::byte{0}) {
+        ++i;
+        continue;
+      }
+      std::size_t z = 0;
+      while (i + z < n && z < kMinZeroRun && data[i + z] == std::byte{0}) ++z;
+      if (z >= kMinZeroRun || i + z == n) break;  // zeros start the next record
+      i += z;  // short interior zero run: cheaper as literals
+    }
+    append_u16(out, static_cast<std::uint16_t>(zeros));
+    append_u16(out, static_cast<std::uint16_t>(i - lit_start));
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               data.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return out;
+}
+
+std::vector<std::byte> zrle_decode(std::span<const std::byte> data) {
+  std::vector<std::byte> out;
+  std::size_t at = 0;
+  while (at < data.size()) {
+    DSM_CHECK_MSG(at + 2 * sizeof(std::uint16_t) <= data.size(),
+                  "truncated zrle header");
+    const std::uint16_t zeros = read_u16(data, at);
+    const std::uint16_t lits = read_u16(data, at + sizeof(std::uint16_t));
+    at += 2 * sizeof(std::uint16_t);
+    DSM_CHECK_MSG(at + lits <= data.size(), "truncated zrle literals");
+    out.resize(out.size() + zeros, std::byte{0});
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(at),
+               data.begin() + static_cast<std::ptrdiff_t>(at + lits));
+    at += lits;
+  }
   return out;
 }
 

@@ -44,4 +44,27 @@ struct DiffStats {
 /// Walks a diff without applying it (validation, stats).
 DiffStats inspect_diff(std::span<const std::byte> diff);
 
+// --- wire codecs (see DESIGN.md "Wire-level batching & compression") -------
+
+/// Like encode_diff, but each run's payload bytes are `current XOR twin`
+/// instead of raw values. XOR payloads are mostly-zero for small updates
+/// (only the low bytes of a counter change), which zero-run RLE then
+/// collapses. Only sound when the decoder holds a base page equal to the
+/// encoder's twin for every diffed word — see xor_diff_to_value.
+std::vector<std::byte> encode_diff_xor(std::span<const std::byte> current,
+                                       std::span<const std::byte> twin,
+                                       std::size_t merge_gap = 0);
+
+/// Rewrites an XOR-coded diff into a plain value diff by XORing each run
+/// against `base` (the decoder's copy of the encoder's twin). The result is
+/// apply_diff-compatible.
+std::vector<std::byte> xor_diff_to_value(std::span<const std::byte> diff,
+                                         std::span<const std::byte> base);
+
+/// Zero-run RLE: repeated records of `u16 zeros | u16 literals | literal
+/// bytes`. Long zero runs collapse to 4 bytes; incompressible data costs
+/// ~4 bytes per 64 KiB of literals. decode(encode(x)) == x for any x.
+std::vector<std::byte> zrle_encode(std::span<const std::byte> data);
+std::vector<std::byte> zrle_decode(std::span<const std::byte> data);
+
 }  // namespace dsm

@@ -1,5 +1,8 @@
 #include "net/message.hpp"
 
+#include "common/assert.hpp"
+#include "common/serialize.hpp"
+
 namespace dsm {
 
 std::string_view to_string(MsgType type) {
@@ -26,6 +29,8 @@ std::string_view to_string(MsgType type) {
     case MsgType::kBarrierRelease: return "BarrierRelease";
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kWakeup: return "Wakeup";
+    case MsgType::kAck: return "Ack";
+    case MsgType::kBatch: return "Batch";
     case MsgType::kCount_: break;
   }
   return "Unknown";
@@ -36,6 +41,46 @@ std::size_t Message::wire_size() const {
   // type + src + dst + seq + length.
   constexpr std::size_t kHeader = 2 + 4 + 4 + 8 + 4;
   return kHeader + payload.size();
+}
+
+std::vector<std::byte> pack_batch(const std::vector<Message>& inner) {
+  WireWriter w;
+  w.put<std::uint32_t>(static_cast<std::uint32_t>(inner.size()));
+  for (const Message& m : inner) {
+    w.put<std::uint16_t>(static_cast<std::uint16_t>(m.type));
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(m.payload.size()));
+    w.put_raw(m.payload);
+  }
+  return std::move(w).take();
+}
+
+std::uint32_t batch_count(const Message& envelope) {
+  DSM_CHECK(envelope.type == MsgType::kBatch);
+  WireReader r(envelope.payload);
+  return r.get<std::uint32_t>();
+}
+
+std::vector<Message> unpack_batch(const Message& envelope) {
+  DSM_CHECK(envelope.type == MsgType::kBatch);
+  WireReader r(envelope.payload);
+  const auto count = r.get<std::uint32_t>();
+  std::vector<Message> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Message m;
+    m.type = static_cast<MsgType>(r.get<std::uint16_t>());
+    m.src = envelope.src;
+    m.dst = envelope.dst;
+    m.seq = envelope.seq + i;
+    m.send_time = envelope.send_time;
+    m.arrival_time = envelope.arrival_time;
+    const auto len = r.get<std::uint32_t>();
+    auto bytes = r.get_raw(len);
+    m.payload.assign(bytes.begin(), bytes.end());
+    out.push_back(std::move(m));
+  }
+  DSM_CHECK_MSG(r.done(), "batch envelope has trailing bytes");
+  return out;
 }
 
 }  // namespace dsm

@@ -39,6 +39,9 @@ enum class MsgType : std::uint16_t {
   // --- runtime control ---
   kShutdown,        ///< runtime → service thread: drain and exit
   kWakeup,          ///< self-message used to replay parked work
+  // --- transport internal (never delivered to a protocol mailbox) ---
+  kAck,             ///< standalone delayed ack (piggyback mode, quiet link)
+  kBatch,           ///< coalescing envelope: several same-link messages in one datagram
 
   kCount_,          ///< number of message types (stats arrays)
 };
@@ -60,9 +63,26 @@ struct Message {
   std::uint64_t seq = kNoSeq;
   VirtualTime send_time = 0;
   VirtualTime arrival_time = 0;
+  /// Piggybacked cumulative ack for the reverse link (dst→src traffic):
+  /// 0 means "no ack", otherwise every reverse-link seq < ack_upto is acked.
+  std::uint64_t ack_upto = 0;
   std::vector<std::byte> payload;
 
   std::size_t wire_size() const;
 };
+
+/// kBatch envelope framing. The payload is `u32 count` followed by `count`
+/// frames of `u16 type | u32 len | len bytes`. All inner messages share the
+/// envelope's (src, dst, send_time); their seqs are consecutive starting at
+/// the envelope's seq, so one in-flight entry covers the whole range.
+std::vector<std::byte> pack_batch(const std::vector<Message>& inner);
+
+/// Number of frames in a kBatch envelope (reads the payload header only).
+std::uint32_t batch_count(const Message& envelope);
+
+/// Unpacks a kBatch envelope into delivery-ready messages: each inner message
+/// inherits src/dst/send_time/arrival_time from the envelope and gets seq
+/// `envelope.seq + i`.
+std::vector<Message> unpack_batch(const Message& envelope);
 
 }  // namespace dsm

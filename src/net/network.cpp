@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <string>
 
 #include "common/assert.hpp"
@@ -36,6 +37,14 @@ std::optional<Message> Mailbox::try_pop() {
   return msg;
 }
 
+std::deque<Message> Mailbox::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  std::deque<Message> out;
+  out.swap(queue_);
+  return out;
+}
+
 void Mailbox::close() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -60,14 +69,19 @@ struct DelayedOrder {
 
 }  // namespace
 
+thread_local Network::BatchScope* Network::active_scope_ = nullptr;
+
 Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
-                 ReliabilityConfig reliability, ChaosConfig chaos, Tracer* tracer)
+                 ReliabilityConfig reliability, ChaosConfig chaos, WireConfig wire,
+                 Tracer* tracer)
     : link_(link),
       stats_(stats),
       tracer_(tracer),
       reliability_(reliability),
       chaos_(chaos),
+      wire_(wire),
       mailboxes_(n_nodes),
+      send_seq_(n_nodes * n_nodes),
       links_(n_nodes * n_nodes),
       pause_until_(n_nodes, SteadyTime::min()),
       dropped_(stats->counter("net.dropped")),
@@ -77,13 +91,46 @@ Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
       acks_dropped_(stats->counter("net.acks_dropped")),
       gave_up_(stats->counter("net.gave_up")),
       delayed_count_(stats->counter("net.chaos_delayed")),
-      pauses_(stats->counter("net.chaos_pauses")) {
+      pauses_(stats->counter("net.chaos_pauses")),
+      datagrams_(stats->counter("net.datagrams")),
+      batches_(stats->counter("net.batches")),
+      batched_msgs_(stats->counter("net.batched_msgs")),
+      acks_piggybacked_(stats->counter("net.acks_piggybacked")),
+      acks_standalone_(stats->counter("net.acks_standalone")),
+      bytes_saved_(stats->counter("net.bytes_saved")) {
   DSM_CHECK(n_nodes > 0);
   DSM_CHECK(stats != nullptr);
   daemon_ = std::thread([this] { daemon_loop(); });
 }
 
 Network::~Network() { stop_daemon(); }
+
+Network::BatchScope::BatchScope(Network* net) {
+  // Inert when batching is off or another scope already owns this thread
+  // (the outer scope keeps collecting; nested flushes would fragment it).
+  if (net == nullptr || !net->wire_.batching || !net->reliability_.enabled ||
+      active_scope_ != nullptr) {
+    return;
+  }
+  net_ = net;
+  active_scope_ = this;
+}
+
+Network::BatchScope::~BatchScope() {
+  if (net_ == nullptr) return;
+  flush();
+  active_scope_ = nullptr;
+}
+
+void Network::BatchScope::flush() {
+  if (net_ == nullptr || staged_.empty()) return;
+  net_->flush_staged(staged_);
+  staged_.clear();
+}
+
+void Network::flush() {
+  if (active_scope_ != nullptr && active_scope_->net_ == this) active_scope_->flush();
+}
 
 void Network::send(Message msg) {
   DSM_CHECK_MSG(msg.dst < mailboxes_.size(), "send to unknown node " << msg.dst);
@@ -102,24 +149,18 @@ void Network::send(Message msg) {
     return;
   }
 
+  if (BatchScope* scope = active_scope_; scope != nullptr && scope->net_ == this) {
+    scope->staged_.push_back(std::move(msg));
+    return;
+  }
+  send_now(std::move(msg));
+}
+
+void Network::send_now(Message msg) {
   if (reliability_.enabled) {
-    {
-      const std::lock_guard<std::mutex> lock(links_mutex_);
-      msg.seq = links_[link_index(msg.src, msg.dst)].next_seq++;
-    }
-    bool daemon_was_idle;
-    {
-      const std::lock_guard<std::mutex> lock(flight_mutex_);
-      daemon_was_idle = in_flight_.empty() && delayed_.empty();
-      in_flight_.emplace(
-          FlightKey{link_index(msg.src, msg.dst), msg.seq},
-          InFlight{msg, 0,
-                   std::chrono::steady_clock::now() +
-                       std::chrono::milliseconds(reliability_.rto_ms)});
-    }
-    // A fresh entry's deadline is never earlier than an existing one's
-    // (backoff only lengthens), so the daemon needs waking only from idle.
-    if (daemon_was_idle) flight_cv_.notify_one();
+    msg.seq = send_seq_[link_index(msg.src, msg.dst)].fetch_add(
+        1, std::memory_order_relaxed);
+    track_inflight(msg, 1);
   } else {
     msg.seq = Message::kNoSeq;
   }
@@ -127,7 +168,110 @@ void Network::send(Message msg) {
     tracer_->instant(msg.src, TraceCat::kNet, "send", msg.send_time, "dst", msg.dst,
                      "seq", msg.seq);
   }
+  datagrams_.add();
   wire_attempt(std::move(msg), 0);
+}
+
+void Network::flush_staged(std::vector<Message>& staged) {
+  // Group by (src,dst) preserving first-appearance order, so per-link FIFO
+  // matches staging order.
+  std::vector<std::pair<std::size_t, std::vector<Message>>> groups;
+  for (Message& m : staged) {
+    const std::size_t key = link_index(m.src, m.dst);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [key](const auto& g) { return g.first == key; });
+    if (it == groups.end()) {
+      groups.emplace_back(key, std::vector<Message>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(std::move(m));
+  }
+
+  for (auto& [key, msgs] : groups) {
+    std::size_t i = 0;
+    while (i < msgs.size()) {
+      // Chunk greedily under the msgs/bytes caps (always take ≥ 1).
+      std::size_t j = i;
+      std::size_t bytes = 0;
+      while (j < msgs.size() && j - i < wire_.max_batch_msgs &&
+             (j == i || bytes + msgs[j].wire_size() <= wire_.max_batch_bytes)) {
+        bytes += msgs[j].wire_size();
+        ++j;
+      }
+      if (j - i == 1) {
+        // A batch of one would only add framing; send it plain.
+        send_now(std::move(msgs[i]));
+        i = j;
+        continue;
+      }
+
+      std::vector<Message> chunk(
+          std::make_move_iterator(msgs.begin() + static_cast<std::ptrdiff_t>(i)),
+          std::make_move_iterator(msgs.begin() + static_cast<std::ptrdiff_t>(j)));
+      i = j;
+      const NodeId src = chunk.front().src;
+      const NodeId dst = chunk.front().dst;
+      const std::uint64_t base =
+          send_seq_[key].fetch_add(chunk.size(), std::memory_order_relaxed);
+      // Inner messages share the envelope's departure instant: the batch
+      // leaves when its latest member was staged.
+      VirtualTime departs = 0;
+      for (const Message& m : chunk) departs = std::max(departs, m.send_time);
+      for (std::size_t k = 0; k < chunk.size(); ++k) {
+        chunk[k].seq = base + k;
+        chunk[k].send_time = departs;
+      }
+
+      Message env;
+      env.type = MsgType::kBatch;
+      env.src = src;
+      env.dst = dst;
+      env.seq = base;
+      env.send_time = departs;
+      env.payload = pack_batch(chunk);
+
+      std::size_t unbatched_bytes = 0;
+      for (const Message& m : chunk) unbatched_bytes += m.wire_size();
+      if (unbatched_bytes > env.wire_size()) {
+        bytes_saved_.add(unbatched_bytes - env.wire_size());
+      }
+      if (tracer_ != nullptr) {
+        for (const Message& m : chunk) {
+          tracer_->instant(src, TraceCat::kNet, "send", departs, "dst", dst, "seq",
+                           m.seq);
+        }
+      }
+      batches_.add();
+      batched_msgs_.add(chunk.size());
+      track_inflight(env, static_cast<std::uint32_t>(chunk.size()));
+      datagrams_.add();
+      wire_attempt(std::move(env), 0);
+    }
+  }
+}
+
+void Network::track_inflight(Message& msg, std::uint32_t count) {
+  bool daemon_was_idle;
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    if (wire_.piggyback_acks) {
+      // Reverse-direction traffic carries the pending cumulative ack.
+      const auto it = pending_acks_.find(link_index(msg.dst, msg.src));
+      if (it != pending_acks_.end()) {
+        msg.ack_upto = std::max(msg.ack_upto, it->second.upto);
+        pending_acks_.erase(it);
+        acks_piggybacked_.add();
+      }
+    }
+    daemon_was_idle = in_flight_.empty() && delayed_.empty() && pending_acks_.empty();
+    in_flight_.emplace(FlightKey{link_index(msg.src, msg.dst), msg.seq},
+                       InFlight{msg, count, 0,
+                                std::chrono::steady_clock::now() +
+                                    std::chrono::milliseconds(reliability_.rto_ms)});
+  }
+  // A fresh entry's deadline is never earlier than an existing one's
+  // (backoff only lengthens), so the daemon needs waking only from idle.
+  if (daemon_was_idle) flight_cv_.notify_one();
 }
 
 void Network::wire_attempt(Message msg, std::uint32_t attempt) {
@@ -176,6 +320,13 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
     inject_pause(msg.dst, chaos_.config().pause_us);
   }
 
+  // A piggybacked cumulative ack completes reverse-link flight entries no
+  // matter what happens to the carrying message below (the header arrived).
+  if (msg.ack_upto > 0 && reliability_.enabled) {
+    complete_upto(link_index(msg.dst, msg.src), msg.ack_upto);
+  }
+  if (msg.type == MsgType::kAck) return;  // transport-internal, never delivered
+
   if (msg.seq == Message::kNoSeq || !reliability_.enabled) {
     deliver(std::move(msg));
     return;
@@ -183,31 +334,59 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
 
   // Transport-level ack: completing the sender's in-flight entry. A lost
   // ack leaves the entry live — the daemon retransmits, we dedup below.
-  if (chaos_.should_drop_ack(msg, attempt)) {
+  // In piggyback mode the ack is recorded per link instead and rides the
+  // next reverse-direction send (or a delayed standalone kAck).
+  const bool ack_lost = chaos_.should_drop_ack(msg, attempt);
+  if (ack_lost) {
     acks_dropped_.add();
-  } else {
+  } else if (!wire_.piggyback_acks) {
     complete_inflight(msg);
   }
 
-  const std::lock_guard<std::mutex> lock(links_mutex_);
-  LinkState& st = links_[link_index(msg.src, msg.dst)];
-  if (msg.seq < st.expected) {
-    dups_suppressed_.add();
+  const std::size_t link = link_index(msg.src, msg.dst);
+  std::uint64_t ack_basis = 0;
+  {
+    const std::lock_guard<std::mutex> lock(links_mutex_);
+    LinkState& st = links_[link];
+    const std::uint64_t span = msg.type == MsgType::kBatch ? batch_count(msg) : 1;
+    if (msg.seq + span <= st.expected) {
+      dups_suppressed_.add();
+    } else if (msg.seq > st.expected) {
+      // Hole in the link: park until the gap fills (retransmit or delayed
+      // original). emplace refuses duplicates of an already-parked seq.
+      if (!st.reorder.emplace(msg.seq, std::move(msg)).second) dups_suppressed_.add();
+    } else {
+      // Envelopes are retransmitted whole with a stable span, so an arrival
+      // is either fully duplicate, fully future, or lands exactly on
+      // `expected` — partial overlap means transport corruption.
+      DSM_CHECK_MSG(msg.seq == st.expected,
+                    "seq range straddles expected=" << st.expected);
+      accept_front(st, std::move(msg));
+      while (!st.reorder.empty() && st.reorder.begin()->first == st.expected) {
+        Message next = std::move(st.reorder.begin()->second);
+        st.reorder.erase(st.reorder.begin());
+        accept_front(st, std::move(next));
+      }
+    }
+    ack_basis = st.expected;
+  }
+  if (wire_.piggyback_acks && !ack_lost) note_pending_ack(link, ack_basis);
+}
+
+void Network::accept_front(LinkState& st, Message msg) {
+  if (msg.type == MsgType::kBatch) {
+    std::vector<Message> inner = unpack_batch(msg);
+    if (batch_hook_) batch_hook_(msg, static_cast<std::uint32_t>(inner.size()));
+    if (tracer_ != nullptr) {
+      tracer_->instant(msg.dst, TraceCat::kNet, "batch", msg.send_time, "src", msg.src,
+                       "count", static_cast<std::uint64_t>(inner.size()));
+    }
+    st.expected += inner.size();
+    for (Message& m : inner) deliver(std::move(m));
     return;
   }
-  if (msg.seq > st.expected) {
-    // Hole in the link: park until the gap fills (retransmit or delayed
-    // original). emplace refuses duplicates of an already-parked seq.
-    if (!st.reorder.emplace(msg.seq, std::move(msg)).second) dups_suppressed_.add();
-    return;
-  }
-  deliver(std::move(msg));
   ++st.expected;
-  for (auto it = st.reorder.begin();
-       it != st.reorder.end() && it->first == st.expected;
-       it = st.reorder.erase(it), ++st.expected) {
-    deliver(std::move(it->second));
-  }
+  deliver(std::move(msg));
 }
 
 void Network::deliver(Message msg) {
@@ -245,6 +424,33 @@ void Network::complete_inflight(const Message& msg) {
   }
 }
 
+void Network::complete_upto(std::size_t link, std::uint64_t upto) {
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  auto it = in_flight_.lower_bound(FlightKey{link, 0});
+  while (it != in_flight_.end() && it->first.first == link &&
+         it->first.second + it->second.count <= upto) {
+    it = in_flight_.erase(it);
+    acks_.add();
+  }
+}
+
+void Network::note_pending_ack(std::size_t link, std::uint64_t upto) {
+  bool armed = false;
+  {
+    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const auto due = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(wire_.delayed_ack_us);
+    const auto [it, inserted] = pending_acks_.try_emplace(link, PendingAck{upto, due});
+    if (!inserted) {
+      it->second.upto = std::max(it->second.upto, upto);
+    }
+    armed = inserted;
+  }
+  // A newly armed delayed-ack timer can be earlier than anything the daemon
+  // is currently waiting on.
+  if (armed) flight_cv_.notify_one();
+}
+
 void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due) {
   {
     const std::lock_guard<std::mutex> lock(flight_mutex_);
@@ -267,6 +473,7 @@ void Network::daemon_loop() {
     SteadyTime next = kNever;
     if (!delayed_.empty()) next = std::min(next, delayed_.front().due);
     for (const auto& [key, entry] : in_flight_) next = std::min(next, entry.deadline);
+    for (const auto& [link, ack] : pending_acks_) next = std::min(next, ack.due);
 
     if (next == kNever) {
       flight_cv_.wait(lock);
@@ -282,6 +489,18 @@ void Network::daemon_loop() {
       std::pop_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
       due_now.push_back(std::move(delayed_.back()));
       delayed_.pop_back();
+    }
+
+    // Delayed acks whose timer expired with no reverse traffic to ride:
+    // emit standalone kAck datagrams.
+    std::vector<std::pair<std::size_t, std::uint64_t>> acks_due;
+    for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+      if (it->second.due <= now) {
+        acks_due.emplace_back(it->first, it->second.upto);
+        it = pending_acks_.erase(it);
+      } else {
+        ++it;
+      }
     }
 
     std::vector<std::pair<Message, std::uint32_t>> resends;
@@ -309,8 +528,21 @@ void Network::daemon_loop() {
       ++it;
     }
 
+    const std::size_t n = mailboxes_.size();
     lock.unlock();
     for (auto& d : due_now) arrive(std::move(d.msg), d.attempt);
+    for (const auto& [link, upto] : acks_due) {
+      // `link` indexes the data direction src→dst; the ack travels dst→src.
+      Message ack;
+      ack.type = MsgType::kAck;
+      ack.src = static_cast<NodeId>(link % n);
+      ack.dst = static_cast<NodeId>(link / n);
+      ack.seq = Message::kNoSeq;
+      ack.ack_upto = upto;
+      acks_standalone_.add();
+      datagrams_.add();
+      wire_attempt(std::move(ack), 0);
+    }
     for (auto& [msg, attempt] : resends) {
       retransmits_.add();
       if (tracer_ != nullptr) {
@@ -346,31 +578,52 @@ std::optional<Message> Network::recv(NodeId node) {
   return mailboxes_[node].pop();
 }
 
+std::deque<Message> Network::recv_all(NodeId node) {
+  DSM_CHECK(node < mailboxes_.size());
+  return mailboxes_[node].drain();
+}
+
 bool Network::idle() const {
   const std::lock_guard<std::mutex> lock(flight_mutex_);
-  return in_flight_.empty() && delayed_.empty();
+  return in_flight_.empty() && delayed_.empty() && pending_acks_.empty();
 }
 
 void Network::debug_dump(std::ostream& os) const {
+  // Best-effort: the dump runs on abort and watchdog paths while other
+  // threads may be wedged *holding* fabric locks — e.g. a delivery hook
+  // blocked on the checker's mutex, which the aborting thread holds while
+  // it dumps. Waiting here turns a diagnostic into an ABBA deadlock (the
+  // RacyLitmus death test hung exactly this way), so a busy section is
+  // skipped, never waited for.
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
-    os << "  net: in-flight=" << in_flight_.size() << " delayed=" << delayed_.size()
-       << '\n';
-    for (const auto& [key, entry] : in_flight_) {
-      os << "    unacked " << to_string(entry.msg.type) << ' ' << entry.msg.src << "->"
-         << entry.msg.dst << " seq=" << entry.msg.seq << " attempt=" << entry.attempt
-         << '\n';
+    std::unique_lock<std::mutex> lock(flight_mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      os << "  net: flight state busy — skipped\n";
+    } else {
+      os << "  net: in-flight=" << in_flight_.size() << " delayed=" << delayed_.size()
+         << " pending-acks=" << pending_acks_.size() << '\n';
+      for (const auto& [key, entry] : in_flight_) {
+        os << "    unacked " << to_string(entry.msg.type) << ' ' << entry.msg.src << "->"
+           << entry.msg.dst << " seq=" << entry.msg.seq;
+        if (entry.count > 1) os << "+" << entry.count;
+        os << " attempt=" << entry.attempt << '\n';
+      }
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(links_mutex_);
-    const std::size_t n = mailboxes_.size();
-    for (std::size_t i = 0; i < links_.size(); ++i) {
-      const LinkState& st = links_[i];
-      if (st.next_seq == 0 && st.reorder.empty()) continue;
-      if (!st.reorder.empty() || st.expected != st.next_seq) {
-        os << "    link " << i / n << "->" << i % n << ": sent=" << st.next_seq
-           << " delivered=" << st.expected << " parked=" << st.reorder.size() << '\n';
+    std::unique_lock<std::mutex> lock(links_mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      os << "    link state busy — skipped\n";
+    } else {
+      const std::size_t n = mailboxes_.size();
+      for (std::size_t i = 0; i < links_.size(); ++i) {
+        const LinkState& st = links_[i];
+        const std::uint64_t sent = send_seq_[i].load(std::memory_order_relaxed);
+        if (sent == 0 && st.reorder.empty()) continue;
+        if (!st.reorder.empty() || st.expected != sent) {
+          os << "    link " << i / n << "->" << i % n << ": sent=" << sent
+             << " delivered=" << st.expected << " parked=" << st.reorder.size() << '\n';
+        }
       }
     }
   }
@@ -385,6 +638,7 @@ void Network::shutdown() {
     const std::lock_guard<std::mutex> lock(flight_mutex_);
     in_flight_.clear();
     delayed_.clear();
+    pending_acks_.clear();
   }
   for (auto& mb : mailboxes_) mb.close();
 }

@@ -5,18 +5,28 @@
 // against a seeded chaos injector. This is the substitution for the 1992
 // workstation network — see DESIGN.md "Substitutions" and "Reliable
 // transport & chaos".
+//
+// On top of the reliable sublayer sits an optional wire-optimisation layer
+// (WireConfig): per-link message coalescing into kBatch envelopes via a
+// scoped-batch API, and piggybacked cumulative acks with a delayed-ack
+// fallback. Both default off; with every knob off the wire behaviour is
+// bit-identical to the unbatched transport. See DESIGN.md "Wire-level
+// batching & compression".
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <ostream>
 #include <span>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -66,6 +76,30 @@ struct ReliabilityConfig {
   VirtualTime rto_virtual_ns = 200'000;
 };
 
+/// Wire-level optimisation knobs (all default off; defaults are
+/// bit-identical to the unbatched, un-piggybacked, uncompressed wire).
+struct WireConfig {
+  /// Coalesce messages staged under a Network::BatchScope into kBatch
+  /// envelopes: one datagram (one link latency) per same-(src,dst) group.
+  bool batching = false;
+  /// Max inner messages per envelope; a group larger than this is chunked.
+  std::size_t max_batch_msgs = 16;
+  /// Max summed wire bytes per envelope.
+  std::size_t max_batch_bytes = 16 * 1024;
+  /// Piggyback cumulative acks on reverse-direction traffic instead of
+  /// completing in-flight entries instantly on accept. A quiet link falls
+  /// back to a standalone kAck datagram after `delayed_ack_us`.
+  bool piggyback_acks = false;
+  /// Delayed-ack timer, real microseconds. Must stay well under the RTO or
+  /// quiet-link acks lose the race against the retransmit daemon.
+  std::uint32_t delayed_ack_us = 1000;
+  /// Zero-run RLE for full-page transfers (consulted by proto/page_io).
+  bool compress_pages = false;
+  /// XOR-vs-twin + zero-run RLE coding for diffs (consulted by the ERC
+  /// update path).
+  bool compress_diffs = false;
+};
+
 /// Blocking MPSC queue of messages for one node's service thread.
 class Mailbox {
  public:
@@ -75,6 +109,11 @@ class Mailbox {
   std::optional<Message> pop();
   /// Non-blocking variant for drain loops.
   std::optional<Message> try_pop();
+  /// Blocks like pop() but takes *everything* queued under one lock
+  /// acquisition. Returns an empty deque only after close() with an empty
+  /// queue. Burst dispatch for the service loop: one lock + one wakeup per
+  /// burst instead of per message.
+  std::deque<Message> drain();
   void close();
   std::size_t size() const;
 
@@ -92,18 +131,24 @@ class Mailbox {
 /// from their transport. The reliable sublayer preserves this invariant
 /// under loss, duplication, and reordering: receivers suppress duplicate
 /// sequence numbers and hold out-of-order arrivals until the gap fills.
-/// Cross-source interleaving at a destination is arbitrary, as on a real
-/// network.
+/// A kBatch envelope occupies the seq range [seq, seq+count) and is deduped,
+/// reordered, and retransmitted as a unit; on accept it unpacks into `count`
+/// in-order deliveries. Cross-source interleaving at a destination is
+/// arbitrary, as on a real network.
 ///
 /// Acknowledgements are internal to the fabric (the in-process analogue of
 /// a transport-level ack): accepting an eligible message completes the
 /// sender's in-flight entry directly, unless chaos decides the ack was lost
 /// — in which case the retransmit daemon resends and the receiver dedups.
+/// With `wire.piggyback_acks` the receiver instead records a cumulative ack
+/// for the link and attaches it to the next reverse-direction send
+/// (Message::ack_upto), emitting a standalone kAck datagram only when the
+/// delayed-ack timer expires first.
 class Network {
  public:
   Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
           ReliabilityConfig reliability = {}, ChaosConfig chaos = {},
-          Tracer* tracer = nullptr);
+          WireConfig wire = {}, Tracer* tracer = nullptr);
   ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -111,12 +156,39 @@ class Network {
   std::size_t size() const { return mailboxes_.size(); }
   const LinkModel& link() const { return link_; }
   const ReliabilityConfig& reliability() const { return reliability_; }
+  const WireConfig& wire() const { return wire_; }
+
+  /// RAII batching window. While the calling thread holds an active scope,
+  /// reliable-eligible sends on this network are staged instead of
+  /// transmitted; closing the scope (or calling flush()) groups them by
+  /// destination and ships each group as one kBatch envelope. Inert when
+  /// batching is off, when `net` is null, or when nested inside another
+  /// active scope on the same thread.
+  class BatchScope {
+   public:
+    explicit BatchScope(Network* net);
+    ~BatchScope();
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+    /// Ships everything staged so far; the scope stays open for more.
+    void flush();
+
+   private:
+    friend class Network;
+    Network* net_ = nullptr;  // null when inert
+    std::vector<Message> staged_;
+  };
 
   /// Assigns a sequence number (protocol traffic between distinct nodes),
   /// tracks the message for retransmission, and attempts the wire transfer.
   /// Chaos may drop/duplicate/delay the attempt; the retransmit daemon
-  /// recovers dropped attempts until `max_retries` is exhausted.
+  /// recovers dropped attempts until `max_retries` is exhausted. Under an
+  /// active BatchScope on this thread, eligible messages are staged instead.
   void send(Message msg);
+
+  /// Ships the calling thread's staged batch (if a scope is open on this
+  /// network); no-op otherwise.
+  void flush();
 
   /// Sends a copy of `prototype` to every node in `destinations`
   /// (dst/arrival stamped per copy). Models point-to-point multicast.
@@ -124,6 +196,10 @@ class Network {
 
   /// Blocking receive for `node`'s service thread.
   std::optional<Message> recv(NodeId node);
+
+  /// Blocking burst receive: everything queued for `node`, in order.
+  /// Empty only after shutdown with an empty mailbox.
+  std::deque<Message> recv_all(NodeId node);
 
   /// Stops the retransmit daemon and closes every mailbox, releasing all
   /// blocked receivers.
@@ -144,6 +220,14 @@ class Network {
     delivery_hook_ = std::move(hook);
   }
 
+  /// Observer invoked once per accepted kBatch envelope, before its inner
+  /// messages are delivered. Used by dsmcheck to verify the envelope lands
+  /// exactly at the link's expected seq. Same locking caveats as the
+  /// delivery hook.
+  void set_batch_hook(std::function<void(const Message&, std::uint32_t)> hook) {
+    batch_hook_ = std::move(hook);
+  }
+
   /// Injects a node stall: deliveries to `node` are held for `us` real
   /// microseconds from now (the chaos pause injector's explicit form).
   void inject_pause(NodeId node, std::uint32_t us);
@@ -152,9 +236,10 @@ class Network {
   /// and dropped attempts excluded) — the count the service loops will see.
   std::uint64_t messages_sent() const { return messages_sent_.value(); }
 
-  /// True when no unacked message awaits retransmission and no delayed
-  /// delivery is pending; with `messages_sent() == processed` this makes
-  /// the fabric quiescent (see System::drain).
+  /// True when no unacked message awaits retransmission, no delayed
+  /// delivery is pending, and no delayed ack is armed; with
+  /// `messages_sent() == processed` this makes the fabric quiescent (see
+  /// System::drain).
   bool idle() const;
 
   /// One-line-per-item diagnostic dump of in-flight and delayed messages
@@ -164,17 +249,19 @@ class Network {
  private:
   using SteadyTime = std::chrono::steady_clock::time_point;
 
-  /// Per-(src,dst) reliable-channel state. Sender side assigns `next_seq`;
-  /// receiver side delivers `expected` and parks later seqs in `reorder`.
+  /// Per-(src,dst) receiver-side reliable-channel state: `expected` is the
+  /// next seq to deliver; later arrivals park in `reorder`. (The sender
+  /// side is the lock-free `send_seq_` array.)
   struct LinkState {
-    std::uint64_t next_seq = 0;
     std::uint64_t expected = 0;
     std::map<std::uint64_t, Message> reorder;
   };
 
-  /// An unacked reliable message awaiting (re)transmission.
+  /// An unacked reliable message awaiting (re)transmission. A kBatch
+  /// envelope covers `count` consecutive seqs with one entry.
   struct InFlight {
     Message msg;
+    std::uint32_t count = 1;    // seqs covered: [msg.seq, msg.seq + count)
     std::uint32_t attempt = 0;  // retransmits so far
     SteadyTime deadline;
   };
@@ -186,6 +273,13 @@ class Network {
     SteadyTime due;
     Message msg;
     std::uint32_t attempt = 0;
+  };
+
+  /// A cumulative ack waiting to piggyback on reverse traffic; if nothing
+  /// travels the reverse link by `due`, the daemon emits a standalone kAck.
+  struct PendingAck {
+    std::uint64_t upto = 0;  // acks every seq < upto on the keyed link
+    SteadyTime due;
   };
 
   /// True for traffic the reliable sublayer covers: protocol messages
@@ -200,39 +294,68 @@ class Network {
     return static_cast<std::size_t>(src) * mailboxes_.size() + dst;
   }
 
+  /// The non-staging send path: seq assignment, flight tracking, attempt 0.
+  void send_now(Message msg);
+  /// Groups staged messages by destination and ships each group as kBatch
+  /// envelopes (singleton groups go out as plain messages).
+  void flush_staged(std::vector<Message>& staged);
+  /// Inserts the flight entry, attaches any pending reverse-link ack, and
+  /// wakes the daemon — one flight_mutex_ critical section.
+  void track_inflight(Message& msg, std::uint32_t count);
   /// One transfer attempt: test hook + chaos (drop/duplicate/delay), then
-  /// arrival. Called from send() (attempt 0) and the daemon (retransmits).
+  /// arrival. Called from send paths (attempt 0) and the daemon.
   void wire_attempt(Message msg, std::uint32_t attempt);
   /// Receiver side: ack (unless chaos eats it), dedup, reorder, deliver.
   void arrive(Message msg, std::uint32_t attempt);
+  /// Accepts the in-order message at the head of its link (caller holds
+  /// links_mutex_): unpacks kBatch envelopes, advances `expected` by the
+  /// seq span, and delivers.
+  void accept_front(LinkState& st, Message msg);
   /// Final step: traffic accounting + mailbox push, in-order per link.
   void deliver(Message msg);
   /// Completes (erases) the sender's in-flight entry — the internal ack.
   void complete_inflight(const Message& msg);
+  /// Completes every in-flight entry on `link` fully below `upto`
+  /// (cumulative ack, piggybacked or standalone).
+  void complete_upto(std::size_t link, std::uint64_t upto);
+  /// Records/extends the pending cumulative ack for `link` (piggyback
+  /// mode), arming the delayed-ack timer on first record.
+  void note_pending_ack(std::size_t link, std::uint64_t upto);
   /// Queues a delivery for the daemon at `due`.
   void defer(Message msg, std::uint32_t attempt, SteadyTime due);
 
   void daemon_loop();
   void stop_daemon();
 
+  static thread_local BatchScope* active_scope_;
+
   LinkModel link_;
   StatsRegistry* stats_;
   Tracer* tracer_;  // null when tracing is off
   ReliabilityConfig reliability_;
   ChaosEngine chaos_;
+  WireConfig wire_;
   std::vector<Mailbox> mailboxes_;
   std::function<bool(const Message&)> drop_hook_;
   std::function<void(const Message&)> delivery_hook_;
+  std::function<void(const Message&, std::uint32_t)> batch_hook_;
 
-  // Sender/receiver channel state (seq assignment, dedup, reorder).
+  // Sender-side seq assignment: lock-free per-link counters. Out-of-order
+  // wire attempts that a race here could produce are already handled by the
+  // receiver's reorder buffer.
+  std::vector<std::atomic<std::uint64_t>> send_seq_;
+
+  // Receiver channel state (dedup, reorder).
   mutable std::mutex links_mutex_;
   std::vector<LinkState> links_;
 
-  // Retransmit daemon state: unacked messages, delayed deliveries, pauses.
+  // Retransmit daemon state: unacked messages, delayed deliveries, pending
+  // delayed acks, pauses.
   mutable std::mutex flight_mutex_;
   std::condition_variable flight_cv_;
   std::map<FlightKey, InFlight> in_flight_;
   std::vector<Delayed> delayed_;  // min-heap by `due`
+  std::unordered_map<std::size_t, PendingAck> pending_acks_;
   std::vector<SteadyTime> pause_until_;
   bool stopping_ = false;
   std::thread daemon_;
@@ -247,6 +370,12 @@ class Network {
   Counter& gave_up_;
   Counter& delayed_count_;
   Counter& pauses_;
+  Counter& datagrams_;
+  Counter& batches_;
+  Counter& batched_msgs_;
+  Counter& acks_piggybacked_;
+  Counter& acks_standalone_;
+  Counter& bytes_saved_;
 };
 
 }  // namespace dsm

@@ -156,27 +156,45 @@ void ErcProtocol::flush_dirty() {
     const std::lock_guard<std::mutex> lock(flush_mutex_);
     flush_outstanding_ += static_cast<int>(dirty_pages_.size());
   }
-  for (const PageId page : dirty_pages_) {
-    auto& e = ctx_.table->entry(page);
-    std::vector<std::byte> diff;
-    {
-      const std::lock_guard<std::mutex> lock(e.mutex);
-      DSM_CHECK(e.dirty && e.twin != nullptr);
-      diff = encode_diff(ctx_.view->page_span(page),
-                         {e.twin.get(), ctx_.cfg->page_size});
-      e.twin.reset();
-      e.dirty = false;
-      // Re-protect so the next write re-twins in a fresh interval.
-      ctx_.view->protect(page, Access::kRead);
-      e.state = PageState::kReadOnly;
-      page_io::note_state(ctx_, page, PageState::kReadOnly);
+  {
+    // Release-time fan-out batching: updates for pages sharing a home
+    // coalesce into one kBatch datagram when the scope closes.
+    Network::BatchScope batch(ctx_.net);
+    for (const PageId page : dirty_pages_) {
+      auto& e = ctx_.table->entry(page);
+      std::vector<std::byte> field;
+      std::size_t diff_bytes = 0;
+      {
+        const std::lock_guard<std::mutex> lock(e.mutex);
+        DSM_CHECK(e.dirty && e.twin != nullptr);
+        const auto current = ctx_.view->page_span(page);
+        const std::span<const std::byte> twin{e.twin.get(), ctx_.cfg->page_size};
+        const auto diff = encode_diff(current, twin);
+        diff_bytes = diff.size();
+        if (ctx_.home_of(page) != ctx_.id) {
+          // The XOR form is sound here: the home's copy matches our twin on
+          // every diffed word (DRF — nobody else wrote them this interval).
+          field = page_io::pack_diff_field_xor(ctx_, diff, current, twin);
+        } else {
+          // Self-update via loopback: by decode time our live page already
+          // holds the new values, so there is no twin-equal base to XOR
+          // against — ship the value form.
+          field = page_io::pack_diff_field(ctx_, diff);
+        }
+        e.twin.reset();
+        e.dirty = false;
+        // Re-protect so the next write re-twins in a fresh interval.
+        ctx_.view->protect(page, Access::kRead);
+        e.state = PageState::kReadOnly;
+        page_io::note_state(ctx_, page, PageState::kReadOnly);
+      }
+      ctx_.stats->counter("erc.diff_bytes").add(diff_bytes);
+      WireWriter w(field.size() + 16);
+      w.put(page);
+      w.put(kToHome);
+      w.put_bytes(field);
+      ctx_.send(MsgType::kUpdate, ctx_.home_of(page), std::move(w).take());
     }
-    ctx_.stats->counter("erc.diff_bytes").add(diff.size());
-    WireWriter w(diff.size() + 16);
-    w.put(page);
-    w.put(kToHome);
-    w.put_bytes(diff);
-    ctx_.send(MsgType::kUpdate, ctx_.home_of(page), std::move(w).take());
   }
   dirty_pages_.clear();
 
@@ -212,14 +230,14 @@ void ErcProtocol::handle_page_request(const Message& msg) {
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kPageReply, requester, std::move(w).take());
 }
 
 void ErcProtocol::handle_page_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
@@ -235,9 +253,11 @@ void ErcProtocol::handle_update(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
   const auto kind = r.get<std::uint8_t>();
-  const auto diff = r.get_bytes();
 
   if (kind == kFromHome) {
+    // Home→holder updates never use the XOR form (no base negotiation), so
+    // no decode base is needed.
+    const auto diff = page_io::unpack_diff_field(ctx_, r.get_bytes(), {});
     // Copy holder: apply the diff to the live page, and to the twin as well
     // if we are mid-write, so our own later diff excludes these bytes.
     auto& e = ctx_.table->entry(page);
@@ -266,11 +286,12 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
   r.get<std::uint8_t>();
-  const auto diff = r.get_bytes();
+  const auto field = r.get_bytes();
   const NodeId writer = msg.src;
 
   auto& e = ctx_.table->entry(page);
   std::vector<NodeId> targets;
+  std::vector<std::byte> diff;
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
     DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "update at non-home");
@@ -279,6 +300,12 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
       return;
     }
     e.manager_busy = true;
+
+    // Decode under the entry lock, against the pre-apply home copy: for the
+    // XOR form the base must match the writer's twin on every diffed word,
+    // which DRF guarantees even for parked transactions replayed later
+    // (intervening transactions touched disjoint words).
+    diff = page_io::unpack_diff_field(ctx_, field, ctx_.view->alias_span(page));
 
     // The home copy is authoritative: fold the diff in (and into the home's
     // own twin if the home is itself mid-write on this page).
@@ -320,10 +347,11 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
     const auto payload = std::move(w).take();
     for (const NodeId n : targets) ctx_.send(MsgType::kInvalidate, n, payload);
   } else {
-    WireWriter w(diff.size() + 16);
+    const auto fanout = page_io::pack_diff_field(ctx_, diff);
+    WireWriter w(fanout.size() + 16);
     w.put(page);
     w.put(kFromHome);
-    w.put_bytes(diff);
+    w.put_bytes(fanout);
     const auto payload = std::move(w).take();
     for (const NodeId n : targets) ctx_.send(MsgType::kUpdate, n, payload);
   }
@@ -352,10 +380,11 @@ void ErcProtocol::home_after_invalidations(PageId page) {
     return;
   }
   ctx_.stats->counter("erc.keeper_updates").add(keepers.size());
-  WireWriter w(diff.size() + 16);
+  const auto field = page_io::pack_diff_field(ctx_, diff);
+  WireWriter w(field.size() + 16);
   w.put(page);
   w.put(kFromHome);
-  w.put_bytes(diff);
+  w.put_bytes(field);
   const auto payload = std::move(w).take();
   for (const NodeId n : keepers) ctx_.send(MsgType::kUpdate, n, payload);
 }

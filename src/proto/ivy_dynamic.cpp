@@ -211,7 +211,7 @@ void IvyDynamicProtocol::serve_read(PageId page, NodeId requester) {
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kReadReply, requester, std::move(w).take());
 }
 
@@ -236,14 +236,14 @@ void IvyDynamicProtocol::serve_write(PageId page, NodeId requester) {
   WireWriter w(bytes.size() + 16);
   w.put(page);
   w.put_vector(holders);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kWriteReply, requester, std::move(w).take());
 }
 
 void IvyDynamicProtocol::handle_read_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
@@ -272,7 +272,7 @@ void IvyDynamicProtocol::handle_write_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
   const auto holders = r.get_vector<NodeId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   bool done;
   {

@@ -179,7 +179,7 @@ void IvyManagerProtocol::handle_read_forward(const Message& msg) {
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kReadReply, requester, std::move(w).take());
 }
 
@@ -222,14 +222,14 @@ void IvyManagerProtocol::handle_write_forward(const Message& msg) {
   WireWriter w(bytes.size() + 16);
   w.put(page);
   w.put_vector(holders);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kWriteReply, requester, std::move(w).take());
 }
 
 void IvyManagerProtocol::handle_read_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
     const std::lock_guard<std::mutex> lock(e.mutex);
@@ -250,7 +250,7 @@ void IvyManagerProtocol::handle_write_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
   const auto holders = r.get_vector<NodeId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   bool done;
   {

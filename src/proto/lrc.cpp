@@ -432,14 +432,14 @@ void LrcProtocol::handle_page_request(const Message& msg) {
   }
   WireWriter w(bytes.size() + 8);
   w.put(page);
-  w.put_raw(bytes);
+  page_io::put_page(ctx_, w, bytes);
   ctx_.send(MsgType::kPageReply, requester, std::move(w).take());
 }
 
 void LrcProtocol::handle_page_reply(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
-  const auto bytes = r.get_raw(ctx_.cfg->page_size);
+  const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
     const std::lock_guard<std::mutex> lock(e.mutex);

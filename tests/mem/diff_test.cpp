@@ -160,6 +160,130 @@ TEST(Diff, DiffSizeScalesWithDirtyFraction) {
   EXPECT_LE(encode_diff(full, base).size(), 4096u + 16u);
 }
 
+// --- wire codecs: zero-run RLE and XOR diffs -------------------------------
+
+TEST(Zrle, AllZeroPageCollapses) {
+  const auto page = bytes(4096);
+  const auto packed = zrle_encode(page);
+  EXPECT_LE(packed.size(), 8u);  // one record per 64 KiB of zeros
+  EXPECT_EQ(zrle_decode(packed), page);
+}
+
+TEST(Zrle, AllRandomPageStaysNearIncompressible) {
+  SplitMix64 rng(99);
+  auto page = bytes(4096);
+  for (auto& b : page) {
+    // Avoid zero bytes entirely: pure literals, maximal overhead.
+    b = std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+  }
+  const auto packed = zrle_encode(page);
+  EXPECT_LE(packed.size(), page.size() + 16u);  // bounded framing overhead
+  EXPECT_EQ(zrle_decode(packed), page);
+}
+
+TEST(Zrle, SingleWordInZeroPage) {
+  auto page = bytes(4096);
+  page[2048] = std::byte{0x42};
+  const auto packed = zrle_encode(page);
+  EXPECT_LE(packed.size(), 16u);
+  EXPECT_EQ(zrle_decode(packed), page);
+}
+
+TEST(Zrle, TrailingZerosRestored) {
+  // A page whose data sits at the front and zeros run to the end — the
+  // decode must reproduce the exact size, not stop at the last literal.
+  auto page = bytes(4096);
+  for (std::size_t i = 0; i < 100; ++i) page[i] = std::byte{0xEE};
+  const auto decoded = zrle_decode(zrle_encode(page));
+  ASSERT_EQ(decoded.size(), page.size());
+  EXPECT_EQ(decoded, page);
+}
+
+TEST(Zrle, AlreadyCompressedInputRoundTrips) {
+  // Compressing a zrle stream again must still round-trip (the escape path
+  // cares about size, not content).
+  auto page = bytes(4096);
+  for (std::size_t i = 0; i < 4096; i += 9) page[i] = std::byte{0x17};
+  const auto once = zrle_encode(page);
+  EXPECT_EQ(zrle_decode(zrle_encode(once)), once);
+}
+
+TEST(Zrle, EmptyInput) { EXPECT_TRUE(zrle_decode(zrle_encode({})).empty()); }
+
+TEST(Zrle, PropertyDecodeEncodeIsIdentity) {
+  // Randomized inputs mixing zero runs of every length with literal spans.
+  SplitMix64 rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::byte> data;
+    const auto chunks = 1 + rng.next_below(20);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const auto len = rng.next_below(300);
+      if (rng.next_below(2) == 0) {
+        data.insert(data.end(), len, std::byte{0});
+      } else {
+        for (std::uint64_t i = 0; i < len; ++i) {
+          data.push_back(std::byte{static_cast<unsigned char>(rng.next())});
+        }
+      }
+    }
+    ASSERT_EQ(zrle_decode(zrle_encode(data)), data) << "trial " << trial;
+  }
+}
+
+TEST(XorDiff, RoundTripsThroughBase) {
+  // encoder: diff = xor(current, twin); decoder holds base == twin and must
+  // recover the exact value diff.
+  auto base = bytes(4096);
+  SplitMix64 rng(7);
+  for (auto& b : base) b = std::byte{static_cast<unsigned char>(rng.next())};
+  auto current = base;
+  current[128] = std::byte{0x01};
+  current[129] = std::byte{0xFF};
+  current[3000] = std::byte{0x55};
+  const auto xor_diff = encode_diff_xor(current, base);
+  const auto value_diff = xor_diff_to_value(xor_diff, base);
+  EXPECT_EQ(value_diff, encode_diff(current, base));
+  auto restored = base;
+  apply_diff(restored, value_diff);
+  EXPECT_EQ(restored, current);
+}
+
+TEST(XorDiff, SmallDeltasAreMostlyZero) {
+  // The point of the XOR form: on a single-writer transfer (merge_gap
+  // absorbs the clean gaps), scattered counter bumps on an otherwise
+  // incompressible page XOR down to lone bytes in long zero runs, which
+  // zrle crushes — while the value diff must ship the page content itself.
+  SplitMix64 rng(5150);
+  auto base = bytes(4096);
+  for (auto& b : base) {
+    b = std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+  }
+  auto current = base;
+  for (std::size_t i = 0; i < 4096; i += 64) current[i] ^= std::byte{0x01};
+  constexpr std::size_t kGap = 64;
+  const auto xored = zrle_encode(encode_diff_xor(current, base, kGap));
+  const auto plain = zrle_encode(encode_diff(current, base, kGap));
+  EXPECT_LT(xored.size() * 4, plain.size());
+}
+
+TEST(XorDiff, RandomizedPipelineMatchesValueDiff) {
+  SplitMix64 rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto base = bytes(4096);
+    for (auto& b : base) b = std::byte{static_cast<unsigned char>(rng.next())};
+    auto current = base;
+    const auto n_changes = 1 + rng.next_below(100);
+    for (std::uint64_t c = 0; c < n_changes; ++c) {
+      current[rng.next_below(4096)] = std::byte{static_cast<unsigned char>(rng.next())};
+    }
+    // Full wire pipeline: xor-encode, zrle, un-zrle, rebase — must equal the
+    // plain value diff byte for byte.
+    const auto wire = zrle_encode(encode_diff_xor(current, base));
+    const auto recovered = xor_diff_to_value(zrle_decode(wire), base);
+    ASSERT_EQ(recovered, encode_diff(current, base)) << "trial " << trial;
+  }
+}
+
 TEST(DiffDeathTest, MalformedDiffAborts) {
   auto page = bytes(64);
   std::vector<std::byte> garbage(6, std::byte{0xFF});

@@ -1,0 +1,284 @@
+// Tests for the wire-optimisation layer: scoped batching into kBatch
+// envelopes (seq allocation, chunking, singleton fallback, loss recovery)
+// and piggybacked/delayed cumulative acks. The wire knobs default off, so
+// every test opts in explicitly.
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace dsm {
+namespace {
+
+Message make_msg(MsgType type, NodeId src, NodeId dst, std::size_t payload_bytes = 0,
+                 VirtualTime send_time = 0) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.send_time = send_time;
+  m.payload.resize(payload_bytes);
+  return m;
+}
+
+template <typename Pred>
+bool poll_until(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+WireConfig batching_on() {
+  WireConfig wire;
+  wire.batching = true;
+  return wire;
+}
+
+TEST(BatchTest, ScopeCoalescesSameLinkSendsIntoOneEnvelope) {
+  StatsRegistry stats;
+  Network net(4, LinkModel{}, &stats, {}, {}, batching_on());
+  {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1, 8, /*send_time=*/100));
+    net.send(make_msg(MsgType::kInvalidate, 0, 1, 0, /*send_time=*/200));
+    net.send(make_msg(MsgType::kConfirm, 0, 1, 0, /*send_time=*/150));
+    net.send(make_msg(MsgType::kUpdate, 0, 2));  // different link
+  }
+  auto a = net.recv(1);
+  auto b = net.recv(1);
+  auto c = net.recv(1);
+  auto d = net.recv(2);
+  ASSERT_TRUE(a && b && c && d);
+  // Inner messages unpack in staging order with consecutive seqs.
+  EXPECT_EQ(a->type, MsgType::kUpdate);
+  EXPECT_EQ(b->type, MsgType::kInvalidate);
+  EXPECT_EQ(c->type, MsgType::kConfirm);
+  EXPECT_EQ(a->seq, 0u);
+  EXPECT_EQ(b->seq, 1u);
+  EXPECT_EQ(c->seq, 2u);
+  // One wire transfer: all inner messages share the envelope's timing,
+  // which departs with the latest staged member.
+  EXPECT_EQ(a->send_time, 200u);
+  EXPECT_EQ(a->arrival_time, b->arrival_time);
+  EXPECT_EQ(a->arrival_time, c->arrival_time);
+
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.batches"), 1u);
+  EXPECT_EQ(snap.counter("net.batched_msgs"), 3u);
+  EXPECT_EQ(snap.counter("net.datagrams"), 2u);  // envelope + the 0->2 single
+  EXPECT_EQ(snap.counter("net.msgs"), 4u);       // per-inner accounting intact
+  EXPECT_GE(snap.counter("net.bytes_saved"), 1u);
+}
+
+TEST(BatchTest, SingletonGroupSkipsEnvelopeFraming) {
+  StatsRegistry stats;
+  Network net(2, LinkModel{}, &stats, {}, {}, batching_on());
+  {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1));
+  }
+  auto msg = net.recv(1);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->seq, 0u);
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.batches"), 0u);
+  EXPECT_EQ(snap.counter("net.datagrams"), 1u);
+}
+
+TEST(BatchTest, OversizeGroupChunksAtMaxBatchMsgs) {
+  StatsRegistry stats;
+  auto wire = batching_on();
+  wire.max_batch_msgs = 2;
+  Network net(2, LinkModel{}, &stats, {}, {}, wire);
+  {
+    Network::BatchScope scope(&net);
+    for (int i = 0; i < 5; ++i) net.send(make_msg(MsgType::kUpdate, 0, 1));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    auto msg = net.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->seq, i);
+  }
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.batches"), 2u);       // 2 + 2 + a trailing single
+  EXPECT_EQ(snap.counter("net.batched_msgs"), 4u);
+  EXPECT_EQ(snap.counter("net.datagrams"), 3u);
+}
+
+TEST(BatchTest, ScopeWithoutBatchingIsInert) {
+  StatsRegistry stats;
+  Network net(2, LinkModel{}, &stats);  // wire knobs all off
+  {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1));
+    // Inert scope: the send is not staged, it is already on the wire.
+    EXPECT_TRUE(net.recv(1).has_value());
+  }
+  EXPECT_EQ(stats.snapshot().counter("net.batches"), 0u);
+}
+
+TEST(BatchTest, DroppedEnvelopeRetransmitsAsAUnit) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 1;
+  rel.rto_max_ms = 8;
+  Network net(2, LinkModel{}, &stats, rel, {}, batching_on());
+  std::atomic<bool> dropped{false};
+  net.set_drop_hook([&](const Message& m) {
+    return m.type == MsgType::kBatch && !dropped.exchange(true);
+  });
+  {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1));
+    net.send(make_msg(MsgType::kConfirm, 0, 1));
+  }
+  auto a = net.recv(1);
+  auto b = net.recv(1);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->type, MsgType::kUpdate);
+  EXPECT_EQ(a->seq, 0u);
+  EXPECT_EQ(b->type, MsgType::kConfirm);
+  EXPECT_EQ(b->seq, 1u);
+  EXPECT_TRUE(poll_until([&] { return net.idle(); }));
+  const auto snap = stats.snapshot();
+  EXPECT_GE(snap.counter("net.retransmits"), 1u);
+  EXPECT_EQ(snap.counter("net.dropped"), 1u);
+  EXPECT_EQ(net.messages_sent(), 2u);  // both inner messages, exactly once
+}
+
+TEST(BatchTest, DuplicatedEnvelopeDeliversInnerMessagesOnce) {
+  StatsRegistry stats;
+  ChaosConfig chaos;
+  chaos.enabled = true;
+  chaos.seed = 7;
+  chaos.duplicate_probability = 1.0;
+  Network net(2, LinkModel{}, &stats, {}, chaos, batching_on());
+  {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1));
+    net.send(make_msg(MsgType::kConfirm, 0, 1));
+  }
+  ASSERT_TRUE(net.recv(1).has_value());
+  ASSERT_TRUE(net.recv(1).has_value());
+  EXPECT_TRUE(poll_until(
+      [&] { return stats.snapshot().counter("net.dups_suppressed") >= 1; }));
+  EXPECT_EQ(net.messages_sent(), 2u);  // the cloned envelope never unpacked
+}
+
+TEST(BatchTest, ExplicitFlushKeepsScopeUsable) {
+  StatsRegistry stats;
+  Network net(2, LinkModel{}, &stats, {}, {}, batching_on());
+  Network::BatchScope scope(&net);
+  net.send(make_msg(MsgType::kUpdate, 0, 1));
+  net.send(make_msg(MsgType::kUpdate, 0, 1));
+  scope.flush();
+  EXPECT_EQ(stats.snapshot().counter("net.batches"), 1u);
+  net.send(make_msg(MsgType::kConfirm, 0, 1));
+  net.send(make_msg(MsgType::kConfirm, 0, 1));
+  scope.flush();
+  EXPECT_EQ(stats.snapshot().counter("net.batches"), 2u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto msg = net.recv(1);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->seq, i);
+  }
+}
+
+TEST(PiggybackTest, SteadyBidirectionalTrafficNeedsNoStandaloneAcks) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 300;  // the RTO must never beat the delayed ack here
+  WireConfig wire;
+  wire.piggyback_acks = true;
+  wire.delayed_ack_us = 100'000;  // park the fallback far beyond the test body
+  Network net(2, LinkModel{}, &stats, rel, {}, wire);
+  // Request/response ping-pong: every reverse-direction send has a pending
+  // cumulative ack to carry, so no standalone kAck should ever be emitted
+  // while traffic flows.
+  for (int i = 0; i < 20; ++i) {
+    net.send(make_msg(MsgType::kUpdate, 0, 1));
+    ASSERT_TRUE(net.recv(1).has_value());
+    net.send(make_msg(MsgType::kUpdateAck, 1, 0));
+    ASSERT_TRUE(net.recv(0).has_value());
+  }
+  auto snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.acks_standalone"), 0u);
+  EXPECT_GE(snap.counter("net.acks_piggybacked"), 38u);  // all but the opener(s)
+  // The tail messages have no reverse traffic left; the delayed-ack timer
+  // finishes the job and the fabric quiesces.
+  EXPECT_TRUE(poll_until([&] { return net.idle(); }));
+  snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.acks"), 40u);
+  EXPECT_LE(snap.counter("net.acks_standalone"), 2u);
+}
+
+TEST(PiggybackTest, QuietLinkFallsBackToDelayedStandaloneAck) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 300;  // the delayed ack must always win the race with the RTO
+  WireConfig wire;
+  wire.piggyback_acks = true;
+  wire.delayed_ack_us = 1000;
+  Network net(2, LinkModel{}, &stats, rel, {}, wire);
+  net.send(make_msg(MsgType::kUpdate, 0, 1));
+  ASSERT_TRUE(net.recv(1).has_value());
+  // No reverse traffic: only the delayed standalone ack can complete the
+  // sender's in-flight entry.
+  EXPECT_TRUE(poll_until([&] { return net.idle(); }));
+  const auto snap = stats.snapshot();
+  EXPECT_EQ(snap.counter("net.acks"), 1u);
+  EXPECT_EQ(snap.counter("net.acks_standalone"), 1u);
+  EXPECT_EQ(snap.counter("net.acks_piggybacked"), 0u);
+  EXPECT_EQ(net.messages_sent(), 1u);  // the kAck never reaches a mailbox
+}
+
+TEST(PiggybackTest, BatchedFanOutWithPiggybackStaysExactUnderDrops) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 1;
+  rel.rto_max_ms = 8;
+  ChaosConfig chaos;
+  chaos.enabled = true;
+  chaos.seed = 1234;
+  chaos.drop_probability = 0.2;
+  auto wire = batching_on();
+  wire.piggyback_acks = true;
+  Network net(3, LinkModel{}, &stats, rel, chaos, wire);
+  constexpr int kRounds = 50;
+  std::thread echo([&] {
+    // Node 1 echoes everything so node 0's acks can piggyback.
+    for (int i = 0; i < 2 * kRounds; ++i) {
+      ASSERT_TRUE(net.recv(1).has_value());
+      net.send(make_msg(MsgType::kUpdateAck, 1, 0));
+    }
+  });
+  for (int i = 0; i < kRounds; ++i) {
+    Network::BatchScope scope(&net);
+    net.send(make_msg(MsgType::kUpdate, 0, 1, 16));
+    net.send(make_msg(MsgType::kInvalidate, 0, 1));
+    net.send(make_msg(MsgType::kUpdate, 0, 2, 16));
+  }
+  for (std::uint64_t i = 0; i < 2 * kRounds; ++i) {
+    ASSERT_TRUE(net.recv(0).has_value());
+  }
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    auto msg = net.recv(2);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->seq, i);  // the 0->2 singletons stay link-FIFO
+  }
+  echo.join();
+  EXPECT_TRUE(poll_until([&] { return net.idle(); }));
+  // Exactly-once in spite of 20% loss over envelopes and acks.
+  EXPECT_EQ(net.messages_sent(), 5u * kRounds);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -68,6 +68,39 @@ TEST(Mailbox, DrainsQueueBeforeReportingClosed) {
   EXPECT_FALSE(mb.pop().has_value());
 }
 
+TEST(Mailbox, DrainTakesEverythingInOrder) {
+  Mailbox mb;
+  mb.push(make_msg(MsgType::kReadRequest));
+  mb.push(make_msg(MsgType::kWriteRequest));
+  mb.push(make_msg(MsgType::kUpdate));
+  const auto burst = mb.drain();
+  ASSERT_EQ(burst.size(), 3u);
+  EXPECT_EQ(burst[0].type, MsgType::kReadRequest);
+  EXPECT_EQ(burst[1].type, MsgType::kWriteRequest);
+  EXPECT_EQ(burst[2].type, MsgType::kUpdate);
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+TEST(Mailbox, DrainBlocksUntilPush) {
+  Mailbox mb;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mb.push(make_msg(MsgType::kLockGrant));
+  });
+  const auto burst = mb.drain();  // must block, then receive
+  ASSERT_EQ(burst.size(), 1u);
+  EXPECT_EQ(burst.front().type, MsgType::kLockGrant);
+  producer.join();
+}
+
+TEST(Mailbox, DrainReturnsEmptyOnClose) {
+  Mailbox mb;
+  mb.push(make_msg(MsgType::kConfirm));
+  mb.close();
+  EXPECT_EQ(mb.drain().size(), 1u);  // pending messages drain first
+  EXPECT_TRUE(mb.drain().empty());
+}
+
 TEST(Mailbox, ManyProducersOneConsumer) {
   Mailbox mb;
   constexpr int kProducers = 4;

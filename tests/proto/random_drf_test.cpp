@@ -40,7 +40,8 @@ class RandomDrfTest : public ::testing::TestWithParam<DrfCase> {};
 // control for dsmcheck: every case runs once plain and once under
 // check_level=assert, where a single false race report or invariant
 // violation would abort the whole binary.
-void run_drf_case(const DrfCase& param, CheckLevel check_level) {
+void run_drf_case(const DrfCase& param, CheckLevel check_level,
+                  bool batched_wire = false) {
   constexpr std::size_t kVars = 6;
   constexpr int kRounds = 4;
   constexpr int kOpsPerRound = 12;
@@ -51,6 +52,12 @@ void run_drf_case(const DrfCase& param, CheckLevel check_level) {
   cfg.n_pages = 32;
   cfg.protocol = param.protocol;
   cfg.check_level = check_level;
+  if (batched_wire) {
+    cfg.wire.batching = true;
+    cfg.wire.piggyback_acks = true;
+    cfg.wire.compress_pages = true;
+    cfg.wire.compress_diffs = true;
+  }
   System sys(cfg);
 
   // Layout: packed = all counters on one page (maximum interference);
@@ -129,6 +136,13 @@ TEST_P(RandomDrfTest, LockProtectedCountersMatchShadow) {
 
 TEST_P(RandomDrfTest, StaysSilentUnderCheckAssert) {
   run_drf_case(GetParam(), CheckLevel::kAssert);
+}
+
+TEST_P(RandomDrfTest, BatchedWireStaysExactUnderCheckAssert) {
+  // The full wire-optimisation stack (coalescing + piggybacked acks +
+  // compression) under the checker: batching must never reorder, drop, or
+  // corrupt — any slip shows as a shadow mismatch or a dsmcheck abort.
+  run_drf_case(GetParam(), CheckLevel::kAssert, /*batched_wire=*/true);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,167 @@
+// Wire-batching protocol suite: with coalescing, piggybacked acks, and
+// payload compression all on, every protocol must stay exact — on a clean
+// fabric with dsmcheck asserting, and over a lossy/duplicating/reordering
+// one. Envelopes are deduped, reordered, and retransmitted as units, and
+// the checker verifies each lands exactly at its link's expected seq.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "apps/kernels.hpp"
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+std::string case_name(const ::testing::TestParamInfo<ProtocolKind>& pi) {
+  std::string s = to_string(pi.param);
+  for (auto& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+WireConfig wire_all_on() {
+  WireConfig wire;
+  wire.batching = true;
+  wire.piggyback_acks = true;
+  wire.compress_pages = true;
+  wire.compress_diffs = true;
+  return wire;
+}
+
+class WireBatchProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  Config make_config(bool chaos) const {
+    Config cfg;
+    cfg.n_nodes = 3;
+    cfg.n_pages = 32;
+    cfg.protocol = GetParam();
+    cfg.wire = wire_all_on();
+    cfg.watchdog_ms = 60'000;
+    cfg.check_level = CheckLevel::kAssert;
+    if (chaos) {
+      cfg.reliability.rto_ms = 2;
+      cfg.reliability.rto_max_ms = 32;
+      cfg.chaos.enabled = true;
+      cfg.chaos.seed = 1992;
+      cfg.chaos.drop_probability = 0.05;
+      cfg.chaos.duplicate_probability = 0.02;
+      cfg.chaos.delay_probability = 0.05;
+      cfg.chaos.delay_max_us = 300;
+    }
+    return cfg;
+  }
+};
+
+TEST_P(WireBatchProtocolTest, MigratoryCounterExactWithBatching) {
+  System sys(make_config(/*chaos=*/false));
+  apps::MigratoryParams params;
+  params.rounds = 5;
+  const auto result = apps::run_migratory(sys, params);
+  EXPECT_EQ(result.checksum, 5u * sys.config().n_nodes);
+}
+
+TEST_P(WireBatchProtocolTest, FalseSharingExactWithBatching) {
+  // Multi-writer flushes are where release fan-out batching engages: the
+  // checksum and dsmcheck's order/SWMR assertions must both hold.
+  System sys(make_config(/*chaos=*/false));
+  apps::FalseSharingParams params;
+  params.counters_per_node = 4;
+  params.iterations = 5;
+  const auto result = apps::run_false_sharing(sys, params);
+  EXPECT_EQ(result.checksum, 5u * 4u * sys.config().n_nodes);
+}
+
+TEST_P(WireBatchProtocolTest, MigratoryCounterExactUnderLossWithBatching) {
+  System sys(make_config(/*chaos=*/true));
+  apps::MigratoryParams params;
+  params.rounds = 5;
+  const auto result = apps::run_migratory(sys, params);
+  EXPECT_EQ(result.checksum, 5u * sys.config().n_nodes);
+}
+
+TEST_P(WireBatchProtocolTest, ReductionExactUnderLossWithBatching) {
+  System sys(make_config(/*chaos=*/true));
+  apps::ReduceParams params;
+  params.elements_per_node = 300;
+  const auto result = apps::run_reduce(sys, params);
+  const std::uint64_t total = 300u * sys.config().n_nodes;
+  EXPECT_EQ(result.checksum, total * (total - 1) / 2);
+}
+
+TEST_P(WireBatchProtocolTest, FalseSharingExactUnderLossWithBatching) {
+  System sys(make_config(/*chaos=*/true));
+  apps::FalseSharingParams params;
+  params.counters_per_node = 4;
+  params.iterations = 5;
+  const auto result = apps::run_false_sharing(sys, params);
+  EXPECT_EQ(result.checksum, 5u * 4u * sys.config().n_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, WireBatchProtocolTest,
+    ::testing::Values(ProtocolKind::kIvyCentral, ProtocolKind::kIvyFixed,
+                      ProtocolKind::kIvyDynamic, ProtocolKind::kErcInvalidate,
+                      ProtocolKind::kErcUpdate, ProtocolKind::kLrc,
+                      ProtocolKind::kEc, ProtocolKind::kHlrc),
+    case_name);
+
+TEST(WireBatchStatsTest, ErcReleaseFanOutActuallyBatches) {
+  // The workload batching exists for: one writer dirties many pages homed
+  // on other nodes, then releases — the flush must coalesce the same-home
+  // updates into envelopes and piggyback the resulting acks.
+  Config cfg;
+  cfg.n_nodes = 4;
+  cfg.n_pages = 32;
+  cfg.protocol = ProtocolKind::kErcUpdate;
+  cfg.wire = wire_all_on();
+  cfg.check_level = CheckLevel::kAssert;
+  cfg.watchdog_ms = 60'000;
+  System sys(cfg);
+  const std::size_t wpp = cfg.page_size / sizeof(std::uint64_t);
+  const std::size_t kPages = 16;
+  const auto data = sys.alloc_page_aligned<std::uint64_t>(kPages * wpp);
+  sys.run([&](Worker& w) {
+    w.barrier(0);
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      for (std::size_t p = 0; p < kPages; ++p) {
+        w.get(data)[p * wpp + w.id()] += 1;
+      }
+      w.barrier(0);
+    }
+  });
+  const auto snap = sys.stats();
+  EXPECT_GE(snap.counter("net.batches"), 1u);
+  EXPECT_GE(snap.counter("net.batched_msgs"), 2u * snap.counter("net.batches"));
+  EXPECT_GE(snap.counter("net.acks_piggybacked"), 1u);
+  EXPECT_GE(snap.counter("net.bytes_saved"), 1u);
+  // Physical datagrams must come in well under the per-message count.
+  EXPECT_LT(snap.counter("net.datagrams"), snap.counter("net.msgs"));
+}
+
+TEST(WireBatchStatsTest, CompressionAloneKeepsResultsExact) {
+  // Compression without batching: the codec negotiation must be transparent
+  // at every page/diff site (IVY full pages, ERC XOR diffs, fan-out).
+  for (const auto protocol :
+       {ProtocolKind::kIvyDynamic, ProtocolKind::kErcUpdate, ProtocolKind::kHlrc}) {
+    Config cfg;
+    cfg.n_nodes = 3;
+    cfg.n_pages = 32;
+    cfg.protocol = protocol;
+    cfg.wire.compress_pages = true;
+    cfg.wire.compress_diffs = true;
+    cfg.check_level = CheckLevel::kAssert;
+    cfg.watchdog_ms = 60'000;
+    System sys(cfg);
+    apps::MigratoryParams params;
+    params.rounds = 5;
+    const auto result = apps::run_migratory(sys, params);
+    EXPECT_EQ(result.checksum, 5u * cfg.n_nodes) << to_string(protocol);
+    EXPECT_GE(sys.stats().counter("net.bytes_saved"), 1u) << to_string(protocol);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

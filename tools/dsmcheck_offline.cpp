@@ -17,6 +17,7 @@
 // Checks 3–5 need every span retained; if the export records dropped > 0
 // (ring-buffer overwrite) they are skipped with a note. Exit 0 when the
 // trace verifies, 1 on any violation or parse error.
+#include <algorithm>
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
@@ -308,6 +309,11 @@ struct Verifier {
     using LinkKey = std::tuple<std::string, long long, long long, double>;
     std::map<LinkKey, std::vector<double>> sends;
     std::map<LinkKey, std::vector<double>> delivers;
+    // (group, src, dst, departure ts) → send seqs at that instant; every
+    // inner message of a kBatch envelope shares the envelope's departure.
+    std::map<LinkKey, std::vector<double>> sends_at;
+    // (group, src, dst, departure ts, inner count) per "batch" instant.
+    std::vector<std::tuple<std::string, long long, long long, double, double>> batches;
     std::size_t spans = 0;
 
     for (const JsonValue& ev : events->array) {
@@ -353,6 +359,18 @@ struct Verifier {
         if (seq >= kNoSeqThreshold) continue;  // loopback/control
         if (static_cast<long long>(dst) == node) continue;
         sends[{group, node, static_cast<long long>(dst), seq}].push_back(ts);
+        sends_at[{group, node, static_cast<long long>(dst), ts}].push_back(seq);
+      } else if (name->string == "batch") {
+        // A kBatch envelope accepted at the destination: args carry the
+        // source and inner-message count; ts is the envelope's departure.
+        double src = 0;
+        double count = 0;
+        if (args == nullptr || !number(*args, "src", src) ||
+            !number(*args, "count", count)) {
+          violation("batch instant without src/count args");
+          continue;
+        }
+        batches.emplace_back(group, static_cast<long long>(src), node, ts, count);
       } else if (name->string != "retransmit") {
         // A transit span: named by message type, stamped with src + seq on
         // the destination's net track.
@@ -375,11 +393,48 @@ struct Verifier {
                 << " dropped span(s); skipping lifecycle/contiguity checks\n";
     } else {
       verify_lifecycle(sends, delivers);
+      verify_batches(batches, sends_at);
     }
 
     std::cout << "[dsmcheck-offline] " << spans << " spans, " << sends.size()
-              << " reliable messages, " << violations << " violation(s)\n";
+              << " reliable messages, " << batches.size() << " batch(es), "
+              << violations << " violation(s)\n";
     return violations == 0 ? 0 : 1;
+  }
+
+  /// Best-effort envelope checks: every "batch" instant must be backed by
+  /// send instants on its link at the envelope's departure ts, and when the
+  /// pairing is unambiguous (one batch per instant) the inner seqs must be
+  /// consecutive — batching may never reorder or leave holes inside an
+  /// envelope.
+  template <typename BatchList, typename LinkMap>
+  void verify_batches(const BatchList& batches, const LinkMap& sends_at) {
+    for (const auto& [group, src, dst, ts, count] : batches) {
+      std::ostringstream where;
+      if (!group.empty()) where << group << " ";
+      where << "link " << src << "->" << dst << " at ts " << ts;
+      if (count < 2) {
+        violation("batch with fewer than 2 inner messages on " + where.str());
+        continue;
+      }
+      const auto it = sends_at.find({group, src, dst, ts});
+      const double found =
+          it == sends_at.end() ? 0 : static_cast<double>(it->second.size());
+      if (found < count) {
+        violation("batch of " + std::to_string(static_cast<long long>(count)) +
+                  " on " + where.str() + " lacks matching send instants");
+        continue;
+      }
+      if (found != count) continue;  // two envelopes share a ts
+      std::vector<double> seqs = it->second;
+      std::sort(seqs.begin(), seqs.end());
+      for (std::size_t i = 1; i < seqs.size(); ++i) {
+        if (seqs[i] != seqs[i - 1] + 1) {
+          violation("batch inner seqs not contiguous on " + where.str());
+          break;
+        }
+      }
+    }
   }
 
   template <typename LinkMap>
