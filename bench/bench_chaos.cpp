@@ -18,9 +18,12 @@ struct Run {
   apps::KernelResult result;
   double wall_ms = 0;
   StatsSnapshot snap;
+  std::vector<TraceEvent> events;  // recorded spans (traced runs only)
+  std::uint64_t trace_dropped = 0;
 };
 
 Run run_migratory_once(Config cfg, int rounds) {
+  const bool traced = cfg.trace.enabled;
   System sys(std::move(cfg));
   apps::MigratoryParams params;
   params.rounds = rounds;
@@ -31,6 +34,10 @@ Run run_migratory_once(Config cfg, int rounds) {
                   std::chrono::steady_clock::now() - t0)
                   .count();
   r.snap = sys.stats();
+  if (traced) {
+    r.events = sys.tracer()->all_events();
+    r.trace_dropped = sys.tracer()->dropped();
+  }
   const std::uint64_t expected =
       static_cast<std::uint64_t>(rounds) * sys.config().n_nodes;
   if (r.result.checksum != expected) {
@@ -44,9 +51,15 @@ Run run_migratory_once(Config cfg, int rounds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   constexpr std::size_t kNodes = 4;
   constexpr int kRounds = 16;
+  // --trace=FILE records every R1b lossy run and exports merged Chrome-trace
+  // JSON; dsmcheck_offline replays it to verify the retransmit/dup story
+  // (per-link seq contiguity, no lost or duplicated deliveries).
+  const std::string trace_path = bench::trace_arg(argc, argv);
+  std::vector<TraceGroup> groups;
+  std::uint64_t trace_dropped = 0;
 
   bench::Table a(
       "R1a — reliable-sublayer overhead at 0% loss (4 nodes, migratory x16)",
@@ -85,7 +98,17 @@ int main() {
       cfg.chaos.drop_probability = loss;
       cfg.chaos.duplicate_probability = loss / 5;
       cfg.watchdog_ms = 120'000;
+      if (!trace_path.empty()) {
+        cfg.trace.enabled = true;
+        cfg.trace.buffer_spans = 1 << 16;  // keep every span for the replay
+      }
       const auto r = run_migratory_once(cfg, kRounds);
+      if (!trace_path.empty()) {
+        groups.push_back(TraceGroup{std::string(to_string(protocol)) + "@" +
+                                        bench::fmt_double(loss * 100, 0) + "%",
+                                    kNodes, r.events});
+        trace_dropped += r.trace_dropped;
+      }
       b.add_row({std::string(to_string(protocol)),
                  bench::fmt_double(loss * 100, 0) + "%",
                  bench::fmt_ms(r.result.virtual_ns),
@@ -96,5 +119,6 @@ int main() {
     }
   }
   b.print();
+  bench::write_trace(trace_path, groups, trace_dropped);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -74,6 +75,19 @@ std::string fmt_double(double v, int precision) {
   return buffer;
 }
 
+bool under_dsmrun() { return std::getenv("DSM_TRANSPORT") != nullptr; }
+
+bool apply_dsmrun_env(Config& cfg) {
+  return transport_from_env(cfg.transport, &cfg.n_nodes);
+}
+
+std::vector<std::size_t> scaling_nodes(std::vector<std::size_t> wanted) {
+  if (const char* env = std::getenv("DSM_NODES"); under_dsmrun() && env != nullptr) {
+    return {static_cast<std::size_t>(std::strtoul(env, nullptr, 10))};
+  }
+  return wanted;
+}
+
 std::string trace_arg(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,7 +115,17 @@ std::string json_escape(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default: out.push_back(c);
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
     }
   }
   return out;
@@ -129,9 +153,12 @@ void write_json(const std::string& path, const std::vector<Table>& tables) {
     for (std::size_t r = 0; r < table.rows().size(); ++r) {
       const auto& row = table.rows()[r];
       os << "        {";
-      for (std::size_t c = 0; c < row.size() && c < columns.size(); ++c) {
+      // One key per column, always, in column order: every row object has
+      // an identical shape, so files from two runs diff line-by-line.
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        const std::string cell = c < row.size() ? row[c] : std::string();
         os << (c != 0 ? ", " : "") << '"' << json_escape(columns[c]) << "\": \""
-           << json_escape(row[c]) << '"';
+           << json_escape(cell) << '"';
       }
       os << '}' << (r + 1 != table.rows().size() ? "," : "") << '\n';
     }

@@ -45,6 +45,22 @@ std::string fmt_ms(VirtualTime ns);
 std::string fmt_count(std::uint64_t v);
 std::string fmt_double(double v, int precision = 2);
 
+// --- dsmrun (multi-process) support ----------------------------------------
+
+/// True when this process is one rank of a `dsmrun` fleet (DSM_TRANSPORT is
+/// present in the environment).
+bool under_dsmrun();
+
+/// Applies a dsmrun launch to `cfg` (UDP transport, fleet size, this rank's
+/// identity); no-op outside dsmrun. Call on every Config a bench builds —
+/// all ranks must construct their Systems in the same order so transport
+/// epochs stay aligned across the fleet.
+bool apply_dsmrun_env(Config& cfg);
+
+/// The node counts a scaling loop should visit: `wanted` normally; under
+/// dsmrun the fleet size is fixed at launch, so only that one count.
+std::vector<std::size_t> scaling_nodes(std::vector<std::size_t> wanted);
+
 // --- tracing support --------------------------------------------------------
 
 /// Parses a `--trace=FILE` argument (any position); "" when absent.
@@ -55,7 +71,9 @@ std::string json_arg(int argc, char** argv);
 
 /// Writes the tables as machine-readable JSON to `path` — each row becomes
 /// an object keyed by column name, so CI jobs can assert on metrics without
-/// scraping the aligned text output. No-op when `path` is empty.
+/// scraping the aligned text output. Field order follows the column list
+/// exactly (short rows are padded with empty strings), so diffing two runs'
+/// files is meaningful. No-op when `path` is empty.
 void write_json(const std::string& path, const std::vector<Table>& tables);
 
 /// Writes merged trace groups as Chrome-trace JSON to `path` and prints a

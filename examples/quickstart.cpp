@@ -50,6 +50,10 @@ int main(int argc, char** argv) {
       cfg.protocol = parse_protocol(argv[i]);
     }
   }
+  // Under `dsmrun ./quickstart`, this process becomes one rank of a
+  // multi-process launch: the environment carries the transport, node
+  // count, and peer endpoints.
+  dsm::transport_from_env(cfg.transport, &cfg.n_nodes);
 
   dsm::System sys(cfg);
   constexpr std::size_t kWords = 1024;

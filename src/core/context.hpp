@@ -62,6 +62,10 @@ struct Config {
   /// payload compression (all off by default). See DESIGN.md "Wire-level
   /// batching & compression".
   WireConfig wire{};
+  /// Which transport backend moves wire attempts (in-process handoff by
+  /// default; real UDP sockets for conformance runs and dsmrun multi-process
+  /// launches). See DESIGN.md "Transport backends".
+  TransportConfig transport{};
   /// An app thread blocked in the fault path or a sync operation longer
   /// than this (real milliseconds) triggers a diagnostic dump and a clean
   /// abort instead of an infinite hang. 0 disables the watchdog.

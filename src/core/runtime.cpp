@@ -66,6 +66,27 @@ System::System(Config cfg) : cfg_(cfg) {
   DSM_CHECK_MSG(cfg_.page_size % ViewRegion::os_page_size() == 0,
                 "page_size must be a multiple of the OS page size ("
                     << ViewRegion::os_page_size() << ")");
+  if (cfg_.transport.kind == TransportKind::kInproc && !cfg_.transport.multiprocess()) {
+    // Conformance-suite override: lets the whole existing test asset base
+    // run against real sockets without touching each test's Config.
+    transport_kind_from_env(cfg_.transport);
+  }
+  if (cfg_.transport.multiprocess()) {
+    DSM_CHECK_MSG(cfg_.transport.kind == TransportKind::kUdp,
+                  "multi-process mode requires the udp transport");
+    DSM_CHECK_MSG(cfg_.transport.local_node < cfg_.n_nodes,
+                  "local node " << cfg_.transport.local_node << " out of range for "
+                                << cfg_.n_nodes << " nodes");
+    DSM_CHECK_MSG(cfg_.transport.peers.size() == cfg_.n_nodes,
+                  "need one peer endpoint per node");
+    if (cfg_.check_level != CheckLevel::kOff) {
+      // dsmcheck needs every node's accesses and deliveries in one address
+      // space; a single rank's view would report false races.
+      DSM_LOG_WARN << "dsmcheck is unavailable in multi-process mode; "
+                      "forcing check_level=off";
+      cfg_.check_level = CheckLevel::kOff;
+    }
+  }
   if (cfg_.trace.enabled) {
     tracer_ = std::make_unique<Tracer>(cfg_.n_nodes, cfg_.trace,
                                        &stats_.counter("trace.dropped"));
@@ -104,7 +125,7 @@ System::System(Config cfg) : cfg_(cfg) {
   }
   network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
                                        cfg_.reliability, cfg_.chaos, cfg_.wire,
-                                       tracer_.get());
+                                       tracer_.get(), cfg_.transport);
   if (checker_ != nullptr) {
     network_->set_delivery_hook(
         [chk = checker_.get()](const Message& msg) { chk->on_deliver(msg); });
@@ -119,6 +140,12 @@ System::System(Config cfg) : cfg_(cfg) {
 
   nodes_.reserve(cfg_.n_nodes);
   for (NodeId id = 0; id < cfg_.n_nodes; ++id) {
+    if (!hosted(id)) {
+      // Remote rank: lives in another process. The slot stays null so
+      // NodeId indexing keeps working for the one node we do host.
+      nodes_.push_back(nullptr);
+      continue;
+    }
     auto node = std::make_unique<Node>();
     node->view = std::make_unique<ViewRegion>(cfg_.n_pages, cfg_.page_size);
     node->table = std::make_unique<PageTable>(cfg_.n_pages, cfg_.n_nodes);
@@ -166,6 +193,7 @@ System::System(Config cfg) : cfg_(cfg) {
 System::~System() {
   DSM_CHECK_MSG(!running_, "System destroyed while a run is in progress");
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     if (node->fault_token >= 0) FaultRouter::instance().remove_region(node->fault_token);
   }
 }
@@ -185,12 +213,16 @@ std::size_t System::alloc_bytes(std::size_t size, std::size_t align) {
 
 VirtualTime System::virtual_time() const {
   VirtualTime t = 0;
-  for (const auto& node : nodes_) t = std::max(t, node->clock.now());
+  for (const auto& node : nodes_) {
+    if (node != nullptr) t = std::max(t, node->clock.now());
+  }
   return t;
 }
 
 void System::reset_clocks() {
-  for (auto& node : nodes_) node->clock.reset();
+  for (auto& node : nodes_) {
+    if (node != nullptr) node->clock.reset();
+  }
 }
 
 void System::service_loop(Node& node) {
@@ -206,8 +238,20 @@ void System::service_loop(Node& node) {
       Network::BatchScope batch(network_.get());
       for (Message& msg : burst) {
         if (msg.type == MsgType::kShutdown) {
+          // Finish the burst before exiting: under multi-process transports
+          // a trailing arrival can share a burst with the shutdown.
           running = false;
-          break;
+          continue;
+        }
+        if (msg.type == MsgType::kExitReady) {
+          exit_ready_.fetch_add(1, std::memory_order_release);
+          ++handled;
+          continue;
+        }
+        if (msg.type == MsgType::kExitGo) {
+          exit_go_.fetch_add(1, std::memory_order_release);
+          ++handled;
+          continue;
         }
         node.clock.advance_to(msg.arrival_time);
         node.clock.advance(cfg_.service_ns);
@@ -256,6 +300,7 @@ void System::dump_diagnostics(std::ostream& os) const {
   network_->debug_dump(os);
   if (tracer_ != nullptr) tracer_->dump_tail(os, cfg_.trace.dump_tail_spans);
   for (const auto& node : nodes_) {
+    if (node == nullptr) continue;
     os << "  node " << node->ctx.id << " clock=" << node->clock.now() << "ns\n";
     for (PageId p = 0; p < node->table->n_pages(); ++p) {
       const PageEntry& e = node->table->entry(p);
@@ -282,25 +327,53 @@ void System::dump_diagnostics(std::ostream& os) const {
   if (checker_ != nullptr) checker_->dump_last_violation(os);
 }
 
+void System::exit_rendezvous() {
+  const NodeId me = cfg_.transport.local_node;
+  Node& node = *nodes_[me];
+  const auto n = static_cast<std::uint64_t>(cfg_.n_nodes);
+  const auto g = Watchdog::guard(watchdog_.get(), me, "exit-rendezvous", run_ordinal_);
+  if (me == 0) {
+    while (exit_ready_.load(std::memory_order_acquire) < (n - 1) * run_ordinal_) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    for (NodeId rank = 1; rank < cfg_.n_nodes; ++rank) {
+      network_->send(node.ctx.make(MsgType::kExitGo, rank));
+    }
+  } else {
+    network_->send(node.ctx.make(MsgType::kExitReady, 0));
+    while (exit_go_.load(std::memory_order_acquire) < run_ordinal_) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  // Until the rendezvous traffic itself is acked (idle), a peer may still
+  // be depending on our retransmit daemon and service thread.
+  drain();
+}
+
 void System::run(const std::function<void(Worker&)>& body) {
   DSM_CHECK_MSG(!running_, "System::run is not reentrant");
   running_ = true;
+  ++run_ordinal_;
 
   // First run only: later runs continue from the previous run's coherence
   // state (ownership may have migrated away from the homes; resetting would
   // lose the migrated data).
   if (!pages_initialized_) {
-    for (auto& node : nodes_) node->protocol->init_pages();
+    for (auto& node : nodes_) {
+      if (node != nullptr) node->protocol->init_pages();
+    }
     pages_initialized_ = true;
   }
 
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     node->service_thread = std::thread([this, raw = node.get()] { service_loop(*raw); });
   }
 
   std::vector<std::thread> app_threads;
   app_threads.reserve(nodes_.size());
   for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!hosted(id)) continue;
     app_threads.emplace_back([this, id, &body] {
       Worker worker(*this, id);
       body(worker);
@@ -309,12 +382,16 @@ void System::run(const std::function<void(Worker&)>& body) {
   for (auto& t : app_threads) t.join();
 
   drain();
+  // Local quiescence is not global quiescence when ranks are separate
+  // processes: hold the service thread until every rank has drained.
+  if (multiprocess()) exit_rendezvous();
   for (auto& node : nodes_) {
+    if (node == nullptr) continue;
     network_->send(node->ctx.make(MsgType::kShutdown, node->ctx.id));
   }
-  for (auto& node : nodes_) node->service_thread.join();
-  // The shutdown messages were never "processed"; resynchronize the counter.
-  processed_.store(network_->messages_sent(), std::memory_order_relaxed);
+  for (auto& node : nodes_) {
+    if (node != nullptr) node->service_thread.join();
+  }
   if (checker_ != nullptr) {
     // All service and app threads are gone: compare the checker's state
     // mirror and copyset model against the real page tables.

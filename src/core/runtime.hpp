@@ -147,6 +147,18 @@ class System {
   /// Blocks until every sent message has been fully processed.
   void drain();
 
+  bool multiprocess() const { return cfg_.transport.multiprocess(); }
+  /// Does this process host `node`? (Always true single-process; exactly
+  /// one node per process under dsmrun.)
+  bool hosted(NodeId node) const {
+    return !multiprocess() || node == cfg_.transport.local_node;
+  }
+  /// Multi-process exit barrier: every rank reports local quiescence to
+  /// rank 0 (kExitReady) and waits for the all-clear (kExitGo) before
+  /// stopping its service thread — a rank that tore down early would
+  /// blackhole a peer's retransmits.
+  void exit_rendezvous();
+
   Config cfg_;
   StatsRegistry stats_;
   std::unique_ptr<Tracer> tracer_;       // null when tracing is off
@@ -158,6 +170,12 @@ class System {
   bool running_ = false;
   bool pages_initialized_ = false;
   std::atomic<std::uint64_t> processed_{0};
+  /// Completed run() calls. Rendezvous counters below are cumulative and
+  /// monotone (never reset — a reset would race a straggling increment from
+  /// the previous run), so waits compare against ordinal-scaled targets.
+  std::uint64_t run_ordinal_ = 0;
+  std::atomic<std::uint64_t> exit_ready_{0};  ///< kExitReady received (rank 0)
+  std::atomic<std::uint64_t> exit_go_{0};     ///< kExitGo received (rank != 0)
 };
 
 inline std::size_t Worker::n_nodes() const { return system_->config().n_nodes; }

@@ -209,4 +209,81 @@ DiffStats inspect_diff(std::span<const std::byte> diff) {
   return stats;
 }
 
+namespace {
+
+/// Bounds-only walk shared by the total variants: every record header and
+/// payload in bounds, every run inside a page of `page_size` bytes
+/// (SIZE_MAX = unconstrained), no trailing bytes.
+bool diff_bounds_ok(std::span<const std::byte> diff, std::size_t page_size) {
+  std::size_t at = 0;
+  while (at < diff.size()) {
+    if (diff.size() - at < kRecordHeader) return false;
+    const std::uint32_t offset = read_u32(diff, at);
+    const std::uint32_t length = read_u32(diff, at + sizeof(std::uint32_t));
+    at += kRecordHeader;
+    if (diff.size() - at < length) return false;
+    if (page_size != SIZE_MAX &&
+        (offset > page_size || page_size - offset < length)) {
+      return false;
+    }
+    at += length;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool try_apply_diff(std::span<std::byte> page, std::span<const std::byte> diff) {
+  if (!diff_bounds_ok(diff, page.size())) return false;
+  apply_diff(page, diff);  // fully validated: the aborting walk cannot fire
+  return true;
+}
+
+std::optional<DiffStats> try_inspect_diff(std::span<const std::byte> diff) {
+  DiffStats stats;
+  std::size_t at = 0;
+  std::uint64_t last_end = 0;
+  while (at < diff.size()) {
+    if (diff.size() - at < kRecordHeader) return std::nullopt;
+    const std::uint32_t offset = read_u32(diff, at);
+    const std::uint32_t length = read_u32(diff, at + sizeof(std::uint32_t));
+    at += kRecordHeader;
+    if (diff.size() - at < length) return std::nullopt;
+    if (offset < last_end) return std::nullopt;
+    at += length;
+    last_end = static_cast<std::uint64_t>(offset) + length;
+    ++stats.runs;
+    stats.payload_bytes += length;
+    stats.wire_bytes += kRecordHeader + length;
+  }
+  return stats;
+}
+
+std::optional<std::vector<std::byte>> try_xor_diff_to_value(
+    std::span<const std::byte> diff, std::span<const std::byte> base) {
+  if (!diff_bounds_ok(diff, base.size())) return std::nullopt;
+  return xor_diff_to_value(diff, base);
+}
+
+std::optional<std::vector<std::byte>> try_zrle_decode(
+    std::span<const std::byte> data, std::size_t max_out) {
+  std::vector<std::byte> out;
+  std::size_t at = 0;
+  while (at < data.size()) {
+    if (data.size() - at < 2 * sizeof(std::uint16_t)) return std::nullopt;
+    const std::uint16_t zeros = read_u16(data, at);
+    const std::uint16_t lits = read_u16(data, at + sizeof(std::uint16_t));
+    at += 2 * sizeof(std::uint16_t);
+    if (data.size() - at < lits) return std::nullopt;
+    if (max_out - out.size() < static_cast<std::size_t>(zeros) + lits) {
+      return std::nullopt;  // claimed expansion exceeds the caller's cap
+    }
+    out.resize(out.size() + zeros, std::byte{0});
+    out.insert(out.end(), data.begin() + static_cast<std::ptrdiff_t>(at),
+               data.begin() + static_cast<std::ptrdiff_t>(at + lits));
+    at += lits;
+  }
+  return out;
+}
+
 }  // namespace dsm

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -66,5 +67,30 @@ std::vector<std::byte> xor_diff_to_value(std::span<const std::byte> diff,
 /// ~4 bytes per 64 KiB of literals. decode(encode(x)) == x for any x.
 std::vector<std::byte> zrle_encode(std::span<const std::byte> data);
 std::vector<std::byte> zrle_decode(std::span<const std::byte> data);
+
+// --- total variants for untrusted input -------------------------------------
+// The aborting parsers above treat malformed input as a protocol bug. Wire
+// input is not trusted: these variants walk the same formats but report
+// failure (false / nullopt) instead of aborting, never read or write out of
+// bounds, and leave outputs untouched on failure.
+
+/// Validates the whole diff against `page.size()` first, then applies it —
+/// a malformed diff modifies nothing.
+[[nodiscard]] bool try_apply_diff(std::span<std::byte> page,
+                                  std::span<const std::byte> diff);
+
+/// inspect_diff without the aborts (also checks run monotonicity).
+std::optional<DiffStats> try_inspect_diff(std::span<const std::byte> diff);
+
+/// xor_diff_to_value without the aborts.
+std::optional<std::vector<std::byte>> try_xor_diff_to_value(
+    std::span<const std::byte> diff, std::span<const std::byte> base);
+
+/// zrle_decode with an output cap: a 4-byte record can claim 64 KiB of
+/// zeros, so an attacker-sized input must not dictate the allocation.
+/// Returns nullopt on truncated records or when the output would exceed
+/// `max_out` bytes.
+std::optional<std::vector<std::byte>> try_zrle_decode(
+    std::span<const std::byte> data, std::size_t max_out);
 
 }  // namespace dsm

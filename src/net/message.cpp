@@ -1,5 +1,7 @@
 #include "net/message.hpp"
 
+#include <cstring>
+
 #include "common/assert.hpp"
 #include "common/serialize.hpp"
 
@@ -29,6 +31,8 @@ std::string_view to_string(MsgType type) {
     case MsgType::kBarrierRelease: return "BarrierRelease";
     case MsgType::kShutdown: return "Shutdown";
     case MsgType::kWakeup: return "Wakeup";
+    case MsgType::kExitReady: return "ExitReady";
+    case MsgType::kExitGo: return "ExitGo";
     case MsgType::kAck: return "Ack";
     case MsgType::kBatch: return "Batch";
     case MsgType::kCount_: break;
@@ -60,8 +64,58 @@ std::uint32_t batch_count(const Message& envelope) {
   return r.get<std::uint32_t>();
 }
 
-std::vector<Message> unpack_batch(const Message& envelope) {
-  DSM_CHECK(envelope.type == MsgType::kBatch);
+namespace {
+
+/// Types allowed inside a kBatch frame: protocol traffic only. Envelopes,
+/// acks, and runtime-control messages are never staged.
+bool batch_inner_type_ok(std::uint16_t raw) {
+  if (raw >= static_cast<std::uint16_t>(MsgType::kCount_)) return false;
+  switch (static_cast<MsgType>(raw)) {
+    case MsgType::kShutdown:
+    case MsgType::kWakeup:
+    case MsgType::kExitReady:
+    case MsgType::kExitGo:
+    case MsgType::kAck:
+    case MsgType::kBatch:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+bool batch_payload_well_formed(std::span<const std::byte> payload) {
+  // Manual bounds-checked walk: WireReader aborts on truncation, which is
+  // the wrong failure mode for wire input.
+  std::size_t pos = 0;
+  auto read_u16 = [&](std::uint16_t* v) {
+    if (payload.size() - pos < sizeof *v) return false;
+    std::memcpy(v, payload.data() + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  };
+  auto read_u32 = [&](std::uint32_t* v) {
+    if (payload.size() - pos < sizeof *v) return false;
+    std::memcpy(v, payload.data() + pos, sizeof *v);
+    pos += sizeof *v;
+    return true;
+  };
+  std::uint32_t count = 0;
+  if (!read_u32(&count) || count == 0) return false;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint16_t type = 0;
+    std::uint32_t len = 0;
+    if (!read_u16(&type) || !batch_inner_type_ok(type)) return false;
+    if (!read_u32(&len) || payload.size() - pos < len) return false;
+    pos += len;
+  }
+  return pos == payload.size();
+}
+
+std::optional<std::vector<Message>> try_unpack_batch(const Message& envelope) {
+  if (envelope.type != MsgType::kBatch) return std::nullopt;
+  if (!batch_payload_well_formed(envelope.payload)) return std::nullopt;
   WireReader r(envelope.payload);
   const auto count = r.get<std::uint32_t>();
   std::vector<Message> out;
@@ -79,8 +133,13 @@ std::vector<Message> unpack_batch(const Message& envelope) {
     m.payload.assign(bytes.begin(), bytes.end());
     out.push_back(std::move(m));
   }
-  DSM_CHECK_MSG(r.done(), "batch envelope has trailing bytes");
   return out;
+}
+
+std::vector<Message> unpack_batch(const Message& envelope) {
+  auto out = try_unpack_batch(envelope);
+  DSM_CHECK_MSG(out.has_value(), "malformed batch envelope");
+  return *std::move(out);
 }
 
 }  // namespace dsm

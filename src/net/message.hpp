@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -39,6 +41,8 @@ enum class MsgType : std::uint16_t {
   // --- runtime control ---
   kShutdown,        ///< runtime → service thread: drain and exit
   kWakeup,          ///< self-message used to replay parked work
+  kExitReady,       ///< rank → rank 0: local work drained (multi-process exit)
+  kExitGo,          ///< rank 0 → rank: all ranks drained, tear down
   // --- transport internal (never delivered to a protocol mailbox) ---
   kAck,             ///< standalone delayed ack (piggyback mode, quiet link)
   kBatch,           ///< coalescing envelope: several same-link messages in one datagram
@@ -82,7 +86,18 @@ std::uint32_t batch_count(const Message& envelope);
 
 /// Unpacks a kBatch envelope into delivery-ready messages: each inner message
 /// inherits src/dst/send_time/arrival_time from the envelope and gets seq
-/// `envelope.seq + i`.
+/// `envelope.seq + i`. Aborts on a malformed payload (trusted, in-process
+/// envelopes only — wire input goes through try_unpack_batch).
 std::vector<Message> unpack_batch(const Message& envelope);
+
+/// Total variant for untrusted (wire) envelopes: nullopt instead of aborting
+/// on any framing defect.
+std::optional<std::vector<Message>> try_unpack_batch(const Message& envelope);
+
+/// True when `payload` parses as a valid kBatch payload: count ≥ 1, every
+/// frame in bounds, no trailing bytes, and every inner type is one that may
+/// travel inside an envelope (protocol traffic only — no nested batches,
+/// acks, or runtime-control types).
+bool batch_payload_well_formed(std::span<const std::byte> payload);
 
 }  // namespace dsm

@@ -73,13 +73,14 @@ thread_local Network::BatchScope* Network::active_scope_ = nullptr;
 
 Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
                  ReliabilityConfig reliability, ChaosConfig chaos, WireConfig wire,
-                 Tracer* tracer)
+                 Tracer* tracer, TransportConfig transport)
     : link_(link),
       stats_(stats),
       tracer_(tracer),
       reliability_(reliability),
       chaos_(chaos),
       wire_(wire),
+      transport_cfg_(std::move(transport)),
       mailboxes_(n_nodes),
       send_seq_(n_nodes * n_nodes),
       links_(n_nodes * n_nodes),
@@ -97,13 +98,25 @@ Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
       batched_msgs_(stats->counter("net.batched_msgs")),
       acks_piggybacked_(stats->counter("net.acks_piggybacked")),
       acks_standalone_(stats->counter("net.acks_standalone")),
+      acks_wire_(stats->counter("net.acks_wire")),
       bytes_saved_(stats->counter("net.bytes_saved")) {
   DSM_CHECK(n_nodes > 0);
   DSM_CHECK(stats != nullptr);
+  transport_ = make_transport(transport_cfg_, n_nodes, this, stats);
+  transport_->start();
   daemon_ = std::thread([this] { daemon_loop(); });
 }
 
-Network::~Network() { stop_daemon(); }
+Network::~Network() {
+  // Receiver threads call back into arrive/deliver; join them before any
+  // fabric state (daemon, mailboxes) goes away.
+  transport_->stop();
+  stop_daemon();
+}
+
+void Network::receive(Message msg, std::uint32_t attempt) {
+  arrive(std::move(msg), attempt);
+}
 
 Network::BatchScope::BatchScope(Network* net) {
   // Inert when batching is off or another scope already owns this thread
@@ -279,29 +292,36 @@ void Network::wire_attempt(Message msg, std::uint32_t attempt) {
     dropped_.add();
     return;
   }
-  if (chaos_.should_drop(msg, attempt)) {
+  // Cumulative kAck datagrams are chaos-exempt: their chaos key is
+  // degenerate (every ack on a link has seq == kNoSeq), so a seeded drop
+  // decision would kill *all* acks on that link forever — a modeling
+  // artifact, not a fault. Ack loss is modeled receiver-side instead
+  // (should_drop_ack), which keys on the data message being acked.
+  const bool chaos_eligible = msg.type != MsgType::kAck;
+  if (chaos_eligible && chaos_.should_drop(msg, attempt)) {
     dropped_.add();
     return;
   }
-  const std::uint32_t delay_us = chaos_.delay_us(msg, attempt);
+  const std::uint32_t delay_us = chaos_eligible ? chaos_.delay_us(msg, attempt) : 0;
 
   msg.arrival_time =
       msg.send_time + link_.cost(msg.src, msg.dst, msg.wire_size()) +
       static_cast<VirtualTime>(attempt) * reliability_.rto_virtual_ns +
       static_cast<VirtualTime>(delay_us) * 1000;
 
-  if (chaos_.should_duplicate(msg, attempt)) {
+  if (chaos_eligible && chaos_.should_duplicate(msg, attempt)) {
     // The clone takes the direct path, so a delayed original is overtaken —
     // the reorder buffer and dedup both get exercised.
-    arrive(msg, attempt);
+    transport_->ship(msg, attempt);
   }
   if (delay_us > 0) {
     delayed_count_.add();
     defer(std::move(msg), attempt,
-          std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us));
+          std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us),
+          /*pre_wire=*/true);
     return;
   }
-  arrive(std::move(msg), attempt);
+  transport_->ship(std::move(msg), attempt);
 }
 
 void Network::arrive(Message msg, std::uint32_t attempt) {
@@ -309,7 +329,7 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
     const std::lock_guard<std::mutex> lock(flight_mutex_);
     const SteadyTime paused = pause_until_[msg.dst];
     if (paused > std::chrono::steady_clock::now()) {
-      delayed_.push_back(Delayed{paused, std::move(msg), attempt});
+      delayed_.push_back(Delayed{paused, std::move(msg), attempt, /*pre_wire=*/false});
       std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
       flight_cv_.notify_one();
       return;
@@ -335,11 +355,13 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
   // Transport-level ack: completing the sender's in-flight entry. A lost
   // ack leaves the entry live — the daemon retransmits, we dedup below.
   // In piggyback mode the ack is recorded per link instead and rides the
-  // next reverse-direction send (or a delayed standalone kAck).
+  // next reverse-direction send (or a delayed standalone kAck). On a
+  // wire-ack transport (UDP) the sender's flight table may be in another
+  // process — the ack must travel as a kAck datagram (below) either way.
   const bool ack_lost = chaos_.should_drop_ack(msg, attempt);
   if (ack_lost) {
     acks_dropped_.add();
-  } else if (!wire_.piggyback_acks) {
+  } else if (!wire_.piggyback_acks && !transport_->wire_acks()) {
     complete_inflight(msg);
   }
 
@@ -370,7 +392,28 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
     }
     ack_basis = st.expected;
   }
-  if (wire_.piggyback_acks && !ack_lost) note_pending_ack(link, ack_basis);
+  if (ack_lost) return;
+  if (wire_.piggyback_acks) {
+    note_pending_ack(link, ack_basis);
+  } else if (transport_->wire_acks()) {
+    // One cumulative ack per accepted datagram; duplicates re-ack, so a
+    // lost ack is recovered by the very next retransmit round-trip.
+    send_wire_ack(link, ack_basis);
+  }
+}
+
+void Network::send_wire_ack(std::size_t link, std::uint64_t upto) {
+  if (upto == 0) return;  // 0 is the header's "no ack" sentinel
+  const std::size_t n = mailboxes_.size();
+  Message ack;
+  ack.type = MsgType::kAck;
+  ack.src = static_cast<NodeId>(link % n);  // data receiver
+  ack.dst = static_cast<NodeId>(link / n);  // data sender
+  ack.seq = Message::kNoSeq;
+  ack.ack_upto = upto;
+  acks_wire_.add();
+  datagrams_.add();
+  wire_attempt(std::move(ack), 0);
 }
 
 void Network::accept_front(LinkState& st, Message msg) {
@@ -390,8 +433,12 @@ void Network::accept_front(LinkState& st, Message msg) {
 }
 
 void Network::deliver(Message msg) {
-  messages_sent_.add();
-  if (msg.type == MsgType::kShutdown || msg.type == MsgType::kWakeup) {
+  // kShutdown is excluded from the quiescence count: the service loop keeps
+  // draining after it (multi-process arrivals can trail the local stop), so
+  // counting it would skew messages_sent vs processed across runs.
+  if (msg.type != MsgType::kShutdown) messages_sent_.add();
+  if (msg.type == MsgType::kShutdown || msg.type == MsgType::kWakeup ||
+      msg.type == MsgType::kExitReady || msg.type == MsgType::kExitGo) {
     // Runtime control, not protocol traffic: deliver but do not account.
     mailboxes_[msg.dst].push(std::move(msg));
     return;
@@ -451,10 +498,10 @@ void Network::note_pending_ack(std::size_t link, std::uint64_t upto) {
   if (armed) flight_cv_.notify_one();
 }
 
-void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due) {
+void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due, bool pre_wire) {
   {
     const std::lock_guard<std::mutex> lock(flight_mutex_);
-    delayed_.push_back(Delayed{due, std::move(msg), attempt});
+    delayed_.push_back(Delayed{due, std::move(msg), attempt, pre_wire});
     std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
   }
   flight_cv_.notify_one();
@@ -530,7 +577,16 @@ void Network::daemon_loop() {
 
     const std::size_t n = mailboxes_.size();
     lock.unlock();
-    for (auto& d : due_now) arrive(std::move(d.msg), d.attempt);
+    for (auto& d : due_now) {
+      // A chaos delay held the attempt before the transport; it crosses the
+      // wire now. A pause held an arrived message; it re-enters the
+      // receiver side directly.
+      if (d.pre_wire) {
+        transport_->ship(std::move(d.msg), d.attempt);
+      } else {
+        arrive(std::move(d.msg), d.attempt);
+      }
+    }
     for (const auto& [link, upto] : acks_due) {
       // `link` indexes the data direction src→dst; the ack travels dst→src.
       Message ack;
@@ -595,6 +651,7 @@ void Network::debug_dump(std::ostream& os) const {
   // it dumps. Waiting here turns a diagnostic into an ABBA deadlock (the
   // RacyLitmus death test hung exactly this way), so a busy section is
   // skipped, never waited for.
+  transport_->debug_dump(os);
   {
     std::unique_lock<std::mutex> lock(flight_mutex_, std::try_to_lock);
     if (!lock.owns_lock()) {
@@ -633,6 +690,7 @@ void Network::debug_dump(std::ostream& os) const {
 }
 
 void Network::shutdown() {
+  transport_->stop();
   stop_daemon();
   {
     const std::lock_guard<std::mutex> lock(flight_mutex_);

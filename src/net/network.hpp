@@ -33,6 +33,7 @@
 #include "common/types.hpp"
 #include "net/chaos.hpp"
 #include "net/message.hpp"
+#include "net/transport.hpp"
 
 namespace dsm {
 
@@ -148,7 +149,8 @@ class Network {
  public:
   Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
           ReliabilityConfig reliability = {}, ChaosConfig chaos = {},
-          WireConfig wire = {}, Tracer* tracer = nullptr);
+          WireConfig wire = {}, Tracer* tracer = nullptr,
+          TransportConfig transport = {});
   ~Network();
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -157,6 +159,14 @@ class Network {
   const LinkModel& link() const { return link_; }
   const ReliabilityConfig& reliability() const { return reliability_; }
   const WireConfig& wire() const { return wire_; }
+  const Transport& transport() const { return *transport_; }
+  const TransportConfig& transport_config() const { return transport_cfg_; }
+
+  /// Receiver-side entry point for transport backends: a wire attempt has
+  /// crossed the fabric and enters ack/dedup/reorder/delivery. Called by
+  /// InprocTransport synchronously from the sender and by UdpTransport from
+  /// its receiver threads.
+  void receive(Message msg, std::uint32_t attempt);
 
   /// RAII batching window. While the calling thread holds an active scope,
   /// reliable-eligible sends on this network are staged instead of
@@ -268,11 +278,15 @@ class Network {
   /// Key: (src*n_nodes + dst, seq).
   using FlightKey = std::pair<std::size_t, std::uint64_t>;
 
-  /// A chaos-delayed or pause-held delivery.
+  /// A chaos-delayed or pause-held delivery. `pre_wire` distinguishes the
+  /// two: a chaos delay holds the attempt *before* it crosses the transport
+  /// (re-shipped when due), a pause holds an already-arrived message on the
+  /// receiver side (re-enters arrive when due).
   struct Delayed {
     SteadyTime due;
     Message msg;
     std::uint32_t attempt = 0;
+    bool pre_wire = false;
   };
 
   /// A cumulative ack waiting to piggyback on reverse traffic; if nothing
@@ -321,8 +335,12 @@ class Network {
   /// Records/extends the pending cumulative ack for `link` (piggyback
   /// mode), arming the delayed-ack timer on first record.
   void note_pending_ack(std::size_t link, std::uint64_t upto);
+  /// Emits a cumulative kAck datagram for `link` (data direction src→dst;
+  /// the ack travels dst→src). Wire-ack transports only; upto == 0 (nothing
+  /// delivered yet — 0 is the header's "no ack" sentinel) is skipped.
+  void send_wire_ack(std::size_t link, std::uint64_t upto);
   /// Queues a delivery for the daemon at `due`.
-  void defer(Message msg, std::uint32_t attempt, SteadyTime due);
+  void defer(Message msg, std::uint32_t attempt, SteadyTime due, bool pre_wire);
 
   void daemon_loop();
   void stop_daemon();
@@ -335,6 +353,7 @@ class Network {
   ReliabilityConfig reliability_;
   ChaosEngine chaos_;
   WireConfig wire_;
+  TransportConfig transport_cfg_;
   std::vector<Mailbox> mailboxes_;
   std::function<bool(const Message&)> drop_hook_;
   std::function<void(const Message&)> delivery_hook_;
@@ -360,6 +379,12 @@ class Network {
   bool stopping_ = false;
   std::thread daemon_;
 
+  /// The backend moving wire attempts. Constructed (and started) last in the
+  /// ctor, stopped first in shutdown()/~Network: its receiver threads call
+  /// back into a fully-built Network and must be joined before mailboxes
+  /// close or fabric state is torn down.
+  std::unique_ptr<Transport> transport_;
+
   // Cached hot counters (StatsRegistry lookup is a lock + map walk).
   Counter messages_sent_;
   Counter& dropped_;
@@ -375,6 +400,7 @@ class Network {
   Counter& batched_msgs_;
   Counter& acks_piggybacked_;
   Counter& acks_standalone_;
+  Counter& acks_wire_;
   Counter& bytes_saved_;
 };
 

@@ -1,0 +1,456 @@
+// Wire-format fuzzing. Two layers:
+//
+//   1. Socket fuzz: >1000 mutated datagrams — systematic header truncations,
+//      random truncations, bit flips, duplicates, raw garbage — thrown at a
+//      live UDP fabric's sockets. Every one must be accounted for in
+//      net.malformed_dropped / net.stale_dropped (never delivered, never a
+//      crash), and the fabric must still deliver real traffic afterwards.
+//   2. Parser properties: the total (`try_`) variants of the batch, diff,
+//      and zrle parsers reject every truncation and structural defect
+//      without aborting, and agree with the trusted parsers on valid input.
+//
+// The CI asan-ubsan matrix job runs this file under sanitizers, which is
+// what gives "never crash" teeth. TUTORDSM_FUZZ_SEED reseeds the random
+// corpus (the CI seed sweep runs several).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <set>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "mem/diff.hpp"
+#include "net/network.hpp"
+#include "net/transport.hpp"
+
+namespace dsm {
+namespace {
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("TUTORDSM_FUZZ_SEED"); env != nullptr) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1992;
+}
+
+Message make_msg(MsgType type, NodeId src, NodeId dst, std::size_t payload_bytes = 0) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  m.seq = 3;
+  m.payload.resize(payload_bytes);
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    m.payload[i] = static_cast<std::byte>(i * 131 + 7);
+  }
+  return m;
+}
+
+// --- socket fuzz ------------------------------------------------------------
+
+void inject_raw(const std::string& endpoint, std::span<const std::byte> bytes) {
+  const std::size_t colon = endpoint.rfind(':');
+  ASSERT_NE(colon, std::string::npos);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(
+      std::stoul(endpoint.substr(colon + 1))));
+  ASSERT_EQ(::inet_pton(AF_INET, endpoint.substr(0, colon).c_str(), &addr.sin_addr), 1);
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  const ssize_t sent = ::sendto(fd, bytes.data(), bytes.size(), 0,
+                                reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  ::close(fd);
+  ASSERT_EQ(sent, static_cast<ssize_t>(bytes.size()));
+}
+
+std::uint32_t transport_epoch(const Network& net) {
+  std::ostringstream os;
+  net.transport().debug_dump(os);
+  const std::string dump = os.str();
+  const std::size_t at = dump.find("epoch=");
+  EXPECT_NE(at, std::string::npos) << dump;
+  return static_cast<std::uint32_t>(std::stoul(dump.substr(at + 6)));
+}
+
+TEST(WireFuzz, SocketCorpusIsFullyAccountedFor) {
+  TransportConfig udp;
+  udp.kind = TransportKind::kUdp;
+  StatsRegistry stats;
+  Network net(4, LinkModel{.latency_ns = 1000, .ns_per_byte = 10}, &stats, {}, {},
+              {}, nullptr, udp);
+  const auto eps = net.transport().endpoints();
+  ASSERT_EQ(eps.size(), 4u);
+
+  const std::uint64_t seed = fuzz_seed();
+  std::mt19937_64 rng(seed);
+  std::printf("wire fuzz seed: %llu\n", static_cast<unsigned long long>(seed));
+
+  // Base corpus: representative frames from a *foreign* epoch, so even an
+  // intact frame is dropped (stale) instead of entering the fabric — every
+  // injected datagram must land in exactly one of the two drop counters.
+  const std::uint32_t stale_epoch = transport_epoch(net) + 1000;
+  std::vector<std::vector<std::byte>> bases;
+  bases.push_back(encode_datagram(make_msg(MsgType::kUpdate, 0, 1, 100), 0, stale_epoch));
+  bases.push_back(encode_datagram(make_msg(MsgType::kPageReply, 2, 3, 1024), 1, stale_epoch));
+  bases.push_back(encode_datagram(make_msg(MsgType::kAck, 1, 0), 0, stale_epoch));
+  bases.push_back(encode_datagram(make_msg(MsgType::kBarrierArrive, 3, 0, 24), 0, stale_epoch));
+  {
+    std::vector<Message> inner;
+    inner.push_back(make_msg(MsgType::kUpdate, 0, 2, 48));
+    inner.push_back(make_msg(MsgType::kInvalidate, 0, 2));
+    inner.push_back(make_msg(MsgType::kDiffReply, 0, 2, 200));
+    Message env = make_msg(MsgType::kBatch, 0, 2);
+    env.payload = pack_batch(inner);
+    bases.push_back(encode_datagram(env, 0, stale_epoch));
+  }
+
+  std::uint64_t injected = 0;
+  const auto accounted = [&] {
+    const auto snap = stats.snapshot();
+    return snap.counter("net.malformed_dropped") + snap.counter("net.stale_dropped");
+  };
+  // Inject in bounded chunks and wait for the receivers to catch up, so the
+  // corpus can be far larger than one socket buffer without kernel drops
+  // breaking the exact accounting.
+  const auto settle = [&] {
+    const auto until = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (accounted() < injected && std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(accounted(), injected) << "datagrams lost below the counters";
+  };
+  const auto pick_endpoint = [&]() -> const std::string& {
+    return eps[rng() % eps.size()];
+  };
+
+  // Systematic truncations at every header length (and the empty datagram).
+  for (std::size_t len = 0; len <= kWireHeaderSize; ++len) {
+    inject_raw(pick_endpoint(), {bases[0].data(), len});
+    ++injected;
+  }
+  settle();
+
+  std::uniform_int_distribution<int> kind_dist(0, 4);
+  for (int i = 0; i < 1200; ++i) {
+    std::vector<std::byte> frame = bases[rng() % bases.size()];
+    switch (kind_dist(rng)) {
+      case 0: {  // random truncation
+        frame.resize(rng() % frame.size());
+        break;
+      }
+      case 1: {  // 1..8 bit flips anywhere
+        const int flips = 1 + static_cast<int>(rng() % 8);
+        for (int f = 0; f < flips; ++f) {
+          const std::size_t bit = rng() % (frame.size() * 8);
+          frame[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+        }
+        break;
+      }
+      case 2: {  // payload-only corruption (header checksum must catch it)
+        if (frame.size() > kWireHeaderSize) {
+          const std::size_t at =
+              kWireHeaderSize + rng() % (frame.size() - kWireHeaderSize);
+          frame[at] ^= std::byte{0xFF};
+        }
+        break;
+      }
+      case 3: {  // raw garbage, arbitrary length
+        frame.resize(rng() % 300);
+        for (auto& b : frame) b = static_cast<std::byte>(rng());
+        break;
+      }
+      default:  // verbatim duplicate (stale epoch)
+        break;
+    }
+    if (frame.empty()) frame.resize(1, std::byte{0});
+    inject_raw(pick_endpoint(), frame);
+    ++injected;
+    if (injected % 64 == 0) settle();
+  }
+  settle();
+  ASSERT_GE(injected, 1000u);
+
+  // Nothing from the corpus was ever delivered…
+  EXPECT_EQ(net.messages_sent(), 0u);
+  // …and the fabric still carries real traffic.
+  net.send(make_msg(MsgType::kReadRequest, 0, 3, 16));
+  const auto msg = net.recv(3);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MsgType::kReadRequest);
+}
+
+// --- batch payload properties -----------------------------------------------
+
+void append_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+  out.push_back(static_cast<std::byte>(v >> 8));
+}
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+Message batch_envelope(std::vector<std::byte> payload) {
+  Message env = make_msg(MsgType::kBatch, 0, 1);
+  env.seq = 10;
+  env.payload = std::move(payload);
+  return env;
+}
+
+TEST(BatchPayload, ValidEnvelopeRoundTrips) {
+  std::vector<Message> inner;
+  inner.push_back(make_msg(MsgType::kUpdate, 0, 1, 32));
+  inner.push_back(make_msg(MsgType::kLockGrant, 0, 1, 8));
+  inner.push_back(make_msg(MsgType::kConfirm, 0, 1));
+  const Message env = batch_envelope(pack_batch(inner));
+  EXPECT_TRUE(batch_payload_well_formed(env.payload));
+  const auto out = try_unpack_batch(env);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].type, MsgType::kUpdate);
+  EXPECT_EQ((*out)[2].type, MsgType::kConfirm);
+  EXPECT_EQ((*out)[1].seq, env.seq + 1);
+  EXPECT_EQ((*out)[1].payload, inner[1].payload);
+}
+
+TEST(BatchPayload, EveryTruncationIsRejected) {
+  std::vector<Message> inner;
+  inner.push_back(make_msg(MsgType::kUpdate, 0, 1, 16));
+  inner.push_back(make_msg(MsgType::kInvalidate, 0, 1));
+  const std::vector<std::byte> valid = pack_batch(inner);
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    const std::span<const std::byte> prefix{valid.data(), len};
+    EXPECT_FALSE(batch_payload_well_formed(prefix)) << "length " << len;
+    EXPECT_FALSE(try_unpack_batch(batch_envelope({prefix.begin(), prefix.end()})))
+        << "length " << len;
+  }
+}
+
+TEST(BatchPayload, RejectsZeroCountAndTrailingBytes) {
+  std::vector<std::byte> zero;
+  append_u32(zero, 0);
+  EXPECT_FALSE(batch_payload_well_formed(zero));
+
+  auto trailing = pack_batch({make_msg(MsgType::kUpdate, 0, 1, 4)});
+  trailing.push_back(std::byte{0});
+  EXPECT_FALSE(batch_payload_well_formed(trailing));
+}
+
+TEST(BatchPayload, RejectsInnerTypesThatCannotBeBatched) {
+  // Nested batches, acks, and runtime-control types never travel inside an
+  // envelope; a frame claiming one is structural corruption.
+  for (const MsgType t : {MsgType::kBatch, MsgType::kAck, MsgType::kShutdown,
+                          MsgType::kWakeup, MsgType::kExitReady, MsgType::kCount_}) {
+    std::vector<std::byte> payload;
+    append_u32(payload, 1);
+    append_u16(payload, static_cast<std::uint16_t>(t));
+    append_u32(payload, 0);
+    EXPECT_FALSE(batch_payload_well_formed(payload)) << to_string(t);
+  }
+}
+
+TEST(BatchPayload, RejectsOversizedFrameLength) {
+  std::vector<std::byte> payload;
+  append_u32(payload, 1);
+  append_u16(payload, static_cast<std::uint16_t>(MsgType::kUpdate));
+  append_u32(payload, 0xFFFFFFFF);  // frame claims 4 GiB
+  EXPECT_FALSE(batch_payload_well_formed(payload));
+}
+
+// --- diff parser properties -------------------------------------------------
+
+std::vector<std::byte> make_page(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::byte> page(n);
+  for (auto& b : page) b = static_cast<std::byte>(rng());
+  return page;
+}
+
+TEST(DiffParsers, TryApplyMatchesTrustedApplyOnValidInput) {
+  std::vector<std::byte> twin = make_page(512, 1);
+  std::vector<std::byte> page = twin;
+  page[0] = std::byte{0xAA};
+  page[100] = std::byte{0xBB};
+  page[511] = std::byte{0xCC};
+  const auto diff = encode_diff(page, twin);
+
+  std::vector<std::byte> via_trusted = twin;
+  apply_diff(via_trusted, diff);
+  std::vector<std::byte> via_total = twin;
+  ASSERT_TRUE(try_apply_diff(via_total, diff));
+  EXPECT_EQ(via_total, via_trusted);
+  EXPECT_EQ(via_total, page);
+}
+
+/// Offsets at which a prefix of `diff` is itself a whole-record diff — a
+/// truncation *between* records is structurally valid, just shorter.
+std::set<std::size_t> diff_record_boundaries(std::span<const std::byte> diff) {
+  std::set<std::size_t> bounds;
+  std::size_t at = 0;
+  while (at < diff.size()) {
+    std::uint32_t length = 0;
+    std::memcpy(&length, diff.data() + at + 4, sizeof length);
+    at += 8 + length;
+    bounds.insert(at);
+  }
+  return bounds;
+}
+
+TEST(DiffParsers, TruncatedDiffModifiesNothing) {
+  std::vector<std::byte> twin = make_page(256, 2);
+  std::vector<std::byte> page = twin;
+  page[8] = std::byte{1};
+  page[128] = std::byte{2};
+  const auto diff = encode_diff(page, twin);
+  const auto bounds = diff_record_boundaries(diff);
+  ASSERT_GE(bounds.size(), 2u);  // two separate runs: mid-diff boundary exists
+  for (std::size_t len = 1; len < diff.size(); ++len) {
+    std::vector<std::byte> victim = twin;
+    if (bounds.count(len) != 0) {
+      // A whole-record prefix is a valid (shorter) diff and applies cleanly.
+      EXPECT_TRUE(try_apply_diff(victim, {diff.data(), len})) << "length " << len;
+      continue;
+    }
+    EXPECT_FALSE(try_apply_diff(victim, {diff.data(), len})) << "length " << len;
+    EXPECT_EQ(victim, twin) << "partial application at length " << len;
+  }
+}
+
+TEST(DiffParsers, RunBeyondPageIsRejected) {
+  std::vector<std::byte> diff;
+  append_u32(diff, 250);  // offset
+  append_u32(diff, 16);   // length: runs past a 256-byte page
+  diff.resize(diff.size() + 16, std::byte{0x5A});
+  std::vector<std::byte> page(256, std::byte{0});
+  EXPECT_FALSE(try_apply_diff(page, diff));
+  EXPECT_FALSE(try_xor_diff_to_value(diff, page).has_value());
+  // inspect has no page bound, but the same record parses structurally.
+  EXPECT_TRUE(try_inspect_diff(diff).has_value());
+}
+
+TEST(DiffParsers, InspectAgreesWithTrustedAndRejectsDisorder) {
+  std::vector<std::byte> twin = make_page(512, 3);
+  std::vector<std::byte> page = twin;
+  page[16] = std::byte{9};
+  page[400] = std::byte{9};
+  const auto diff = encode_diff(page, twin);
+  const DiffStats trusted = inspect_diff(diff);
+  const auto total = try_inspect_diff(diff);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->runs, trusted.runs);
+  EXPECT_EQ(total->payload_bytes, trusted.payload_bytes);
+  EXPECT_EQ(total->wire_bytes, trusted.wire_bytes);
+
+  std::vector<std::byte> disordered;
+  append_u32(disordered, 100);
+  append_u32(disordered, 4);
+  disordered.resize(disordered.size() + 4, std::byte{1});
+  append_u32(disordered, 50);  // runs must be strictly increasing
+  append_u32(disordered, 4);
+  disordered.resize(disordered.size() + 4, std::byte{2});
+  EXPECT_FALSE(try_inspect_diff(disordered).has_value());
+}
+
+TEST(DiffParsers, TryXorMatchesTrustedOnValidInput) {
+  std::vector<std::byte> twin = make_page(512, 4);
+  std::vector<std::byte> page = twin;
+  page[32] = std::byte{0x11};
+  page[300] = std::byte{0x22};
+  const auto xdiff = encode_diff_xor(page, twin);
+  const auto trusted = xor_diff_to_value(xdiff, twin);
+  const auto total = try_xor_diff_to_value(xdiff, twin);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(*total, trusted);
+  const auto bounds = diff_record_boundaries(xdiff);
+  for (std::size_t len = 1; len < xdiff.size(); ++len) {
+    EXPECT_EQ(try_xor_diff_to_value({xdiff.data(), len}, twin).has_value(),
+              bounds.count(len) != 0)
+        << "length " << len;
+  }
+}
+
+// --- zrle parser properties -------------------------------------------------
+
+TEST(ZrleParser, RoundTripsUnderExactCap) {
+  std::vector<std::byte> data = make_page(4096, 5);
+  for (std::size_t i = 100; i < 3000; ++i) data[i] = std::byte{0};  // long zero run
+  const auto packed = zrle_encode(data);
+  const auto out = try_zrle_decode(packed, data.size());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, data);
+  EXPECT_EQ(*out, zrle_decode(packed));
+}
+
+TEST(ZrleParser, OutputCapDefeatsZipBombs) {
+  // 400 bytes claiming 100 × 64 KiB of zeros: the cap must reject before
+  // any multi-megabyte allocation happens.
+  std::vector<std::byte> bomb;
+  for (int i = 0; i < 100; ++i) {
+    append_u16(bomb, 0xFFFF);  // zeros
+    append_u16(bomb, 0);       // literals
+  }
+  EXPECT_FALSE(try_zrle_decode(bomb, 64 * 1024).has_value());
+  // The same input is fine under a cap that accommodates it.
+  const auto out = try_zrle_decode(bomb, 100 * 0xFFFF);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 100u * 0xFFFF);
+}
+
+TEST(ZrleParser, EveryMidRecordTruncationIsRejected) {
+  std::vector<std::byte> data(100, std::byte{7});
+  data.resize(200, std::byte{0});
+  const auto packed = zrle_encode(data);
+  // Whole-record prefixes decode (to shorter data); anything else rejects.
+  std::set<std::size_t> bounds;
+  for (std::size_t at = 0; at < packed.size();) {
+    std::uint16_t lits = 0;
+    std::memcpy(&lits, packed.data() + at + 2, sizeof lits);
+    at += 4 + lits;
+    bounds.insert(at);
+  }
+  for (std::size_t len = 1; len < packed.size(); ++len) {
+    EXPECT_EQ(try_zrle_decode({packed.data(), len}, data.size()).has_value(),
+              bounds.count(len) != 0)
+        << "length " << len;
+  }
+}
+
+// --- random-buffer totality -------------------------------------------------
+
+TEST(ParserTotality, RandomBuffersNeverCrashAnyTotalParser) {
+  // Pure totality sweep: random bytes through every `try_` parser and the
+  // datagram decoder. The assertions are weak on purpose — the sanitizer
+  // jobs turn "walked off the buffer" into a failure here.
+  std::mt19937_64 rng(fuzz_seed() ^ 0x5EED);
+  std::vector<std::byte> page(256, std::byte{0});
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::byte> buf(rng() % 300);
+    for (auto& b : buf) b = static_cast<std::byte>(rng());
+
+    (void)decode_datagram(buf, 4);
+    (void)batch_payload_well_formed(buf);
+    (void)try_inspect_diff(buf);
+    (void)try_zrle_decode(buf, 1 << 20);
+    const std::vector<std::byte> before = page;
+    if (!try_apply_diff(page, buf)) {
+      EXPECT_EQ(page, before) << "rejected diff mutated the page";
+    }
+    (void)try_xor_diff_to_value(buf, page);
+
+    Message env = make_msg(MsgType::kBatch, 0, 1);
+    env.payload = buf;
+    (void)try_unpack_batch(env);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "apps/kernels.hpp"
@@ -15,6 +16,15 @@
 
 namespace dsm {
 namespace {
+
+/// TUTORDSM_CHAOS_SEED reseeds every chaos schedule in this suite (CI's
+/// nightly-style seed sweep); unset, each test keeps its historical seed.
+std::uint64_t chaos_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("TUTORDSM_CHAOS_SEED"); env != nullptr) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
 
 std::string case_name(const ::testing::TestParamInfo<ProtocolKind>& pi) {
   std::string s = to_string(pi.param);
@@ -36,7 +46,7 @@ class ChaosProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
     cfg.reliability.rto_ms = 2;
     cfg.reliability.rto_max_ms = 32;
     cfg.chaos.enabled = true;
-    cfg.chaos.seed = 1992;
+    cfg.chaos.seed = chaos_seed(1992);
     cfg.chaos.drop_probability = 0.05;
     cfg.chaos.duplicate_probability = 0.02;
     cfg.chaos.delay_probability = 0.05;
@@ -140,7 +150,7 @@ TEST(ChaosStatsTest, HeavyLossActuallyExercisesRetransmits) {
   cfg.reliability.rto_ms = 2;
   cfg.reliability.rto_max_ms = 32;
   cfg.chaos.enabled = true;
-  cfg.chaos.seed = 7;
+  cfg.chaos.seed = chaos_seed(7);
   cfg.chaos.drop_probability = 0.25;
   cfg.watchdog_ms = 60'000;
   System sys(cfg);
@@ -164,7 +174,7 @@ TEST(ChaosTraceTest, RetransmitSpansAppearAndBalanceHoldsUnderLoss) {
   cfg.reliability.rto_ms = 2;
   cfg.reliability.rto_max_ms = 32;
   cfg.chaos.enabled = true;
-  cfg.chaos.seed = 1992;
+  cfg.chaos.seed = chaos_seed(1992);
   cfg.chaos.drop_probability = 0.05;
   cfg.watchdog_ms = 60'000;
   cfg.trace.enabled = true;

@@ -1,0 +1,300 @@
+// dsmrun — multi-process launcher for tutordsm programs.
+//
+//   dsmrun --nodes N [options] -- <program> [args...]
+//
+// Forks N copies of <program>, one per rank, and hands each its identity
+// through the environment (DSM_TRANSPORT=udp, DSM_NODES, DSM_NODE,
+// DSM_PEERS, and — in fd mode — DSM_SOCKET_FD). A program opts in with one
+// call: dsm::transport_from_env(cfg.transport, &cfg.n_nodes).
+//
+// Rendezvous modes:
+//   (default)          fd mode: dsmrun binds N ephemeral loopback UDP
+//                      sockets up front and passes rank r its socket as an
+//                      inherited fd. No port races, no config files, works
+//                      for parallel CI jobs.
+//   --base-port P      fd mode on fixed ports P..P+N-1 (reproducible
+//                      endpoints for debugging with tcpdump/ss).
+//   --peers a:p,b:p,…  no sockets are pre-bound; each rank binds its own
+//                      entry of the list. The only mode that spans hosts.
+//   --config FILE      like --peers, one host:port per line ('#' comments);
+//                      --nodes defaults to the line count.
+//
+// Exit: 0 when every rank exits 0. On the first failing rank the remaining
+// ranks get SIGTERM, then SIGKILL after a 5 s grace, and dsmrun exits with
+// the failing rank's code (128+signal for signal deaths). SIGINT/SIGTERM to
+// dsmrun are forwarded to all ranks.
+//
+// Deliberately standalone (no tutordsm link), like dsmcheck_offline: plain
+// POSIX, so it can launch any build of any tutordsm program.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::size_t nodes = 0;        // 0 = unset (default 4, or peer-list size)
+  int base_port = -1;           // -1 = ephemeral
+  std::vector<std::string> peers;  // explicit endpoints (self-bind mode)
+  bool verbose = false;
+  std::vector<char*> command;   // program + args
+};
+
+volatile sig_atomic_t g_forward_signal = 0;
+
+void on_signal(int sig) { g_forward_signal = sig; }
+
+[[noreturn]] void usage_error(const char* msg) {
+  if (msg != nullptr) std::fprintf(stderr, "dsmrun: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: dsmrun --nodes N [--base-port P | --peers LIST | "
+               "--config FILE] [--verbose] -- <program> [args...]\n");
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> read_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dsmrun: cannot open config '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::vector<std::string> peers;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    peers.push_back(line.substr(first, last - first + 1));
+  }
+  return peers;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    if (arg == "--nodes" || arg == "-n") {
+      opt.nodes = static_cast<std::size_t>(std::strtoul(value("--nodes").c_str(), nullptr, 10));
+    } else if (arg == "--base-port") {
+      opt.base_port = static_cast<int>(std::strtol(value("--base-port").c_str(), nullptr, 10));
+    } else if (arg == "--peers") {
+      opt.peers = split_csv(value("--peers"));
+    } else if (arg == "--config") {
+      opt.peers = read_config(value("--config"));
+    } else if (arg == "--verbose" || arg == "-v") {
+      opt.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage_error(nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error(("unknown option " + arg).c_str());
+    } else {
+      break;  // first non-option starts the command
+    }
+  }
+  for (; i < argc; ++i) opt.command.push_back(argv[i]);
+  if (opt.command.empty()) usage_error("no program given");
+  if (!opt.peers.empty()) {
+    if (opt.nodes == 0) opt.nodes = opt.peers.size();
+    if (opt.nodes != opt.peers.size()) usage_error("--nodes disagrees with the peer list");
+    if (opt.base_port >= 0) usage_error("--base-port and --peers are exclusive");
+  }
+  if (opt.nodes == 0) opt.nodes = 4;
+  if (opt.nodes > 512) usage_error("--nodes is implausibly large");
+  return opt;
+}
+
+/// Binds one loopback UDP socket (port 0 = ephemeral); returns the fd and
+/// writes the actual "127.0.0.1:port" endpoint.
+int bind_loopback(int port, std::string* endpoint) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    std::perror("dsmrun: socket");
+    std::exit(1);
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::fprintf(stderr, "dsmrun: bind 127.0.0.1:%d: %s\n", port, std::strerror(errno));
+    std::exit(1);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *endpoint = "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+  return fd;
+}
+
+std::string join_csv(const std::vector<std::string>& parts) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_args(argc, argv);
+
+  // fd mode unless the user supplied endpoints.
+  const bool fd_mode = opt.peers.empty();
+  std::vector<int> fds;
+  if (fd_mode) {
+    opt.peers.resize(opt.nodes);
+    fds.resize(opt.nodes, -1);
+    for (std::size_t r = 0; r < opt.nodes; ++r) {
+      const int port = opt.base_port >= 0 ? opt.base_port + static_cast<int>(r) : 0;
+      fds[r] = bind_loopback(port, &opt.peers[r]);
+    }
+  }
+  const std::string peers_csv = join_csv(opt.peers);
+
+  if (opt.verbose) {
+    std::fprintf(stderr, "dsmrun: %zu ranks of '%s', peers %s%s\n", opt.nodes,
+                 opt.command[0], peers_csv.c_str(), fd_mode ? " (fd mode)" : "");
+  }
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;  // no SA_RESTART: waitpid must wake on signals
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGALRM, &sa, nullptr);
+
+  std::vector<pid_t> pids(opt.nodes, -1);
+  for (std::size_t r = 0; r < opt.nodes; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("dsmrun: fork");
+      for (const pid_t p : pids) {
+        if (p > 0) ::kill(p, SIGKILL);
+      }
+      return 1;
+    }
+    if (pid == 0) {
+      // Child = rank r. Keep only our own socket; a sibling's inherited fd
+      // would hold its port open past that sibling's death.
+      if (fd_mode) {
+        for (std::size_t s = 0; s < opt.nodes; ++s) {
+          if (s != r) ::close(fds[s]);
+        }
+        ::setenv("DSM_SOCKET_FD", std::to_string(fds[r]).c_str(), 1);
+      }
+      ::setenv("DSM_TRANSPORT", "udp", 1);
+      ::setenv("DSM_NODES", std::to_string(opt.nodes).c_str(), 1);
+      ::setenv("DSM_NODE", std::to_string(r).c_str(), 1);
+      ::setenv("DSM_PEERS", peers_csv.c_str(), 1);
+      std::vector<char*> args(opt.command);
+      args.push_back(nullptr);
+      ::execvp(args[0], args.data());
+      std::fprintf(stderr, "dsmrun: exec %s: %s\n", args[0], std::strerror(errno));
+      std::_Exit(127);
+    }
+    pids[r] = pid;
+  }
+  // Parent keeps no sockets: the children own them now.
+  for (const int fd : fds) ::close(fd);
+
+  auto signal_all = [&](int sig) {
+    for (const pid_t p : pids) {
+      if (p > 0) ::kill(p, sig);
+    }
+  };
+
+  int first_failure = 0;
+  std::size_t live = opt.nodes;
+  bool terminating = false;
+  while (live > 0) {
+    if (const int sig = g_forward_signal; sig != 0) {
+      g_forward_signal = 0;
+      if (sig == SIGALRM) {
+        // Grace period expired with ranks still alive: no more mercy.
+        signal_all(SIGKILL);
+      } else {
+        signal_all(sig);
+        if (!terminating) {
+          terminating = true;
+          ::alarm(5);
+        }
+      }
+    }
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;  // a signal woke us; re-check above
+      break;
+    }
+    std::size_t rank = opt.nodes;
+    for (std::size_t r = 0; r < opt.nodes; ++r) {
+      if (pids[r] == pid) rank = r;
+    }
+    if (rank == opt.nodes) continue;  // not ours
+    pids[rank] = -1;
+    --live;
+
+    int code = 0;
+    if (WIFEXITED(status)) {
+      code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      code = 128 + WTERMSIG(status);
+    }
+    if (opt.verbose || code != 0) {
+      std::fprintf(stderr, "dsmrun: rank %zu (pid %d) exited %d\n", rank,
+                   static_cast<int>(pid), code);
+    }
+    if (code != 0 && first_failure == 0) {
+      first_failure = code;
+      if (live > 0 && !terminating) {
+        // One rank down means the fleet can only hang (its peers' requests
+        // would retransmit forever): terminate, grace, then kill.
+        std::fprintf(stderr, "dsmrun: terminating %zu remaining rank(s)\n", live);
+        signal_all(SIGTERM);
+        terminating = true;
+        ::alarm(5);  // SIGALRM interrupts a wedged waitpid above
+      }
+    }
+  }
+  ::alarm(0);
+  return first_failure;
+}
