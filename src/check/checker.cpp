@@ -24,6 +24,7 @@ DsmChecker::DsmChecker(Setup setup)
       swmr_(setup.swmr),
       ivy_dynamic_(setup.ivy_dynamic),
       home_copyset_(setup.home_copyset),
+      quorum_(setup.quorum),
       protocol_(setup.protocol),
       manager_of_(std::move(setup.manager_of)),
       home_of_(std::move(setup.home_of)),
@@ -37,7 +38,8 @@ DsmChecker::DsmChecker(Setup setup)
       vclock_violations_(setup.stats->counter("check.vclock")),
       token_violations_(setup.stats->counter("check.token")),
       order_violations_(setup.stats->counter("check.order")),
-      mirror_violations_(setup.stats->counter("check.mirror")) {
+      mirror_violations_(setup.stats->counter("check.mirror")),
+      quorum_violations_(setup.stats->counter("check.quorum")) {
   vc_.reserve(n_nodes_);
   for (std::size_t n = 0; n < n_nodes_; ++n) {
     VectorClock vc(n_nodes_);
@@ -55,6 +57,8 @@ DsmChecker::DsmChecker(Setup setup)
   page_version_.assign(n_nodes_ * n_pages_, 0);
   last_vc_.assign(n_nodes_, VectorClock{});
   next_seq_.assign(n_nodes_ * n_nodes_, 0);
+  quorum_floor_.assign(n_pages_, 0);
+  incarnation_.assign(n_nodes_, 0);
 }
 
 std::string DsmChecker::epoch(NodeId node, std::uint32_t clock) const {
@@ -208,20 +212,22 @@ void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
   std::lock_guard lk(mutex_);
   const std::uint64_t gen = depart_gen_[barrier * n_nodes_ + node]++;
   auto it = rounds_.find({barrier, gen});
-  if (it == rounds_.end() || it->second.arrivals < n_nodes_) {
-    // The home broadcasts the release only after all N arrivals, and every
-    // arrive hook runs before its node's arrive message is sent — so a
-    // depart without a fully-assembled round means a hook was missed.
+  // The home broadcasts the release only after every *live* worker arrived
+  // (all N when nothing died), and every arrive hook runs before its node's
+  // arrive message is sent — so a depart with fewer recorded arrivals means
+  // a hook was missed or a round completed without the live stragglers.
+  const std::size_t needed = n_nodes_ - worker_dead_.size();
+  if (it == rounds_.end() || it->second.arrivals < needed) {
     std::ostringstream os;
     os << "barrier order violation: node " << node << " departed barrier "
        << barrier << " round " << gen << " with only "
        << (it == rounds_.end() ? std::size_t{0} : it->second.arrivals) << "/"
-       << n_nodes_ << " recorded arrivals";
+       << needed << " recorded arrivals";
     report(order_violations_, os.str(), true);
   }
   if (it != rounds_.end()) {
     vc_[node].merge(it->second.acc);
-    if (++it->second.departures == n_nodes_) rounds_.erase(it);
+    if (++it->second.departures >= needed) rounds_.erase(it);
   }
   vc_[node].tick(node);
 }
@@ -286,10 +292,76 @@ void DsmChecker::on_vclock(NodeId node, const VectorClock& vc) {
   prev = vc;
 }
 
+void DsmChecker::on_quorum_ack(PageId page, std::uint64_t tag) {
+  if (!quorum_) return;
+  std::lock_guard lk(mutex_);
+  std::uint64_t& floor = quorum_floor_[page];
+  if (tag > floor) floor = tag;
+}
+
+void DsmChecker::on_quorum_serve(PageId page, std::uint64_t tag) {
+  if (!quorum_) return;
+  std::lock_guard lk(mutex_);
+  if (tag < quorum_floor_[page]) {
+    std::ostringstream os;
+    os << "quorum violation: page " << page << " served at tag " << tag
+       << " below acked floor " << quorum_floor_[page]
+       << " — an acknowledged write was lost across a failover";
+    report(quorum_violations_, os.str(), true);
+  }
+}
+
+void DsmChecker::on_token_regenerated(LockId lock, NodeId dead) {
+  std::lock_guard lk(mutex_);
+  if (!regenerated_.insert({lock, dead, incarnation_[dead]}).second) {
+    std::ostringstream os;
+    os << "lock token violation: token of lock " << lock
+       << " regenerated twice for dead holder node " << dead
+       << " (incarnation " << incarnation_[dead] << ") — two tokens minted";
+    report(token_violations_, os.str(), true);
+    return;
+  }
+  // The dead holder's occupancy is released by decree, not by a release
+  // hook: clear it so the next grant is not a phantom double-grant.
+  LockOccupancy& occ = occupancy_[lock];
+  if (occ.exclusive == dead) occ.exclusive = kNoNode;
+  occ.readers.erase(dead);
+}
+
+void DsmChecker::on_node_killed(NodeId node) {
+  std::lock_guard lk(mutex_);
+  dead_.insert(node);
+  worker_dead_.insert(node);
+}
+
+void DsmChecker::on_node_restarted(NodeId node) {
+  std::lock_guard lk(mutex_);
+  dead_.erase(node);
+  ++incarnation_[node];
+  // The restarted fabric comes back all-invalid; note_state hooks re-mirror
+  // from there. Page versions restart from the restored checkpoint (or from
+  // zero), so the monotonicity floor resets too — the bounded version
+  // rollback is the documented checkpoint loss, not a protocol bug.
+  for (PageId p = 0; p < n_pages_; ++p) {
+    states_[node * n_pages_ + p] = PageState::kInvalid;
+    page_version_[node * n_pages_ + p] = 0;
+  }
+  // Links touching the node adopt whatever seq arrives next: an in-process
+  // restart keeps the sender counters, a respawned process restarts at 0.
+  for (std::size_t m = 0; m < n_nodes_; ++m) {
+    next_seq_[node * n_nodes_ + m] = kSeqAny;
+    next_seq_[m * n_nodes_ + node] = kSeqAny;
+  }
+}
+
 void DsmChecker::on_deliver(const Message& msg) {
   if (msg.seq == Message::kNoSeq) return;
   std::lock_guard lk(mutex_);
   std::uint64_t& expected = next_seq_[msg.src * n_nodes_ + msg.dst];
+  if (expected == kSeqAny) {
+    expected = msg.seq + 1;
+    return;
+  }
   if (msg.seq != expected) {
     std::ostringstream os;
     os << "delivery order violation on link " << msg.src << "->" << msg.dst
@@ -307,6 +379,7 @@ void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
   if (envelope.seq == Message::kNoSeq) return;
   std::lock_guard lk(mutex_);
   const std::uint64_t expected = next_seq_[envelope.src * n_nodes_ + envelope.dst];
+  if (expected == kSeqAny) return;  // restarted link: adopt via on_deliver
   if (envelope.seq != expected || count == 0) {
     std::ostringstream os;
     os << "batch envelope violation on link " << envelope.src << "->" << envelope.dst
@@ -324,9 +397,17 @@ void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
 void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
   std::lock_guard lk(mutex_);
 
+  // A run that killed nodes ends with a deliberately ragged fleet: dead
+  // nodes' tables are frozen mid-flight and survivors may reference them.
+  // The per-run invariants (races, quorum floor, token uniqueness, delivery
+  // order) were all checked online; only the full-fleet structural passes
+  // below are relaxed.
+  const bool had_deaths = !worker_dead_.empty();
+
   // 1. The mirror must agree with every real page table — a mismatch means
   //    a protocol mutated `state` without the note_state hook.
   for (std::size_t n = 0; n < n_nodes_; ++n) {
+    if (dead_.count(static_cast<NodeId>(n)) != 0) continue;
     for (PageId p = 0; p < n_pages_; ++p) {
       const PageState actual = tables[n]->state_of(p);
       const PageState mirrored = states_[n * n_pages_ + p];
@@ -341,7 +422,7 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
   }
 
   // 2. IVY copyset soundness: every holder is known to the owner.
-  if (swmr_) {
+  if (swmr_ && !had_deaths) {
     for (PageId p = 0; p < n_pages_; ++p) {
       NodeId owner = kNoNode;
       if (ivy_dynamic_) {
@@ -387,7 +468,7 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
 
   // 3. ERC home copyset soundness: the home knows every non-home holder
   //    (keepers included — handle_invalidate re-adds kept copies).
-  if (home_copyset_) {
+  if (home_copyset_ && !had_deaths) {
     for (PageId p = 0; p < n_pages_; ++p) {
       const NodeId home = home_of_(p);
       const PageEntry& he = tables[home]->entry(p);

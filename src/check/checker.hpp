@@ -27,7 +27,9 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +64,7 @@ class DsmChecker {
     bool swmr = false;          ///< IVY family: strict single-writer
     bool ivy_dynamic = false;   ///< owner found via is_owner, not a manager
     bool home_copyset = false;  ///< ERC: home tracks all non-home holders
+    bool quorum = false;        ///< QRC: tagged quorum writes (acked-floor check)
     const char* protocol = "";
 
     /// Manager of a page (IVY central/fixed); unset for other protocols.
@@ -100,6 +103,24 @@ class DsmChecker {
   /// LRC/HLRC node vector clock after a mutation: must dominate its
   /// previous value (intervals only ever advance).
   void on_vclock(NodeId node, const VectorClock& vc);
+
+  // --- crash fault tolerance hooks (called from runtime/proto/sync) -------
+  /// A quorum write on `page` was acknowledged to its writer at `tag`:
+  /// raises the page's acked floor. Any later serve below the floor is an
+  /// acknowledged write lost to a crash — the central FT invariant.
+  void on_quorum_ack(PageId page, std::uint64_t tag);
+  /// A (possibly failed-over) primary served `page` at `tag`.
+  void on_quorum_serve(PageId page, std::uint64_t tag);
+  /// The lock home regenerated `lock`'s token after holder `dead` crashed.
+  /// Must happen at most once per (lock, dead node, incarnation): a second
+  /// regeneration would mint two tokens.
+  void on_token_regenerated(LockId lock, NodeId dead);
+  /// `node` was killed: its occupancy/mirror state is frozen; structural
+  /// end-of-run passes that assume a full fleet are relaxed.
+  void on_node_killed(NodeId node);
+  /// `node` restarted with a wiped memory fabric: reset its state mirror to
+  /// all-invalid and let every link touching it adopt the next seen seq.
+  void on_node_restarted(NodeId node);
 
   // --- fabric hook (called from Network::deliver) ------------------------
   /// Strict per-(src,dst) sequence contiguity for reliable traffic; the
@@ -161,6 +182,7 @@ class DsmChecker {
   const bool swmr_;
   const bool ivy_dynamic_;
   const bool home_copyset_;
+  const bool quorum_;
   const char* const protocol_;
   const std::function<NodeId(PageId)> manager_of_;
   const std::function<NodeId(PageId)> home_of_;
@@ -186,6 +208,17 @@ class DsmChecker {
   std::vector<VectorClock> last_vc_;         // per node, LRC/HLRC
   std::vector<std::uint64_t> next_seq_;      // per (src, dst) link
 
+  // Crash-fault-tolerance state. `kSeqAny` marks a link whose cursor was
+  // reset by a restart: the next delivery is adopted unchecked (the sender
+  // side may or may not have kept its counters across the restart).
+  static constexpr std::uint64_t kSeqAny = ~std::uint64_t{0};
+  std::vector<std::uint64_t> quorum_floor_;  // per page: highest acked tag
+  std::set<NodeId> dead_;                    // killed, not (yet) restarted
+  std::set<NodeId> worker_dead_;             // ever killed (monotone): a restart
+                                             // revives the fabric, not the worker
+  std::vector<std::uint64_t> incarnation_;   // per node, bumped on restart
+  std::set<std::tuple<LockId, NodeId, std::uint64_t>> regenerated_;
+
   std::string last_violation_;
 
   // Cached counters (StatsRegistry lookup is a lock + map walk).
@@ -199,6 +232,7 @@ class DsmChecker {
   Counter& token_violations_;
   Counter& order_violations_;
   Counter& mirror_violations_;
+  Counter& quorum_violations_;
 };
 
 }  // namespace dsm

@@ -31,6 +31,7 @@ enum class ProtocolKind {
   kLrc,           ///< lazy release consistency (TreadMarks)
   kEc,            ///< entry consistency (Midway)
   kHlrc,          ///< home-based lazy release consistency (HLRC extension)
+  kQrc,           ///< quorum-replicated release consistency (SC-ABD-style replicas)
 };
 
 const char* to_string(ProtocolKind kind);
@@ -39,6 +40,34 @@ const char* to_string(ProtocolKind kind);
 enum class LockPolicy {
   kCentralized,   ///< request/grant/release all via the lock's home
   kForwardChain,  ///< home forwards to last requester; grant flows holder→next
+};
+
+/// One scheduled node death. `kill_at` is virtual time: the victim's worker
+/// checks it at every operation boundary (compute/acquire/release/barrier)
+/// and dies at the first boundary past the deadline — crashes land between
+/// operations, never mid-protocol-transaction on the app thread.
+struct NodeFault {
+  NodeId node = kNoNode;
+  VirtualTime kill_at = 0;
+  bool restart = false;  ///< rejoin the memory fabric after dying
+};
+
+/// Crash fault tolerance (off by default). When enabled, page state is kept
+/// crash-redundant — by a majority quorum of replicas (kQrc) or by periodic
+/// checkpoints to a buddy node (kErcInvalidate) — and the fabric survives the
+/// seeded node deaths in `faults`. See DESIGN.md "Fault tolerance".
+struct FtConfig {
+  bool enabled = false;
+  /// Replica-group size for kQrc: each page lives on `replication`
+  /// consecutive nodes starting at its home. Tolerates floor((r-1)/2)
+  /// crashes per group. 1 = no redundancy (baseline for bench_ft).
+  std::size_t replication = 1;
+  /// kErcInvalidate checkpoint mode: snapshot a page to its buddy every Nth
+  /// version. 0 disables checkpointing.
+  std::size_t checkpoint_period = 0;
+  /// Seeded death schedule. Node 0 (lock/barrier home under FT) is never a
+  /// valid victim.
+  std::vector<NodeFault> faults;
 };
 
 /// One run's static configuration.
@@ -76,6 +105,9 @@ struct Config {
   /// In-fabric race detection + protocol invariant checking (dsmcheck).
   /// kOff constructs no checker at all; see DESIGN.md "dsmcheck".
   CheckLevel check_level = CheckLevel::kOff;
+  /// Crash fault tolerance: replication / checkpointing and the seeded node
+  /// death schedule (off by default). See DESIGN.md "Fault tolerance".
+  FtConfig ft{};
 
   // Virtual-time cost model (see DESIGN.md "Virtual time").
   VirtualTime fault_ns = 5'000;    ///< trap + kernel + handler entry per fault
@@ -116,8 +148,12 @@ struct NodeContext {
   NodeId home_of(PageId page) const {
     return static_cast<NodeId>(page % n_nodes);
   }
-  /// Static distribution of locks to their home (manager) nodes.
+  /// Static distribution of locks to their home (manager) nodes. Under FT
+  /// every lock is homed at node 0 — the one node the fault schedule may
+  /// never kill — so lock *state* never needs re-homing and only the dead
+  /// holder's token must be regenerated (SyncAgent::on_peer_down).
   NodeId lock_home(LockId lock) const {
+    if (cfg != nullptr && cfg->ft.enabled) return 0;
     return static_cast<NodeId>(lock % n_nodes);
   }
   /// Barriers are all managed by node 0 (a 1992-style central barrier).

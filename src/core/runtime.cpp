@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <ostream>
+#include <set>
 
 #include "common/assert.hpp"
 #include "common/logging.hpp"
@@ -13,38 +14,48 @@ namespace dsm {
 // ---------------------------------------------------------------------------
 
 // Every sync operation can block on remote state, so each brackets itself
-// with a watchdog guard — a wedged wait becomes a diagnostic abort.
+// with a watchdog guard — a wedged wait becomes a diagnostic abort. Each is
+// also a fault-injection point: a seeded crash lands *between* operations
+// (maybe_kill throws before the operation starts), never mid-transaction.
 void Worker::acquire(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-acquire", lock);
   system_->nodes_[node_]->sync->acquire(lock);
 }
 void Worker::release(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-release", lock);
   system_->nodes_[node_]->sync->release(lock);
 }
 void Worker::acquire_read(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-read", lock);
   system_->nodes_[node_]->sync->acquire_read(lock);
 }
 void Worker::release_read(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-read", lock);
   system_->nodes_[node_]->sync->release_read(lock);
 }
 void Worker::acquire_write(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-write", lock);
   system_->nodes_[node_]->sync->acquire_write(lock);
 }
 void Worker::release_write(LockId lock) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-write", lock);
   system_->nodes_[node_]->sync->release_write(lock);
 }
 void Worker::barrier(BarrierId barrier) {
+  system_->maybe_kill(node_);
   const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "barrier", barrier);
   system_->nodes_[node_]->sync->barrier(barrier);
 }
 
 void Worker::compute(std::uint64_t ops) {
   system_->nodes_[node_]->clock.advance(ops * system_->config().ns_per_op);
+  system_->maybe_kill(node_);
 }
 
 VirtualTime Worker::now() const { return system_->nodes_[node_]->clock.now(); }
@@ -87,6 +98,47 @@ System::System(Config cfg) : cfg_(cfg) {
       cfg_.check_level = CheckLevel::kOff;
     }
   }
+  if (cfg_.ft.enabled) {
+    DSM_CHECK_MSG(cfg_.protocol == ProtocolKind::kQrc ||
+                      cfg_.protocol == ProtocolKind::kErcInvalidate,
+                  "ft requires a crash-tolerant protocol: qrc (quorum "
+                  "replication) or erc-invalidate (buddy checkpointing)");
+    DSM_CHECK_MSG(cfg_.ft.replication >= 1 && cfg_.ft.replication <= cfg_.n_nodes,
+                  "ft.replication " << cfg_.ft.replication << " out of range for "
+                                    << cfg_.n_nodes << " nodes");
+    if (cfg_.ft.checkpoint_period > 0) {
+      DSM_CHECK_MSG(cfg_.protocol == ProtocolKind::kErcInvalidate,
+                    "checkpointing is the erc-invalidate recovery path; "
+                    "qrc recovers from its replica quorum");
+    }
+    DSM_CHECK_MSG(!(cfg_.transport.multiprocess() && !cfg_.ft.faults.empty()),
+                  "virtual-time fault injection is single-process only; kill "
+                  "real ranks with SIGKILL under dsmrun --on-crash=respawn");
+    std::set<NodeId> victims;
+    for (const auto& fault : cfg_.ft.faults) {
+      DSM_CHECK_MSG(fault.node != 0,
+                    "node 0 anchors locks and barriers under ft and cannot die");
+      DSM_CHECK_MSG(fault.node < cfg_.n_nodes,
+                    "fault victim " << fault.node << " out of range");
+      DSM_CHECK_MSG(fault.kill_at > 0, "fault kill_at must be positive");
+      DSM_CHECK_MSG(victims.insert(fault.node).second,
+                    "duplicate fault for node " << fault.node);
+      if (cfg_.protocol == ProtocolKind::kErcInvalidate) {
+        // A page's only home died: without a restart to replay the buddy
+        // checkpoint into, its pages would be unreachable forever.
+        DSM_CHECK_MSG(fault.restart,
+                      "erc-invalidate faults must restart (its pages have one "
+                      "home); use qrc for kill-without-restart");
+      }
+    }
+    if (cfg_.lock_policy == LockPolicy::kForwardChain) {
+      // The chain routes grants holder-to-holder; a dead link wedges it.
+      // Centralized keeps all token state at node 0, which never dies.
+      DSM_LOG_WARN << "ft forces lock_policy=centralized (forward-chain has "
+                      "no token regeneration path)";
+      cfg_.lock_policy = LockPolicy::kCentralized;
+    }
+  }
   if (cfg_.trace.enabled) {
     tracer_ = std::make_unique<Tracer>(cfg_.n_nodes, cfg_.trace,
                                        &stats_.counter("trace.dropped"));
@@ -108,6 +160,7 @@ System::System(Config cfg) : cfg_(cfg) {
     setup.ivy_dynamic = cfg_.protocol == ProtocolKind::kIvyDynamic;
     setup.home_copyset = cfg_.protocol == ProtocolKind::kErcInvalidate ||
                          cfg_.protocol == ProtocolKind::kErcUpdate;
+    setup.quorum = cfg_.protocol == ProtocolKind::kQrc;
     setup.protocol = to_string(cfg_.protocol);
     if (cfg_.protocol == ProtocolKind::kIvyCentral) {
       setup.manager_of = [](PageId) { return NodeId{0}; };
@@ -126,6 +179,7 @@ System::System(Config cfg) : cfg_(cfg) {
   network_ = std::make_unique<Network>(cfg_.n_nodes, cfg_.link, &stats_,
                                        cfg_.reliability, cfg_.chaos, cfg_.wire,
                                        tracer_.get(), cfg_.transport);
+  if (cfg_.ft.enabled) network_->set_ft(true);
   if (checker_ != nullptr) {
     network_->set_delivery_hook(
         [chk = checker_.get()](const Message& msg) { chk->on_deliver(msg); });
@@ -163,6 +217,12 @@ System::System(Config cfg) : cfg_(cfg) {
     };
     node->protocol = make_protocol(node->ctx);
     node->sync = std::make_unique<SyncAgent>(node->ctx, *node->protocol);
+    for (const auto& fault : cfg_.ft.faults) {
+      if (fault.node == id) {
+        node->kill_at = fault.kill_at;
+        node->kill_restart = fault.restart;
+      }
+    }
 
     Node* raw = node.get();
     node->fault_token = FaultRouter::instance().add_region(
@@ -225,6 +285,35 @@ void System::reset_clocks() {
   }
 }
 
+void System::maybe_kill(NodeId id) {
+  Node& node = *nodes_[id];
+  if (node.kill_at == 0 || node.killed.load(std::memory_order_relaxed)) return;
+  if (node.clock.now() < node.kill_at) return;
+  node.killed.store(true, std::memory_order_release);
+  stats_.counter("ft.kills").add();
+  DSM_LOG_WARN << "ft: node " << id << " crashes at t=" << node.clock.now()
+               << "ns" << (node.kill_restart ? " (restart scheduled)" : "");
+  // Checker first: the death-announcement fan-out below triggers failover
+  // handlers (token regeneration, quorum takeover) that report to it.
+  if (checker_ != nullptr) checker_->on_node_killed(id);
+  network_->announce_death(id, node.kill_restart);
+  throw WorkerKilled{};
+}
+
+void System::restart_node(Node& node) {
+  const NodeId id = node.ctx.id;
+  stats_.counter("ft.restarts").add();
+  DSM_LOG_WARN << "ft: node " << id << " restarts (memory fabric only)";
+  if (checker_ != nullptr) checker_->on_node_restarted(id);
+  // Protocol state resets before the node is marked alive: a request racing
+  // in after announce_alive must find the protocol already in recovery.
+  node.protocol->on_self_restart();
+  node.sync->on_self_restart();
+  network_->reset_links_for(id);
+  network_->liveness().mark_restarted(id);
+  network_->announce_alive(id);
+}
+
 void System::service_loop(Node& node) {
   bool running = true;
   while (running) {
@@ -250,6 +339,28 @@ void System::service_loop(Node& node) {
         }
         if (msg.type == MsgType::kExitGo) {
           exit_go_.fetch_add(1, std::memory_order_release);
+          ++handled;
+          continue;
+        }
+        if (msg.type == MsgType::kPeerDown || msg.type == MsgType::kPeerUp) {
+          NodeId peer = kNoNode;
+          bool restart = false;
+          unpack_peer_event(msg.payload, &peer, &restart);
+          if (msg.type == MsgType::kPeerDown) {
+            if (peer == node.ctx.id) {
+              // Our own death notice: the worker is already gone; rejoin the
+              // fabric if the fault schedule says so, else stay dark.
+              if (restart) restart_node(node);
+            } else {
+              node.protocol->on_peer_down(peer);
+              node.sync->on_peer_down(peer);
+            }
+          } else {
+            // Delivered to the restarted node too: QRC hooks its own
+            // post-restart resync off the self kPeerUp.
+            node.protocol->on_peer_up(peer);
+            node.sync->on_peer_up(peer);
+          }
           ++handled;
           continue;
         }
@@ -376,7 +487,13 @@ void System::run(const std::function<void(Worker&)>& body) {
     if (!hosted(id)) continue;
     app_threads.emplace_back([this, id, &body] {
       Worker worker(*this, id);
-      body(worker);
+      try {
+        body(worker);
+      } catch (const WorkerKilled&) {
+        // Injected crash: the worker thread stops mid-body. The service
+        // thread lives on (a restarted node keeps serving pages) until the
+        // regular shutdown below.
+      }
     });
   }
   for (auto& t : app_threads) t.join();

@@ -24,6 +24,12 @@ namespace dsm {
 
 class System;
 
+/// Thrown through the application body when the seeded fault schedule kills
+/// this worker at an operation boundary; run() absorbs it and the app thread
+/// simply stops. Not derived from std::exception on purpose: application
+/// catch(...) blocks aside, nothing should intercept a crash.
+struct WorkerKilled {};
+
 /// The per-node handle an SPMD body receives: identity, shared-memory
 /// access, synchronization, compute-cost accounting, and EC bindings.
 class Worker {
@@ -141,7 +147,20 @@ class System {
     std::unique_ptr<SyncAgent> sync;
     int fault_token = -1;
     std::thread service_thread;
+    // Seeded crash (Config::ft.faults): die at the first operation boundary
+    // past kill_at on this node's virtual clock.
+    VirtualTime kill_at = 0;
+    bool kill_restart = false;
+    std::atomic<bool> killed{false};
   };
+
+  /// Fault injection: called at every worker operation boundary. Throws
+  /// WorkerKilled when this node's scheduled death is due, after announcing
+  /// the death to the fabric.
+  void maybe_kill(NodeId node);
+  /// Service-thread side of a kill_restart fault: wipe the node's protocol /
+  /// sync / link state and rejoin the memory fabric (worker stays dead).
+  void restart_node(Node& node);
 
   void service_loop(Node& node);
   /// Blocks until every sent message has been fully processed.

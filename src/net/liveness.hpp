@@ -1,0 +1,94 @@
+// Peer-liveness table: the fabric-wide view of which nodes are alive, which
+// still run application work, and each node's incarnation count. Owned by the
+// Network (one table per fabric) and read lock-free by protocols, the sync
+// agent, and the checker — the answer to ISSUE 6's "surface a per-link
+// dead-peer state the protocol layer can observe" satellite: when the
+// bounded-retry sublayer gives up on a peer, Network marks it dead here and
+// announces kPeerDown instead of silently bumping net.gave_up.
+//
+// Two liveness notions, because a restarted node rejoins the *memory fabric*
+// (it serves pages, replays checkpoints) but not the *computation* (its app
+// thread is gone; barriers must stop waiting for it):
+//   * alive(n)       — n's service side responds to messages
+//   * worker_live(n) — n's app thread still participates in barriers
+//
+// Memory ordering: mark_restarted publishes with release so that a peer
+// observing alive==true (acquire) also sees the link resets that preceded it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+class Liveness {
+ public:
+  explicit Liveness(std::size_t n_nodes) : slots_(n_nodes) {
+    for (auto& s : slots_) {
+      s.alive.store(true, std::memory_order_relaxed);
+      s.worker_live.store(true, std::memory_order_relaxed);
+      s.incarnation.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+  bool alive(NodeId n) const {
+    return slots_[n].alive.load(std::memory_order_acquire);
+  }
+  /// Does n's application thread still count toward barriers?
+  bool worker_live(NodeId n) const {
+    return slots_[n].worker_live.load(std::memory_order_acquire);
+  }
+  std::uint32_t incarnation(NodeId n) const {
+    return slots_[n].incarnation.load(std::memory_order_acquire);
+  }
+
+  /// Number of nodes whose service side is up (quorum math).
+  std::size_t live_count() const {
+    std::size_t c = 0;
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      if (alive(static_cast<NodeId>(n))) ++c;
+    }
+    return c;
+  }
+  /// Number of nodes still running application work (barrier math).
+  std::size_t live_worker_count() const {
+    std::size_t c = 0;
+    for (std::size_t n = 0; n < slots_.size(); ++n) {
+      if (worker_live(static_cast<NodeId>(n))) ++c;
+    }
+    return c;
+  }
+
+  void mark_dead(NodeId n) {
+    slots_[n].alive.store(false, std::memory_order_release);
+  }
+  void mark_worker_dead(NodeId n) {
+    slots_[n].worker_live.store(false, std::memory_order_release);
+  }
+  /// Rejoin the fabric with a fresh incarnation. The caller must finish all
+  /// state/link resets *before* this: the release store is what makes them
+  /// visible to senders that test alive() first.
+  void mark_restarted(NodeId n) {
+    slots_[n].incarnation.fetch_add(1, std::memory_order_relaxed);
+    slots_[n].alive.store(true, std::memory_order_release);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<bool> alive{true};
+    std::atomic<bool> worker_live{true};
+    std::atomic<std::uint32_t> incarnation{0};
+  };
+  // unique_ptr-free: vector of non-copyable atomics is fine because the
+  // vector is sized once in the ctor and never resized.
+  std::vector<Slot> slots_;
+};
+
+}  // namespace dsm

@@ -35,6 +35,19 @@ std::string_view to_string(MsgType type) {
     case MsgType::kExitGo: return "ExitGo";
     case MsgType::kAck: return "Ack";
     case MsgType::kBatch: return "Batch";
+    case MsgType::kReplRead: return "ReplRead";
+    case MsgType::kReplReadReply: return "ReplReadReply";
+    case MsgType::kReplWrite: return "ReplWrite";
+    case MsgType::kReplWriteAck: return "ReplWriteAck";
+    case MsgType::kReplSync: return "ReplSync";
+    case MsgType::kReplSyncAck: return "ReplSyncAck";
+    case MsgType::kReplRecover: return "ReplRecover";
+    case MsgType::kReplRecoverReply: return "ReplRecoverReply";
+    case MsgType::kCkptStore: return "CkptStore";
+    case MsgType::kCkptFetch: return "CkptFetch";
+    case MsgType::kCkptData: return "CkptData";
+    case MsgType::kPeerDown: return "PeerDown";
+    case MsgType::kPeerUp: return "PeerUp";
     case MsgType::kCount_: break;
   }
   return "Unknown";
@@ -77,6 +90,8 @@ bool batch_inner_type_ok(std::uint16_t raw) {
     case MsgType::kExitGo:
     case MsgType::kAck:
     case MsgType::kBatch:
+    case MsgType::kPeerDown:
+    case MsgType::kPeerUp:
       return false;
     default:
       return true;

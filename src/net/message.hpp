@@ -46,6 +46,22 @@ enum class MsgType : std::uint16_t {
   // --- transport internal (never delivered to a protocol mailbox) ---
   kAck,             ///< standalone delayed ack (piggyback mode, quiet link)
   kBatch,           ///< coalescing envelope: several same-link messages in one datagram
+  // --- quorum replication (QRC, SC-ABD-style) ---
+  kReplRead,        ///< client → primary replica: want the current page value
+  kReplReadReply,   ///< primary → client: page data + tag, read grant
+  kReplWrite,       ///< writer → primary: apply this diff, replicate, then ack
+  kReplWriteAck,    ///< primary → writer: stored on a quorum
+  kReplSync,        ///< primary → backup replica: apply diff at tag
+  kReplSyncAck,     ///< backup → primary: applied
+  kReplRecover,     ///< new/recovering replica → group: send me your tag+value
+  kReplRecoverReply,///< group member → recovering replica: my tag (+ data)
+  // --- checkpoint mode (ERC home-replica snapshots) ---
+  kCkptStore,       ///< page home → buddy: snapshot page at version
+  kCkptFetch,       ///< restarted home → buddy: replay my snapshots
+  kCkptData,        ///< buddy → restarted home: one page's last snapshot
+  // --- liveness control (posted locally, never on the wire) ---
+  kPeerDown,        ///< fabric → hosted nodes: peer died (payload: peer id)
+  kPeerUp,          ///< fabric → hosted nodes: peer rejoined (payload: peer id)
 
   kCount_,          ///< number of message types (stats arrays)
 };

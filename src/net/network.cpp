@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iterator>
 #include <string>
 
@@ -81,6 +82,7 @@ Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
       chaos_(chaos),
       wire_(wire),
       transport_cfg_(std::move(transport)),
+      liveness_(n_nodes),
       mailboxes_(n_nodes),
       send_seq_(n_nodes * n_nodes),
       links_(n_nodes * n_nodes),
@@ -99,7 +101,9 @@ Network::Network(std::size_t n_nodes, LinkModel link, StatsRegistry* stats,
       acks_piggybacked_(stats->counter("net.acks_piggybacked")),
       acks_standalone_(stats->counter("net.acks_standalone")),
       acks_wire_(stats->counter("net.acks_wire")),
-      bytes_saved_(stats->counter("net.bytes_saved")) {
+      bytes_saved_(stats->counter("net.bytes_saved")),
+      dead_dropped_(stats->counter("net.dead_dropped")),
+      peer_dead_(stats->counter("net.peer_dead")) {
   DSM_CHECK(n_nodes > 0);
   DSM_CHECK(stats != nullptr);
   transport_ = make_transport(transport_cfg_, n_nodes, this, stats);
@@ -145,9 +149,27 @@ void Network::flush() {
   if (active_scope_ != nullptr && active_scope_->net_ == this) active_scope_->flush();
 }
 
+bool Network::dead_drop(const Message& msg) {
+  if (!ft_) return false;
+  // Self-sends and runtime control always go through: a dead node's service
+  // thread still drains its mailbox (it is the restart executor).
+  if (msg.src == msg.dst || msg.type == MsgType::kShutdown ||
+      msg.type == MsgType::kWakeup) {
+    return false;
+  }
+  if (liveness_.alive(msg.src) && liveness_.alive(msg.dst)) return false;
+  dead_dropped_.add();
+  return true;
+}
+
 void Network::send(Message msg) {
   DSM_CHECK_MSG(msg.dst < mailboxes_.size(), "send to unknown node " << msg.dst);
   DSM_CHECK_MSG(msg.src < mailboxes_.size(), "send from unknown node " << msg.src);
+
+  // A dead endpoint means the message can never be delivered or acked: drop
+  // before seq assignment so the link's seq space stays contiguous for a
+  // later restart.
+  if (dead_drop(msg)) return;
 
   if (!reliable_eligible(msg)) {
     // Control traffic and loopback: an in-process self-send cannot be lost.
@@ -190,6 +212,7 @@ void Network::flush_staged(std::vector<Message>& staged) {
   // matches staging order.
   std::vector<std::pair<std::size_t, std::vector<Message>>> groups;
   for (Message& m : staged) {
+    if (dead_drop(m)) continue;  // a peer may have died since staging
     const std::size_t key = link_index(m.src, m.dst);
     auto it = std::find_if(groups.begin(), groups.end(),
                            [key](const auto& g) { return g.first == key; });
@@ -433,6 +456,16 @@ void Network::accept_front(LinkState& st, Message msg) {
 }
 
 void Network::deliver(Message msg) {
+  // FT: protocol traffic addressed to a dead node is dropped at the door
+  // (a crashed machine receives nothing). Control and liveness posts still
+  // land — the dead node's service thread is the restart executor.
+  if (ft_ && msg.src != msg.dst && !liveness_.alive(msg.dst) &&
+      msg.type != MsgType::kShutdown && msg.type != MsgType::kWakeup &&
+      msg.type != MsgType::kExitReady && msg.type != MsgType::kExitGo &&
+      msg.type != MsgType::kPeerDown && msg.type != MsgType::kPeerUp) {
+    dead_dropped_.add();
+    return;
+  }
   // kShutdown is excluded from the quiescence count: the service loop keeps
   // draining after it (multi-process arrivals can trail the local stop), so
   // counting it would skew messages_sent vs processed across runs.
@@ -551,6 +584,7 @@ void Network::daemon_loop() {
     }
 
     std::vector<std::pair<Message, std::uint32_t>> resends;
+    std::vector<NodeId> dead_peers;
     for (auto it = in_flight_.begin(); it != in_flight_.end();) {
       InFlight& entry = it->second;
       if (entry.deadline > now) {
@@ -562,6 +596,10 @@ void Network::daemon_loop() {
         DSM_LOG_WARN << "reliable: giving up on " << to_string(entry.msg.type) << ' '
                      << entry.msg.src << "->" << entry.msg.dst << " seq="
                      << entry.msg.seq << " after " << entry.attempt << " retransmits";
+        // FT: exhausted retries are the failure detector — the destination
+        // is declared dead (outside the lock, below) instead of the give-up
+        // being a bare counter bump.
+        if (ft_) dead_peers.push_back(entry.msg.dst);
         it = in_flight_.erase(it);
         continue;
       }
@@ -607,8 +645,128 @@ void Network::daemon_loop() {
       }
       wire_attempt(msg, attempt);
     }
+    for (const NodeId d : dead_peers) {
+      if (liveness_.alive(d)) announce_death(d, /*restart=*/false);
+    }
     lock.lock();
   }
+}
+
+void Network::purge_flight_state(NodeId node) {
+  const std::size_t n = mailboxes_.size();
+  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    const std::size_t link = it->first.first;
+    if (link / n == node || link % n == node) {
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::erase_if(delayed_, [node](const Delayed& d) {
+    return d.msg.src == node || d.msg.dst == node;
+  });
+  std::make_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
+  for (auto it = pending_acks_.begin(); it != pending_acks_.end();) {
+    if (it->first / n == node || it->first % n == node) {
+      it = pending_acks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<NodeId> Network::hosted_nodes() const {
+  if (transport_cfg_.multiprocess()) return {transport_cfg_.local_node};
+  std::vector<NodeId> all(mailboxes_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<NodeId>(i);
+  return all;
+}
+
+void Network::post_local(NodeId dst, Message msg) {
+  msg.dst = dst;
+  msg.seq = Message::kNoSeq;
+  msg.arrival_time = msg.send_time;
+  deliver(std::move(msg));
+}
+
+void Network::announce_death(NodeId node, bool restart) {
+  DSM_CHECK(node < mailboxes_.size());
+  if (liveness_.alive(node)) peer_dead_.add();
+  liveness_.mark_worker_dead(node);
+  liveness_.mark_dead(node);
+  purge_flight_state(node);
+  DSM_LOG_WARN << "liveness: node " << node << " declared dead"
+               << (restart ? " (restart pending)" : "");
+  for (const NodeId host : hosted_nodes()) {
+    Message msg;
+    msg.type = MsgType::kPeerDown;
+    msg.src = host;
+    msg.payload = pack_peer_event(node, restart);
+    post_local(host, std::move(msg));
+  }
+}
+
+void Network::announce_alive(NodeId node) {
+  for (const NodeId host : hosted_nodes()) {
+    Message msg;
+    msg.type = MsgType::kPeerUp;
+    msg.src = host;
+    msg.payload = pack_peer_event(node, /*restart=*/false);
+    post_local(host, std::move(msg));
+  }
+}
+
+void Network::reset_links_for(NodeId node) {
+  purge_flight_state(node);
+  const std::lock_guard<std::mutex> lock(links_mutex_);
+  const std::size_t n = mailboxes_.size();
+  for (std::size_t p = 0; p < n; ++p) {
+    for (const std::size_t link : {link_index(static_cast<NodeId>(p), node),
+                                   link_index(node, static_cast<NodeId>(p))}) {
+      LinkState& st = links_[link];
+      st.reorder.clear();
+      // The sender-side counters persist across an in-process restart, so
+      // the receiver resumes at whatever the sender will assign next.
+      st.expected = send_seq_[link].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void Network::peer_restarted(NodeId src) {
+  purge_flight_state(src);
+  {
+    const std::lock_guard<std::mutex> lock(links_mutex_);
+    const std::size_t n = mailboxes_.size();
+    for (std::size_t p = 0; p < n; ++p) {
+      for (const std::size_t link : {link_index(static_cast<NodeId>(p), src),
+                                     link_index(src, static_cast<NodeId>(p))}) {
+        links_[link].reorder.clear();
+        links_[link].expected = 0;
+        // The respawned process counts from 0 in both directions.
+        send_seq_[link].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  liveness_.mark_restarted(src);
+  DSM_LOG_WARN << "liveness: node " << src << " rejoined with a fresh incarnation";
+  announce_alive(src);
+}
+
+std::vector<std::byte> pack_peer_event(NodeId peer, bool restart) {
+  std::vector<std::byte> out(5);
+  const std::uint32_t p = peer;
+  std::memcpy(out.data(), &p, sizeof p);
+  out[4] = static_cast<std::byte>(restart ? 1 : 0);
+  return out;
+}
+
+void unpack_peer_event(std::span<const std::byte> payload, NodeId* peer, bool* restart) {
+  DSM_CHECK_MSG(payload.size() >= 5, "short peer-event payload");
+  std::uint32_t p = 0;
+  std::memcpy(&p, payload.data(), sizeof p);
+  *peer = static_cast<NodeId>(p);
+  *restart = payload[4] != std::byte{0};
 }
 
 void Network::stop_daemon() {

@@ -32,6 +32,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "net/chaos.hpp"
+#include "net/liveness.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
 
@@ -242,6 +243,40 @@ class Network {
   /// microseconds from now (the chaos pause injector's explicit form).
   void inject_pause(NodeId node, std::uint32_t us);
 
+  // --- peer liveness (crash fault tolerance) -------------------------------
+  /// The fabric-wide liveness table. Always present; only consulted for
+  /// dead-drops and give-up announcements when FT mode is on (set_ft).
+  Liveness& liveness() { return liveness_; }
+  const Liveness& liveness() const { return liveness_; }
+
+  /// Enables FT behaviour: sends touching a dead endpoint are dropped
+  /// (net.dead_dropped) instead of retransmitted into the void, and a link
+  /// whose bounded retries are exhausted marks its peer dead and announces
+  /// kPeerDown to every hosted node (net.peer_dead) — the observable
+  /// dead-peer state behind the former count-only net.gave_up.
+  void set_ft(bool enabled) { ft_ = enabled; }
+
+  /// Declares `node` dead: marks the liveness table, purges all in-flight /
+  /// delayed traffic touching it, and posts kPeerDown(node, restart) to every
+  /// hosted node's mailbox (local post, never the wire). Idempotent.
+  void announce_death(NodeId node, bool restart);
+
+  /// Posts kPeerUp(node) to every hosted node. The caller (restart path)
+  /// must have reset protocol/link state and marked the liveness table
+  /// *before* this so observers of the announcement see consistent state.
+  void announce_alive(NodeId node);
+
+  /// Resets both directions of every link touching `node` to "next send seq"
+  /// and clears reorder buffers — the in-process restart path, where send
+  /// counters persist across the death.
+  void reset_links_for(NodeId node);
+
+  /// A peer's UDP datagrams arrived under a higher incarnation: the process
+  /// behind `src` was respawned. Purges old flight state, zeroes both seq
+  /// directions (the new process counts from 0 and expects us to), marks the
+  /// peer alive again, and posts kPeerUp to the hosted node.
+  void peer_restarted(NodeId src);
+
   /// Messages accepted into mailboxes so far (dedup-suppressed duplicates
   /// and dropped attempts excluded) — the count the service loops will see.
   std::uint64_t messages_sent() const { return messages_sent_.value(); }
@@ -342,6 +377,18 @@ class Network {
   /// Queues a delivery for the daemon at `due`.
   void defer(Message msg, std::uint32_t attempt, SteadyTime due, bool pre_wire);
 
+  /// FT: true (and counted) when `msg` touches a dead endpoint and is not
+  /// exempt control traffic — the send is dropped instead of tracked.
+  bool dead_drop(const Message& msg);
+  /// Purges in-flight / delayed entries and pending acks touching `node`.
+  void purge_flight_state(NodeId node);
+  /// Local-post helper: stamps arrival = send time and delivers directly to
+  /// `dst`'s mailbox, bypassing seq assignment and the wire.
+  void post_local(NodeId dst, Message msg);
+  /// The nodes whose mailboxes live in this process (all of them inproc;
+  /// just the local rank under dsmrun).
+  std::vector<NodeId> hosted_nodes() const;
+
   void daemon_loop();
   void stop_daemon();
 
@@ -354,6 +401,8 @@ class Network {
   ChaosEngine chaos_;
   WireConfig wire_;
   TransportConfig transport_cfg_;
+  Liveness liveness_;
+  bool ft_ = false;
   std::vector<Mailbox> mailboxes_;
   std::function<bool(const Message&)> drop_hook_;
   std::function<void(const Message&)> delivery_hook_;
@@ -402,6 +451,12 @@ class Network {
   Counter& acks_standalone_;
   Counter& acks_wire_;
   Counter& bytes_saved_;
+  Counter& dead_dropped_;
+  Counter& peer_dead_;
 };
+
+/// kPeerDown / kPeerUp payload codec: u32 peer | u8 restart-intent.
+std::vector<std::byte> pack_peer_event(NodeId peer, bool restart);
+void unpack_peer_event(std::span<const std::byte> payload, NodeId* peer, bool* restart);
 
 }  // namespace dsm

@@ -65,11 +65,14 @@ std::uint32_t datagram_checksum(std::span<const std::byte> bytes) {
 }
 
 /// Message types that legitimately travel on the wire. Shutdown and Wakeup
-/// are always in-process self-sends; anything at or past kCount_ is garbage.
+/// are always in-process self-sends, kPeerDown/kPeerUp are liveness posts
+/// that only ever travel via Network::post_local; anything at or past
+/// kCount_ is garbage.
 bool wire_type_ok(std::uint16_t raw) {
   if (raw >= static_cast<std::uint16_t>(MsgType::kCount_)) return false;
   const auto type = static_cast<MsgType>(raw);
-  return type != MsgType::kShutdown && type != MsgType::kWakeup;
+  return type != MsgType::kShutdown && type != MsgType::kWakeup &&
+         type != MsgType::kPeerDown && type != MsgType::kPeerUp;
 }
 
 // --- environment helpers ----------------------------------------------------

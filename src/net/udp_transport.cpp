@@ -13,7 +13,10 @@
 
 #include <atomic>
 #include <cerrno>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -24,11 +27,23 @@
 namespace dsm {
 namespace {
 
-/// Process-wide epoch: each UdpTransport (one per Network/System) gets the
-/// next ordinal. SPMD processes construct their Systems in identical order,
-/// so epochs agree across a dsmrun fleet, and a straggler datagram from a
-/// finished System is rejected by the next one sharing the inherited socket.
+/// Process-wide epoch ordinal (the low 16 bits of the wire epoch): each
+/// UdpTransport (one per Network/System) gets the next ordinal. SPMD
+/// processes construct their Systems in identical order, so ordinals agree
+/// across a dsmrun fleet, and a straggler datagram from a finished System is
+/// rejected by the next one sharing the inherited socket. The high 16 bits
+/// carry the process *incarnation* (DSM_INCARNATION, bumped by dsmrun on
+/// every respawn): a crashed-and-respawned rank's pre-crash datagrams carry
+/// the old incarnation and are counted under net.stale_dropped, never
+/// delivered, while a *higher* incarnation tells the receiver the peer was
+/// respawned (Network::peer_restarted resets link state).
 std::atomic<std::uint32_t> g_udp_epoch{0};
+
+std::uint32_t incarnation_from_env() {
+  const char* v = std::getenv("DSM_INCARNATION");
+  if (v == nullptr) return 0;
+  return static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10)) & 0xFFFFu;
+}
 
 sockaddr_in parse_endpoint(const std::string& spec) {
   const std::size_t colon = spec.rfind(':');
@@ -66,7 +81,9 @@ class UdpTransport final : public Transport {
       : net_(net),
         n_nodes_(n_nodes),
         local_(cfg.local_node),
-        epoch_(g_udp_epoch.fetch_add(1, std::memory_order_relaxed)),
+        epoch_((incarnation_from_env() << 16) |
+               (g_udp_epoch.fetch_add(1, std::memory_order_relaxed) & 0xFFFFu)),
+        peer_incarnation_(n_nodes, -1),
         malformed_(stats->counter("net.malformed_dropped")),
         stale_(stats->counter("net.stale_dropped")),
         send_errors_(stats->counter("net.send_errors")) {
@@ -200,10 +217,33 @@ class UdpTransport final : public Transport {
           malformed_.add();
           continue;
         }
-        if (dg->epoch != epoch_) {
+        // Low 16 bits: System ordinal — strict equality, as before, so
+        // sequential Systems on one inherited socket reject each other.
+        if ((dg->epoch & 0xFFFFu) != (epoch_ & 0xFFFFu)) {
           stale_.add();
           continue;
         }
+        // High 16 bits: the sender's process incarnation. Lower than the
+        // highest we have seen from this src = a pre-crash straggler;
+        // higher = the peer was respawned and its links must reset.
+        const std::uint32_t inc = dg->epoch >> 16;
+        bool stale = false;
+        bool respawned = false;
+        {
+          const std::lock_guard<std::mutex> lock(incarnation_mutex_);
+          std::int64_t& seen = peer_incarnation_[dg->msg.src];
+          if (seen >= 0 && inc < static_cast<std::uint32_t>(seen)) {
+            stale = true;
+          } else {
+            if (seen >= 0 && inc > static_cast<std::uint32_t>(seen)) respawned = true;
+            seen = inc;
+          }
+        }
+        if (stale) {
+          stale_.add();
+          continue;
+        }
+        if (respawned) net_->peer_restarted(dg->msg.src);
         if (dg->msg.dst != hosted) {
           // Structurally valid but aimed at an endpoint we are not — a
           // misdirected sender. Reject like any other malformed input.
@@ -218,7 +258,9 @@ class UdpTransport final : public Transport {
   Network* net_;
   std::size_t n_nodes_;
   NodeId local_;
-  std::uint32_t epoch_;
+  std::uint32_t epoch_;  ///< (incarnation << 16) | ordinal
+  std::mutex incarnation_mutex_;
+  std::vector<std::int64_t> peer_incarnation_;  ///< highest seen per src; -1 = none
   Counter& malformed_;
   Counter& stale_;
   Counter& send_errors_;

@@ -16,6 +16,9 @@ namespace {
 //   kUpdateAck    : u32 page | u8 kind (0 = holder→home, 1 = home→writer final)
 //   kInvalidate   : u32 page | u32 unused
 //   kInvalidateAck: u32 page | u8 kept (1 = holder kept a dirty copy)
+//   kCkptStore    : u32 page | u32 version | bytes raw page   (home → buddy)
+//   kCkptFetch    : u32 requester                              (restarted home → buddy)
+//   kCkptData     : u32 count | count × (u32 page | u32 version | bytes raw page)
 
 constexpr std::uint8_t kToHome = 0;
 constexpr std::uint8_t kFromHome = 1;
@@ -171,9 +174,12 @@ void ErcProtocol::flush_dirty() {
         const std::span<const std::byte> twin{e.twin.get(), ctx_.cfg->page_size};
         const auto diff = encode_diff(current, twin);
         diff_bytes = diff.size();
-        if (ctx_.home_of(page) != ctx_.id) {
+        if (ctx_.home_of(page) != ctx_.id && !ft()) {
           // The XOR form is sound here: the home's copy matches our twin on
           // every diffed word (DRF — nobody else wrote them this interval).
+          // Under FT the value form is used instead: a flush re-sent to a
+          // restarted home decodes against a rolled-back base, where an XOR
+          // would corrupt the very words it released.
           field = page_io::pack_diff_field_xor(ctx_, diff, current, twin);
         } else {
           // Self-update via loopback: by decode time our live page already
@@ -189,6 +195,12 @@ void ErcProtocol::flush_dirty() {
         page_io::note_state(ctx_, page, PageState::kReadOnly);
       }
       ctx_.stats->counter("erc.diff_bytes").add(diff_bytes);
+      if (ft() && ctx_.home_of(page) != ctx_.id) {
+        // Keep the encoded field until the home's final ack: if the home
+        // crashes first, the kPeerUp handler re-sends it verbatim.
+        const std::lock_guard<std::mutex> lock(flush_mutex_);
+        ft_outstanding_[page] = field;
+      }
       WireWriter w(field.size() + 16);
       w.put(page);
       w.put(kToHome);
@@ -210,6 +222,9 @@ void ErcProtocol::on_message(const Message& msg) {
     case MsgType::kUpdateAck: handle_update_ack(msg); return;
     case MsgType::kInvalidate: handle_invalidate(msg); return;
     case MsgType::kInvalidateAck: handle_invalidate_ack(msg); return;
+    case MsgType::kCkptStore: handle_ckpt_store(msg); return;
+    case MsgType::kCkptFetch: handle_ckpt_fetch(msg); return;
+    case MsgType::kCkptData: handle_ckpt_data(msg); return;
     default:
       DSM_CHECK_MSG(false, "erc: unexpected message " << to_string(msg.type));
   }
@@ -219,6 +234,12 @@ void ErcProtocol::handle_page_request(const Message& msg) {
   WireReader r(msg.payload);
   const auto page = r.get<PageId>();
   const auto requester = r.get<NodeId>();
+  if (restoring_) {
+    // Restarted home, pre-restore: the authoritative copy is still at the
+    // buddy. Parked requests replay once the checkpoints install.
+    restore_parked_.push_back(msg);
+    return;
+  }
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes;
   {
@@ -289,6 +310,10 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
   const auto field = r.get_bytes();
   const NodeId writer = msg.src;
 
+  if (restoring_) {
+    restore_parked_.push_back(msg);
+    return;
+  }
   auto& e = ctx_.table->entry(page);
   std::vector<NodeId> targets;
   std::vector<std::byte> diff;
@@ -317,7 +342,9 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
     }
 
     for (const NodeId n : e.copyset.members()) {
-      if (n != writer) targets.push_back(n);
+      // Dead holders can never ack; skip them (their copies are gone with
+      // them, and on_peer_down retires them from already-open transactions).
+      if (n != writer && (!ft() || ctx_.net->liveness().alive(n))) targets.push_back(n);
     }
     if (mode_ == Mode::kInvalidate) {
       // Optimistically rebuild the copyset as the acks come back (keepers
@@ -331,7 +358,8 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
     const std::lock_guard<std::mutex> lock(txn_mutex_);
     auto& txn = txns_[page];
     txn.writer = writer;
-    txn.acks = static_cast<int>(targets.size());
+    txn.pending = std::set<NodeId>(targets.begin(), targets.end());
+    txn.keeper_phase = false;
     txn.keepers.clear();
     txn.diff.assign(diff.begin(), diff.end());
   }
@@ -366,13 +394,14 @@ void ErcProtocol::home_after_invalidations(PageId page) {
   {
     const std::lock_guard<std::mutex> lock(txn_mutex_);
     auto& txn = txns_.at(page);
+    txn.keeper_phase = true;
     if (txn.keepers.empty()) {
       // nothing more to do
     } else {
       keepers = txn.keepers;
       txn.keepers.clear();
       diff = txn.diff;
-      txn.acks = static_cast<int>(keepers.size());
+      txn.pending = std::set<NodeId>(keepers.begin(), keepers.end());
     }
   }
   if (keepers.empty()) {
@@ -402,6 +431,7 @@ void ErcProtocol::home_finish_transaction(PageId page) {
     const std::lock_guard<std::mutex> lock(e.mutex);
     e.manager_busy = false;
   }
+  if (ft()) maybe_checkpoint(page);
   WireWriter w(8);
   w.put(page);
   w.put(kFromHome);
@@ -432,6 +462,7 @@ void ErcProtocol::handle_update_ack(const Message& msg) {
     {
       const std::lock_guard<std::mutex> lock(flush_mutex_);
       DSM_CHECK(flush_outstanding_ > 0);
+      ft_outstanding_.erase(page);
       done = --flush_outstanding_ == 0;
     }
     if (done) flush_cv_.notify_all();
@@ -443,10 +474,12 @@ void ErcProtocol::handle_update_ack(const Message& msg) {
   {
     const std::lock_guard<std::mutex> lock(txn_mutex_);
     auto& txn = txns_.at(page);
-    DSM_CHECK(txn.acks > 0);
-    done = --txn.acks == 0;
+    const bool erased = txn.pending.erase(msg.src) > 0;
+    DSM_CHECK_MSG(erased || ft(), "erc: unexpected update ack");
+    if (!erased) return;  // FT: the death handler already retired this ack
+    done = txn.pending.empty();
   }
-  if (done) home_finish_transaction(page);
+  if (done) home_txn_advance(page);
 }
 
 void ErcProtocol::handle_invalidate(const Message& msg) {
@@ -487,11 +520,228 @@ void ErcProtocol::handle_invalidate_ack(const Message& msg) {
   {
     const std::lock_guard<std::mutex> lock(txn_mutex_);
     auto& txn = txns_.at(page);
+    const bool erased = txn.pending.erase(msg.src) > 0;
+    DSM_CHECK_MSG(erased || ft(), "erc: unexpected invalidate ack");
+    if (!erased) return;  // FT: the death handler already retired this ack
     if (kept != 0) txn.keepers.push_back(msg.src);
-    DSM_CHECK(txn.acks > 0);
-    done = --txn.acks == 0;
+    done = txn.pending.empty();
   }
   if (done) home_after_invalidations(page);
+}
+
+void ErcProtocol::home_txn_advance(PageId page) {
+  bool keeper_phase;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    keeper_phase = txns_.at(page).keeper_phase;
+  }
+  // Update mode has no second phase; invalidate mode runs invalidations then
+  // keeper pushes. home_after_invalidations marks the phase transition.
+  if (mode_ == Mode::kInvalidate && !keeper_phase) {
+    home_after_invalidations(page);
+  } else {
+    home_finish_transaction(page);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Crash fault tolerance: buddy checkpointing + recovery
+// --------------------------------------------------------------------------
+
+void ErcProtocol::maybe_checkpoint(PageId page) {
+  const auto period = ctx_.cfg->ft.checkpoint_period;
+  if (period == 0) return;
+  std::uint32_t version;
+  std::vector<std::byte> bytes;
+  {
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    version = e.version;
+    if (version % period != 0) return;
+    const auto span = ctx_.view->alias_span(page);
+    bytes.assign(span.begin(), span.end());
+  }
+  ctx_.stats->counter("ft.ckpt_stores").add();
+  ctx_.stats->counter("ft.ckpt_bytes").add(bytes.size());
+  WireWriter w(bytes.size() + 16);
+  w.put(page);
+  w.put(version);
+  w.put_bytes(bytes);
+  ctx_.send(MsgType::kCkptStore, buddy(), std::move(w).take());
+}
+
+void ErcProtocol::handle_ckpt_store(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto page = r.get<PageId>();
+  const auto version = r.get<std::uint32_t>();
+  const auto bytes = r.get_bytes();
+  auto& ckpt = ckpt_store_[page];
+  // Retransmit reordering could deliver an older snapshot late.
+  if (version < ckpt.version) return;
+  ckpt.version = version;
+  ckpt.bytes.assign(bytes.begin(), bytes.end());
+}
+
+void ErcProtocol::handle_ckpt_fetch(const Message& msg) {
+  WireReader r(msg.payload);
+  const auto requester = r.get<NodeId>();
+  std::uint32_t count = 0;
+  for (const auto& [page, ckpt] : ckpt_store_) {
+    (void)ckpt;
+    if (ctx_.home_of(page) == requester) ++count;
+  }
+  WireWriter w(64);
+  w.put(count);
+  for (const auto& [page, ckpt] : ckpt_store_) {
+    if (ctx_.home_of(page) != requester) continue;
+    w.put(page);
+    w.put(ckpt.version);
+    w.put_bytes(ckpt.bytes);
+  }
+  ctx_.send(MsgType::kCkptData, requester, std::move(w).take());
+}
+
+void ErcProtocol::handle_ckpt_data(const Message& msg) {
+  if (!restoring_) return;  // duplicate restore reply
+  WireReader r(msg.payload);
+  const auto count = r.get<std::uint32_t>();
+  std::size_t restored = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto page = r.get<PageId>();
+    const auto version = r.get<std::uint32_t>();
+    const auto bytes = r.get_bytes();
+    auto& e = ctx_.table->entry(page);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    DSM_CHECK(bytes.size() == ctx_.cfg->page_size);
+    std::memcpy(ctx_.view->alias_span(page).data(), bytes.data(), bytes.size());
+    e.version = version;
+    ++restored;
+  }
+  // Every home page becomes servable now — pages the buddy had no snapshot
+  // of restore to their initial zeroed state (version 0): writes past their
+  // last checkpoint boundary are the documented bounded loss.
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    if (ctx_.home_of(p) != ctx_.id) continue;
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.state = PageState::kReadOnly;
+    page_io::note_state(ctx_, p, PageState::kReadOnly);
+    ctx_.view->protect(p, Access::kRead);
+  }
+  restoring_ = false;
+  ctx_.stats->counter("ft.ckpt_restored_pages").add(restored);
+  ctx_.stats->histogram("ft.recovery_us")
+      .record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - restore_started_)
+              .count()));
+  // Replay everything that arrived while the restore was in flight.
+  std::deque<Message> parked;
+  parked.swap(restore_parked_);
+  for (const Message& m : parked) on_message(m);
+}
+
+void ErcProtocol::on_peer_down(NodeId peer) {
+  if (peer == ctx_.id) return;
+  // Home side: retire the dead node's outstanding acks — a transaction
+  // waiting on them would wedge its writer forever. (Idempotent: a second
+  // announcement finds the pending sets already clean.)
+  std::vector<PageId> drained;
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    for (auto& [page, txn] : txns_) {
+      if (txn.pending.erase(peer) > 0 && txn.pending.empty()) {
+        drained.push_back(page);
+      }
+    }
+  }
+  for (const PageId page : drained) home_txn_advance(page);
+
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    if (ctx_.home_of(p) == ctx_.id) {
+      // Its copies died with it; stop invalidating/updating them.
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      e.copyset.erase(peer);
+    } else if (ctx_.home_of(p) == peer) {
+      // Our clean copies of the dead home's pages may be newer than the
+      // checkpoint it will restore from; drop them so post-restart reads
+      // observe one consistent (if rolled-back) timeline. Dirty copies
+      // stay: their flush re-sends to the restored home.
+      const std::lock_guard<std::mutex> lock(e.mutex);
+      if (e.state == PageState::kReadOnly && !e.dirty && !e.busy) {
+        ctx_.view->protect(p, Access::kNone);
+        e.state = PageState::kInvalid;
+        page_io::note_state(ctx_, p, PageState::kInvalid);
+      }
+    }
+  }
+}
+
+void ErcProtocol::on_peer_up(NodeId peer) {
+  if (peer == ctx_.id) {
+    // We just restarted: pull our pages' snapshots back from the buddy.
+    WireWriter w(8);
+    w.put(ctx_.id);
+    ctx_.send(MsgType::kCkptFetch, buddy(), std::move(w).take());
+    return;
+  }
+  // A home we were mid-flush to came back: re-send the unacked fields (value
+  // form — idempotent against the restored base).
+  std::vector<std::pair<PageId, std::vector<std::byte>>> resend;
+  {
+    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    for (const auto& [page, field] : ft_outstanding_) {
+      if (ctx_.home_of(page) == peer) resend.emplace_back(page, field);
+    }
+  }
+  for (auto& [page, field] : resend) {
+    ctx_.stats->counter("ft.flush_resends").add();
+    WireWriter w(field.size() + 16);
+    w.put(page);
+    w.put(kToHome);
+    w.put_bytes(field);
+    ctx_.send(MsgType::kUpdate, peer, std::move(w).take());
+  }
+}
+
+void ErcProtocol::on_self_restart() {
+  restore_started_ = std::chrono::steady_clock::now();
+  for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
+    auto& e = ctx_.table->entry(p);
+    const std::lock_guard<std::mutex> lock(e.mutex);
+    e.state = PageState::kInvalid;
+    page_io::note_state(ctx_, p, PageState::kInvalid);
+    ctx_.view->protect(p, Access::kNone);
+    e.copyset.clear();
+    e.busy = false;
+    e.manager_busy = false;
+    e.dirty = false;
+    e.twin.reset();
+    e.acks_outstanding = 0;
+    e.pending_node = kNoNode;
+    e.parked.clear();
+    e.manager_parked.clear();
+    e.version = 0;
+  }
+  dirty_pages_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    flush_outstanding_ = 0;
+    ft_outstanding_.clear();
+  }
+  flush_cv_.notify_all();
+  {
+    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    txns_.clear();
+  }
+  // Snapshots we held for our predecessor died with us — its next restore
+  // falls back to zeroed pages (bounded loss, documented).
+  ckpt_store_.clear();
+  restore_parked_.clear();
+  // Requests racing in ahead of the buddy's kCkptData park behind this flag;
+  // set before the runtime marks us alive.
+  restoring_ = true;
 }
 
 }  // namespace dsm

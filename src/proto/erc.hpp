@@ -10,9 +10,12 @@
 // on its next fault.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "proto/protocol.hpp"
@@ -34,8 +37,22 @@ class ErcProtocol final : public Protocol {
   void before_release(LockId) override { flush_dirty(); }
   void before_barrier(BarrierId) override { flush_dirty(); }
 
+  // Crash fault tolerance (invalidate mode, Config::ft): the cheap
+  // checkpoint/recovery path. Every Nth home version of a page is
+  // snapshotted to the home's buddy (the next node); a restarted home
+  // replays the buddy's snapshots — losing at most checkpoint_period - 1
+  // versions per page — while parking requests behind the restore.
+  void on_peer_down(NodeId peer) override;
+  void on_peer_up(NodeId peer) override;
+  void on_self_restart() override;
+
   /// Number of flushes performed (tests/benches).
   std::uint64_t flushes() const { return n_flushes_; }
+
+  /// The node holding this node's checkpoints (tests).
+  NodeId buddy() const {
+    return static_cast<NodeId>((ctx_.id + 1) % ctx_.n_nodes);
+  }
 
  private:
   /// Sends every dirty page's diff to its home and blocks until all homes
@@ -55,12 +72,20 @@ class ErcProtocol final : public Protocol {
   /// phases: invalidate clean copies, then push the diff to dirty "keepers"
   /// (concurrent writers whose copies cannot be destroyed but must still
   /// observe the released words — the correctness hole naive invalidation
-  /// leaves under false sharing).
+  /// leaves under false sharing). `pending` is a node set, not a count, so
+  /// a member's death can retire exactly its outstanding acks.
   struct HomeTxn {
     NodeId writer = kNoNode;
-    int acks = 0;
+    std::set<NodeId> pending;
+    bool keeper_phase = false;
     std::vector<NodeId> keepers;
     std::vector<std::byte> diff;
+  };
+
+  /// One buddy-held page snapshot (kCkptStore payload).
+  struct Ckpt {
+    std::uint32_t version = 0;
+    std::vector<std::byte> bytes;
   };
 
   /// Home-side: begin (or park) the transaction for a writer's diff.
@@ -69,6 +94,17 @@ class ErcProtocol final : public Protocol {
   void home_finish_transaction(PageId page);
   /// Home-side: all invalidate acks in; either finish or push to keepers.
   void home_after_invalidations(PageId page);
+  /// Home-side: an ack set drained — next phase or finish.
+  void home_txn_advance(PageId page);
+  /// Home-side, after a transaction: snapshot the page to the buddy when its
+  /// version hits a checkpoint boundary.
+  void maybe_checkpoint(PageId page);
+
+  void handle_ckpt_store(const Message& msg);  // at the buddy
+  void handle_ckpt_fetch(const Message& msg);  // at the buddy
+  void handle_ckpt_data(const Message& msg);   // at the restarted home
+
+  bool ft() const { return ctx_.cfg->ft.enabled; }
 
   Mode mode_;
 
@@ -83,6 +119,16 @@ class ErcProtocol final : public Protocol {
   std::condition_variable flush_cv_;
   int flush_outstanding_ = 0;
   std::uint64_t n_flushes_ = 0;
+  // FT only: unacked flush fields by page, so a home's crash+restart can be
+  // survived by re-sending verbatim (value-form diffs make that idempotent).
+  // Guarded by flush_mutex_.
+  std::map<PageId, std::vector<std::byte>> ft_outstanding_;
+
+  // --- checkpoint state (service thread only) -------------------------------
+  std::map<PageId, Ckpt> ckpt_store_;  // snapshots held for our predecessor
+  bool restoring_ = false;             // home pages not yet replayed
+  std::deque<Message> restore_parked_;
+  std::chrono::steady_clock::time_point restore_started_{};
 };
 
 }  // namespace dsm

@@ -5,6 +5,7 @@
 #include "proto/ivy_manager.hpp"
 #include "proto/lrc.hpp"
 #include "proto/protocol.hpp"
+#include "proto/qrc.hpp"
 
 namespace dsm {
 
@@ -18,6 +19,7 @@ const char* to_string(ProtocolKind kind) {
     case ProtocolKind::kLrc: return "lrc";
     case ProtocolKind::kEc: return "ec";
     case ProtocolKind::kHlrc: return "hlrc";
+    case ProtocolKind::kQrc: return "qrc";
   }
   return "?";
 }
@@ -41,6 +43,8 @@ std::unique_ptr<Protocol> make_protocol(NodeContext& ctx) {
       return std::make_unique<EcProtocol>(ctx);
     case ProtocolKind::kHlrc:
       return std::make_unique<HlrcProtocol>(ctx);
+    case ProtocolKind::kQrc:
+      return std::make_unique<QrcProtocol>(ctx);
   }
   DSM_CHECK_MSG(false, "unknown protocol kind");
   return nullptr;

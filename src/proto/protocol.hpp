@@ -42,6 +42,18 @@ class Protocol {
   /// Dispatch for every coherence message type (sync types go to SyncAgent).
   virtual void on_message(const Message& msg) = 0;
 
+  // --- peer liveness (crash fault tolerance; no-ops outside FT runs) -------
+  /// Service thread: `peer` was declared dead (kPeerDown). FT protocols
+  /// fail over (recompute primaries, re-send outstanding work); must be
+  /// idempotent — the failure detector may announce the same death twice.
+  virtual void on_peer_down(NodeId /*peer*/) {}
+  /// Service thread: `peer` rejoined the fabric (kPeerUp).
+  virtual void on_peer_up(NodeId /*peer*/) {}
+  /// Service thread of the *restarting* node itself: wipe all protocol and
+  /// page state back to the post-init_pages picture. Only the restarting
+  /// node's own service thread calls this (race-free: sole toucher).
+  virtual void on_self_restart() {}
+
   // --- synchronization piggyback hooks (no-ops for SC protocols) ----------
   /// App thread, acquirer: extra payload for the lock request (e.g. LRC
   /// vector clock, so the grantor can filter write notices).

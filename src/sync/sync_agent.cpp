@@ -49,8 +49,8 @@ SyncAgent::SyncAgent(NodeContext& ctx, Protocol& protocol)
       local_(ctx.cfg->n_locks),
       barrier_gen_(ctx.cfg->n_barriers, 0),
       barrier_entered_(ctx.cfg->n_barriers, 0),
-      barrier_arrived_(ctx.cfg->n_barriers, 0),
-      barrier_acked_(ctx.cfg->n_barriers, 0) {
+      barrier_arrived_(ctx.cfg->n_barriers),
+      barrier_acked_(ctx.cfg->n_barriers) {
   // Forward-chain: the token (and the chain tail) starts at each lock's home.
   for (LockId l = 0; l < ctx_.cfg->n_locks; ++l) {
     home_[l].tail = ctx_.lock_home(l);
@@ -309,27 +309,36 @@ void SyncAgent::handle_rw_request(const Message& msg, LockId lock, NodeId origin
         ctx_.stats->counter("sync.lock_queued").add();
       } else {
         ++H.readers_active;
+        H.rw_readers.insert(origin);
         grant_now = true;
       }
     }
+    if (grant_now && write) H.rw_writer = origin;
   }
   if (grant_now) send_grant_centralized(lock, origin);
 }
 
 void SyncAgent::handle_rw_release(LockId lock, bool write,
-                                  std::span<const std::byte> payload) {
+                                  std::span<const std::byte> payload, NodeId from) {
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& H = home_[lock];
+    // FT: stale release from a dead node whose grant was already regenerated.
+    if (ctx_.cfg->ft.enabled &&
+        (write ? H.rw_writer != from : H.rw_readers.find(from) == H.rw_readers.end())) {
+      return;
+    }
     // Knowledge dumps only grow between GCs, so the latest release payload
     // (reader or writer) always covers every prior one.
     H.release_payload.assign(payload.begin(), payload.end());
     if (write) {
       DSM_CHECK(H.rw_writer_active);
       H.rw_writer_active = false;
+      H.rw_writer = kNoNode;
     } else {
       DSM_CHECK(H.readers_active > 0);
       --H.readers_active;
+      H.rw_readers.erase(from);
     }
   }
   rw_drain_queues(lock);
@@ -339,6 +348,7 @@ void SyncAgent::rw_drain_queues(LockId lock) {
   // Writer preference: a queued writer goes next once readers drain;
   // otherwise admit every queued reader at once.
   std::vector<Message> grants;
+  bool write_grant = false;
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& H = home_[lock];
@@ -348,6 +358,7 @@ void SyncAgent::rw_drain_queues(LockId lock) {
       grants.push_back(std::move(H.rw_write_queue.front()));
       H.rw_write_queue.pop_front();
       H.rw_writer_active = true;
+      write_grant = true;
     } else {
       while (!H.rw_read_queue.empty()) {
         grants.push_back(std::move(H.rw_read_queue.front()));
@@ -358,6 +369,12 @@ void SyncAgent::rw_drain_queues(LockId lock) {
   }
   for (const auto& g : grants) {
     const auto req = parse_lock_request(g);
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      auto& H = home_[lock];
+      if (write_grant) H.rw_writer = req.origin;
+      else H.rw_readers.insert(req.origin);
+    }
     send_grant_centralized(lock, req.origin);
   }
 }
@@ -368,6 +385,11 @@ void SyncAgent::rw_drain_queues(LockId lock) {
 
 void SyncAgent::handle_lock_request(const Message& msg) {
   const auto req = parse_lock_request(msg);
+
+  // FT: a request from an already-dead worker (its kPeerDown overtook the
+  // request) must not be granted — the grant would be dead-dropped and the
+  // token would be lost with no second regeneration coming.
+  if (ctx_.cfg->ft.enabled && !ctx_.net->liveness().worker_live(req.origin)) return;
 
   if (req.mode == kModeRead || req.mode == kModeWrite) {
     handle_rw_request(msg, req.lock, req.origin, req.mode == kModeWrite, req.payload);
@@ -385,6 +407,7 @@ void SyncAgent::handle_lock_request(const Message& msg) {
         ctx_.stats->counter("sync.lock_queued").add();
       } else {
         H.held = true;
+        H.holder = req.origin;
         grant_now = true;
       }
     }
@@ -483,7 +506,7 @@ void SyncAgent::handle_lock_release(const Message& msg) {
   DSM_CHECK(ctx_.lock_home(lock) == ctx_.id);
 
   if (mode == kModeRead || mode == kModeWrite) {
-    handle_rw_release(lock, mode == kModeWrite, payload);
+    handle_rw_release(lock, mode == kModeWrite, payload, msg.src);
     return;
   }
   DSM_CHECK(ctx_.cfg->lock_policy == LockPolicy::kCentralized);
@@ -492,10 +515,14 @@ void SyncAgent::handle_lock_release(const Message& msg) {
   {
     const std::lock_guard<std::mutex> guard(mutex_);
     auto& H = home_[lock];
+    // FT: the holder died and its kPeerDown overtook this release in our
+    // mailbox — the token was already regenerated, so the release is stale.
+    if (ctx_.cfg->ft.enabled && (!H.held || H.holder != msg.src)) return;
     DSM_CHECK(H.held);
     H.release_payload.assign(payload.begin(), payload.end());
     if (H.waiting.empty()) {
       H.held = false;
+      H.holder = kNoNode;
     } else {
       next = std::move(H.waiting.front());
       H.waiting.pop_front();
@@ -503,6 +530,10 @@ void SyncAgent::handle_lock_release(const Message& msg) {
   }
   if (next.has_value()) {
     const auto req = parse_lock_request(*next);
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      home_[lock].holder = req.origin;
+    }
     send_grant_centralized(lock, req.origin);
   }
 }
@@ -550,49 +581,66 @@ void SyncAgent::handle_barrier_arrive(const Message& msg) {
   const auto payload = r.get_bytes();
   DSM_CHECK(ctx_.barrier_home(barrier) == ctx_.id);
 
-  const auto broadcast_release = [&](std::uint8_t release_phase,
-                                     std::vector<std::byte> release_payload) {
-    WireWriter w(release_payload.size() + 16);
-    w.put(barrier);
-    w.put(release_phase);
-    w.put_bytes(release_payload);
-    const Message prototype =
-        ctx_.make(MsgType::kBarrierRelease, kNoNode, std::move(w).take());
-    std::vector<NodeId> everyone(ctx_.n_nodes);
-    for (std::size_t n = 0; n < ctx_.n_nodes; ++n) everyone[n] = static_cast<NodeId>(n);
-    ctx_.net->multicast(everyone, prototype);
-  };
-
   if (phase == 1) {
     // Settlement ack (two-phase barrier): everyone applied the release.
-    bool complete = false;
-    {
-      const std::lock_guard<std::mutex> guard(mutex_);
-      if (++barrier_acked_[barrier] == ctx_.n_nodes) {
-        barrier_acked_[barrier] = 0;
-        complete = true;
-      }
-    }
-    if (complete) broadcast_release(1, {});
-    return;
+    const std::lock_guard<std::mutex> guard(mutex_);
+    barrier_acked_[barrier].insert(msg.src);
+  } else {
+    WireReader payload_reader(payload);
+    protocol_.on_barrier_collect(barrier, msg.src, payload_reader);
+    const std::lock_guard<std::mutex> guard(mutex_);
+    barrier_arrived_[barrier].insert(msg.src);
   }
+  try_complete_barrier(barrier);
+}
 
-  WireReader payload_reader(payload);
-  protocol_.on_barrier_collect(barrier, msg.src, payload_reader);
-
-  bool complete = false;
+void SyncAgent::try_complete_barrier(BarrierId barrier) {
+  // A round completes when every *live* worker has arrived (or acked, for
+  // the settlement phase). Without faults the live worker set is all N
+  // nodes, so this degenerates to the classic full-count rendezvous. The
+  // empty-set guard keeps an idle round (nothing arrived yet) from
+  // completing spuriously when a death shrinks the target.
+  const auto& live = ctx_.net->liveness();
+  const auto covers = [&](const std::set<NodeId>& arrived) {
+    if (arrived.empty()) return false;
+    for (std::size_t n = 0; n < ctx_.n_nodes; ++n) {
+      const auto node = static_cast<NodeId>(n);
+      if (live.worker_live(node) && arrived.count(node) == 0) return false;
+    }
+    return true;
+  };
+  bool arrive_complete = false;
+  bool ack_complete = false;
   {
     const std::lock_guard<std::mutex> guard(mutex_);
-    if (++barrier_arrived_[barrier] == ctx_.n_nodes) {
-      barrier_arrived_[barrier] = 0;
-      complete = true;
+    if (covers(barrier_arrived_[barrier])) {
+      barrier_arrived_[barrier].clear();
+      arrive_complete = true;
+    }
+    if (covers(barrier_acked_[barrier])) {
+      barrier_acked_[barrier].clear();
+      ack_complete = true;
     }
   }
-  if (!complete) return;
+  if (arrive_complete) {
+    WireWriter release(64);
+    protocol_.fill_barrier_release(barrier, release);
+    broadcast_barrier_release(barrier, 0, std::move(release).take());
+  }
+  if (ack_complete) broadcast_barrier_release(barrier, 1, {});
+}
 
-  WireWriter release(64);
-  protocol_.fill_barrier_release(barrier, release);
-  broadcast_release(0, std::move(release).take());
+void SyncAgent::broadcast_barrier_release(BarrierId barrier, std::uint8_t phase,
+                                          std::vector<std::byte> payload) {
+  WireWriter w(payload.size() + 16);
+  w.put(barrier);
+  w.put(phase);
+  w.put_bytes(payload);
+  const Message prototype =
+      ctx_.make(MsgType::kBarrierRelease, kNoNode, std::move(w).take());
+  std::vector<NodeId> everyone(ctx_.n_nodes);
+  for (std::size_t n = 0; n < ctx_.n_nodes; ++n) everyone[n] = static_cast<NodeId>(n);
+  ctx_.net->multicast(everyone, prototype);
 }
 
 void SyncAgent::handle_barrier_release(const Message& msg) {
@@ -620,6 +668,89 @@ void SyncAgent::handle_barrier_release(const Message& msg) {
     ++barrier_gen_[barrier];
   }
   cv_.notify_all();
+}
+
+// --------------------------------------------------------------------------
+// Crash fault tolerance
+// --------------------------------------------------------------------------
+
+void SyncAgent::on_peer_down(NodeId peer) {
+  // Lock state lives at each lock's home (node 0 under FT, which is never a
+  // kill victim), so only the home acts here. Re-running after a duplicate
+  // death announcement is safe: the holder fields were already cleared.
+  const auto purge = [&](std::deque<Message>& q) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (parse_lock_request(*it).origin == peer) {
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  for (LockId l = 0; l < ctx_.cfg->n_locks; ++l) {
+    if (ctx_.lock_home(l) != ctx_.id) continue;
+    std::optional<Message> next;
+    bool drain_rw = false;
+    {
+      const std::lock_guard<std::mutex> guard(mutex_);
+      auto& H = home_[l];
+      purge(H.waiting);
+      purge(H.rw_read_queue);
+      purge(H.rw_write_queue);
+      if (H.held && H.holder == peer) {
+        // The holder died inside its critical section: mint a replacement
+        // token, exactly once (the checker audits the exactly-once part).
+        ctx_.stats->counter("ft.token_regens").add();
+        if (ctx_.check != nullptr) ctx_.check->on_token_regenerated(l, peer);
+        H.holder = kNoNode;
+        if (H.waiting.empty()) {
+          H.held = false;
+        } else {
+          next = std::move(H.waiting.front());
+          H.waiting.pop_front();
+        }
+      }
+      if (H.rw_writer_active && H.rw_writer == peer) {
+        ctx_.stats->counter("ft.token_regens").add();
+        if (ctx_.check != nullptr) ctx_.check->on_token_regenerated(l, peer);
+        H.rw_writer_active = false;
+        H.rw_writer = kNoNode;
+        drain_rw = true;
+      }
+      if (H.rw_readers.erase(peer) > 0) {
+        DSM_CHECK(H.readers_active > 0);
+        --H.readers_active;
+        ctx_.stats->counter("ft.token_regens").add();
+        if (ctx_.check != nullptr) ctx_.check->on_token_regenerated(l, peer);
+        drain_rw = true;
+      }
+    }
+    if (next.has_value()) {
+      const auto req = parse_lock_request(*next);
+      {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        home_[l].holder = req.origin;
+      }
+      send_grant_centralized(l, req.origin);
+    }
+    if (drain_rw) rw_drain_queues(l);
+  }
+  // A dead worker shrinks the rendezvous: a round it never arrived at may
+  // now be complete with the arrivals already collected.
+  for (BarrierId b = 0; b < ctx_.cfg->n_barriers; ++b) {
+    if (ctx_.barrier_home(b) == ctx_.id) try_complete_barrier(b);
+  }
+}
+
+void SyncAgent::on_peer_up(NodeId /*peer*/) {
+  // A restarted node rejoins the memory fabric only; its worker never
+  // re-enters the computation, so lock and barrier state are unaffected.
+}
+
+void SyncAgent::on_self_restart() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  // Home-side state matters only at node 0, which never restarts under FT.
+  for (auto& L : local_) L = LocalLock{};
 }
 
 }  // namespace dsm

@@ -22,6 +22,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/context.hpp"
@@ -57,9 +58,23 @@ class SyncAgent {
   // --- service-thread dispatch ---------------------------------------------
   void on_message(const Message& msg);
 
+  // --- peer liveness (crash fault tolerance) -------------------------------
+  /// Service thread, every node: `peer` died. The lock home (node 0 under
+  /// FT) regenerates tokens the dead holder held, purges its queued
+  /// requests, and re-checks barrier rounds against the shrunk live worker
+  /// set. Idempotent (the detector may announce a death twice).
+  void on_peer_down(NodeId peer);
+  /// Service thread: `peer` rejoined the memory fabric. Its worker stays
+  /// dead (restarted nodes serve pages; they do not rejoin the computation),
+  /// so lock and barrier state need no changes — kept for symmetry.
+  void on_peer_up(NodeId peer);
+  /// Restarting node's own service thread: wipe local lock state.
+  void on_self_restart();
+
  private:
   struct HomeLock {
     bool held = false;                        // centralized: token is out
+    NodeId holder = kNoNode;                  // centralized: who holds it (FT)
     std::deque<Message> waiting;              // centralized: queued requests
     std::vector<std::byte> release_payload;   // centralized: last release's payload
     NodeId tail = kNoNode;                    // forward-chain: last requester
@@ -67,6 +82,8 @@ class SyncAgent {
     // either mutex mode or rw mode by the application, not both at once.
     std::uint32_t readers_active = 0;
     bool rw_writer_active = false;
+    NodeId rw_writer = kNoNode;               // FT: current writer identity
+    std::set<NodeId> rw_readers;              // FT: current reader identities
     std::deque<Message> rw_read_queue;
     std::deque<Message> rw_write_queue;
   };
@@ -84,11 +101,17 @@ class SyncAgent {
   /// Home-side reader-writer state machine (request modes 2/3, releases).
   void handle_rw_request(const Message& msg, LockId lock, NodeId origin, bool write,
                          std::span<const std::byte> payload);
-  void handle_rw_release(LockId lock, bool write, std::span<const std::byte> payload);
+  void handle_rw_release(LockId lock, bool write, std::span<const std::byte> payload,
+                         NodeId from);
   /// Grants every queued rw request that is now admissible.
   void rw_drain_queues(LockId lock);
   void handle_barrier_arrive(const Message& msg);
   void handle_barrier_release(const Message& msg);
+  /// Manager: has every live worker arrived (phase 0) / acked (phase 1)?
+  /// Completes the round if so. Called on arrival and on a peer death.
+  void try_complete_barrier(BarrierId barrier);
+  void broadcast_barrier_release(BarrierId barrier, std::uint8_t phase,
+                                 std::vector<std::byte> payload);
 
   /// Home-side (forward-chain): route a fresh request to the chain tail.
   void route_to_tail(const Message& msg, LockId lock, NodeId origin);
@@ -105,8 +128,12 @@ class SyncAgent {
   std::vector<LocalLock> local_;   // indexed by LockId
   std::vector<std::uint64_t> barrier_gen_;       // client: generations released
   std::vector<std::uint64_t> barrier_entered_;   // client: generations entered
-  std::vector<std::size_t> barrier_arrived_;     // manager: arrivals this round
-  std::vector<std::size_t> barrier_acked_;       // manager: settlement acks (two-phase)
+  // Manager-side rendezvous state, per barrier id. Identity sets instead of
+  // counters so a round can settle against the *live* worker set when a
+  // participant dies mid-round (a dead arrival must not stand in for a live
+  // worker that has yet to arrive).
+  std::vector<std::set<NodeId>> barrier_arrived_;  // manager: arrivals this round
+  std::vector<std::set<NodeId>> barrier_acked_;    // manager: settlement acks
 };
 
 }  // namespace dsm

@@ -1,0 +1,121 @@
+// Liveness-table tests: the per-link dead-peer state behind ISSUE 6's
+// bounded-retry audit. A give-up under FT is a failure detection — the peer
+// is marked dead, every hosted node hears kPeerDown, and later sends to the
+// corpse are dropped (net.dead_dropped) instead of retransmitted forever.
+#include "net/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "common/stats.hpp"
+#include "net/network.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(LivenessTest, EveryoneStartsAliveWithIncarnationZero) {
+  Liveness live(3);
+  EXPECT_EQ(live.size(), 3u);
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_TRUE(live.alive(n));
+    EXPECT_TRUE(live.worker_live(n));
+    EXPECT_EQ(live.incarnation(n), 0u);
+  }
+  EXPECT_EQ(live.live_count(), 3u);
+  EXPECT_EQ(live.live_worker_count(), 3u);
+}
+
+TEST(LivenessTest, DeathAndRestartAreSeparateFromWorkerLiveness) {
+  Liveness live(3);
+  live.mark_worker_dead(1);
+  live.mark_dead(1);
+  EXPECT_FALSE(live.alive(1));
+  EXPECT_FALSE(live.worker_live(1));
+  EXPECT_EQ(live.live_count(), 2u);
+  EXPECT_EQ(live.live_worker_count(), 2u);
+
+  // A restart rejoins the memory fabric with a fresh incarnation, but the
+  // application thread stays gone: barriers must not wait for it again.
+  live.mark_restarted(1);
+  EXPECT_TRUE(live.alive(1));
+  EXPECT_FALSE(live.worker_live(1));
+  EXPECT_EQ(live.incarnation(1), 1u);
+  EXPECT_EQ(live.live_count(), 3u);
+  EXPECT_EQ(live.live_worker_count(), 2u);
+}
+
+bool poll_until(const std::function<bool()>& done,
+                std::chrono::milliseconds deadline = std::chrono::seconds(5)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+Message make_msg(MsgType type, NodeId src, NodeId dst) {
+  Message m;
+  m.type = type;
+  m.src = src;
+  m.dst = dst;
+  return m;
+}
+
+TEST(LivenessTest, GiveUpUnderFtDeclaresThePeerDead) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 1;
+  rel.rto_max_ms = 8;
+  rel.max_retries = 3;
+  Network net(3, LinkModel{}, &stats, rel);
+  net.set_ft(true);
+  net.set_drop_hook([](const Message& m) { return m.dst == 2; });  // severed node
+
+  net.send(make_msg(MsgType::kUpdate, 0, 2));
+  ASSERT_TRUE(poll_until([&] { return stats.snapshot().counter("net.gave_up") >= 1; }));
+  // The give-up is not just a counter bump: node 2 is now observably dead.
+  ASSERT_TRUE(poll_until([&] { return !net.liveness().alive(2); }));
+  EXPECT_FALSE(net.liveness().worker_live(2));
+  EXPECT_GE(stats.snapshot().counter("net.peer_dead"), 1u);
+
+  // Every hosted node is told, in-band.
+  for (NodeId host = 0; host < 3; ++host) {
+    const auto msg = net.recv(host);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->type, MsgType::kPeerDown);
+  }
+
+  // Later sends to the corpse are dropped immediately, not retried into the
+  // void: the fabric stays quiescent.
+  net.send(make_msg(MsgType::kUpdate, 1, 2));
+  EXPECT_TRUE(poll_until([&] { return stats.snapshot().counter("net.dead_dropped") >= 1; }));
+  EXPECT_TRUE(poll_until([&] { return net.idle(); }));
+
+  // Links between live nodes are unaffected.
+  net.send(make_msg(MsgType::kConfirm, 1, 0));
+  const auto ok = net.recv(0);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->type, MsgType::kConfirm);
+}
+
+TEST(LivenessTest, WithoutFtGiveUpStaysACounter) {
+  StatsRegistry stats;
+  ReliabilityConfig rel;
+  rel.rto_ms = 1;
+  rel.rto_max_ms = 8;
+  rel.max_retries = 2;
+  Network net(2, LinkModel{}, &stats, rel);  // FT off: pre-ISSUE-6 behavior
+  net.set_drop_hook([](const Message&) { return true; });
+
+  net.send(make_msg(MsgType::kUpdate, 0, 1));
+  ASSERT_TRUE(poll_until([&] { return stats.snapshot().counter("net.gave_up") >= 1; }));
+  EXPECT_TRUE(net.liveness().alive(1));
+  EXPECT_EQ(stats.snapshot().counter("net.peer_dead"), 0u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -24,6 +24,18 @@
 // the failing rank's code (128+signal for signal deaths). SIGINT/SIGTERM to
 // dsmrun are forwarded to all ranks.
 //
+// Crash policy (--on-crash): a rank that dies by *signal* (SIGKILL, SIGSEGV —
+// chaos or the OOM killer) is a crash, not a failure exit.
+//   teardown (default)  tear the fleet down as for a failure, but exit with
+//                       the distinct code 97 so harnesses can tell "a rank
+//                       crashed" from "a rank failed".
+//   respawn             re-bind the rank's endpoint and re-exec it with
+//                       DSM_INCARNATION bumped; the UDP transport stamps the
+//                       incarnation into its wire epoch, so the respawned
+//                       process rejoins while pre-crash stragglers are
+//                       dropped as stale. At most 3 respawns per rank, then
+//                       teardown.
+//
 // Deliberately standalone (no tutordsm link), like dsmcheck_offline: plain
 // POSIX, so it can launch any build of any tutordsm program.
 #include <arpa/inet.h>
@@ -43,11 +55,19 @@
 
 namespace {
 
+enum class OnCrash { kTeardown, kRespawn };
+
+/// dsmrun's own exit code for "a rank died by signal" under the default
+/// teardown policy — distinct from any program exit code or 128+signal.
+constexpr int kCrashExit = 97;
+constexpr unsigned kMaxRespawns = 3;
+
 struct Options {
   std::size_t nodes = 0;        // 0 = unset (default 4, or peer-list size)
   int base_port = -1;           // -1 = ephemeral
   std::vector<std::string> peers;  // explicit endpoints (self-bind mode)
   bool verbose = false;
+  OnCrash on_crash = OnCrash::kTeardown;
   std::vector<char*> command;   // program + args
 };
 
@@ -59,7 +79,8 @@ void on_signal(int sig) { g_forward_signal = sig; }
   if (msg != nullptr) std::fprintf(stderr, "dsmrun: %s\n", msg);
   std::fprintf(stderr,
                "usage: dsmrun --nodes N [--base-port P | --peers LIST | "
-               "--config FILE] [--verbose] -- <program> [args...]\n");
+               "--config FILE] [--on-crash teardown|respawn] [--verbose] "
+               "-- <program> [args...]\n");
   std::exit(2);
 }
 
@@ -118,6 +139,15 @@ Options parse_args(int argc, char** argv) {
       opt.peers = split_csv(value("--peers"));
     } else if (arg == "--config") {
       opt.peers = read_config(value("--config"));
+    } else if (arg == "--on-crash") {
+      const std::string policy = value("--on-crash");
+      if (policy == "teardown") {
+        opt.on_crash = OnCrash::kTeardown;
+      } else if (policy == "respawn") {
+        opt.on_crash = OnCrash::kRespawn;
+      } else {
+        usage_error("--on-crash must be 'teardown' or 'respawn'");
+      }
     } else if (arg == "--verbose" || arg == "-v") {
       opt.verbose = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -173,6 +203,13 @@ std::string join_csv(const std::vector<std::string>& parts) {
   return out;
 }
 
+int port_of(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  return colon == std::string::npos
+             ? -1
+             : static_cast<int>(std::strtol(endpoint.c_str() + colon + 1, nullptr, 10));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -203,33 +240,45 @@ int main(int argc, char** argv) {
   ::sigaction(SIGALRM, &sa, nullptr);
 
   std::vector<pid_t> pids(opt.nodes, -1);
-  for (std::size_t r = 0; r < opt.nodes; ++r) {
+  std::vector<unsigned> incarnations(opt.nodes, 0);
+  // Forks rank r. `fd` is its socket in fd mode (-1 otherwise); `siblings`
+  // lists the other ranks' fds to close at first launch (null on respawn —
+  // the parent holds no sibling sockets by then).
+  auto spawn = [&](std::size_t r, int fd, const std::vector<int>* siblings) -> pid_t {
     const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child = rank r. Keep only our own socket; a sibling's inherited fd
+    // would hold its port open past that sibling's death.
+    if (fd_mode) {
+      if (siblings != nullptr) {
+        for (std::size_t s = 0; s < opt.nodes; ++s) {
+          if (s != r) ::close((*siblings)[s]);
+        }
+      }
+      ::setenv("DSM_SOCKET_FD", std::to_string(fd).c_str(), 1);
+    }
+    ::setenv("DSM_TRANSPORT", "udp", 1);
+    ::setenv("DSM_NODES", std::to_string(opt.nodes).c_str(), 1);
+    ::setenv("DSM_NODE", std::to_string(r).c_str(), 1);
+    ::setenv("DSM_PEERS", peers_csv.c_str(), 1);
+    // The UDP transport stamps this into its wire epoch: a respawned rank's
+    // fresh incarnation is how peers tell it from its pre-crash ghost.
+    ::setenv("DSM_INCARNATION", std::to_string(incarnations[r]).c_str(), 1);
+    std::vector<char*> args(opt.command);
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    std::fprintf(stderr, "dsmrun: exec %s: %s\n", args[0], std::strerror(errno));
+    std::_Exit(127);
+  };
+
+  for (std::size_t r = 0; r < opt.nodes; ++r) {
+    const pid_t pid = spawn(r, fd_mode ? fds[r] : -1, &fds);
     if (pid < 0) {
       std::perror("dsmrun: fork");
       for (const pid_t p : pids) {
         if (p > 0) ::kill(p, SIGKILL);
       }
       return 1;
-    }
-    if (pid == 0) {
-      // Child = rank r. Keep only our own socket; a sibling's inherited fd
-      // would hold its port open past that sibling's death.
-      if (fd_mode) {
-        for (std::size_t s = 0; s < opt.nodes; ++s) {
-          if (s != r) ::close(fds[s]);
-        }
-        ::setenv("DSM_SOCKET_FD", std::to_string(fds[r]).c_str(), 1);
-      }
-      ::setenv("DSM_TRANSPORT", "udp", 1);
-      ::setenv("DSM_NODES", std::to_string(opt.nodes).c_str(), 1);
-      ::setenv("DSM_NODE", std::to_string(r).c_str(), 1);
-      ::setenv("DSM_PEERS", peers_csv.c_str(), 1);
-      std::vector<char*> args(opt.command);
-      args.push_back(nullptr);
-      ::execvp(args[0], args.data());
-      std::fprintf(stderr, "dsmrun: exec %s: %s\n", args[0], std::strerror(errno));
-      std::_Exit(127);
     }
     pids[r] = pid;
   }
@@ -273,18 +322,42 @@ int main(int argc, char** argv) {
     pids[rank] = -1;
     --live;
 
+    const bool crashed = WIFSIGNALED(status);
     int code = 0;
     if (WIFEXITED(status)) {
       code = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
+    } else if (crashed) {
       code = 128 + WTERMSIG(status);
     }
     if (opt.verbose || code != 0) {
-      std::fprintf(stderr, "dsmrun: rank %zu (pid %d) exited %d\n", rank,
-                   static_cast<int>(pid), code);
+      std::fprintf(stderr, "dsmrun: rank %zu (pid %d) %s %d\n", rank,
+                   static_cast<int>(pid), crashed ? "killed by signal, code" : "exited",
+                   code);
+    }
+    if (crashed && opt.on_crash == OnCrash::kRespawn && !terminating &&
+        incarnations[rank] < kMaxRespawns) {
+      ++incarnations[rank];
+      int fd = -1;
+      if (fd_mode) {
+        // The crashed process took its socket with it; re-bind the same
+        // endpoint (UDP: no TIME_WAIT, SO_REUSEADDR covers the rest).
+        std::string endpoint;
+        fd = bind_loopback(port_of(opt.peers[rank]), &endpoint);
+      }
+      std::fprintf(stderr, "dsmrun: respawning rank %zu (incarnation %u/%u)\n",
+                   rank, incarnations[rank], kMaxRespawns);
+      const pid_t child = spawn(rank, fd, nullptr);
+      if (fd >= 0) ::close(fd);
+      if (child > 0) {
+        pids[rank] = child;
+        ++live;
+        continue;
+      }
+      std::perror("dsmrun: fork (respawn)");
+      // Fall through to teardown.
     }
     if (code != 0 && first_failure == 0) {
-      first_failure = code;
+      first_failure = crashed ? kCrashExit : code;
       if (live > 0 && !terminating) {
         // One rank down means the fleet can only hang (its peers' requests
         // would retransmit forever): terminate, grace, then kill.
