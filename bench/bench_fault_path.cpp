@@ -7,11 +7,14 @@
 // derived from recorded spans (fault-txn spans and net-transit spans), and
 // `--trace=FILE` exports the exact same spans as Chrome-trace JSON — the
 // printed tables are reproducible from the file.
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <string_view>
 
 #include "../tests/test_util.hpp"
 #include "harness.hpp"
+#include "mem/fault_engine.hpp"
 
 namespace {
 
@@ -65,10 +68,92 @@ void add_leg_rows(bench::Table& legs, ProtocolKind protocol, const char* scenari
   }
 }
 
+// --- trap-cost microbench ---------------------------------------------------
+// Raw fault service cost per engine, protocol-free: one region, a handler
+// that does nothing but install the final access right, wall-clock timed
+// from the faulting thread (trap -> classify -> install -> resume). This is
+// the number the engines differ on — everything above the seam is identical.
+
+struct TrapCost {
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  double faults_per_sec = 0.0;
+};
+
+TrapCost summarize(std::vector<std::uint64_t>& samples) {
+  TrapCost cost;
+  if (samples.empty()) return cost;
+  std::sort(samples.begin(), samples.end());
+  cost.p50_ns = samples[samples.size() / 2];
+  cost.p99_ns = samples[(samples.size() * 99) / 100];
+  std::uint64_t total = 0;
+  for (const auto s : samples) total += s;
+  if (total > 0) {
+    cost.faults_per_sec =
+        static_cast<double>(samples.size()) * 1e9 / static_cast<double>(total);
+  }
+  return cost;
+}
+
+/// Times `iters` faults of one kind. `write_upgrade` selects the read-only →
+/// read-write upgrade path (uffd: WP fault; sigsegv: write trap on a
+/// PROT_READ page); otherwise the invalid → read install path (uffd: minor
+/// fault; sigsegv: read trap on a PROT_NONE page). The per-iteration reset
+/// (zap / downgrade) happens outside the timed window.
+TrapCost measure_trap_cost(FaultEngine& engine, ViewRegion& view,
+                           bool write_upgrade, int iters) {
+  using clock = std::chrono::steady_clock;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  volatile std::byte* p = view.page_ptr(0);
+  for (int i = 0; i < iters; ++i) {
+    if (write_upgrade) {
+      engine.protect(view, 0, Access::kNone);
+      dsm::test::force_read(const_cast<const std::byte*>(view.page_ptr(0)));
+      const auto t0 = clock::now();
+      *p = std::byte{1};  // wp / write fault -> handler installs kReadWrite
+      const auto t1 = clock::now();
+      samples.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    } else {
+      engine.protect(view, 0, Access::kNone);
+      const auto t0 = clock::now();
+      dsm::test::force_read(const_cast<const std::byte*>(view.page_ptr(0)));
+      const auto t1 = clock::now();
+      samples.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()));
+    }
+  }
+  return summarize(samples);
+}
+
+void add_trap_rows(bench::Table& traps, FaultEngineKind kind, int iters) {
+  StatsRegistry stats;
+  auto engine = make_fault_engine(kind, &stats);
+  ViewRegion view(4, ViewRegion::os_page_size());
+  RegionHooks hooks;
+  hooks.on_fault = [&](PageId page, std::size_t, bool is_write) {
+    engine->protect(view, page,
+                    is_write ? Access::kReadWrite : Access::kRead);
+  };
+  hooks.infer_write = [&](PageId) { return false; };
+  const int token = engine->add_region(&view, hooks);
+
+  for (const bool write_upgrade : {false, true}) {
+    const auto cost = measure_trap_cost(*engine, view, write_upgrade, iters);
+    traps.add_row({std::string(engine->name()),
+                   write_upgrade ? "write-upgrade" : "read-install",
+                   bench::fmt_count(cost.p50_ns), bench::fmt_count(cost.p99_ns),
+                   bench::fmt_double(cost.faults_per_sec, 0)});
+  }
+  engine->remove_region(token);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_arg(argc, argv);
+  const std::string json_path = bench::json_arg(argc, argv);
 
   bench::Table table("T1/T2 — fault-path cost per protocol (4 nodes, 10 us links, 10 MB/s)",
                      {"protocol", "scenario", "msgs", "bytes", "fault p50 (us)"});
@@ -81,6 +166,23 @@ int main(int argc, char** argv) {
   bench::Table legs("T2 — transaction legs from trace spans (net transit per message type)",
                     {"protocol", "scenario", "leg", "count", "total (us)"});
   legs.note("each leg is one net-transit span: send_time -> arrival_time");
+
+  bench::Table traps("T3 — raw trap cost per fault engine (wall clock, protocol-free)",
+                     {"engine", "scenario", "p50 (ns)", "p99 (ns)", "faults/sec"});
+  traps.note("read-install: invalid page -> read fault -> install read rights");
+  traps.note("write-upgrade: read-only page -> write fault -> install rw rights");
+  traps.note("timed on the faulting thread: trap -> classify -> install -> resume");
+  traps.note("sigsegv resolves in the signal handler; uffd round-trips a poller thread");
+  {
+    const int kTrapIters = 2000;
+    add_trap_rows(traps, FaultEngineKind::kSigsegv, kTrapIters);
+    std::string reason;
+    if (uffd_available(&reason)) {
+      add_trap_rows(traps, FaultEngineKind::kUffd, kTrapIters);
+    } else {
+      traps.note("[uffd unavailable] " + reason + " — sigsegv rows only");
+    }
+  }
 
   std::vector<TraceGroup> groups;
   std::uint64_t dropped = 0;
@@ -160,6 +262,8 @@ int main(int argc, char** argv) {
 
   table.print();
   legs.print();
+  traps.print();
+  bench::write_json(json_path, {table, legs, traps});
   bench::write_trace(trace_path, groups, dropped);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "common/clock.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "mem/fault_engine.hpp"
 #include "mem/page_table.hpp"
 #include "mem/region.hpp"
 #include "net/network.hpp"
@@ -95,6 +96,12 @@ struct Config {
   /// default; real UDP sockets for conformance runs and dsmrun multi-process
   /// launches). See DESIGN.md "Transport backends".
   TransportConfig transport{};
+  /// Which fault engine traps coherence faults on the app view: mprotect +
+  /// SIGSEGV (default, the historical path) or userfaultfd minor+WP with a
+  /// poller thread. Overridable per run via TUTORDSM_FAULT_ENGINE; falls
+  /// back to kSigsegv with a warning when uffd is requested but the kernel
+  /// lacks support. See DESIGN.md "Fault engines".
+  FaultEngineKind fault_engine = FaultEngineKind::kSigsegv;
   /// An app thread blocked in the fault path or a sync operation longer
   /// than this (real milliseconds) triggers a diagnostic dump and a clean
   /// abort instead of an infinite hang. 0 disables the watchdog.
@@ -143,6 +150,7 @@ struct NodeContext {
   StatsRegistry* stats = nullptr;
   Tracer* trace = nullptr;      ///< null when tracing is off
   DsmChecker* check = nullptr;  ///< null when check_level is kOff
+  FaultEngine* fault = nullptr; ///< the engine trapping this node's app view
 
   /// Static distribution of pages to their home nodes.
   NodeId home_of(PageId page) const {

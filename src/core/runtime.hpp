@@ -17,6 +17,7 @@
 #include "core/shared.hpp"
 #include "core/watchdog.hpp"
 #include "mem/fault.hpp"
+#include "mem/fault_engine.hpp"
 #include "proto/protocol.hpp"
 #include "sync/sync_agent.hpp"
 
@@ -125,6 +126,12 @@ class System {
   DsmChecker* checker() { return checker_.get(); }
   const DsmChecker* checker() const { return checker_.get(); }
 
+  /// The fault engine trapping every hosted node's app view. Reflects the
+  /// effective choice: Config::fault_engine after the TUTORDSM_FAULT_ENGINE
+  /// override and the uffd-unavailable fallback have been applied.
+  FaultEngine& fault_engine() { return *fault_engine_; }
+  const FaultEngine& fault_engine() const { return *fault_engine_; }
+
   // --- white-box access (tests, benches) -----------------------------------
   Network& network() { return *network_; }
   PageTable& table(NodeId node) { return *nodes_[node]->table; }
@@ -182,6 +189,7 @@ class System {
   StatsRegistry stats_;
   std::unique_ptr<Tracer> tracer_;       // null when tracing is off
   std::unique_ptr<DsmChecker> checker_;  // null when check_level is kOff
+  std::unique_ptr<FaultEngine> fault_engine_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<Node>> nodes_;

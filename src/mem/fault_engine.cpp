@@ -1,0 +1,94 @@
+#include "mem/fault_engine.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/logging.hpp"
+
+namespace dsm {
+
+const char* to_string(FaultEngineKind kind) {
+  switch (kind) {
+    case FaultEngineKind::kSigsegv: return "sigsegv";
+    case FaultEngineKind::kUffd: return "uffd";
+  }
+  return "?";
+}
+
+void FaultEngine::debug_dump(std::ostream& os) const {
+  os << "  fault engine: " << name() << " (" << active_regions() << " regions)\n";
+}
+
+namespace {
+
+// The historical trap path, wrapped behind the seam: registration delegates
+// to the process-wide SIGSEGV FaultRouter, and protect() is raw mprotect.
+// No protect route is installed on the region — ViewRegion::protect falls
+// through to mprotect_page directly, so the fault path, syscall sequence,
+// and counters are bit-identical to the pre-seam system.
+class SigsegvEngine final : public FaultEngine {
+ public:
+  std::string_view name() const override { return "sigsegv"; }
+  FaultEngineKind kind() const override { return FaultEngineKind::kSigsegv; }
+
+  int add_region(ViewRegion* view, RegionHooks hooks) override {
+    DSM_CHECK(view != nullptr && hooks.on_fault != nullptr);
+    const int token = FaultRouter::instance().add_region(
+        view, std::move(hooks.on_fault), std::move(hooks.infer_write));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tokens_.push_back(token);
+    return token;
+  }
+
+  void remove_region(int token) override {
+    FaultRouter::instance().remove_region(token);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::erase(tokens_, token);
+  }
+
+  void protect(const ViewRegion& view, PageId page, Access access) override {
+    view.mprotect_page(page, access);
+  }
+
+  int active_regions() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<int>(tokens_.size());
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<int> tokens_;  ///< this engine's FaultRouter registrations
+};
+
+}  // namespace
+
+std::unique_ptr<FaultEngine> make_fault_engine(FaultEngineKind kind,
+                                               StatsRegistry* stats) {
+  switch (kind) {
+    case FaultEngineKind::kSigsegv: return std::make_unique<SigsegvEngine>();
+    case FaultEngineKind::kUffd: return make_uffd_engine(stats);
+  }
+  DSM_CHECK_MSG(false, "unknown fault engine kind");
+  return nullptr;
+}
+
+bool fault_engine_kind_from_env(FaultEngineKind& kind) {
+  const char* value = std::getenv("TUTORDSM_FAULT_ENGINE");
+  if (value == nullptr || *value == '\0') return false;
+  if (std::strcmp(value, "sigsegv") == 0) {
+    kind = FaultEngineKind::kSigsegv;
+    return true;
+  }
+  if (std::strcmp(value, "uffd") == 0) {
+    kind = FaultEngineKind::kUffd;
+    return true;
+  }
+  DSM_CHECK_MSG(false, "TUTORDSM_FAULT_ENGINE must be 'sigsegv' or 'uffd', got '"
+                           << value << "'");
+  return false;
+}
+
+}  // namespace dsm

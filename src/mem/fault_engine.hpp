@@ -1,0 +1,126 @@
+// Pluggable fault engines. A FaultEngine owns how a node's app view traps —
+// how coherence faults are detected, classified (read miss vs write
+// miss/upgrade), routed into the protocol state machine, and how access
+// rights are (re)installed once the protocol resolves them. Two engines
+// implement the seam (selectable per run, like `Config::transport`):
+//
+//   SigsegvEngine  the historical trap path: per-page mprotect rights on the
+//                  app view, a process-wide SIGSEGV handler resolving faults
+//                  synchronously on the faulting thread (mem/fault.hpp).
+//                  Bit-identical to the pre-seam system.
+//   UffdEngine     the production trap path: the app view is registered with
+//                  `userfaultfd` in minor-fault + write-protect mode, and a
+//                  dedicated poller thread per region services faults with
+//                  UFFDIO_CONTINUE / UFFDIO_WRITEPROTECT — protocol code runs
+//                  on a normal thread, free of the signal-handler
+//                  async-signal-safety straitjacket, which is what unlocks
+//                  multi-threaded app nodes. See DESIGN.md "Fault engines".
+//
+// The seam placement mirrors the Transport seam: everything *above* —
+// protocol transitions, page install contents (always through the service
+// window alias), twins/diffs, dsmcheck hooks — is engine-independent, so the
+// same workload produces the same fault sequence, message flow, and result
+// checksums on either engine (proven by the ".uffd" conformance-test copies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/fault.hpp"
+#include "mem/region.hpp"
+#include "trace/trace.hpp"
+
+namespace dsm {
+
+enum class FaultEngineKind : std::uint8_t {
+  kSigsegv,  ///< mprotect + SIGSEGV handler (default; the historical path)
+  kUffd,     ///< userfaultfd minor+write-protect with a poller thread
+};
+
+const char* to_string(FaultEngineKind kind);
+
+/// Per-region wiring an engine needs beyond the fault callback itself. The
+/// tracer/clock/node triple lets the uffd engine emit its service-leg spans
+/// ("uffd-minor" / "uffd-wp") on the owning node's virtual timeline.
+struct RegionHooks {
+  /// Invoked once per trapped access with (page, byte offset, is_write).
+  /// The handler must leave the page's final access rights installed via
+  /// ViewRegion::protect before returning — on either engine an unresolved
+  /// fault simply re-faults (SIGSEGV) or re-waits (uffd) forever, which the
+  /// watchdog converts into a diagnostic abort.
+  FaultHandler on_fault;
+  /// SIGSEGV fallback on architectures whose trap frame does not report
+  /// read-vs-write. The uffd engine classifies from the kernel event flags
+  /// and never calls this.
+  WriteInferrer infer_write;
+  Tracer* trace = nullptr;        ///< null when tracing is off
+  LogicalClock* clock = nullptr;  ///< the owning node's virtual clock
+  NodeId node = kNoNode;
+};
+
+/// A fault engine: installs trap ownership over view regions and implements
+/// per-page access-right changes. `protect` must be callable from any thread
+/// (service threads install pages concurrently with app-thread faults) and
+/// must never wake a faulting thread before its handler has completed — the
+/// engine, not the protocol, owns resume ordering.
+class FaultEngine {
+ public:
+  virtual ~FaultEngine() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual FaultEngineKind kind() const = 0;
+
+  /// Takes trap ownership of `view`'s app view; faults invoke
+  /// `hooks.on_fault`. Also routes ViewRegion::protect through this engine
+  /// for the region's lifetime. Returns a token for remove_region. The
+  /// region must outlive its registration, and no fault may be in flight
+  /// when remove_region is called (all app threads joined).
+  virtual int add_region(ViewRegion* view, RegionHooks hooks) = 0;
+  virtual void remove_region(int token) = 0;
+
+  /// Sets `page`'s access rights on the app view: mprotect bits (sigsegv)
+  /// or PTE presence + the uffd write-protect bit (uffd).
+  virtual void protect(const ViewRegion& view, PageId page, Access access) = 0;
+
+  /// Number of live registrations (tests).
+  virtual int active_regions() const = 0;
+
+  virtual void debug_dump(std::ostream& os) const;
+};
+
+// --- construction & environment --------------------------------------------
+
+/// Builds the requested engine. `stats` carries the uffd engine's counters
+/// (uffd.minor_faults, uffd.wp_faults, uffd.continues, uffd.writeprotects,
+/// uffd.zaps, uffd.wakes); the sigsegv engine adds no counters (its path is
+/// bit-identical to the pre-seam system). Callers must probe
+/// `uffd_available` before requesting kUffd.
+std::unique_ptr<FaultEngine> make_fault_engine(FaultEngineKind kind,
+                                               StatsRegistry* stats);
+
+/// Conformance-suite override: TUTORDSM_FAULT_ENGINE=uffd|sigsegv selects
+/// the engine for programs that didn't pick one explicitly. Returns true
+/// when the variable was set and applied; aborts on an unknown value.
+bool fault_engine_kind_from_env(FaultEngineKind& kind);
+
+/// Capability probe: can this kernel/process run the uffd engine? Requires
+/// the userfaultfd syscall (user-mode-only creation works unprivileged),
+/// minor-fault support on shmem (kernel >= 5.13) and write-protect support
+/// on shmem (kernel >= 5.19). Returns false with a human-readable reason in
+/// `*reason` (used by the tests' visible "[uffd unavailable]" skip note).
+/// TUTORDSM_UFFD_UNAVAILABLE=1 forces false so CI can exercise the skip and
+/// fallback paths on any kernel.
+bool uffd_available(std::string* reason);
+
+/// Internal: the uffd backend factory (uffd_engine.cpp). Aborts if
+/// uffd_available() is false.
+std::unique_ptr<FaultEngine> make_uffd_engine(StatsRegistry* stats);
+
+}  // namespace dsm

@@ -56,6 +56,14 @@ ViewRegion::~ViewRegion() {
 }
 
 void ViewRegion::protect(PageId page, Access access) const {
+  if (protect_route_) {
+    protect_route_(page, access);
+    return;
+  }
+  mprotect_page(page, access);
+}
+
+void ViewRegion::mprotect_page(PageId page, Access access) const {
   DSM_CHECK_MSG(page < n_pages_, "protect of out-of-range page " << page);
   const int rc = ::mprotect(page_ptr(page), page_size_, to_prot(access));
   DSM_CHECK_MSG(rc == 0, "mprotect(page " << page << ") failed: " << std::strerror(errno));

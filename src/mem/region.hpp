@@ -18,13 +18,16 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <span>
 
 #include "common/types.hpp"
 
 namespace dsm {
 
-/// Access rights for a DSM page, mapped onto mprotect bits.
+/// Access rights for a DSM page. The sigsegv engine maps these onto mprotect
+/// bits; the uffd engine onto PTE presence + the userfaultfd write-protect
+/// bit. Either way the app view traps exactly on accesses the rights forbid.
 enum class Access : int { kNone = 0, kRead = 1, kReadWrite = 2 };
 
 class ViewRegion {
@@ -73,15 +76,28 @@ class ViewRegion {
     return static_cast<std::size_t>(static_cast<const std::byte*>(addr) - base_);
   }
 
-  /// Sets a page's protection on the app view. Aborts on mprotect failure
-  /// (programming error).
+  /// Sets a page's access rights on the app view. Routed through the fault
+  /// engine the region is registered with (FaultEngine::add_region installs
+  /// the route); unregistered regions fall back to raw mprotect — the
+  /// historical behaviour, kept so the region is usable standalone.
   void protect(PageId page, Access access) const;
+
+  /// The raw mprotect path (the sigsegv engine's implementation, and the
+  /// unregistered-region fallback). Aborts on failure (programming error).
+  void mprotect_page(PageId page, Access access) const;
+
+  /// Engine routing for protect(). Set/cleared by FaultEngine::add_region /
+  /// remove_region; at most one engine owns a region at a time.
+  using ProtectRoute = std::function<void(PageId, Access)>;
+  void set_protect_route(ProtectRoute route) { protect_route_ = std::move(route); }
+  bool has_protect_route() const { return static_cast<bool>(protect_route_); }
 
  private:
   std::size_t n_pages_;
   std::size_t page_size_;
-  std::byte* base_ = nullptr;   ///< app view: protection = coherence state
+  std::byte* base_ = nullptr;   ///< app view: access rights = coherence state
   std::byte* alias_ = nullptr;  ///< service window: always PROT_READ|WRITE
+  ProtectRoute protect_route_;  ///< engine override for protect(); see above
 };
 
 }  // namespace dsm

@@ -126,7 +126,7 @@ void ErcProtocol::on_write_fault(PageId page) {
     if (e.state == PageState::kReadOnly) {
       // The multiple-writer trick: go writable locally, remember the
       // pristine twin, and settle up at the next release. Zero messages.
-      e.twin = make_twin(ctx_.view->page_span(page));
+      e.twin = make_twin(ctx_.view->alias_span(page));
       ctx_.view->protect(page, Access::kReadWrite);
       e.state = PageState::kReadWrite;
       page_io::note_state(ctx_, page, PageState::kReadWrite);
@@ -170,7 +170,7 @@ void ErcProtocol::flush_dirty() {
       {
         const std::lock_guard<std::mutex> lock(e.mutex);
         DSM_CHECK(e.dirty && e.twin != nullptr);
-        const auto current = ctx_.view->page_span(page);
+        const auto current = ctx_.view->alias_span(page);
         const std::span<const std::byte> twin{e.twin.get(), ctx_.cfg->page_size};
         const auto diff = encode_diff(current, twin);
         diff_bytes = diff.size();

@@ -127,7 +127,7 @@ void HlrcProtocol::on_write_fault(PageId page) {
       continue;
     }
     if (e.state == PageState::kReadOnly) {
-      if (e.twin == nullptr) e.twin = make_twin(ctx_.view->page_span(page));
+      if (e.twin == nullptr) e.twin = make_twin(ctx_.view->alias_span(page));
       ctx_.view->protect(page, Access::kReadWrite);
       e.state = PageState::kReadWrite;
       page_io::note_state(ctx_, page, PageState::kReadWrite);

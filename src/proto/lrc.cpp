@@ -103,7 +103,7 @@ void LrcProtocol::on_write_fault(PageId page) {
       if (e.state == PageState::kReadWrite) return;
       if (e.state == PageState::kReadOnly) {
         // Multiple-writer upgrade: twin now, diff at the next sync. Local.
-        if (e.twin == nullptr) e.twin = make_twin(ctx_.view->page_span(page));
+        if (e.twin == nullptr) e.twin = make_twin(ctx_.view->alias_span(page));
         ctx_.view->protect(page, Access::kReadWrite);
         e.state = PageState::kReadWrite;
         page_io::note_state(ctx_, page, PageState::kReadWrite);

@@ -133,6 +133,30 @@ TEST(Runtime, EveryNodeSeesItsOwnView) {
   }
 }
 
+TEST(Runtime, SelectedFaultEngineActuallyServicesFaults) {
+  // The conformance matrix relies on TUTORDSM_FAULT_ENGINE flipping the trap
+  // path for real — a silent fallback would make every .uffd copy vacuous.
+  // So assert end-to-end: the engine the runtime reports is the one whose
+  // counters move when a workload faults.
+  Config cfg = small_config();
+  System sys(cfg);
+  const auto cell = sys.alloc_page_aligned<int>();
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) *w.get(cell) = 7;
+    w.barrier(0);
+  });
+  const auto snap = sys.stats();
+  if (sys.fault_engine().kind() == FaultEngineKind::kUffd) {
+    EXPECT_GE(snap.counter("uffd.minor_faults") + snap.counter("uffd.wp_faults"),
+              1u);
+  } else {
+    EXPECT_EQ(snap.counter("uffd.minor_faults"), 0u);
+    EXPECT_EQ(snap.counter("uffd.wp_faults"), 0u);
+  }
+  // Either way the protocol saw the same faults through the seam.
+  EXPECT_GE(snap.counter("proto.write_faults"), 1u);
+}
+
 TEST(RuntimeDeathTest, ReentrantRunAborts) {
   testing::FLAGS_gtest_death_test_style = "threadsafe";
   System sys(small_config(ProtocolKind::kIvyDynamic, 1));

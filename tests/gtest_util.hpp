@@ -1,0 +1,20 @@
+// gtest-dependent shared test helpers. Kept separate from test_util.hpp,
+// which the benches also include and which therefore must stay gtest-free.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+/// Drop-in first statement for every suite that participates in the ".uffd"
+/// conformance copies (tests/CMakeLists.txt): when the run asks for the uffd
+/// fault engine on a kernel that can't provide it, skip *visibly* — the
+/// ctest log shows "[uffd unavailable] <reason>" — rather than letting the
+/// runtime's sigsegv fallback pass the test and masquerade as conformance.
+/// Plain runs (no TUTORDSM_FAULT_ENGINE=uffd) are untouched.
+#define TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE()                     \
+  do {                                                          \
+    if (const auto reason_ = ::dsm::test::uffd_skip_reason()) { \
+      GTEST_SKIP() << *reason_;                                 \
+    }                                                           \
+  } while (false)

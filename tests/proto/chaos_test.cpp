@@ -14,6 +14,8 @@
 #include "apps/kernels.hpp"
 #include "core/dsm.hpp"
 
+#include "../gtest_util.hpp"
+
 namespace dsm {
 namespace {
 
@@ -36,6 +38,8 @@ std::string case_name(const ::testing::TestParamInfo<ProtocolKind>& pi) {
 
 class ChaosProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
  protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+
   Config make_config() const {
     Config cfg;
     cfg.n_nodes = 3;
@@ -142,6 +146,7 @@ INSTANTIATE_TEST_SUITE_P(
     case_name);
 
 TEST(ChaosStatsTest, HeavyLossActuallyExercisesRetransmits) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   // At 25% drop a migratory run sends enough messages that at least one is
   // dropped and recovered — guards against chaos silently not engaging.
   Config cfg;
@@ -165,6 +170,7 @@ TEST(ChaosStatsTest, HeavyLossActuallyExercisesRetransmits) {
 }
 
 TEST(ChaosTraceTest, RetransmitSpansAppearAndBalanceHoldsUnderLoss) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   // The trace must tell the loss story: at 5% seeded drop the retransmit
   // instants mirror the net.retransmits counter exactly, every span still
   // closes, and the workload's checksum stays exact.

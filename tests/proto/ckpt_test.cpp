@@ -9,6 +9,7 @@
 #include "core/dsm.hpp"
 #include "proto/erc.hpp"
 
+#include "../gtest_util.hpp"
 #include "../test_util.hpp"
 
 namespace dsm {
@@ -27,12 +28,14 @@ Config ckpt_config(std::size_t nodes, std::size_t period) {
 }
 
 TEST(CkptTest, BuddyIsTheNextNodeInTheRing) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   System sys(ckpt_config(2, 1));
   EXPECT_EQ(dynamic_cast<const ErcProtocol&>(sys.protocol(0)).buddy(), 1u);
   EXPECT_EQ(dynamic_cast<const ErcProtocol&>(sys.protocol(1)).buddy(), 0u);
 }
 
 TEST(CkptTest, HomeSnapshotsEveryPeriodVersions) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   System sys(ckpt_config(2, 2));
   (void)sys.alloc_page_aligned<std::uint64_t>();               // page 0
   const auto cell = sys.alloc_page_aligned<std::uint64_t>();   // page 1, home 1
@@ -59,6 +62,7 @@ TEST(CkptTest, HomeSnapshotsEveryPeriodVersions) {
 // death, dead-dropped during it, or parked behind the restore — must still
 // complete (release() would otherwise never return).
 TEST(CkptTest, RestartedHomeRestoresFromBuddyAndServes) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   Config cfg = ckpt_config(2, 1);
   cfg.ft.faults = {{/*node=*/1, /*kill_at=*/1'000'000'000, /*restart=*/true}};
   System sys(cfg);

@@ -9,6 +9,7 @@
 
 #include "core/dsm.hpp"
 
+#include "../gtest_util.hpp"
 #include "../test_util.hpp"
 
 namespace dsm {
@@ -23,7 +24,10 @@ Config ivy_config(ProtocolKind kind) {
   return cfg;
 }
 
-class SequentialConsistencyLitmus : public ::testing::TestWithParam<ProtocolKind> {};
+class SequentialConsistencyLitmus : public ::testing::TestWithParam<ProtocolKind> {
+ protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+};
 
 TEST_P(SequentialConsistencyLitmus, MessagePassingNeverSeesStaleData) {
   // data and flag live on different pages. Writer: data=i; flag=i.
@@ -140,6 +144,7 @@ INSTANTIATE_TEST_SUITE_P(IvyVariants, SequentialConsistencyLitmus,
                          });
 
 TEST(RelaxedModels, SyncMakesWritesVisible) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   // The relaxed protocols' contract: writes are visible after the proper
   // synchronization (not before, necessarily). MP through a barrier.
   for (const auto kind : {ProtocolKind::kErcInvalidate, ProtocolKind::kErcUpdate,

@@ -12,6 +12,8 @@
 #include "apps/kernels.hpp"
 #include "core/dsm.hpp"
 
+#include "../gtest_util.hpp"
+
 namespace dsm {
 namespace {
 
@@ -32,6 +34,8 @@ std::string case_name(const ::testing::TestParamInfo<MatrixCase>& pi) {
 
 class ProtocolMatrixTest : public ::testing::TestWithParam<MatrixCase> {
  protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+
   Config make_config(std::size_t n_pages = 32) const {
     Config cfg;
     cfg.n_nodes = GetParam().n_nodes;

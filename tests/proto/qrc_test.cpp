@@ -10,6 +10,7 @@
 #include "core/dsm.hpp"
 #include "proto/qrc.hpp"
 
+#include "../gtest_util.hpp"
 #include "../test_util.hpp"
 
 namespace dsm {
@@ -43,7 +44,10 @@ TEST(QrcTest, ReplicaGroupsAreConsecutiveFromTheHome) {
   EXPECT_EQ(qrc.primary_of(3), 3u);
 }
 
-class QrcReplicationTest : public ::testing::TestWithParam<std::size_t> {};
+class QrcReplicationTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+};
 
 TEST_P(QrcReplicationTest, LockedCounterIsCoherent) {
   System sys(qrc_config(3, GetParam()));
@@ -74,6 +78,7 @@ INSTANTIATE_TEST_SUITE_P(Factors, QrcReplicationTest, ::testing::Values(1, 2, 3)
 // surviving fleet must complete, and the next live member must take over
 // primaryship of the dead node's pages.
 TEST(QrcFtTest, SeededKillLosesNoAcknowledgedWrite) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   Config cfg = qrc_config(4, 3);
   cfg.ft.faults = {{/*node=*/2, /*kill_at=*/1'000'000'000, /*restart=*/false}};
   System sys(cfg);
@@ -110,6 +115,7 @@ TEST(QrcFtTest, SeededKillLosesNoAcknowledgedWrite) {
 }
 
 TEST(QrcFtTest, KilledReplicaRestartsAndResyncs) {
+  TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE();
   Config cfg = qrc_config(3, 3);
   cfg.ft.faults = {{/*node=*/1, /*kill_at=*/1'000'000'000, /*restart=*/true}};
   System sys(cfg);

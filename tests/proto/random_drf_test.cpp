@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "core/dsm.hpp"
 
+#include "../gtest_util.hpp"
 #include "../test_util.hpp"
 
 namespace dsm {
@@ -34,7 +35,10 @@ std::string case_name(const ::testing::TestParamInfo<DrfCase>& pi) {
          std::to_string(pi.param.seed);
 }
 
-class RandomDrfTest : public ::testing::TestWithParam<DrfCase> {};
+class RandomDrfTest : public ::testing::TestWithParam<DrfCase> {
+ protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+};
 
 // The generated program is DRF by construction, so it doubles as a negative
 // control for dsmcheck: every case runs once plain and once under

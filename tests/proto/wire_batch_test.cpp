@@ -11,6 +11,8 @@
 #include "apps/kernels.hpp"
 #include "core/dsm.hpp"
 
+#include "../gtest_util.hpp"
+
 namespace dsm {
 namespace {
 
@@ -33,6 +35,8 @@ WireConfig wire_all_on() {
 
 class WireBatchProtocolTest : public ::testing::TestWithParam<ProtocolKind> {
  protected:
+  void SetUp() override { TUTORDSM_SKIP_IF_UFFD_UNAVAILABLE(); }
+
   Config make_config(bool chaos) const {
     Config cfg;
     cfg.n_nodes = 3;

@@ -1,6 +1,13 @@
 // Shared test helpers.
 #pragma once
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "mem/fault_engine.hpp"
+
 namespace dsm::test {
 
 /// A load the optimizer cannot elide — plain `(void)*p` may be removed at
@@ -8,6 +15,19 @@ namespace dsm::test {
 template <typename T>
 T force_read(const T* p) {
   return *const_cast<const volatile T*>(p);
+}
+
+/// Non-empty when this process was asked to run on the uffd fault engine
+/// (TUTORDSM_FAULT_ENGINE=uffd — the ".uffd" conformance copies) but the
+/// kernel can't: the fixture should GTEST_SKIP() << *reason, so the ctest
+/// log shows a visible "[uffd unavailable] ..." skip instead of silently
+/// exercising the sigsegv fallback and calling it conformance.
+inline std::optional<std::string> uffd_skip_reason() {
+  const char* engine = std::getenv("TUTORDSM_FAULT_ENGINE");
+  if (engine == nullptr || std::string_view(engine) != "uffd") return std::nullopt;
+  std::string reason;
+  if (uffd_available(&reason)) return std::nullopt;
+  return "[uffd unavailable] " + reason;
 }
 
 }  // namespace dsm::test
