@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "common/clock.hpp"
 #include "apps/kernels.hpp"
 #include "harness.hpp"
 
@@ -28,10 +29,10 @@ Run run_migratory_once(Config cfg, int rounds) {
   apps::MigratoryParams params;
   params.rounds = rounds;
   Run r;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = dsm::realclock::now();
   r.result = apps::run_migratory(sys, params);
   r.wall_ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - t0)
+                  dsm::realclock::now() - t0)
                   .count();
   r.snap = sys.stats();
   if (traced) {

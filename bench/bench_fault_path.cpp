@@ -12,6 +12,7 @@
 #include <map>
 #include <string_view>
 
+#include "common/clock.hpp"
 #include "../tests/test_util.hpp"
 #include "harness.hpp"
 #include "mem/fault_engine.hpp"
@@ -102,7 +103,7 @@ TrapCost summarize(std::vector<std::uint64_t>& samples) {
 /// (zap / downgrade) happens outside the timed window.
 TrapCost measure_trap_cost(FaultEngine& engine, ViewRegion& view,
                            bool write_upgrade, int iters) {
-  using clock = std::chrono::steady_clock;
+  using clock = dsm::realclock::Clock;
   std::vector<std::uint64_t> samples;
   samples.reserve(static_cast<std::size_t>(iters));
   volatile std::byte* p = view.page_ptr(0);

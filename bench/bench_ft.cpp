@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/clock.hpp"
 #include "harness.hpp"
 
 namespace {
@@ -48,7 +49,7 @@ FtRun run_counter(Config cfg, int rounds, NodeId victim, int kill_after) {
   System sys(std::move(cfg));
   const auto cell = sys.alloc_page_aligned<std::uint64_t>();
   FtRun r;
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = dsm::realclock::now();
   sys.run([&](Worker& w) {
     for (int round = 0; round < rounds; ++round) {
       w.acquire(0);
@@ -68,7 +69,7 @@ FtRun run_counter(Config cfg, int rounds, NodeId victim, int kill_after) {
     w.barrier(1);
   });
   r.wall_ms = std::chrono::duration<double, std::milli>(
-                  std::chrono::steady_clock::now() - t0)
+                  dsm::realclock::now() - t0)
                   .count();
   r.virtual_ns = sys.virtual_time();
   r.snap = sys.stats();

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "common/clock.hpp"
 #include "apps/sor.hpp"
 #include "harness.hpp"
 
@@ -38,10 +39,10 @@ int run_check_overhead() {
       cfg.n_pages = 2 * (grid_bytes / cfg.page_size + 2);
       cfg.check_level = level;
       System sys(cfg);
-      const auto start = std::chrono::steady_clock::now();
+      const auto start = dsm::realclock::now();
       const auto result = apps::run_sor(sys, params);
       const auto wall = std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - start);
+          dsm::realclock::now() - start);
       const double expected = apps::sor_reference_checksum(params);
       if (std::abs(result.checksum - expected) > 1e-6 * std::abs(expected)) {
         table.add_row({std::string(to_string(protocol)), to_string(level),

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Compile-fail harness for the thread-safety annotations.
+#
+# Every *.cpp under ci/thread_safety_fixtures/ is syntax-checked with the
+# same capability-analysis flags CMake applies on Clang builds. Files whose
+# name starts with ok_ must COMPILE (they prove the harness itself works);
+# every other fixture must FAIL to compile (it encodes a bug class — ABBA
+# ordering, unguarded field access — that the annotations are supposed to
+# make a compile error). Either direction going wrong exits non-zero.
+#
+# Usage: ci/check_thread_safety_fixtures.sh [path/to/clang++]
+set -u
+
+cd "$(dirname "$0")/.."
+CXX="${1:-${CLANGXX:-clang++}}"
+
+if ! command -v "$CXX" >/dev/null 2>&1; then
+  echo "check_thread_safety_fixtures: $CXX not found" >&2
+  exit 2
+fi
+if ! "$CXX" --version 2>/dev/null | grep -qi clang; then
+  echo "check_thread_safety_fixtures: $CXX is not clang (capability analysis is clang-only)" >&2
+  exit 2
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc
+       -Wthread-safety -Wthread-safety-beta
+       -Werror=thread-safety -Werror=thread-safety-beta)
+
+failures=0
+for fixture in ci/thread_safety_fixtures/*.cpp; do
+  name="$(basename "$fixture")"
+  out="$("$CXX" "${FLAGS[@]}" "$fixture" 2>&1)"
+  status=$?
+  case "$name" in
+    ok_*)
+      if [ $status -ne 0 ]; then
+        echo "FAIL $fixture: control fixture did not compile — harness is broken:" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      else
+        echo "ok   $fixture (compiles, as required)"
+      fi
+      ;;
+    *)
+      if [ $status -eq 0 ]; then
+        echo "FAIL $fixture: compiled cleanly — the analysis no longer catches this bug class" >&2
+        failures=$((failures + 1))
+      elif ! echo "$out" | grep -q "thread-safety"; then
+        echo "FAIL $fixture: failed for a non-thread-safety reason:" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+      else
+        echo "ok   $fixture (rejected by capability analysis, as required)"
+      fi
+      ;;
+  esac
+done
+
+if [ $failures -ne 0 ]; then
+  echo "check_thread_safety_fixtures: $failures fixture(s) misbehaved" >&2
+  exit 1
+fi
+echo "check_thread_safety_fixtures: all fixtures behaved"

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under -Werror=thread-safety-beta.
+//
+// Re-creates the PR 4 ABBA deadlock shape at the gate level: acquiring a
+// fabric-layer capability while already inside the mailbox layer inverts
+// the declared fabric_gate -> mailbox_gate edge. If this file ever starts
+// compiling, the lock-order DAG in common/lock_order.hpp has lost its
+// teeth and ci/check_thread_safety_fixtures.sh fails the build.
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace dsm {
+
+void abba_inversion() {
+  const MutexLock inner(lock_order::mailbox_gate);
+  const MutexLock outer(lock_order::fabric_gate);  // error: fabric BEFORE mailbox
+}
+
+}  // namespace dsm

@@ -1,0 +1,20 @@
+// Control: MUST COMPILE cleanly with the same flags. Proves the include
+// paths and warning flags are wired correctly, so a fixture "failing to
+// compile" above means the analysis fired — not that the harness is broken.
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
+#include "mem/page_table.hpp"
+
+namespace dsm {
+
+void ordered_walk(PageTable& table) {
+  {
+    PageEntry& e = table.entry(0);
+    const MutexLock lock(e.mutex);
+    e.state = PageState::kReadOnly;
+  }
+  const MutexLock outer(lock_order::fabric_gate);
+  const MutexLock inner(lock_order::mailbox_gate);
+}
+
+}  // namespace dsm

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE under -Werror=thread-safety.
+//
+// Writes a GUARDED_BY field without its mutex — the unguarded-access bug
+// class this PR's annotations exist to catch. If this compiles, the
+// guarded-field declarations have been dropped or the analysis is off.
+#include "mem/page_table.hpp"
+
+namespace dsm {
+
+void racy_downgrade(PageTable& table) {
+  table.entry(0).state = PageState::kReadOnly;  // error: requires entry mutex
+}
+
+}  // namespace dsm

@@ -84,7 +84,7 @@ void DsmChecker::report(Counter& category, const std::string& text, bool dump_ok
 void DsmChecker::on_access(NodeId node, PageId page, std::size_t offset,
                            bool is_write) {
   accesses_.add();
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   const std::uint64_t word = offset & ~std::uint64_t{7};
   const std::uint64_t key =
       static_cast<std::uint64_t>(page) * page_size_ + word;
@@ -138,7 +138,7 @@ void DsmChecker::on_access(NodeId node, PageId page, std::size_t offset,
 }
 
 void DsmChecker::on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   LockOccupancy& occ = occupancy_[lock];
   if (mode == LockMode::kRead) {
     if (occ.exclusive != kNoNode) {
@@ -170,7 +170,7 @@ void DsmChecker::on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
 }
 
 void DsmChecker::on_lock_released(NodeId node, LockId lock, LockMode mode) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   LockOccupancy& occ = occupancy_[lock];
   if (mode == LockMode::kRead) {
     if (!occ.readers.contains(node)) {
@@ -200,7 +200,7 @@ void DsmChecker::on_lock_released(NodeId node, LockId lock, LockMode mode) {
 }
 
 void DsmChecker::on_barrier_arrive(NodeId node, BarrierId barrier) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   const std::uint64_t gen = arrive_gen_[barrier * n_nodes_ + node]++;
   Round& round = rounds_[{barrier, gen}];
   if (round.acc.size() == 0) round.acc = VectorClock(n_nodes_);
@@ -209,7 +209,7 @@ void DsmChecker::on_barrier_arrive(NodeId node, BarrierId barrier) {
 }
 
 void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   const std::uint64_t gen = depart_gen_[barrier * n_nodes_ + node]++;
   auto it = rounds_.find({barrier, gen});
   // The home broadcasts the release only after every *live* worker arrived
@@ -233,7 +233,7 @@ void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
 }
 
 void DsmChecker::on_page_state(NodeId node, PageId page, PageState state) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   if (swmr_ && state != PageState::kInvalid) {
     for (std::size_t m = 0; m < n_nodes_; ++m) {
       if (m == node) continue;
@@ -256,7 +256,7 @@ void DsmChecker::on_page_state(NodeId node, PageId page, PageState state) {
 
 void DsmChecker::on_page_version(NodeId node, PageId page,
                                  std::uint32_t version) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   std::uint32_t& stored = page_version_[node * n_pages_ + page];
   if (version <= stored) {
     std::ostringstream os;
@@ -269,7 +269,7 @@ void DsmChecker::on_page_version(NodeId node, PageId page,
 
 void DsmChecker::on_lock_version(NodeId node, LockId lock,
                                  std::uint64_t version) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   std::uint64_t& stored = lock_version_[{node, lock}];
   if (version < stored) {
     std::ostringstream os;
@@ -281,7 +281,7 @@ void DsmChecker::on_lock_version(NodeId node, LockId lock,
 }
 
 void DsmChecker::on_vclock(NodeId node, const VectorClock& vc) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   VectorClock& prev = last_vc_[node];
   if (prev.size() != 0 && !vc.dominates(prev)) {
     std::ostringstream os;
@@ -294,14 +294,14 @@ void DsmChecker::on_vclock(NodeId node, const VectorClock& vc) {
 
 void DsmChecker::on_quorum_ack(PageId page, std::uint64_t tag) {
   if (!quorum_) return;
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   std::uint64_t& floor = quorum_floor_[page];
   if (tag > floor) floor = tag;
 }
 
 void DsmChecker::on_quorum_serve(PageId page, std::uint64_t tag) {
   if (!quorum_) return;
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   if (tag < quorum_floor_[page]) {
     std::ostringstream os;
     os << "quorum violation: page " << page << " served at tag " << tag
@@ -312,7 +312,7 @@ void DsmChecker::on_quorum_serve(PageId page, std::uint64_t tag) {
 }
 
 void DsmChecker::on_token_regenerated(LockId lock, NodeId dead) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   if (!regenerated_.insert({lock, dead, incarnation_[dead]}).second) {
     std::ostringstream os;
     os << "lock token violation: token of lock " << lock
@@ -329,13 +329,13 @@ void DsmChecker::on_token_regenerated(LockId lock, NodeId dead) {
 }
 
 void DsmChecker::on_node_killed(NodeId node) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   dead_.insert(node);
   worker_dead_.insert(node);
 }
 
 void DsmChecker::on_node_restarted(NodeId node) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   dead_.erase(node);
   ++incarnation_[node];
   // The restarted fabric comes back all-invalid; note_state hooks re-mirror
@@ -356,7 +356,7 @@ void DsmChecker::on_node_restarted(NodeId node) {
 
 void DsmChecker::on_deliver(const Message& msg) {
   if (msg.seq == Message::kNoSeq) return;
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   std::uint64_t& expected = next_seq_[msg.src * n_nodes_ + msg.dst];
   if (expected == kSeqAny) {
     expected = msg.seq + 1;
@@ -377,7 +377,7 @@ void DsmChecker::on_deliver(const Message& msg) {
 
 void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
   if (envelope.seq == Message::kNoSeq) return;
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   const std::uint64_t expected = next_seq_[envelope.src * n_nodes_ + envelope.dst];
   if (expected == kSeqAny) return;  // restarted link: adopt via on_deliver
   if (envelope.seq != expected || count == 0) {
@@ -395,7 +395,7 @@ void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
 }
 
 void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
 
   // A run that killed nodes ends with a deliberately ragged fleet: dead
   // nodes' tables are frozen mid-flight and survivors may reference them.
@@ -490,12 +490,12 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
 std::uint64_t DsmChecker::violations() const { return violations_.value(); }
 
 std::string DsmChecker::last_violation() const {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   return last_violation_;
 }
 
 void DsmChecker::dump_last_violation(std::ostream& os) const {
-  std::lock_guard lk(mutex_);
+  const RecursiveMutexLock lk(mutex_);
   if (last_violation_.empty()) return;
   os << "[dsmcheck] violations: " << violations_.value()
      << "; last: " << last_violation_ << "\n";

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <set>
 #include <string>
@@ -35,6 +34,8 @@
 
 #include "check/check_level.hpp"
 #include "common/bitset.hpp"
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "common/vclock.hpp"
@@ -138,7 +139,11 @@ class DsmChecker {
   /// Called by System::run after all service threads have joined. Compares
   /// the state mirror against each node's real page table (catches missed
   /// instrumentation) and walks copysets against actual holders.
-  void at_quiescence(const std::vector<const PageTable*>& tables);
+  /// Analysis suppressed (false positive): the fleet is quiescent — every
+  /// app/service/daemon thread has joined — so the lock-free reads of other
+  /// nodes' PageEntry fields here cannot race with anything.
+  void at_quiescence(const std::vector<const PageTable*>& tables)
+      NO_THREAD_SAFETY_ANALYSIS;
 
   std::uint64_t violations() const;
   std::string last_violation() const;
@@ -172,7 +177,8 @@ class DsmChecker {
     NodeSet readers;
   };
 
-  void report(Counter& category, const std::string& text, bool dump_ok);
+  void report(Counter& category, const std::string& text, bool dump_ok)
+      REQUIRES(mutex_);
   std::string epoch(NodeId node, std::uint32_t clock) const;
 
   const std::size_t n_nodes_;
@@ -190,36 +196,42 @@ class DsmChecker {
 
   // Recursive: an assert-mode report invokes dump_, which (via
   // System::dump_diagnostics) calls back into dump_last_violation.
-  mutable std::recursive_mutex mutex_;
+  // Lock order: hooks fire under sync/entry and fabric locks, and reports
+  // look up stats counters — strictly between checker_gate and leaf_gate.
+  mutable RecursiveMutex mutex_ ACQUIRED_AFTER(lock_order::checker_gate)
+      ACQUIRED_BEFORE(lock_order::leaf_gate);
 
   // Race detector state.
-  std::vector<VectorClock> vc_;                     // per node
-  std::unordered_map<std::uint64_t, WordState> words_;  // word key → epochs
-  std::vector<VectorClock> lock_vc_;                // per lock
-  std::vector<LockOccupancy> occupancy_;            // per lock
-  std::map<std::pair<BarrierId, std::uint64_t>, Round> rounds_;
-  std::vector<std::uint64_t> arrive_gen_;           // per (barrier, node)
-  std::vector<std::uint64_t> depart_gen_;           // per (barrier, node)
+  std::vector<VectorClock> vc_ GUARDED_BY(mutex_);  // per node
+  std::unordered_map<std::uint64_t, WordState> words_
+      GUARDED_BY(mutex_);                           // word key → epochs
+  std::vector<VectorClock> lock_vc_ GUARDED_BY(mutex_);   // per lock
+  std::vector<LockOccupancy> occupancy_ GUARDED_BY(mutex_);  // per lock
+  std::map<std::pair<BarrierId, std::uint64_t>, Round> rounds_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> arrive_gen_ GUARDED_BY(mutex_);  // per (barrier, node)
+  std::vector<std::uint64_t> depart_gen_ GUARDED_BY(mutex_);  // per (barrier, node)
 
   // Protocol invariant state.
-  std::vector<PageState> states_;            // mirror, node-major
-  std::vector<std::uint32_t> page_version_;  // node-major
-  std::map<std::pair<NodeId, LockId>, std::uint64_t> lock_version_;
-  std::vector<VectorClock> last_vc_;         // per node, LRC/HLRC
-  std::vector<std::uint64_t> next_seq_;      // per (src, dst) link
+  std::vector<PageState> states_ GUARDED_BY(mutex_);  // mirror, node-major
+  std::vector<std::uint32_t> page_version_ GUARDED_BY(mutex_);  // node-major
+  std::map<std::pair<NodeId, LockId>, std::uint64_t> lock_version_
+      GUARDED_BY(mutex_);
+  std::vector<VectorClock> last_vc_ GUARDED_BY(mutex_);  // per node, LRC/HLRC
+  std::vector<std::uint64_t> next_seq_ GUARDED_BY(mutex_);  // per (src, dst) link
 
   // Crash-fault-tolerance state. `kSeqAny` marks a link whose cursor was
   // reset by a restart: the next delivery is adopted unchecked (the sender
   // side may or may not have kept its counters across the restart).
   static constexpr std::uint64_t kSeqAny = ~std::uint64_t{0};
-  std::vector<std::uint64_t> quorum_floor_;  // per page: highest acked tag
-  std::set<NodeId> dead_;                    // killed, not (yet) restarted
-  std::set<NodeId> worker_dead_;             // ever killed (monotone): a restart
-                                             // revives the fabric, not the worker
-  std::vector<std::uint64_t> incarnation_;   // per node, bumped on restart
-  std::set<std::tuple<LockId, NodeId, std::uint64_t>> regenerated_;
+  std::vector<std::uint64_t> quorum_floor_ GUARDED_BY(mutex_);
+  std::set<NodeId> dead_ GUARDED_BY(mutex_);         // killed, not restarted
+  std::set<NodeId> worker_dead_ GUARDED_BY(mutex_);  // ever killed (monotone): a
+                                             // restart revives the fabric only
+  std::vector<std::uint64_t> incarnation_ GUARDED_BY(mutex_);  // bumped on restart
+  std::set<std::tuple<LockId, NodeId, std::uint64_t>> regenerated_
+      GUARDED_BY(mutex_);
 
-  std::string last_violation_;
+  std::string last_violation_ GUARDED_BY(mutex_);
 
   // Cached counters (StatsRegistry lookup is a lock + map walk).
   Counter& accesses_;

@@ -1,13 +1,48 @@
 // Per-node logical clock for the virtual-time performance model. One clock is
 // shared by a node's app thread and service thread (a 1992 DSM node was a
 // single CPU taking interrupts), so advances use an atomic fetch-max.
+//
+// This header is also the single sanctioned doorway to the *real* clock
+// (dsm::realclock below). Virtual-time code must never consult wall or
+// monotonic time directly — a bench that mixes the two produces numbers
+// that depend on host load, and a protocol that does produces untestable
+// timing behavior. dsmlint's wall-clock rule rejects std::chrono::
+// steady_clock / system_clock / gettimeofday anywhere outside this file;
+// infrastructure that legitimately needs host time (retransmit deadlines,
+// watchdog ticks, chaos pauses) imports it from here, which keeps every
+// such site greppable.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 
 #include "common/types.hpp"
 
 namespace dsm {
+
+namespace realclock {
+
+/// Monotonic host time for infrastructure deadlines (retransmits, watchdog
+/// ticks, recovery timeouts). Never use for the performance model — that is
+/// LogicalClock's job.
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+inline TimePoint now() { return Clock::now(); }
+
+/// Sentinel deadline meaning "not armed".
+constexpr TimePoint never() { return TimePoint::max(); }
+
+/// Monotonic nanoseconds since an arbitrary epoch (watchdog heartbeats).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now().time_since_epoch())
+          .count());
+}
+
+}  // namespace realclock
 
 class LogicalClock {
  public:

@@ -1,0 +1,58 @@
+// The repo-wide lock-order DAG, encoded for Clang's -Wthread-safety-beta
+// ordering analysis (ACQUIRED_BEFORE/AFTER edges are checked only under
+// the beta flag, which the CI static-analysis job enables).
+//
+// The gates below are phantom mutexes: declared, never locked. Each real
+// mutex in src/ sandwiches itself between the gates of its layer via
+// ACQUIRED_AFTER(<own layer's entry gate>) ACQUIRED_BEFORE(<next gate>),
+// and the gate chain itself is declared, so ordering is transitive across
+// layers even for mutex pairs with no direct edge:
+//
+//   [upper: SyncAgent, PageEntry, protocol metadata, fault engines]
+//        |  ACQUIRED_BEFORE
+//        v
+//   fabric_gate
+//        |
+//   [Network::links_mutex_, Network::flight_mutex_, transport state]
+//        |
+//   mailbox_gate
+//        |
+//   [Mailbox::mutex_]
+//        |
+//   checker_gate
+//        |
+//   [DsmChecker::mutex_]
+//        |
+//   leaf_gate
+//        |
+//   [StatsRegistry::mutex_, the logging sink — innermost leaves]
+//
+// This is exactly the order the PR 4 ABBA deadlock violated: the abort
+// path held the checker mutex and then block-acquired the network's
+// fabric mutexes inside Network::debug_dump, while the daemon held a
+// fabric mutex and was publishing into the checker. With the DAG
+// declared, a blocking fabric acquisition under the checker capability
+// is a compile error (see ci/thread_safety_fixtures/), and debug_dump
+// itself is additionally policed by dsmlint's dump-context rule because
+// the production call chain passes through a std::function boundary the
+// (intraprocedural) analysis cannot follow.
+//
+// Pairs within one bracket are deliberately *unordered*: the code never
+// nests them (protocol scopes are sequential; links_/flight_ are never
+// held together), and leaving the edge undeclared means a future nesting
+// in either direction is at least not blessed by the DAG.
+//
+// Declaration order below is innermost-first, because an attribute
+// argument must refer to an already-declared variable.
+#pragma once
+
+#include "common/thread_annotations.hpp"
+
+namespace dsm::lock_order {
+
+inline Mutex leaf_gate;
+inline Mutex checker_gate ACQUIRED_BEFORE(leaf_gate);
+inline Mutex mailbox_gate ACQUIRED_BEFORE(checker_gate);
+inline Mutex fabric_gate ACQUIRED_BEFORE(mailbox_gate);
+
+}  // namespace dsm::lock_order

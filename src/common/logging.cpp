@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dsm {
 namespace log_detail {
@@ -34,8 +36,10 @@ const char* tag(LogLevel level) {
   return "?";
 }
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
+// Innermost leaf: DSM_LOG_* fires under fabric locks (the daemon's
+// retransmit warnings), so nothing may be acquired under the sink.
+Mutex& sink_mutex() {
+  static Mutex m ACQUIRED_AFTER(lock_order::leaf_gate);
   return m;
 }
 
@@ -52,7 +56,7 @@ void emit(LogLevel level, std::string_view message) {
   const int n = std::snprintf(line, sizeof line, "[dsm:%s %04zx] %.*s\n", tag(level), tid,
                               static_cast<int>(message.size()), message.data());
   if (n <= 0) return;
-  const std::lock_guard<std::mutex> lock(sink_mutex());
+  const MutexLock lock(sink_mutex());
   std::fwrite(line, 1, static_cast<std::size_t>(std::min<int>(n, sizeof line - 1)), stderr);
 }
 

@@ -73,7 +73,7 @@ std::string StatsSnapshot::to_string() const {
 }
 
 Counter& StatsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -82,7 +82,7 @@ Counter& StatsRegistry::counter(std::string_view name) {
 }
 
 Histogram& StatsRegistry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -91,7 +91,7 @@ Histogram& StatsRegistry::histogram(std::string_view name) {
 }
 
 StatsSnapshot StatsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   StatsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters.emplace(name, c->value());
   for (const auto& [name, h] : histograms_) {
@@ -108,7 +108,7 @@ StatsSnapshot StatsRegistry::snapshot() const {
 }
 
 void StatsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, h] : histograms_) h->reset();
 }

@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dsm {
 
@@ -77,9 +79,14 @@ class StatsRegistry {
   void reset();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Innermost leaf of the lock-order DAG: counter lookups happen under
+  // fabric and checker locks (deliver, dsmcheck reports), so nothing may be
+  // acquired while this is held.
+  mutable Mutex mutex_ ACQUIRED_AFTER(lock_order::leaf_gate);
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace dsm

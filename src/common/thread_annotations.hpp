@@ -1,0 +1,206 @@
+// Clang thread-safety capability analysis for the whole repo.
+//
+// Two layers live here:
+//
+//  1. The attribute macros (GUARDED_BY, REQUIRES, ACQUIRED_BEFORE, ...) —
+//     thin wrappers over Clang's capability attributes that expand to
+//     nothing on GCC, so both toolchains stay first-class. The CI
+//     `static-analysis` job builds with
+//     `-Wthread-safety -Wthread-safety-beta -Werror=thread-safety` and
+//     rejects any unguarded access to an annotated field, any REQUIRES
+//     violation, and (via -Wthread-safety-beta) any acquisition that
+//     contradicts the declared lock-order DAG.
+//
+//  2. Annotated synchronization types (Mutex, RecursiveMutex, MutexLock,
+//     RecursiveMutexLock, CondVar) — the std:: primitives carry no
+//     capability attributes on libstdc++, so the analysis cannot see a
+//     std::lock_guard acquire anything. These wrappers are zero-overhead
+//     (each holds exactly the std:: object; every method is a forwarding
+//     inline) but declare their acquire/release semantics, which is what
+//     makes GUARDED_BY fields checkable. All mutex-bearing classes in src/
+//     use them.
+//
+// Lock-order DAG: every real mutex declares ACQUIRED_BEFORE/AFTER edges
+// against the phantom anchors in lock_order.hpp; see DESIGN.md "Static
+// analysis" for the diagram and the PR-4 deadlock this encodes away.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TUTORDSM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TUTORDSM_THREAD_ANNOTATION__(x)  // no-op on GCC/MSVC
+#endif
+
+#define CAPABILITY(x) TUTORDSM_THREAD_ANNOTATION__(capability(x))
+#define SCOPED_CAPABILITY TUTORDSM_THREAD_ANNOTATION__(scoped_lockable)
+#define GUARDED_BY(x) TUTORDSM_THREAD_ANNOTATION__(guarded_by(x))
+#define PT_GUARDED_BY(x) TUTORDSM_THREAD_ANNOTATION__(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) TUTORDSM_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) TUTORDSM_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) TUTORDSM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  TUTORDSM_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) TUTORDSM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  TUTORDSM_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) TUTORDSM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  TUTORDSM_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) TUTORDSM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  TUTORDSM_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) TUTORDSM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) TUTORDSM_THREAD_ANNOTATION__(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  TUTORDSM_THREAD_ANNOTATION__(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) TUTORDSM_THREAD_ANNOTATION__(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS TUTORDSM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace dsm {
+
+class CondVar;
+
+/// std::mutex with capability attributes. Use MutexLock for scoped holds;
+/// for try-lock sections call try_lock()/unlock() directly — the analysis
+/// understands the `if (mu.try_lock()) { ... mu.unlock(); }` shape natively.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex with capability attributes. The analysis is
+/// intraprocedural, so re-entrant acquisition across call chains (the
+/// checker's report → dump → dump_last_violation path) analyzes cleanly;
+/// only a literal double-acquire inside one function would warn.
+class CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::recursive_mutex mu_;
+};
+
+/// Scoped holder — the std::lock_guard shape, carrying the capability.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+class SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~RecursiveMutexLock() RELEASE() { mu_.unlock(); }
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+
+ private:
+  RecursiveMutex& mu_;
+};
+
+/// Scoped holder that supports the protocols' unlock/relock fault pattern
+/// (drop the entry lock around a blocking send, re-take it to re-check
+/// state). Clang models relockable scoped capabilities natively, so calls
+/// made between unlock() and lock() are correctly analyzed as lock-free.
+class SCOPED_CAPABILITY RelockableMutexLock {
+ public:
+  explicit RelockableMutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    held_ = true;
+  }
+  ~RelockableMutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  void unlock() RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void lock() ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  RelockableMutexLock(const RelockableMutexLock&) = delete;
+  RelockableMutexLock& operator=(const RelockableMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// std::condition_variable over the annotated Mutex. wait() takes the Mutex
+/// itself (which the caller must hold, typically via a MutexLock in the same
+/// scope) so the analysis can check the REQUIRES contract; internally the
+/// held std::mutex is adopted into a std::unique_lock for the wait and
+/// released back (still locked) afterwards — zero overhead, identical
+/// semantics to waiting on the unique_lock directly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  // Deliberately no predicate overloads: a predicate lambda cannot carry a
+  // checkable REQUIRES against the caller's mutex, so guarded reads inside
+  // it would escape (or falsely fail) the analysis. Call sites spell the
+  // loop out — `while (!ready_) cv_.wait(mutex_);` — which the analysis
+  // checks exactly like any other guarded access.
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(inner, dur);
+    inner.release();
+    return status;
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(inner, deadline);
+    inner.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dsm

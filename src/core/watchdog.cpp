@@ -4,15 +4,14 @@
 #include <iostream>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 
 namespace dsm {
 
 namespace {
 
 std::int64_t steady_now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  return static_cast<std::int64_t>(realclock::now_ns());
 }
 
 }  // namespace
@@ -61,9 +60,9 @@ void Watchdog::scan_loop() {
   const auto bound = std::chrono::milliseconds(bound_ms_);
   const auto tick = std::min<std::chrono::milliseconds>(bound / 4 + std::chrono::milliseconds(1),
                                                         std::chrono::milliseconds(250));
-  std::unique_lock<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   while (!stopping_.load(std::memory_order_relaxed)) {
-    cv_.wait_for(lock, tick);
+    cv_.wait_for(mutex_, tick);
     if (stopping_.load(std::memory_order_relaxed)) return;
 
     const std::int64_t now = steady_now_ns();

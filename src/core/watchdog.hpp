@@ -14,14 +14,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <vector>
 
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 
 namespace dsm {
@@ -72,7 +72,7 @@ class Watchdog {
     struct Frame {
       std::atomic<const char*> what{nullptr};
       std::atomic<std::uint64_t> detail{0};
-      std::atomic<std::int64_t> since_ns{0};  // steady_clock epoch offset
+      std::atomic<std::int64_t> since_ns{0};  // realclock epoch offset
     };
     Frame frames[kMaxDepth];
     std::atomic<int> depth{0};
@@ -86,8 +86,12 @@ class Watchdog {
   DumpFn dump_;
   std::vector<Slot> slots_;
   std::atomic<bool> stopping_{false};
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  // Guards nothing (the slot table is all-atomic); the mutex exists only as
+  // the scanner's interruptible-sleep anchor. It is held across dump_, which
+  // reaches the checker and the network's try-lock dump sections, so it must
+  // sit above the fabric in the lock order.
+  Mutex mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar cv_;
   std::thread scanner_;
 };
 

@@ -2,11 +2,12 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/lock_order.hpp"
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dsm {
 
@@ -38,14 +39,14 @@ class SigsegvEngine final : public FaultEngine {
     DSM_CHECK(view != nullptr && hooks.on_fault != nullptr);
     const int token = FaultRouter::instance().add_region(
         view, std::move(hooks.on_fault), std::move(hooks.infer_write));
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     tokens_.push_back(token);
     return token;
   }
 
   void remove_region(int token) override {
     FaultRouter::instance().remove_region(token);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::erase(tokens_, token);
   }
 
@@ -54,13 +55,16 @@ class SigsegvEngine final : public FaultEngine {
   }
 
   int active_regions() const override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return static_cast<int>(tokens_.size());
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<int> tokens_;  ///< this engine's FaultRouter registrations
+  // Never nested with the router's registry lock (add/remove release it
+  // before taking this); nothing is acquired while this is held.
+  mutable Mutex mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<int> tokens_
+      GUARDED_BY(mutex_);  ///< this engine's FaultRouter registrations
 };
 
 }  // namespace

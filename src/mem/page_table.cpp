@@ -17,6 +17,9 @@ PageTable::PageTable(std::size_t n_pages, std::size_t n_nodes) {
   entries_.reserve(n_pages);
   for (std::size_t i = 0; i < n_pages; ++i) {
     auto entry = std::make_unique<PageEntry>();
+    // Sized before the table is published; the lock is for the analysis
+    // (copyset is guarded and this is not PageEntry's own constructor).
+    const MutexLock lock(entry->mutex);
     entry->copyset = NodeSet(n_nodes);
     entries_.push_back(std::move(entry));
   }
@@ -34,14 +37,14 @@ const PageEntry& PageTable::entry(PageId page) const {
 
 PageState PageTable::state_of(PageId page) const {
   const auto& e = entry(page);
-  const std::lock_guard<std::mutex> lock(e.mutex);
+  const MutexLock lock(e.mutex);
   return e.state;
 }
 
 std::size_t PageTable::count_in_state(PageState state) const {
   std::size_t n = 0;
   for (const auto& e : entries_) {
-    const std::lock_guard<std::mutex> lock(e->mutex);
+    const MutexLock lock(e->mutex);
     if (e->state == state) ++n;
   }
   return n;

@@ -4,14 +4,14 @@
 // ("No-blocking service rule").
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/bitset.hpp"
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
 
@@ -27,53 +27,55 @@ const char* to_string(PageState state);
 /// few bytes per page; sharing one entry type keeps the service-thread
 /// dispatch and the tests uniform across protocols.
 struct PageEntry {
-  mutable std::mutex mutex;
+  /// Outermost entry-layer lock: held across protocol transitions that call
+  /// into the checker, the view's protect(), and (in some protocols) sends.
+  mutable Mutex mutex ACQUIRED_BEFORE(lock_order::fabric_gate);
   /// App thread waits here for its fault transition to complete; protocol
   /// code also reuses it for ack-counting waits.
-  std::condition_variable cv;
+  CondVar cv;
 
-  PageState state = PageState::kInvalid;
+  PageState state GUARDED_BY(mutex) = PageState::kInvalid;
 
   /// A coherence transaction initiated by this node is in flight.
-  bool busy = false;
+  bool busy GUARDED_BY(mutex) = false;
   /// An invalidation overtook our in-flight read reply (IVY-dynamic): the
   /// reply's data is stale — drop it and re-request.
-  bool discard_reply = false;
+  bool discard_reply GUARDED_BY(mutex) = false;
   /// Manager-side per-page transaction lock (IVY central/fixed manager).
-  bool manager_busy = false;
+  bool manager_busy GUARDED_BY(mutex) = false;
 
   /// Authoritative owner, maintained at the manager (IVY central/fixed).
-  NodeId owner = kNoNode;
+  NodeId owner GUARDED_BY(mutex) = kNoNode;
   /// Probable owner hint (IVY dynamic distributed manager).
-  NodeId prob_owner = kNoNode;
+  NodeId prob_owner GUARDED_BY(mutex) = kNoNode;
   /// This node is the true owner (IVY dynamic).
-  bool is_owner = false;
+  bool is_owner GUARDED_BY(mutex) = false;
 
   /// Nodes holding read copies; valid at the owner (IVY) or home (ERC/LRC).
-  NodeSet copyset;
+  NodeSet copyset GUARDED_BY(mutex);
 
   /// Requests that arrived while `busy` — replayed on completion.
-  std::deque<Message> parked;
+  std::deque<Message> parked GUARDED_BY(mutex);
   /// Requests that arrived while `manager_busy` — replayed on kConfirm.
-  std::deque<Message> manager_parked;
+  std::deque<Message> manager_parked GUARDED_BY(mutex);
 
   /// Pristine pre-write copy for diffing (multi-writer protocols).
-  std::unique_ptr<std::byte[]> twin;
+  std::unique_ptr<std::byte[]> twin GUARDED_BY(mutex);
   /// Page written since the last release/barrier flush.
-  bool dirty = false;
+  bool dirty GUARDED_BY(mutex) = false;
 
   /// Invalidate/update acknowledgements the app thread is waiting for.
-  int acks_outstanding = 0;
+  int acks_outstanding GUARDED_BY(mutex) = 0;
   /// Home-side: the writer whose release transaction is in flight (ERC).
-  NodeId pending_node = kNoNode;
+  NodeId pending_node GUARDED_BY(mutex) = kNoNode;
 
   /// This view holds bytes for the page that form a consistent base (LRC):
   /// set once a copy is installed or at init on the home; an invalidation
   /// revokes access rights but keeps the bytes (and this flag).
-  bool has_base = false;
+  bool has_base GUARDED_BY(mutex) = false;
 
   /// Generic monotone per-page version (ERC home version / LRC floor).
-  std::uint32_t version = 0;
+  std::uint32_t version GUARDED_BY(mutex) = 0;
 };
 
 class PageTable {

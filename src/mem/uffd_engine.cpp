@@ -46,12 +46,13 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/lock_order.hpp"
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 
 #if TUTORDSM_HAVE_UFFD
 #include <fcntl.h>
@@ -143,7 +144,7 @@ class UffdEngine final : public FaultEngine {
     // System removes explicitly; raw-engine users may rely on the dtor).
     std::vector<int> live;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       for (std::size_t i = 0; i < regions_.size(); ++i) {
         if (regions_[i] != nullptr) live.push_back(static_cast<int>(i));
       }
@@ -201,7 +202,7 @@ class UffdEngine final : public FaultEngine {
         [this, raw](PageId page, Access access) { do_protect(*raw, page, access); });
     region->poller = std::thread([this, raw] { poll_loop(*raw); });
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (std::size_t i = 0; i < regions_.size(); ++i) {
       if (regions_[i] == nullptr) {
         regions_[i] = std::move(region);
@@ -215,7 +216,7 @@ class UffdEngine final : public FaultEngine {
   void remove_region(int token) override {
     std::unique_ptr<UffdRegion> region;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       const auto idx = static_cast<std::size_t>(token);
       DSM_CHECK(token >= 0 && idx < regions_.size() && regions_[idx] != nullptr);
       region = std::move(regions_[idx]);
@@ -241,7 +242,7 @@ class UffdEngine final : public FaultEngine {
   void protect(const ViewRegion& view, PageId page, Access access) override {
     UffdRegion* region = nullptr;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       for (auto& candidate : regions_) {
         if (candidate != nullptr && candidate->view == &view) {
           region = candidate.get();
@@ -254,7 +255,7 @@ class UffdEngine final : public FaultEngine {
   }
 
   int active_regions() const override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     int n = 0;
     for (const auto& region : regions_) {
       if (region != nullptr) ++n;
@@ -402,8 +403,10 @@ class UffdEngine final : public FaultEngine {
   }
 
   StatsRegistry* stats_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<UffdRegion>> regions_;
+  // Guards the slot table only; pollers never take it (each owns its region
+  // outright). Registration happens during setup, above the fabric bracket.
+  mutable Mutex mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<std::unique_ptr<UffdRegion>> regions_ GUARDED_BY(mutex_);
 };
 
 }  // namespace

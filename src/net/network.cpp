@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <iterator>
@@ -14,7 +15,7 @@ namespace dsm {
 
 void Mailbox::push(Message msg) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     DSM_CHECK_MSG(!closed_, "push to closed mailbox");
     queue_.push_back(std::move(msg));
   }
@@ -22,8 +23,8 @@ void Mailbox::push(Message msg) {
 }
 
 std::optional<Message> Mailbox::pop() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  const MutexLock lock(mutex_);
+  while (!closed_ && queue_.empty()) cv_.wait(mutex_);
   if (queue_.empty()) return std::nullopt;
   Message msg = std::move(queue_.front());
   queue_.pop_front();
@@ -31,7 +32,7 @@ std::optional<Message> Mailbox::pop() {
 }
 
 std::optional<Message> Mailbox::try_pop() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (queue_.empty()) return std::nullopt;
   Message msg = std::move(queue_.front());
   queue_.pop_front();
@@ -39,8 +40,8 @@ std::optional<Message> Mailbox::try_pop() {
 }
 
 std::deque<Message> Mailbox::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  const MutexLock lock(mutex_);
+  while (!closed_ && queue_.empty()) cv_.wait(mutex_);
   std::deque<Message> out;
   out.swap(queue_);
   return out;
@@ -48,20 +49,20 @@ std::deque<Message> Mailbox::drain() {
 
 void Mailbox::close() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 std::size_t Mailbox::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
 namespace {
 
-constexpr auto kNever = std::chrono::steady_clock::time_point::max();
+constexpr auto kNever = realclock::never();
 
 /// Min-heap order for Network::Delayed (generic: the type is private).
 struct DelayedOrder {
@@ -289,7 +290,7 @@ void Network::flush_staged(std::vector<Message>& staged) {
 void Network::track_inflight(Message& msg, std::uint32_t count) {
   bool daemon_was_idle;
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const MutexLock lock(flight_mutex_);
     if (wire_.piggyback_acks) {
       // Reverse-direction traffic carries the pending cumulative ack.
       const auto it = pending_acks_.find(link_index(msg.dst, msg.src));
@@ -302,7 +303,7 @@ void Network::track_inflight(Message& msg, std::uint32_t count) {
     daemon_was_idle = in_flight_.empty() && delayed_.empty() && pending_acks_.empty();
     in_flight_.emplace(FlightKey{link_index(msg.src, msg.dst), msg.seq},
                        InFlight{msg, count, 0,
-                                std::chrono::steady_clock::now() +
+                                realclock::now() +
                                     std::chrono::milliseconds(reliability_.rto_ms)});
   }
   // A fresh entry's deadline is never earlier than an existing one's
@@ -340,7 +341,7 @@ void Network::wire_attempt(Message msg, std::uint32_t attempt) {
   if (delay_us > 0) {
     delayed_count_.add();
     defer(std::move(msg), attempt,
-          std::chrono::steady_clock::now() + std::chrono::microseconds(delay_us),
+          realclock::now() + std::chrono::microseconds(delay_us),
           /*pre_wire=*/true);
     return;
   }
@@ -349,9 +350,9 @@ void Network::wire_attempt(Message msg, std::uint32_t attempt) {
 
 void Network::arrive(Message msg, std::uint32_t attempt) {
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const MutexLock lock(flight_mutex_);
     const SteadyTime paused = pause_until_[msg.dst];
-    if (paused > std::chrono::steady_clock::now()) {
+    if (paused > realclock::now()) {
       delayed_.push_back(Delayed{paused, std::move(msg), attempt, /*pre_wire=*/false});
       std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
       flight_cv_.notify_one();
@@ -391,7 +392,7 @@ void Network::arrive(Message msg, std::uint32_t attempt) {
   const std::size_t link = link_index(msg.src, msg.dst);
   std::uint64_t ack_basis = 0;
   {
-    const std::lock_guard<std::mutex> lock(links_mutex_);
+    const MutexLock lock(links_mutex_);
     LinkState& st = links_[link];
     const std::uint64_t span = msg.type == MsgType::kBatch ? batch_count(msg) : 1;
     if (msg.seq + span <= st.expected) {
@@ -498,14 +499,14 @@ void Network::deliver(Message msg) {
 }
 
 void Network::complete_inflight(const Message& msg) {
-  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  const MutexLock lock(flight_mutex_);
   if (in_flight_.erase(FlightKey{link_index(msg.src, msg.dst), msg.seq}) > 0) {
     acks_.add();
   }
 }
 
 void Network::complete_upto(std::size_t link, std::uint64_t upto) {
-  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  const MutexLock lock(flight_mutex_);
   auto it = in_flight_.lower_bound(FlightKey{link, 0});
   while (it != in_flight_.end() && it->first.first == link &&
          it->first.second + it->second.count <= upto) {
@@ -517,8 +518,8 @@ void Network::complete_upto(std::size_t link, std::uint64_t upto) {
 void Network::note_pending_ack(std::size_t link, std::uint64_t upto) {
   bool armed = false;
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
-    const auto due = std::chrono::steady_clock::now() +
+    const MutexLock lock(flight_mutex_);
+    const auto due = realclock::now() +
                      std::chrono::microseconds(wire_.delayed_ack_us);
     const auto [it, inserted] = pending_acks_.try_emplace(link, PendingAck{upto, due});
     if (!inserted) {
@@ -533,7 +534,7 @@ void Network::note_pending_ack(std::size_t link, std::uint64_t upto) {
 
 void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due, bool pre_wire) {
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const MutexLock lock(flight_mutex_);
     delayed_.push_back(Delayed{due, std::move(msg), attempt, pre_wire});
     std::push_heap(delayed_.begin(), delayed_.end(), DelayedOrder{});
   }
@@ -542,13 +543,13 @@ void Network::defer(Message msg, std::uint32_t attempt, SteadyTime due, bool pre
 
 void Network::inject_pause(NodeId node, std::uint32_t us) {
   DSM_CHECK(node < mailboxes_.size());
-  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  const MutexLock lock(flight_mutex_);
   pause_until_[node] = std::max(
-      pause_until_[node], std::chrono::steady_clock::now() + std::chrono::microseconds(us));
+      pause_until_[node], realclock::now() + std::chrono::microseconds(us));
 }
 
 void Network::daemon_loop() {
-  std::unique_lock<std::mutex> lock(flight_mutex_);
+  RelockableMutexLock lock(flight_mutex_);
   while (!stopping_) {
     SteadyTime next = kNever;
     if (!delayed_.empty()) next = std::min(next, delayed_.front().due);
@@ -556,13 +557,13 @@ void Network::daemon_loop() {
     for (const auto& [link, ack] : pending_acks_) next = std::min(next, ack.due);
 
     if (next == kNever) {
-      flight_cv_.wait(lock);
+      flight_cv_.wait(flight_mutex_);
     } else {
-      flight_cv_.wait_until(lock, next);
+      flight_cv_.wait_until(flight_mutex_, next);
     }
     if (stopping_) break;
 
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = realclock::now();
 
     std::vector<Delayed> due_now;
     while (!delayed_.empty() && delayed_.front().due <= now) {
@@ -654,7 +655,7 @@ void Network::daemon_loop() {
 
 void Network::purge_flight_state(NodeId node) {
   const std::size_t n = mailboxes_.size();
-  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  const MutexLock lock(flight_mutex_);
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
     const std::size_t link = it->first.first;
     if (link / n == node || link % n == node) {
@@ -719,7 +720,7 @@ void Network::announce_alive(NodeId node) {
 
 void Network::reset_links_for(NodeId node) {
   purge_flight_state(node);
-  const std::lock_guard<std::mutex> lock(links_mutex_);
+  const MutexLock lock(links_mutex_);
   const std::size_t n = mailboxes_.size();
   for (std::size_t p = 0; p < n; ++p) {
     for (const std::size_t link : {link_index(static_cast<NodeId>(p), node),
@@ -736,7 +737,7 @@ void Network::reset_links_for(NodeId node) {
 void Network::peer_restarted(NodeId src) {
   purge_flight_state(src);
   {
-    const std::lock_guard<std::mutex> lock(links_mutex_);
+    const MutexLock lock(links_mutex_);
     const std::size_t n = mailboxes_.size();
     for (std::size_t p = 0; p < n; ++p) {
       for (const std::size_t link : {link_index(static_cast<NodeId>(p), src),
@@ -771,7 +772,7 @@ void unpack_peer_event(std::span<const std::byte> payload, NodeId* peer, bool* r
 
 void Network::stop_daemon() {
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const MutexLock lock(flight_mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -798,7 +799,7 @@ std::deque<Message> Network::recv_all(NodeId node) {
 }
 
 bool Network::idle() const {
-  const std::lock_guard<std::mutex> lock(flight_mutex_);
+  const MutexLock lock(flight_mutex_);
   return in_flight_.empty() && delayed_.empty() && pending_acks_.empty();
 }
 
@@ -810,37 +811,33 @@ void Network::debug_dump(std::ostream& os) const {
   // RacyLitmus death test hung exactly this way), so a busy section is
   // skipped, never waited for.
   transport_->debug_dump(os);
-  {
-    std::unique_lock<std::mutex> lock(flight_mutex_, std::try_to_lock);
-    if (!lock.owns_lock()) {
-      os << "  net: flight state busy — skipped\n";
-    } else {
-      os << "  net: in-flight=" << in_flight_.size() << " delayed=" << delayed_.size()
-         << " pending-acks=" << pending_acks_.size() << '\n';
-      for (const auto& [key, entry] : in_flight_) {
-        os << "    unacked " << to_string(entry.msg.type) << ' ' << entry.msg.src << "->"
-           << entry.msg.dst << " seq=" << entry.msg.seq;
-        if (entry.count > 1) os << "+" << entry.count;
-        os << " attempt=" << entry.attempt << '\n';
-      }
+  if (!flight_mutex_.try_lock()) {
+    os << "  net: flight state busy — skipped\n";
+  } else {
+    os << "  net: in-flight=" << in_flight_.size() << " delayed=" << delayed_.size()
+       << " pending-acks=" << pending_acks_.size() << '\n';
+    for (const auto& [key, entry] : in_flight_) {
+      os << "    unacked " << to_string(entry.msg.type) << ' ' << entry.msg.src << "->"
+         << entry.msg.dst << " seq=" << entry.msg.seq;
+      if (entry.count > 1) os << "+" << entry.count;
+      os << " attempt=" << entry.attempt << '\n';
     }
+    flight_mutex_.unlock();
   }
-  {
-    std::unique_lock<std::mutex> lock(links_mutex_, std::try_to_lock);
-    if (!lock.owns_lock()) {
-      os << "    link state busy — skipped\n";
-    } else {
-      const std::size_t n = mailboxes_.size();
-      for (std::size_t i = 0; i < links_.size(); ++i) {
-        const LinkState& st = links_[i];
-        const std::uint64_t sent = send_seq_[i].load(std::memory_order_relaxed);
-        if (sent == 0 && st.reorder.empty()) continue;
-        if (!st.reorder.empty() || st.expected != sent) {
-          os << "    link " << i / n << "->" << i % n << ": sent=" << sent
-             << " delivered=" << st.expected << " parked=" << st.reorder.size() << '\n';
-        }
+  if (!links_mutex_.try_lock()) {
+    os << "    link state busy — skipped\n";
+  } else {
+    const std::size_t n = mailboxes_.size();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      const LinkState& st = links_[i];
+      const std::uint64_t sent = send_seq_[i].load(std::memory_order_relaxed);
+      if (sent == 0 && st.reorder.empty()) continue;
+      if (!st.reorder.empty() || st.expected != sent) {
+        os << "    link " << i / n << "->" << i % n << ": sent=" << sent
+           << " delivered=" << st.expected << " parked=" << st.reorder.size() << '\n';
       }
     }
+    links_mutex_.unlock();
   }
   for (std::size_t node = 0; node < mailboxes_.size(); ++node) {
     os << "    mailbox[" << node << "] backlog=" << mailboxes_[node].size() << '\n';
@@ -851,7 +848,7 @@ void Network::shutdown() {
   transport_->stop();
   stop_daemon();
   {
-    const std::lock_guard<std::mutex> lock(flight_mutex_);
+    const MutexLock lock(flight_mutex_);
     in_flight_.clear();
     delayed_.clear();
     pending_acks_.clear();

@@ -15,13 +15,10 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -29,7 +26,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "common/lock_order.hpp"
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "net/chaos.hpp"
 #include "net/liveness.hpp"
@@ -120,10 +120,13 @@ class Mailbox {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool closed_ = false;
+  // Innermost fabric lock: pushed to under links_/flight_mutex_, and the
+  // delivery hook fires checker hooks from under it.
+  mutable Mutex mutex_ ACQUIRED_AFTER(lock_order::mailbox_gate)
+      ACQUIRED_BEFORE(lock_order::checker_gate);
+  CondVar cv_;
+  std::deque<Message> queue_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// N-endpoint fabric with reliable, per-link-FIFO delivery.
@@ -292,7 +295,7 @@ class Network {
   void debug_dump(std::ostream& os) const;
 
  private:
-  using SteadyTime = std::chrono::steady_clock::time_point;
+  using SteadyTime = realclock::TimePoint;
 
   /// Per-(src,dst) receiver-side reliable-channel state: `expected` is the
   /// next seq to deliver; later arrivals park in `reorder`. (The sender
@@ -359,7 +362,7 @@ class Network {
   /// Accepts the in-order message at the head of its link (caller holds
   /// links_mutex_): unpacks kBatch envelopes, advances `expected` by the
   /// seq span, and delivers.
-  void accept_front(LinkState& st, Message msg);
+  void accept_front(LinkState& st, Message msg) REQUIRES(links_mutex_);
   /// Final step: traffic accounting + mailbox push, in-order per link.
   void deliver(Message msg);
   /// Completes (erases) the sender's in-flight entry — the internal ack.
@@ -413,19 +416,25 @@ class Network {
   // receiver's reorder buffer.
   std::vector<std::atomic<std::uint64_t>> send_seq_;
 
-  // Receiver channel state (dedup, reorder).
-  mutable std::mutex links_mutex_;
-  std::vector<LinkState> links_;
+  // Receiver channel state (dedup, reorder). Fabric layer: acquired under
+  // entry/protocol locks (sends from the fault path) and above the mailbox
+  // lock (accept_front delivers while holding it). Never nested with
+  // flight_mutex_ — both sit in the same lock-order bracket.
+  mutable Mutex links_mutex_ ACQUIRED_AFTER(lock_order::fabric_gate)
+      ACQUIRED_BEFORE(lock_order::mailbox_gate);
+  std::vector<LinkState> links_ GUARDED_BY(links_mutex_);
 
   // Retransmit daemon state: unacked messages, delayed deliveries, pending
   // delayed acks, pauses.
-  mutable std::mutex flight_mutex_;
-  std::condition_variable flight_cv_;
-  std::map<FlightKey, InFlight> in_flight_;
-  std::vector<Delayed> delayed_;  // min-heap by `due`
-  std::unordered_map<std::size_t, PendingAck> pending_acks_;
-  std::vector<SteadyTime> pause_until_;
-  bool stopping_ = false;
+  mutable Mutex flight_mutex_ ACQUIRED_AFTER(lock_order::fabric_gate)
+      ACQUIRED_BEFORE(lock_order::mailbox_gate);
+  CondVar flight_cv_;
+  std::map<FlightKey, InFlight> in_flight_ GUARDED_BY(flight_mutex_);
+  std::vector<Delayed> delayed_ GUARDED_BY(flight_mutex_);  // min-heap by `due`
+  std::unordered_map<std::size_t, PendingAck> pending_acks_
+      GUARDED_BY(flight_mutex_);
+  std::vector<SteadyTime> pause_until_ GUARDED_BY(flight_mutex_);
+  bool stopping_ GUARDED_BY(flight_mutex_) = false;
   std::thread daemon_;
 
   /// The backend moving wire attempts. Constructed (and started) last in the

@@ -16,11 +16,12 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
+#include "common/lock_order.hpp"
 #include "common/logging.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/network.hpp"
 #include "net/transport.hpp"
 
@@ -230,7 +231,7 @@ class UdpTransport final : public Transport {
         bool stale = false;
         bool respawned = false;
         {
-          const std::lock_guard<std::mutex> lock(incarnation_mutex_);
+          const MutexLock lock(incarnation_mutex_);
           std::int64_t& seen = peer_incarnation_[dg->msg.src];
           if (seen >= 0 && inc < static_cast<std::uint32_t>(seen)) {
             stale = true;
@@ -259,8 +260,12 @@ class UdpTransport final : public Transport {
   std::size_t n_nodes_;
   NodeId local_;
   std::uint32_t epoch_;  ///< (incarnation << 16) | ordinal
-  std::mutex incarnation_mutex_;
-  std::vector<std::int64_t> peer_incarnation_;  ///< highest seen per src; -1 = none
+  // Receiver threads call Network::peer_restarted (fabric locks) only after
+  // releasing this, so it sits in the transport bracket with the fabric locks.
+  Mutex incarnation_mutex_ ACQUIRED_AFTER(lock_order::fabric_gate)
+      ACQUIRED_BEFORE(lock_order::mailbox_gate);
+  std::vector<std::int64_t> peer_incarnation_
+      GUARDED_BY(incarnation_mutex_);  ///< highest seen per src; -1 = none
   Counter& malformed_;
   Counter& stale_;
   Counter& send_errors_;

@@ -33,12 +33,12 @@ void EcProtocol::init_pages() {
   // is the programmer's bindings' job.
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.state = PageState::kReadWrite;
     page_io::note_state(ctx_, p, PageState::kReadWrite);
     ctx_.view->protect(p, Access::kReadWrite);
   }
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   lock_data_.clear();
   barrier_regions_.clear();
   barrier_scratch_.clear();
@@ -57,7 +57,7 @@ void EcProtocol::on_message(const Message& msg) {
 
 void EcProtocol::bind_lock_region(LockId lock, std::size_t offset, std::size_t size) {
   DSM_CHECK_MSG(offset + size <= ctx_.view->size_bytes(), "ec binding outside the shared heap");
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   Region r{offset, size, {}};
   if (ctx_.lock_home(lock) == ctx_.id) {
     // The token starts at the lock's home: it is the data's initial holder,
@@ -70,7 +70,7 @@ void EcProtocol::bind_lock_region(LockId lock, std::size_t offset, std::size_t s
 
 void EcProtocol::bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size) {
   DSM_CHECK_MSG(offset + size <= ctx_.view->size_bytes(), "ec binding outside the shared heap");
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   Region r{offset, size, {}};
   const auto live = region_span(r);
   r.twin.assign(live.begin(), live.end());  // everyone holds barrier data
@@ -89,7 +89,7 @@ void EcProtocol::snapshot(std::vector<Region>& regions) {
 // ---------------------------------------------------------------------------
 
 void EcProtocol::fill_lock_request(LockId lock, WireWriter& out) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto it = lock_data_.find(lock);
   out.put(it == lock_data_.end() ? std::uint32_t{0} : it->second.seen_version);
 }
@@ -97,7 +97,7 @@ void EcProtocol::fill_lock_request(LockId lock, WireWriter& out) {
 void EcProtocol::fill_lock_grant(LockId lock, NodeId /*to*/,
                                  std::span<const std::byte> request_payload,
                                  WireWriter& out) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto it = lock_data_.find(lock);
   if (it == lock_data_.end()) {
     out.put(kGrantUnbound);
@@ -174,7 +174,7 @@ void EcProtocol::fill_lock_grant(LockId lock, NodeId /*to*/,
 }
 
 void EcProtocol::on_lock_granted(LockId lock, WireReader& in) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto it = lock_data_.find(lock);
   if (in.remaining() == 0) {
     // Centralized first-ever grant: the home had no release payload yet.
@@ -239,7 +239,7 @@ void EcProtocol::on_lock_granted(LockId lock, WireReader& in) {
 // ---------------------------------------------------------------------------
 
 void EcProtocol::fill_barrier_arrive(BarrierId barrier, WireWriter& out) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto it = barrier_regions_.find(barrier);
   if (it == barrier_regions_.end()) {
     out.put(std::uint32_t{0});
@@ -257,13 +257,13 @@ void EcProtocol::fill_barrier_arrive(BarrierId barrier, WireWriter& out) {
 }
 
 void EcProtocol::on_barrier_collect(BarrierId barrier, NodeId /*from*/, WireReader& in) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto blob = in.get_raw(in.remaining());
   barrier_scratch_[barrier].emplace_back(blob.begin(), blob.end());
 }
 
 void EcProtocol::fill_barrier_release(BarrierId barrier, WireWriter& out) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   auto& blobs = barrier_scratch_[barrier];
   out.put(static_cast<std::uint32_t>(blobs.size()));
   for (const auto& blob : blobs) out.put_bytes(blob);
@@ -271,7 +271,7 @@ void EcProtocol::fill_barrier_release(BarrierId barrier, WireWriter& out) {
 }
 
 void EcProtocol::on_barrier_release(BarrierId barrier, WireReader& in) {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   const auto it = barrier_regions_.find(barrier);
   const auto n = in.get<std::uint32_t>();
   for (std::uint32_t i = 0; i < n; ++i) {

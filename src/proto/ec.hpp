@@ -21,9 +21,10 @@
 
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "proto/protocol.hpp"
 
 namespace dsm {
@@ -74,15 +75,20 @@ class EcProtocol final : public Protocol {
   static constexpr std::size_t kLogCap = 16;
 
   std::span<std::byte> region_span(const Region& r) const {
+    // Entry consistency never page-protects — data moves with lock tokens,
+    // not faults — so an app-view deref cannot re-enter the fault engine.
+    // dsmlint:allow(service-window)
     return {ctx_.view->base() + r.offset, r.size};
   }
   void snapshot(std::vector<Region>& regions);
 
-  std::mutex mutex_;  // guards all maps (app + service threads)
-  std::map<LockId, LockData> lock_data_;
-  std::map<BarrierId, std::vector<Region>> barrier_regions_;
+  // Guards all maps (app + service threads).
+  Mutex mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::map<LockId, LockData> lock_data_ GUARDED_BY(mutex_);
+  std::map<BarrierId, std::vector<Region>> barrier_regions_ GUARDED_BY(mutex_);
   // Manager-side scratch: collected diffs per barrier round.
-  std::map<BarrierId, std::vector<std::vector<std::byte>>> barrier_scratch_;
+  std::map<BarrierId, std::vector<std::vector<std::byte>>> barrier_scratch_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace dsm

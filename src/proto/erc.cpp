@@ -34,7 +34,7 @@ std::string_view ErcProtocol::name() const {
 void ErcProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       // The home's copy is authoritative from the start; read-only so the
       // home's own writes are trapped and diffed like anyone else's.
@@ -58,19 +58,19 @@ void ErcProtocol::init_pages() {
   }
   dirty_pages_.clear();
   flush_outstanding_ = 0;
-  const std::lock_guard<std::mutex> lock(txn_mutex_);
+  const MutexLock lock(txn_mutex_);
   txns_.clear();
 }
 
 void ErcProtocol::on_read_fault(PageId page) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   // Wait for our transaction (!busy), not the state: a racing invalidation
   // can revoke the fresh copy before this thread runs — re-fetch then.
   for (;;) {
     if (e.state != PageState::kInvalid) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     e.busy = true;
@@ -86,7 +86,7 @@ void ErcProtocol::on_read_fault(PageId page) {
     prefetch_sequential(page);
 
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
     if (ctx_.trace != nullptr)
       ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
@@ -100,7 +100,7 @@ void ErcProtocol::prefetch_sequential(PageId page) {
     if (next >= ctx_.table->n_pages()) return;
     auto& e = ctx_.table->entry(next);
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid || e.busy) continue;
       e.busy = true;  // async fetch; the reply path completes it
     }
@@ -114,13 +114,13 @@ void ErcProtocol::prefetch_sequential(PageId page) {
 
 void ErcProtocol::on_write_fault(PageId page) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   ctx_.stats->counter("proto.write_faults").add();
   ctx_.clock->advance(ctx_.cfg->fault_ns);
   for (;;) {
     if (e.state == PageState::kReadWrite) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     if (e.state == PageState::kReadOnly) {
@@ -146,7 +146,7 @@ void ErcProtocol::on_write_fault(PageId page) {
     w.put(ctx_.id);
     ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
   }
 }
 
@@ -156,7 +156,7 @@ void ErcProtocol::flush_dirty() {
   {
     // Register the expected acks BEFORE any update goes out: the first ack
     // can arrive while we are still encoding the second diff.
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     flush_outstanding_ += static_cast<int>(dirty_pages_.size());
   }
   {
@@ -168,7 +168,7 @@ void ErcProtocol::flush_dirty() {
       std::vector<std::byte> field;
       std::size_t diff_bytes = 0;
       {
-        const std::lock_guard<std::mutex> lock(e.mutex);
+        const MutexLock lock(e.mutex);
         DSM_CHECK(e.dirty && e.twin != nullptr);
         const auto current = ctx_.view->alias_span(page);
         const std::span<const std::byte> twin{e.twin.get(), ctx_.cfg->page_size};
@@ -198,7 +198,7 @@ void ErcProtocol::flush_dirty() {
       if (ft() && ctx_.home_of(page) != ctx_.id) {
         // Keep the encoded field until the home's final ack: if the home
         // crashes first, the kPeerUp handler re-sends it verbatim.
-        const std::lock_guard<std::mutex> lock(flush_mutex_);
+        const MutexLock lock(flush_mutex_);
         ft_outstanding_[page] = field;
       }
       WireWriter w(field.size() + 16);
@@ -210,8 +210,8 @@ void ErcProtocol::flush_dirty() {
   }
   dirty_pages_.clear();
 
-  std::unique_lock<std::mutex> lock(flush_mutex_);
-  flush_cv_.wait(lock, [&] { return flush_outstanding_ == 0; });
+  RelockableMutexLock lock(flush_mutex_);
+  while (flush_outstanding_ != 0) flush_cv_.wait(flush_mutex_);
 }
 
 void ErcProtocol::on_message(const Message& msg) {
@@ -243,7 +243,7 @@ void ErcProtocol::handle_page_request(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "page request at non-home");
     DSM_CHECK(e.state != PageState::kInvalid);
     e.copyset.insert(requester);
@@ -261,7 +261,7 @@ void ErcProtocol::handle_page_reply(const Message& msg) {
   const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     page_io::install_page(ctx_, page, bytes, Access::kRead);
     e.state = PageState::kReadOnly;
     page_io::note_state(ctx_, page, PageState::kReadOnly);
@@ -283,7 +283,7 @@ void ErcProtocol::handle_update(const Message& msg) {
     // if we are mid-write, so our own later diff excludes these bytes.
     auto& e = ctx_.table->entry(page);
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid) {
         // Service window: never relax the app view's protection to write —
         // a concurrent app-thread store would slip through without faulting
@@ -318,7 +318,7 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
   std::vector<NodeId> targets;
   std::vector<std::byte> diff;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "update at non-home");
     if (e.manager_busy) {
       e.manager_parked.push_back(msg);
@@ -355,7 +355,7 @@ void ErcProtocol::home_begin_transaction(const Message& msg) {
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     auto& txn = txns_[page];
     txn.writer = writer;
     txn.pending = std::set<NodeId>(targets.begin(), targets.end());
@@ -392,7 +392,7 @@ void ErcProtocol::home_after_invalidations(PageId page) {
   std::vector<NodeId> keepers;
   std::vector<std::byte> diff;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     auto& txn = txns_.at(page);
     txn.keeper_phase = true;
     if (txn.keepers.empty()) {
@@ -421,14 +421,14 @@ void ErcProtocol::home_after_invalidations(PageId page) {
 void ErcProtocol::home_finish_transaction(PageId page) {
   NodeId writer;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     auto& txn = txns_.at(page);
     writer = txn.writer;
     txn.diff.clear();
   }
   {
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.manager_busy = false;
   }
   if (ft()) maybe_checkpoint(page);
@@ -442,7 +442,7 @@ void ErcProtocol::home_finish_transaction(PageId page) {
   for (;;) {
     Message next;
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.manager_busy || e.manager_parked.empty()) return;
       next = std::move(e.manager_parked.front());
       e.manager_parked.pop_front();
@@ -460,7 +460,7 @@ void ErcProtocol::handle_update_ack(const Message& msg) {
     // Final ack to the releasing writer.
     bool done;
     {
-      const std::lock_guard<std::mutex> lock(flush_mutex_);
+      const MutexLock lock(flush_mutex_);
       DSM_CHECK(flush_outstanding_ > 0);
       ft_outstanding_.erase(page);
       done = --flush_outstanding_ == 0;
@@ -472,7 +472,7 @@ void ErcProtocol::handle_update_ack(const Message& msg) {
   // Holder ack arriving back at the home.
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     auto& txn = txns_.at(page);
     const bool erased = txn.pending.erase(msg.src) > 0;
     DSM_CHECK_MSG(erased || ft(), "erc: unexpected update ack");
@@ -488,7 +488,7 @@ void ErcProtocol::handle_invalidate(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::uint8_t kept = 0;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.dirty) {
       // A concurrent writer: dropping the copy would lose its unflushed
       // words. Keep it; its words are race-free by DRF, and its own flush
@@ -513,12 +513,12 @@ void ErcProtocol::handle_invalidate_ack(const Message& msg) {
   const auto kept = r.get<std::uint8_t>();
   if (kept != 0) {
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.copyset.insert(msg.src);
   }
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     auto& txn = txns_.at(page);
     const bool erased = txn.pending.erase(msg.src) > 0;
     DSM_CHECK_MSG(erased || ft(), "erc: unexpected invalidate ack");
@@ -532,7 +532,7 @@ void ErcProtocol::handle_invalidate_ack(const Message& msg) {
 void ErcProtocol::home_txn_advance(PageId page) {
   bool keeper_phase;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     keeper_phase = txns_.at(page).keeper_phase;
   }
   // Update mode has no second phase; invalidate mode runs invalidations then
@@ -555,7 +555,7 @@ void ErcProtocol::maybe_checkpoint(PageId page) {
   std::vector<std::byte> bytes;
   {
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     version = e.version;
     if (version % period != 0) return;
     const auto span = ctx_.view->alias_span(page);
@@ -611,7 +611,7 @@ void ErcProtocol::handle_ckpt_data(const Message& msg) {
     const auto version = r.get<std::uint32_t>();
     const auto bytes = r.get_bytes();
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(bytes.size() == ctx_.cfg->page_size);
     std::memcpy(ctx_.view->alias_span(page).data(), bytes.data(), bytes.size());
     e.version = version;
@@ -623,7 +623,7 @@ void ErcProtocol::handle_ckpt_data(const Message& msg) {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     if (ctx_.home_of(p) != ctx_.id) continue;
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.state = PageState::kReadOnly;
     page_io::note_state(ctx_, p, PageState::kReadOnly);
     ctx_.view->protect(p, Access::kRead);
@@ -633,7 +633,7 @@ void ErcProtocol::handle_ckpt_data(const Message& msg) {
   ctx_.stats->histogram("ft.recovery_us")
       .record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - restore_started_)
+              realclock::now() - restore_started_)
               .count()));
   // Replay everything that arrived while the restore was in flight.
   std::deque<Message> parked;
@@ -648,7 +648,7 @@ void ErcProtocol::on_peer_down(NodeId peer) {
   // announcement finds the pending sets already clean.)
   std::vector<PageId> drained;
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     for (auto& [page, txn] : txns_) {
       if (txn.pending.erase(peer) > 0 && txn.pending.empty()) {
         drained.push_back(page);
@@ -661,14 +661,14 @@ void ErcProtocol::on_peer_down(NodeId peer) {
     auto& e = ctx_.table->entry(p);
     if (ctx_.home_of(p) == ctx_.id) {
       // Its copies died with it; stop invalidating/updating them.
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       e.copyset.erase(peer);
     } else if (ctx_.home_of(p) == peer) {
       // Our clean copies of the dead home's pages may be newer than the
       // checkpoint it will restore from; drop them so post-restart reads
       // observe one consistent (if rolled-back) timeline. Dirty copies
       // stay: their flush re-sends to the restored home.
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state == PageState::kReadOnly && !e.dirty && !e.busy) {
         ctx_.view->protect(p, Access::kNone);
         e.state = PageState::kInvalid;
@@ -690,7 +690,7 @@ void ErcProtocol::on_peer_up(NodeId peer) {
   // form — idempotent against the restored base).
   std::vector<std::pair<PageId, std::vector<std::byte>>> resend;
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     for (const auto& [page, field] : ft_outstanding_) {
       if (ctx_.home_of(page) == peer) resend.emplace_back(page, field);
     }
@@ -706,10 +706,10 @@ void ErcProtocol::on_peer_up(NodeId peer) {
 }
 
 void ErcProtocol::on_self_restart() {
-  restore_started_ = std::chrono::steady_clock::now();
+  restore_started_ = realclock::now();
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.state = PageState::kInvalid;
     page_io::note_state(ctx_, p, PageState::kInvalid);
     ctx_.view->protect(p, Access::kNone);
@@ -726,13 +726,13 @@ void ErcProtocol::on_self_restart() {
   }
   dirty_pages_.clear();
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     flush_outstanding_ = 0;
     ft_outstanding_.clear();
   }
   flush_cv_.notify_all();
   {
-    const std::lock_guard<std::mutex> lock(txn_mutex_);
+    const MutexLock lock(txn_mutex_);
     txns_.clear();
   }
   // Snapshots we held for our predecessor died with us — its next restore

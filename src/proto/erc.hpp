@@ -10,14 +10,14 @@
 // on its next fault.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "proto/protocol.hpp"
 
 namespace dsm {
@@ -108,27 +108,28 @@ class ErcProtocol final : public Protocol {
 
   Mode mode_;
 
-  std::mutex txn_mutex_;
-  std::map<PageId, HomeTxn> txns_;
+  Mutex txn_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::map<PageId, HomeTxn> txns_ GUARDED_BY(txn_mutex_);
 
-  // App-thread-only list of pages written since the last flush.
+  // App-thread-only: pages written since the last flush, and the flush
+  // counter tests read after the run is quiescent. Deliberately unguarded —
+  // single-thread by construction, the join orders the test's read.
   std::vector<PageId> dirty_pages_;
+  std::uint64_t n_flushes_ = 0;
 
   // Release-flush rendezvous between the app thread and the service thread.
-  std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
-  int flush_outstanding_ = 0;
-  std::uint64_t n_flushes_ = 0;
+  Mutex flush_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar flush_cv_;
+  int flush_outstanding_ GUARDED_BY(flush_mutex_) = 0;
   // FT only: unacked flush fields by page, so a home's crash+restart can be
   // survived by re-sending verbatim (value-form diffs make that idempotent).
-  // Guarded by flush_mutex_.
-  std::map<PageId, std::vector<std::byte>> ft_outstanding_;
+  std::map<PageId, std::vector<std::byte>> ft_outstanding_ GUARDED_BY(flush_mutex_);
 
   // --- checkpoint state (service thread only) -------------------------------
   std::map<PageId, Ckpt> ckpt_store_;  // snapshots held for our predecessor
   bool restoring_ = false;             // home pages not yet replayed
   std::deque<Message> restore_parked_;
-  std::chrono::steady_clock::time_point restore_started_{};
+  realclock::TimePoint restore_started_{};
 };
 
 }  // namespace dsm

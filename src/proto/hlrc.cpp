@@ -42,7 +42,7 @@ std::string_view HlrcProtocol::name() const { return "hlrc"; }
 void HlrcProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       e.state = PageState::kReadOnly;
       page_io::note_state(ctx_, p, PageState::kReadOnly);
@@ -56,7 +56,7 @@ void HlrcProtocol::init_pages() {
     e.dirty = false;
     e.twin.reset();
   }
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   vc_ = VectorClock(ctx_.n_nodes);
   for (auto& log : interval_log_) log.clear();
   dirty_pages_.clear();
@@ -72,12 +72,12 @@ void HlrcProtocol::init_pages() {
 void HlrcProtocol::on_read_fault(PageId page) {
   ctx_.stats->counter("proto.read_faults").add();
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   ctx_.clock->advance(ctx_.cfg->fault_ns);
   for (;;) {
     if (e.state != PageState::kInvalid) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     e.busy = true;
@@ -89,7 +89,7 @@ void HlrcProtocol::on_read_fault(PageId page) {
     ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
     prefetch_sequential(page);
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
     if (ctx_.trace != nullptr)
       ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
@@ -103,7 +103,7 @@ void HlrcProtocol::prefetch_sequential(PageId page) {
     if (next >= ctx_.table->n_pages()) return;
     auto& e = ctx_.table->entry(next);
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid || e.busy) continue;
       e.busy = true;  // async fetch; handle_page_reply completes it
     }
@@ -118,12 +118,12 @@ void HlrcProtocol::prefetch_sequential(PageId page) {
 void HlrcProtocol::on_write_fault(PageId page) {
   ctx_.stats->counter("proto.write_faults").add();
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   ctx_.clock->advance(ctx_.cfg->fault_ns);
   for (;;) {
     if (e.state == PageState::kReadWrite) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     if (e.state == PageState::kReadOnly) {
@@ -144,7 +144,7 @@ void HlrcProtocol::on_write_fault(PageId page) {
     w.put(ctx_.id);
     ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
   }
 }
 
@@ -155,20 +155,20 @@ void HlrcProtocol::on_write_fault(PageId page) {
 void HlrcProtocol::close_and_flush() {
   if (dirty_pages_.empty()) return;
   {
-    const std::lock_guard<std::mutex> flush(flush_mutex_);
+    const MutexLock flush(flush_mutex_);
     flush_outstanding_ += static_cast<int>(dirty_pages_.size());
   }
   IntervalRecord rec;
   rec.node = ctx_.id;
   rec.pages = dirty_pages_;
   {
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     vc_.tick(ctx_.id);
     if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
     rec.interval = vc_[ctx_.id];
     for (const PageId page : dirty_pages_) {
       auto& e = ctx_.table->entry(page);
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       DSM_CHECK(e.dirty && e.twin != nullptr);
       // Read through the service window: the page may have been invalidated
       // (PROT_NONE) while dirty, and a fault here would self-deadlock.
@@ -195,8 +195,8 @@ void HlrcProtocol::close_and_flush() {
 
   // Eager half of HLRC: the release is not complete (and no grant can be
   // filled) until every home acknowledged — homes are then hb-current.
-  std::unique_lock<std::mutex> lock(flush_mutex_);
-  flush_cv_.wait(lock, [&] { return flush_outstanding_ == 0; });
+  RelockableMutexLock lock(flush_mutex_);
+  while (flush_outstanding_ != 0) flush_cv_.wait(flush_mutex_);
 }
 
 void HlrcProtocol::before_release(LockId) { close_and_flush(); }
@@ -208,7 +208,7 @@ void HlrcProtocol::handle_flush(const Message& msg) {
   const auto diff = r.get_bytes();
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "hlrc: flush at non-home");
     // Arrival order is happens-before-consistent: an hb-later writer could
     // only have started after this diff was acknowledged. Apply through the
@@ -223,7 +223,7 @@ void HlrcProtocol::handle_flush(const Message& msg) {
 void HlrcProtocol::handle_flush_ack(const Message&) {
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     DSM_CHECK(flush_outstanding_ > 0);
     done = --flush_outstanding_ == 0;
   }
@@ -242,7 +242,7 @@ void HlrcProtocol::handle_page_request(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes(ctx_.cfg->page_size);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     std::memcpy(bytes.data(), ctx_.view->alias_ptr(page), bytes.size());
   }
   WireWriter w(bytes.size() + 8);
@@ -257,7 +257,7 @@ void HlrcProtocol::handle_page_reply(const Message& msg) {
   const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.twin != nullptr) {
       // We were mid-write when the copy was invalidated: preserve the
       // unflushed local words (disjoint from remote ones under DRF) by
@@ -287,7 +287,7 @@ void HlrcProtocol::handle_page_reply(const Message& msg) {
 // --------------------------------------------------------------------------
 
 void HlrcProtocol::fill_lock_request(LockId, WireWriter& out) {
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   write_vclock(vc_, out);
 }
 
@@ -318,7 +318,7 @@ void HlrcProtocol::fill_lock_grant(LockId, NodeId /*to*/,
     WireReader r(request_payload);
     horizon = read_vclock(r);
   }
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   write_vclock(vc_, out);
   write_records_after(horizon, out);
 }
@@ -334,7 +334,7 @@ void HlrcProtocol::ingest_records(WireReader& in, std::size_t count) {
     for (const PageId page : rec.pages) {
       if (ctx_.home_of(page) == ctx_.id) continue;  // home copy is kept current
       auto& e = ctx_.table->entry(page);
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(page, Access::kNone);
         e.state = PageState::kInvalid;
@@ -350,14 +350,14 @@ void HlrcProtocol::on_lock_granted(LockId, WireReader& in) {
   if (in.remaining() == 0) return;
   const VectorClock granter_vc = read_vclock(in);
   const auto count = in.get<std::uint32_t>();
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(granter_vc);
   if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
 }
 
 void HlrcProtocol::fill_barrier_arrive(BarrierId, WireWriter& out) {
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   write_vclock(vc_, out);
   const auto& mine = interval_log_[ctx_.id];
   out.put(static_cast<std::uint32_t>(mine.size()));
@@ -395,7 +395,7 @@ void HlrcProtocol::fill_barrier_release(BarrierId, WireWriter& out) {
 void HlrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
   const VectorClock merged = read_vclock(in);
   const auto count = in.get<std::uint32_t>();
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(merged);
   if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);

@@ -12,11 +12,11 @@
 // like IVY, and barriers are pure notice exchanges.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/vclock.hpp"
 #include "proto/protocol.hpp"
 
@@ -58,8 +58,9 @@ class HlrcProtocol final : public Protocol {
 
   /// Ingests interval records, invalidating noticed pages (except at their
   /// home, whose copy is authoritative and already flushed-to).
-  void ingest_records(WireReader& in, std::size_t count);
-  void write_records_after(const VectorClock& horizon, WireWriter& out);
+  void ingest_records(WireReader& in, std::size_t count) REQUIRES(meta_mutex_);
+  void write_records_after(const VectorClock& horizon, WireWriter& out)
+      REQUIRES(meta_mutex_);
 
   void handle_page_request(const Message& msg);
   void handle_page_reply(const Message& msg);
@@ -69,14 +70,14 @@ class HlrcProtocol final : public Protocol {
   void handle_flush_ack(const Message& msg);  // writer side
 
   // ---- metadata, guarded by meta_mutex_ ----
-  mutable std::mutex meta_mutex_;
-  VectorClock vc_;
-  std::vector<std::vector<IntervalRecord>> interval_log_;
+  mutable Mutex meta_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  VectorClock vc_ GUARDED_BY(meta_mutex_);
+  std::vector<std::vector<IntervalRecord>> interval_log_ GUARDED_BY(meta_mutex_);
 
   // ---- flush rendezvous ----
-  std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
-  int flush_outstanding_ = 0;
+  Mutex flush_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar flush_cv_;
+  int flush_outstanding_ GUARDED_BY(flush_mutex_) = 0;
 
   // ---- app-thread-only ----
   std::vector<PageId> dirty_pages_;

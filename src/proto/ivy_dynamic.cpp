@@ -43,7 +43,7 @@ std::string_view IvyDynamicProtocol::name() const { return "ivy-dynamic"; }
 void IvyDynamicProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     const NodeId home = ctx_.home_of(p);
     e.prob_owner = home;
     e.is_owner = home == ctx_.id;
@@ -69,7 +69,7 @@ void IvyDynamicProtocol::on_write_fault(PageId page) { fault(page, /*is_write=*/
 
 void IvyDynamicProtocol::fault(PageId page, bool is_write) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   const auto sufficient = [&] {
     return is_write ? e.state == PageState::kReadWrite : e.state != PageState::kInvalid;
   };
@@ -79,7 +79,7 @@ void IvyDynamicProtocol::fault(PageId page, bool is_write) {
   for (;;) {
     if (sufficient()) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
 
@@ -105,7 +105,7 @@ void IvyDynamicProtocol::fault(PageId page, bool is_write) {
         w.put(ctx_.id);
         const auto payload = std::move(w).take();
         for (const NodeId n : holders) ctx_.send(MsgType::kInvalidate, n, payload);
-        e.cv.wait(lock, [&] { return !e.busy; });
+        while (e.busy) e.cv.wait(e.mutex);
       }
       ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
       if (ctx_.trace != nullptr)
@@ -121,7 +121,7 @@ void IvyDynamicProtocol::fault(PageId page, bool is_write) {
               encode_req(page, ctx_.id));
     if (!is_write) prefetch_sequential(page);
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
     if (ctx_.trace != nullptr)
       ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
@@ -136,7 +136,7 @@ void IvyDynamicProtocol::prefetch_sequential(PageId page) {
     auto& e = ctx_.table->entry(next);
     NodeId target;
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid || e.busy) continue;
       // An asynchronous read transaction: nobody waits; the normal reply
       // path installs the page and clears busy. A later fault on this page
@@ -167,7 +167,7 @@ void IvyDynamicProtocol::handle_request(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   NodeId forward_to = kNoNode;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.busy) {
       // This node is itself acquiring the page (or finishing an upgrade);
       // park — it will soon be the owner and can serve, or will forward.
@@ -199,7 +199,7 @@ void IvyDynamicProtocol::serve_read(PageId page, NodeId requester) {
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.is_owner && e.state != PageState::kInvalid);
     if (e.state == PageState::kReadWrite) {
       ctx_.view->protect(page, Access::kRead);
@@ -220,7 +220,7 @@ void IvyDynamicProtocol::serve_write(PageId page, NodeId requester) {
   std::vector<std::byte> bytes;
   std::vector<NodeId> holders;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.is_owner && e.state != PageState::kInvalid);
     bytes = page_io::read_page(ctx_, page, e.state);
     for (const NodeId n : e.copyset.members()) {
@@ -246,7 +246,7 @@ void IvyDynamicProtocol::handle_read_reply(const Message& msg) {
   const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.discard_reply) {
       // A new writer invalidated the copy this reply carries while it was
       // in flight (we already acked the invalidation). Installing it would
@@ -276,7 +276,7 @@ void IvyDynamicProtocol::handle_write_reply(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     page_io::install_page(ctx_, page, bytes, Access::kReadWrite);
     e.is_owner = true;
     e.prob_owner = ctx_.id;
@@ -314,7 +314,7 @@ void IvyDynamicProtocol::handle_invalidate(const Message& msg) {
   const auto new_owner = r.get<NodeId>();
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.state != PageState::kInvalid) {
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
@@ -338,7 +338,7 @@ void IvyDynamicProtocol::handle_invalidate_ack(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   bool done = false;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.acks_outstanding > 0);
     if (--e.acks_outstanding == 0) done = finish_write_locked(page, e);
   }
@@ -353,7 +353,7 @@ void IvyDynamicProtocol::replay_parked(PageId page) {
   for (;;) {
     Message next;
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.busy || e.parked.empty()) return;
       next = std::move(e.parked.front());
       e.parked.pop_front();

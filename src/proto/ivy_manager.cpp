@@ -51,7 +51,7 @@ NodeId IvyManagerProtocol::manager_of(PageId page) const {
 void IvyManagerProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.owner = ctx_.home_of(p);  // meaningful at the manager; harmless elsewhere
     if (e.owner == ctx_.id) {
       e.state = PageState::kReadWrite;
@@ -76,7 +76,7 @@ void IvyManagerProtocol::on_write_fault(PageId page) { fault(page, /*is_write=*/
 
 void IvyManagerProtocol::fault(PageId page, bool is_write) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   const auto sufficient = [&] {
     return is_write ? e.state == PageState::kReadWrite : e.state != PageState::kInvalid;
   };
@@ -88,7 +88,7 @@ void IvyManagerProtocol::fault(PageId page, bool is_write) {
   for (;;) {
     if (sufficient()) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     e.busy = true;
@@ -102,7 +102,7 @@ void IvyManagerProtocol::fault(PageId page, bool is_write) {
     if (!is_write) prefetch_sequential(page);
 
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
     if (ctx_.trace != nullptr)
       ctx_.trace->complete(ctx_.id, TraceCat::kProto, "fault-txn", t0,
@@ -116,7 +116,7 @@ void IvyManagerProtocol::prefetch_sequential(PageId page) {
     if (next >= ctx_.table->n_pages()) return;
     auto& e = ctx_.table->entry(next);
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state != PageState::kInvalid || e.busy) continue;
       e.busy = true;  // async read transaction; the reply path completes it
     }
@@ -146,7 +146,7 @@ void IvyManagerProtocol::handle_request(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   NodeId owner;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.manager_busy) {
       e.manager_parked.push_back(msg);
       ctx_.stats->counter("ivy.manager_parked").add();
@@ -166,7 +166,7 @@ void IvyManagerProtocol::handle_read_forward(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(e.state != PageState::kInvalid,
                   "ivy: non-owner " << ctx_.id << " asked to serve page " << page);
     if (e.state == PageState::kReadWrite) {
@@ -192,7 +192,7 @@ void IvyManagerProtocol::handle_write_forward(const Message& msg) {
     // copyset and finish locally.
     bool done;
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       DSM_CHECK(e.state != PageState::kInvalid);
       auto holders = e.copyset.members();
       e.copyset.clear();
@@ -205,7 +205,7 @@ void IvyManagerProtocol::handle_write_forward(const Message& msg) {
   std::vector<std::byte> bytes;
   std::vector<NodeId> holders;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(e.state != PageState::kInvalid,
                   "ivy: non-owner " << ctx_.id << " asked to transfer page " << page);
     bytes = page_io::read_page(ctx_, page, e.state);
@@ -232,7 +232,7 @@ void IvyManagerProtocol::handle_read_reply(const Message& msg) {
   const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     page_io::install_page(ctx_, page, bytes, Access::kRead);
     e.state = PageState::kReadOnly;
     page_io::note_state(ctx_, page, PageState::kReadOnly);
@@ -254,7 +254,7 @@ void IvyManagerProtocol::handle_write_reply(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     // Install data but do not grant access until every stale copy is gone —
     // that ordering is what makes this protocol sequentially consistent.
     page_io::install_page(ctx_, page, bytes, Access::kReadWrite);
@@ -299,7 +299,7 @@ void IvyManagerProtocol::handle_invalidate(const Message& msg) {
   r.get<NodeId>();  // new owner: used by the dynamic protocol, not here
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.state != PageState::kInvalid) {
       ctx_.view->protect(page, Access::kNone);
       e.state = PageState::kInvalid;
@@ -317,7 +317,7 @@ void IvyManagerProtocol::handle_invalidate_ack(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   bool done = false;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.acks_outstanding > 0);
     if (--e.acks_outstanding == 0) {
       finish_write(page, e);
@@ -332,7 +332,7 @@ void IvyManagerProtocol::handle_confirm(const Message& msg) {
   const auto page = r.get<PageId>();
   {
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.manager_busy);
     e.manager_busy = false;
   }
@@ -344,7 +344,7 @@ void IvyManagerProtocol::replay_manager_parked(PageId page) {
   for (;;) {
     Message next;
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.manager_busy || e.manager_parked.empty()) return;
       next = std::move(e.manager_parked.front());
       e.manager_parked.pop_front();

@@ -49,7 +49,7 @@ std::string_view LrcProtocol::name() const { return "lrc"; }
 void LrcProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       e.state = PageState::kReadOnly;
       page_io::note_state(ctx_, p, PageState::kReadOnly);
@@ -67,7 +67,7 @@ void LrcProtocol::init_pages() {
     e.acks_outstanding = 0;
     pending_[p].clear();
   }
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   vc_ = VectorClock(ctx_.n_nodes);
   lamport_ = 0;
   for (auto& log : interval_log_) log.clear();
@@ -99,7 +99,7 @@ void LrcProtocol::on_write_fault(PageId page) {
   auto& e = ctx_.table->entry(page);
   for (;;) {
     {
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       if (e.state == PageState::kReadWrite) return;
       if (e.state == PageState::kReadOnly) {
         // Multiple-writer upgrade: twin now, diff at the next sync. Local.
@@ -120,7 +120,7 @@ void LrcProtocol::on_write_fault(PageId page) {
 
 void LrcProtocol::make_page_valid(PageId page) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   if (e.state != PageState::kInvalid) return;
   e.busy = true;
   const bool need_base = !e.has_base;
@@ -137,7 +137,7 @@ void LrcProtocol::make_page_valid(PageId page) {
     w.put(ctx_.id);
     ctx_.send(MsgType::kPageRequest, ctx_.home_of(page), std::move(w).take());
     lock.lock();
-    e.cv.wait(lock, [&] { return e.has_base; });
+    while (!e.has_base) e.cv.wait(e.mutex);
     lock.unlock();
   }
 
@@ -146,7 +146,7 @@ void LrcProtocol::make_page_valid(PageId page) {
     std::map<NodeId, std::vector<std::uint32_t>> by_writer;
     for (const auto& n : notices) by_writer[n.writer].push_back(n.interval);
     {
-      const std::lock_guard<std::mutex> g(e.mutex);
+      const MutexLock g(e.mutex);
       e.acks_outstanding = static_cast<int>(by_writer.size());
     }
     for (const auto& [writer, intervals] : by_writer) {
@@ -159,12 +159,12 @@ void LrcProtocol::make_page_valid(PageId page) {
       ctx_.stats->counter("lrc.diff_requests").add();
     }
     lock.lock();
-    e.cv.wait(lock, [&] { return e.acks_outstanding == 0; });
+    while (e.acks_outstanding != 0) e.cv.wait(e.mutex);
     lock.unlock();
 
     std::vector<DiffRecord> records;
     {
-      const std::lock_guard<std::mutex> meta(meta_mutex_);
+      const MutexLock meta(meta_mutex_);
       auto it = diff_inbox_.find(page);
       if (it != diff_inbox_.end()) {
         records = std::move(it->second);
@@ -209,7 +209,7 @@ void LrcProtocol::make_page_valid(PageId page) {
 
 void LrcProtocol::close_interval() {
   if (dirty_pages_.empty()) return;
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   ++lamport_;
   vc_.tick(ctx_.id);
   if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
@@ -223,7 +223,7 @@ void LrcProtocol::close_interval() {
 
   for (const PageId page : dirty_pages_) {
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.dirty && e.twin != nullptr);
     DiffRecord d;
     d.interval = interval;
@@ -271,12 +271,12 @@ void LrcProtocol::push_diffs_to_homes() {
   // move notices only, instead of broadcasting O(data × nodes).
   int sent = 0;
   {
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     sent = 0;
     for (const auto& [page, records] : diff_cache_) sent += static_cast<int>(records.size());
     if (sent == 0) return;
     {
-      const std::lock_guard<std::mutex> p(push_mutex_);
+      const MutexLock p(push_mutex_);
       push_outstanding_ += sent;
     }
     for (const auto& [page, records] : diff_cache_) {
@@ -291,12 +291,12 @@ void LrcProtocol::push_diffs_to_homes() {
       }
     }
   }
-  std::unique_lock<std::mutex> lock(push_mutex_);
-  push_cv_.wait(lock, [&] { return push_outstanding_ == 0; });
+  RelockableMutexLock lock(push_mutex_);
+  while (push_outstanding_ != 0) push_cv_.wait(push_mutex_);
 }
 
 void LrcProtocol::fill_lock_request(LockId, WireWriter& out) {
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   write_vclock(vc_, out);
 }
 
@@ -328,7 +328,7 @@ void LrcProtocol::fill_lock_grant(LockId, NodeId /*to*/,
     WireReader r(request_payload);
     horizon = read_vclock(r);
   }
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   write_vclock(vc_, out);
   out.put(lamport_);
   write_records_after(horizon, out);
@@ -345,7 +345,7 @@ void LrcProtocol::ingest_records(WireReader& in, std::size_t count) {
     if (vc_.covers(rec.node, rec.interval)) continue;  // already known
     for (const PageId page : rec.pages) {
       auto& e = ctx_.table->entry(page);
-      const std::lock_guard<std::mutex> lock(e.mutex);
+      const MutexLock lock(e.mutex);
       pending_[page].push_back(WriteNotice{rec.node, rec.interval, rec.lamport});
       if (e.state != PageState::kInvalid) {
         ctx_.view->protect(page, Access::kNone);
@@ -363,7 +363,7 @@ void LrcProtocol::on_lock_granted(LockId, WireReader& in) {
   const VectorClock granter_vc = read_vclock(in);
   const auto granter_lamport = in.get<std::uint64_t>();
   const auto count = in.get<std::uint32_t>();
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   ingest_records(in, count);
   vc_.merge(granter_vc);
   if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
@@ -392,7 +392,7 @@ void LrcProtocol::on_message(const Message& msg) {
       const auto bytes = r.get_bytes();
       rec.bytes.assign(bytes.begin(), bytes.end());
       {
-        const std::lock_guard<std::mutex> meta(meta_mutex_);
+        const MutexLock meta(meta_mutex_);
         DSM_CHECK_MSG(ctx_.home_of(page) == ctx_.id, "lrc: diff push at non-home");
         settle_buffer_[page].push_back(std::move(rec));
       }
@@ -402,7 +402,7 @@ void LrcProtocol::on_message(const Message& msg) {
     case MsgType::kUpdateAck: {
       bool done;
       {
-        const std::lock_guard<std::mutex> lock(push_mutex_);
+        const MutexLock lock(push_mutex_);
         DSM_CHECK(push_outstanding_ > 0);
         done = --push_outstanding_ == 0;
       }
@@ -422,7 +422,7 @@ void LrcProtocol::handle_page_request(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::vector<std::byte> bytes(ctx_.cfg->page_size);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.has_base);
     // The home's bytes are always *some* consistent base (its applied-diff
     // prefix respects happens-before); the faulter layers its pending diffs
@@ -442,7 +442,7 @@ void LrcProtocol::handle_page_reply(const Message& msg) {
   const auto bytes = page_io::get_page(ctx_, r);
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(!e.has_base && e.twin == nullptr);
     std::memcpy(ctx_.view->alias_ptr(page), bytes.data(), bytes.size());
     e.has_base = true;
@@ -462,7 +462,7 @@ void LrcProtocol::handle_diff_request(const Message& msg) {
   w.put(page);
   w.put(n);
   {
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     const auto it = diff_cache_.find(page);
     DSM_CHECK_MSG(it != diff_cache_.end(), "lrc: no cached diffs for page " << page);
     for (const auto interval : intervals) {
@@ -483,7 +483,7 @@ void LrcProtocol::handle_diff_reply(const Message& msg) {
   const auto page = r.get<PageId>();
   const auto n = r.get<std::uint32_t>();
   {
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     auto& inbox = diff_inbox_[page];
     for (std::uint32_t i = 0; i < n; ++i) {
       DiffRecord rec;
@@ -498,7 +498,7 @@ void LrcProtocol::handle_diff_reply(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   bool done;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK(e.acks_outstanding > 0);
     done = --e.acks_outstanding == 0;
   }
@@ -516,7 +516,7 @@ void LrcProtocol::handle_diff_reply(const Message& msg) {
 // each page's home (push_diffs_to_homes) before anyone arrived.
 
 void LrcProtocol::fill_barrier_arrive(BarrierId, WireWriter& out) {
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   out.put(static_cast<std::uint8_t>(arriving_at_settle_ ? 1 : 0));
   write_vclock(vc_, out);
   out.put(lamport_);
@@ -577,7 +577,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
   if (!settle) {
     // Lazy round: learn the merged write notices; data stays where it is
     // until someone faults. Diff caches and pending notices are retained.
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     ingest_records(in, count);
     vc_.merge(merged);
     if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
@@ -593,7 +593,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
   // and garbage-collect every piece of epoch metadata.
   std::map<PageId, std::vector<DiffRecord>> pushed;
   {
-    const std::lock_guard<std::mutex> meta(meta_mutex_);
+    const MutexLock meta(meta_mutex_);
     ingest_records(in, count);
     vc_.merge(merged);
     if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
@@ -610,7 +610,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
       return a.lamport != b.lamport ? a.lamport < b.lamport : a.writer < b.writer;
     });
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(e.twin == nullptr && !e.dirty, "lrc: open interval at barrier");
     DSM_CHECK(e.has_base);
     for (const auto& rec : records) {
@@ -620,7 +620,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
 
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (ctx_.home_of(p) == ctx_.id) {
       // Home: current after the diff application above.
       pending_[p].clear();
@@ -649,7 +649,7 @@ void LrcProtocol::on_barrier_release(BarrierId, WireReader& in) {
 }
 
 std::size_t LrcProtocol::cached_diffs() const {
-  const std::lock_guard<std::mutex> meta(meta_mutex_);
+  const MutexLock meta(meta_mutex_);
   std::size_t n = 0;
   for (const auto& [page, records] : diff_cache_) n += records.size();
   return n;

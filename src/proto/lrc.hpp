@@ -15,11 +15,11 @@
 // order of conflicting writes.
 #pragma once
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/vclock.hpp"
 #include "proto/protocol.hpp"
 
@@ -93,20 +93,21 @@ class LrcProtocol final : public Protocol {
   void handle_diff_reply(const Message& msg);
 
   /// Serializes interval records (without diffs) newer than `horizon`.
-  void write_records_after(const VectorClock& horizon, WireWriter& out);
+  void write_records_after(const VectorClock& horizon, WireWriter& out)
+      REQUIRES(meta_mutex_);
   /// Ingests records from a grant; invalidates freshly-noticed pages.
-  void ingest_records(WireReader& in, std::size_t count);
+  void ingest_records(WireReader& in, std::size_t count) REQUIRES(meta_mutex_);
 
   // ---- metadata, guarded by meta_mutex_ ----
-  mutable std::mutex meta_mutex_;
-  VectorClock vc_;
-  std::uint64_t lamport_ = 0;
+  mutable Mutex meta_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  VectorClock vc_ GUARDED_BY(meta_mutex_);
+  std::uint64_t lamport_ GUARDED_BY(meta_mutex_) = 0;
   /// interval_log_[n] = records of node n's intervals known here, ascending.
-  std::vector<std::vector<IntervalRecord>> interval_log_;
+  std::vector<std::vector<IntervalRecord>> interval_log_ GUARDED_BY(meta_mutex_);
   /// My own diffs: page → records ascending by interval.
-  std::map<PageId, std::vector<DiffRecord>> diff_cache_;
+  std::map<PageId, std::vector<DiffRecord>> diff_cache_ GUARDED_BY(meta_mutex_);
   /// Diff replies parked for the faulting app thread: page → records.
-  std::map<PageId, std::vector<DiffRecord>> diff_inbox_;
+  std::map<PageId, std::vector<DiffRecord>> diff_inbox_ GUARDED_BY(meta_mutex_);
 
   // ---- per-page pending notices, guarded by that page's entry mutex ----
   std::vector<std::vector<WriteNotice>> pending_;
@@ -131,12 +132,12 @@ class LrcProtocol final : public Protocol {
   bool last_release_was_settle_ = false;
 
   /// Home-side buffer of diffs pushed for the current settle round,
-  /// guarded by meta_mutex_; applied in lamport order at the release.
-  std::map<PageId, std::vector<DiffRecord>> settle_buffer_;
+  /// applied in lamport order at the release.
+  std::map<PageId, std::vector<DiffRecord>> settle_buffer_ GUARDED_BY(meta_mutex_);
   /// Push-acknowledgement rendezvous (app thread ↔ service thread).
-  std::mutex push_mutex_;
-  std::condition_variable push_cv_;
-  int push_outstanding_ = 0;
+  Mutex push_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar push_cv_;
+  int push_outstanding_ GUARDED_BY(push_mutex_) = 0;
 
   // ---- barrier manager scratch (only used at the barrier home) ----
   std::vector<IntervalRecord> barrier_records_;

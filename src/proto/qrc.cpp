@@ -72,7 +72,7 @@ std::vector<NodeId> QrcProtocol::live_members(PageId page, bool exclude_self) co
 void QrcProtocol::init_pages() {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     // Every node starts as a client with no copy: even group members read
     // through the primary, so the client view and the replica store never
     // alias each other.
@@ -103,10 +103,10 @@ void QrcProtocol::init_pages() {
   dead_handled_.clear();
   dirty_pages_.clear();
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     outstanding_.clear();
   }
-  const std::lock_guard<std::mutex> lock(client_mutex_);
+  const MutexLock lock(client_mutex_);
   fetching_.clear();
 }
 
@@ -115,7 +115,7 @@ void QrcProtocol::send_fetch(PageId page) {
   // cannot overtake the request.
   const NodeId target = primary_of(page);
   {
-    const std::lock_guard<std::mutex> lock(client_mutex_);
+    const MutexLock lock(client_mutex_);
     fetching_[page] = target;
   }
   WireWriter w(8);
@@ -126,11 +126,11 @@ void QrcProtocol::send_fetch(PageId page) {
 
 void QrcProtocol::on_read_fault(PageId page) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   for (;;) {
     if (e.state != PageState::kInvalid) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     e.busy = true;
@@ -142,20 +142,20 @@ void QrcProtocol::on_read_fault(PageId page) {
     send_fetch(page);
 
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
     ctx_.stats->histogram("proto.fault_service_ns").record(ctx_.clock->now() - t0);
   }
 }
 
 void QrcProtocol::on_write_fault(PageId page) {
   auto& e = ctx_.table->entry(page);
-  std::unique_lock<std::mutex> lock(e.mutex);
+  RelockableMutexLock lock(e.mutex);
   ctx_.stats->counter("proto.write_faults").add();
   ctx_.clock->advance(ctx_.cfg->fault_ns);
   for (;;) {
     if (e.state == PageState::kReadWrite) return;
     if (e.busy) {
-      e.cv.wait(lock);
+      e.cv.wait(e.mutex);
       continue;
     }
     if (e.state == PageState::kReadOnly) {
@@ -175,7 +175,7 @@ void QrcProtocol::on_write_fault(PageId page) {
     lock.unlock();
     send_fetch(page);
     lock.lock();
-    e.cv.wait(lock, [&] { return !e.busy; });
+    while (e.busy) e.cv.wait(e.mutex);
   }
 }
 
@@ -189,7 +189,7 @@ void QrcProtocol::flush_dirty() {
       std::vector<std::byte> field;
       std::size_t diff_bytes = 0;
       {
-        const std::lock_guard<std::mutex> lock(e.mutex);
+        const MutexLock lock(e.mutex);
         DSM_CHECK(e.dirty && e.twin != nullptr);
         const auto current = ctx_.view->alias_span(page);
         const std::span<const std::byte> twin{e.twin.get(), ctx_.cfg->page_size};
@@ -211,7 +211,7 @@ void QrcProtocol::flush_dirty() {
       ctx_.stats->counter("qrc.diff_bytes").add(diff_bytes);
       const NodeId target = primary_of(page);
       {
-        const std::lock_guard<std::mutex> lock(flush_mutex_);
+        const MutexLock lock(flush_mutex_);
         outstanding_[page] = Flush{field, target};
       }
       WireWriter w(field.size() + 16);
@@ -223,8 +223,8 @@ void QrcProtocol::flush_dirty() {
   }
   dirty_pages_.clear();
 
-  std::unique_lock<std::mutex> lock(flush_mutex_);
-  flush_cv_.wait(lock, [&] { return outstanding_.empty(); });
+  RelockableMutexLock lock(flush_mutex_);
+  while (!outstanding_.empty()) flush_cv_.wait(flush_mutex_);
 }
 
 void QrcProtocol::on_message(const Message& msg) {
@@ -279,7 +279,7 @@ void QrcProtocol::handle_read_reply(const Message& msg) {
   const auto bytes = r.get_bytes();
   auto& e = ctx_.table->entry(page);
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (!e.busy) return;  // duplicate reply after a failover re-send
     page_io::install_page(ctx_, page, bytes, Access::kRead);
     e.state = PageState::kReadOnly;
@@ -287,7 +287,7 @@ void QrcProtocol::handle_read_reply(const Message& msg) {
     e.busy = false;
   }
   {
-    const std::lock_guard<std::mutex> lock(client_mutex_);
+    const MutexLock lock(client_mutex_);
     fetching_.erase(page);
   }
   e.cv.notify_all();
@@ -360,7 +360,7 @@ void QrcProtocol::handle_write_ack(const Message& msg) {
   const auto page = r.get<PageId>();
   bool done = false;
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     const auto it = outstanding_.find(page);
     if (it == outstanding_.end()) return;  // duplicate ack after a re-send
     outstanding_.erase(it);
@@ -397,7 +397,7 @@ void QrcProtocol::handle_sync(const Message& msg) {
     // twin, exactly like ERC's home→keeper update).
     const auto diff = page_io::unpack_diff_field(ctx_, field, {});
     auto& e = ctx_.table->entry(page);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.state != PageState::kInvalid) {
       apply_diff(ctx_.view->alias_span(page), diff);
     }
@@ -426,7 +426,7 @@ void QrcProtocol::handle_invalidate(const Message& msg) {
   auto& e = ctx_.table->entry(page);
   std::uint8_t kept = 0;
   {
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.dirty) {
       kept = 1;  // concurrent writer: its unflushed words must survive
     } else if (e.state != PageState::kInvalid) {
@@ -509,7 +509,7 @@ void QrcProtocol::replay_parked(PageId page) {
 void QrcProtocol::start_recovery(PageId page) {
   auto [it, fresh] = recovering_.try_emplace(page);
   Recovery& rec = it->second;
-  if (fresh) rec.started = std::chrono::steady_clock::now();
+  if (fresh) rec.started = realclock::now();
   rec.pending.clear();
   for (const NodeId n : live_members(page, /*exclude_self=*/true)) {
     rec.pending.insert(n);
@@ -560,7 +560,7 @@ void QrcProtocol::handle_recover_reply(const Message& msg) {
 void QrcProtocol::finish_recovery(PageId page) {
   const auto it = recovering_.find(page);
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - it->second.started)
+                      realclock::now() - it->second.started)
                       .count();
   ctx_.stats->histogram("ft.recovery_us").record(static_cast<std::uint64_t>(us));
   recovering_.erase(it);
@@ -611,7 +611,7 @@ void QrcProtocol::on_peer_down(NodeId peer) {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     if (!in_group(p, peer)) continue;
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.state == PageState::kReadOnly && !e.dirty && !e.busy) {
       ctx_.view->protect(p, Access::kNone);
       e.state = PageState::kInvalid;
@@ -621,7 +621,7 @@ void QrcProtocol::on_peer_down(NodeId peer) {
 
   // 5. Re-aim outstanding fetches that targeted the dead node.
   {
-    const std::lock_guard<std::mutex> lock(client_mutex_);
+    const MutexLock lock(client_mutex_);
     for (auto& [page, target] : fetching_) {
       if (ctx_.net->liveness().alive(target)) continue;
       target = primary_of(page);
@@ -634,7 +634,7 @@ void QrcProtocol::on_peer_down(NodeId peer) {
 
   // 6. Re-send unacked flushes to the new primary (value diffs: idempotent
   //    even if the old primary stored them before dying).
-  const std::lock_guard<std::mutex> lock(flush_mutex_);
+  const MutexLock lock(flush_mutex_);
   for (auto& [page, flush] : outstanding_) {
     if (ctx_.net->liveness().alive(flush.target)) continue;
     flush.target = primary_of(page);
@@ -663,7 +663,7 @@ void QrcProtocol::on_peer_up(NodeId peer) {
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     if (!in_group(p, peer)) continue;
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     if (e.state == PageState::kReadOnly && !e.dirty && !e.busy) {
       ctx_.view->protect(p, Access::kNone);
       e.state = PageState::kInvalid;
@@ -679,7 +679,7 @@ void QrcProtocol::on_self_restart() {
   // Client view back to all-invalid (the post-init_pages picture).
   for (PageId p = 0; p < ctx_.table->n_pages(); ++p) {
     auto& e = ctx_.table->entry(p);
-    const std::lock_guard<std::mutex> lock(e.mutex);
+    const MutexLock lock(e.mutex);
     e.state = PageState::kInvalid;
     page_io::note_state(ctx_, p, PageState::kInvalid);
     ctx_.view->protect(p, Access::kNone);
@@ -695,12 +695,12 @@ void QrcProtocol::on_self_restart() {
   }
   dirty_pages_.clear();
   {
-    const std::lock_guard<std::mutex> lock(flush_mutex_);
+    const MutexLock lock(flush_mutex_);
     outstanding_.clear();
   }
   flush_cv_.notify_all();
   {
-    const std::lock_guard<std::mutex> lock(client_mutex_);
+    const MutexLock lock(client_mutex_);
     fetching_.clear();
   }
   txns_.clear();
@@ -716,7 +716,7 @@ void QrcProtocol::on_self_restart() {
   for (auto& [page, rep] : store_) {
     rep.tag = 0;
     rep.data.assign(ctx_.cfg->page_size, std::byte{0});
-    recovering_[page].started = std::chrono::steady_clock::now();
+    recovering_[page].started = realclock::now();
   }
 }
 

@@ -19,15 +19,15 @@
 // re-sent flush or replayed sync must be idempotent against any base.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/clock.hpp"
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "proto/protocol.hpp"
 
 namespace dsm {
@@ -87,7 +87,7 @@ class QrcProtocol final : public Protocol {
   /// An in-progress primaryship takeover or restart resync for one page.
   struct Recovery {
     std::set<NodeId> pending;
-    std::chrono::steady_clock::time_point started;
+    realclock::TimePoint started;
   };
 
   std::size_t repl() const;
@@ -137,15 +137,14 @@ class QrcProtocol final : public Protocol {
 
   // Outstanding release flushes: registered by the app thread, retired by
   // the service thread (ack), re-targeted by the service thread (failover).
-  std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
-  std::map<PageId, Flush> outstanding_;
+  Mutex flush_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar flush_cv_;
+  std::map<PageId, Flush> outstanding_ GUARDED_BY(flush_mutex_);
 
   // Outstanding page fetches and who they were sent to, so a failover can
-  // re-aim them. Guarded by client_mutex_ (app thread registers, service
-  // thread retires/re-sends).
-  std::mutex client_mutex_;
-  std::map<PageId, NodeId> fetching_;
+  // re-aim them (app thread registers, service thread retires/re-sends).
+  Mutex client_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::map<PageId, NodeId> fetching_ GUARDED_BY(client_mutex_);
 };
 
 }  // namespace dsm

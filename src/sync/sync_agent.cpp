@@ -88,7 +88,7 @@ void SyncAgent::acquire(LockId lock) {
   DSM_CHECK_MSG(lock < local_.size(), "lock id " << lock << " out of range");
   ctx_.stats->counter("sync.lock_acquires").add();
   {
-    std::unique_lock<std::mutex> guard(mutex_);
+    RelockableMutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(!L.in_cs, "recursive acquire of lock " << lock);
     if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain && L.have_token) {
@@ -117,9 +117,9 @@ void SyncAgent::acquire(LockId lock) {
   w.put_bytes(std::move(req).take());
   ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
 
-  std::unique_lock<std::mutex> guard(mutex_);
+  RelockableMutexLock guard(mutex_);
   auto& L = local_[lock];
-  cv_.wait(guard, [&] { return L.granted; });
+  while (!L.granted) cv_.wait(mutex_);
   L.granted = false;
   L.have_token = true;
   L.in_cs = true;
@@ -144,7 +144,7 @@ void SyncAgent::release(LockId lock) {
   if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain) {
     std::optional<Message> successor;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const MutexLock guard(mutex_);
       auto& L = local_[lock];
       DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
       L.in_cs = false;
@@ -164,7 +164,7 @@ void SyncAgent::release(LockId lock) {
 
   // Centralized: hand the token (and the release payload) back to the home.
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
     L.in_cs = false;
@@ -190,7 +190,7 @@ void SyncAgent::acquire_read(LockId lock) {
   const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-read",
                         ctx_.clock, "lock", lock);
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
   }
@@ -203,9 +203,9 @@ void SyncAgent::acquire_read(LockId lock) {
   w.put_bytes(std::move(req).take());
   ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
 
-  std::unique_lock<std::mutex> guard(mutex_);
+  RelockableMutexLock guard(mutex_);
   auto& L = local_[lock];
-  cv_.wait(guard, [&] { return L.granted; });
+  while (!L.granted) cv_.wait(mutex_);
   L.granted = false;
   L.in_read_cs = true;
   if (ctx_.check != nullptr) {
@@ -222,7 +222,7 @@ void SyncAgent::release_read(LockId lock) {
     ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kRead);
   }
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(L.in_read_cs, "release_read of lock " << lock << " not read-held");
     L.in_read_cs = false;
@@ -243,7 +243,7 @@ void SyncAgent::acquire_write(LockId lock) {
   const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-write",
                         ctx_.clock, "lock", lock);
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
   }
@@ -256,9 +256,9 @@ void SyncAgent::acquire_write(LockId lock) {
   w.put_bytes(std::move(req).take());
   ctx_.send(MsgType::kLockRequest, ctx_.lock_home(lock), std::move(w).take());
 
-  std::unique_lock<std::mutex> guard(mutex_);
+  RelockableMutexLock guard(mutex_);
   auto& L = local_[lock];
-  cv_.wait(guard, [&] { return L.granted; });
+  while (!L.granted) cv_.wait(mutex_);
   L.granted = false;
   L.in_cs = true;
   if (ctx_.check != nullptr) {
@@ -273,7 +273,7 @@ void SyncAgent::release_write(LockId lock) {
     ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kWrite);
   }
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(L.in_cs, "release_write of lock " << lock << " not write-held");
     L.in_cs = false;
@@ -292,7 +292,7 @@ void SyncAgent::handle_rw_request(const Message& msg, LockId lock, NodeId origin
   DSM_CHECK(ctx_.lock_home(lock) == ctx_.id);
   bool grant_now = false;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& H = home_[lock];
     if (write) {
       if (H.rw_writer_active || H.readers_active > 0) {
@@ -321,7 +321,7 @@ void SyncAgent::handle_rw_request(const Message& msg, LockId lock, NodeId origin
 void SyncAgent::handle_rw_release(LockId lock, bool write,
                                   std::span<const std::byte> payload, NodeId from) {
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& H = home_[lock];
     // FT: stale release from a dead node whose grant was already regenerated.
     if (ctx_.cfg->ft.enabled &&
@@ -350,7 +350,7 @@ void SyncAgent::rw_drain_queues(LockId lock) {
   std::vector<Message> grants;
   bool write_grant = false;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& H = home_[lock];
     if (H.rw_writer_active) return;
     if (!H.rw_write_queue.empty()) {
@@ -370,7 +370,7 @@ void SyncAgent::rw_drain_queues(LockId lock) {
   for (const auto& g : grants) {
     const auto req = parse_lock_request(g);
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const MutexLock guard(mutex_);
       auto& H = home_[lock];
       if (write_grant) H.rw_writer = req.origin;
       else H.rw_readers.insert(req.origin);
@@ -400,7 +400,7 @@ void SyncAgent::handle_lock_request(const Message& msg) {
     DSM_CHECK(ctx_.lock_home(req.lock) == ctx_.id);
     bool grant_now = false;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const MutexLock guard(mutex_);
       auto& H = home_[req.lock];
       if (H.held) {
         H.waiting.push_back(msg);
@@ -425,7 +425,7 @@ void SyncAgent::handle_lock_request(const Message& msg) {
   // Holder side: we are (or are about to become) the previous holder.
   bool grant_now = false;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& L = local_[req.lock];
     if (L.have_token && !L.in_cs) {
       L.have_token = false;
@@ -442,7 +442,7 @@ void SyncAgent::handle_lock_request(const Message& msg) {
 void SyncAgent::route_to_tail(const Message& msg, LockId lock, NodeId origin) {
   NodeId previous_tail;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& H = home_[lock];
     previous_tail = H.tail;
     H.tail = origin;
@@ -476,7 +476,7 @@ void SyncAgent::send_grant(LockId lock, NodeId origin,
 void SyncAgent::send_grant_centralized(LockId lock, NodeId origin) {
   std::vector<std::byte> stored;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     stored = home_[lock].release_payload;
   }
   WireWriter w(stored.size() + 8);
@@ -492,7 +492,7 @@ void SyncAgent::handle_lock_grant(const Message& msg) {
   WireReader payload_reader(payload);
   protocol_.on_lock_granted(lock, payload_reader);
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     local_[lock].granted = true;
   }
   cv_.notify_all();
@@ -513,7 +513,7 @@ void SyncAgent::handle_lock_release(const Message& msg) {
 
   std::optional<Message> next;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     auto& H = home_[lock];
     // FT: the holder died and its kPeerDown overtook this release in our
     // mailbox — the token was already regenerated, so the release is stale.
@@ -531,7 +531,7 @@ void SyncAgent::handle_lock_release(const Message& msg) {
   if (next.has_value()) {
     const auto req = parse_lock_request(*next);
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const MutexLock guard(mutex_);
       home_[lock].holder = req.origin;
     }
     send_grant_centralized(lock, req.origin);
@@ -559,7 +559,7 @@ void SyncAgent::barrier(BarrierId barrier) {
 
   std::uint64_t target;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     target = ++barrier_entered_[barrier];
   }
   // Arrive hook strictly before the arrive message: the home releases only
@@ -568,8 +568,8 @@ void SyncAgent::barrier(BarrierId barrier) {
   if (ctx_.check != nullptr) ctx_.check->on_barrier_arrive(ctx_.id, barrier);
   ctx_.send(MsgType::kBarrierArrive, ctx_.barrier_home(barrier), std::move(w).take());
 
-  std::unique_lock<std::mutex> guard(mutex_);
-  cv_.wait(guard, [&] { return barrier_gen_[barrier] >= target; });
+  RelockableMutexLock guard(mutex_);
+  while (barrier_gen_[barrier] < target) cv_.wait(mutex_);
   if (ctx_.check != nullptr) ctx_.check->on_barrier_depart(ctx_.id, barrier);
   ctx_.stats->histogram("sync.barrier_wait_ns").record(ctx_.clock->now() - t0);
 }
@@ -583,18 +583,18 @@ void SyncAgent::handle_barrier_arrive(const Message& msg) {
 
   if (phase == 1) {
     // Settlement ack (two-phase barrier): everyone applied the release.
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     barrier_acked_[barrier].insert(msg.src);
   } else {
     WireReader payload_reader(payload);
     protocol_.on_barrier_collect(barrier, msg.src, payload_reader);
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     barrier_arrived_[barrier].insert(msg.src);
   }
-  try_complete_barrier(barrier);
+  maybe_complete_barrier(barrier);
 }
 
-void SyncAgent::try_complete_barrier(BarrierId barrier) {
+void SyncAgent::maybe_complete_barrier(BarrierId barrier) {
   // A round completes when every *live* worker has arrived (or acked, for
   // the settlement phase). Without faults the live worker set is all N
   // nodes, so this degenerates to the classic full-count rendezvous. The
@@ -612,7 +612,7 @@ void SyncAgent::try_complete_barrier(BarrierId barrier) {
   bool arrive_complete = false;
   bool ack_complete = false;
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     if (covers(barrier_arrived_[barrier])) {
       barrier_arrived_[barrier].clear();
       arrive_complete = true;
@@ -664,7 +664,7 @@ void SyncAgent::handle_barrier_release(const Message& msg) {
     }
   }
   {
-    const std::lock_guard<std::mutex> guard(mutex_);
+    const MutexLock guard(mutex_);
     ++barrier_gen_[barrier];
   }
   cv_.notify_all();
@@ -692,7 +692,7 @@ void SyncAgent::on_peer_down(NodeId peer) {
     std::optional<Message> next;
     bool drain_rw = false;
     {
-      const std::lock_guard<std::mutex> guard(mutex_);
+      const MutexLock guard(mutex_);
       auto& H = home_[l];
       purge(H.waiting);
       purge(H.rw_read_queue);
@@ -728,7 +728,7 @@ void SyncAgent::on_peer_down(NodeId peer) {
     if (next.has_value()) {
       const auto req = parse_lock_request(*next);
       {
-        const std::lock_guard<std::mutex> guard(mutex_);
+        const MutexLock guard(mutex_);
         home_[l].holder = req.origin;
       }
       send_grant_centralized(l, req.origin);
@@ -738,7 +738,7 @@ void SyncAgent::on_peer_down(NodeId peer) {
   // A dead worker shrinks the rendezvous: a round it never arrived at may
   // now be complete with the arrivals already collected.
   for (BarrierId b = 0; b < ctx_.cfg->n_barriers; ++b) {
-    if (ctx_.barrier_home(b) == ctx_.id) try_complete_barrier(b);
+    if (ctx_.barrier_home(b) == ctx_.id) maybe_complete_barrier(b);
   }
 }
 
@@ -748,7 +748,7 @@ void SyncAgent::on_peer_up(NodeId /*peer*/) {
 }
 
 void SyncAgent::on_self_restart() {
-  const std::lock_guard<std::mutex> guard(mutex_);
+  const MutexLock guard(mutex_);
   // Home-side state matters only at node 0, which never restarts under FT.
   for (auto& L : local_) L = LocalLock{};
 }

@@ -18,13 +18,13 @@
 //     uncontended re-acquire by the last holder is free (lock caching).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/lock_order.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/context.hpp"
 #include "net/message.hpp"
 #include "proto/protocol.hpp"
@@ -109,7 +109,7 @@ class SyncAgent {
   void handle_barrier_release(const Message& msg);
   /// Manager: has every live worker arrived (phase 0) / acked (phase 1)?
   /// Completes the round if so. Called on arrival and on a peer death.
-  void try_complete_barrier(BarrierId barrier);
+  void maybe_complete_barrier(BarrierId barrier);
   void broadcast_barrier_release(BarrierId barrier, std::uint8_t phase,
                                  std::vector<std::byte> payload);
 
@@ -122,18 +122,25 @@ class SyncAgent {
   NodeContext& ctx_;
   Protocol& protocol_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<HomeLock> home_;     // indexed by LockId; used when home == self
-  std::vector<LocalLock> local_;   // indexed by LockId
-  std::vector<std::uint64_t> barrier_gen_;       // client: generations released
-  std::vector<std::uint64_t> barrier_entered_;   // client: generations entered
+  // Held across checker lock/barrier hooks (sync → checker is a real
+  // nesting edge) but never across sends — grants and broadcasts are
+  // composed and shipped outside the guard scopes.
+  Mutex mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar cv_;
+  std::vector<HomeLock> home_ GUARDED_BY(mutex_);   // by LockId; home == self
+  std::vector<LocalLock> local_ GUARDED_BY(mutex_); // indexed by LockId
+  std::vector<std::uint64_t> barrier_gen_
+      GUARDED_BY(mutex_);                           // client: generations released
+  std::vector<std::uint64_t> barrier_entered_
+      GUARDED_BY(mutex_);                           // client: generations entered
   // Manager-side rendezvous state, per barrier id. Identity sets instead of
   // counters so a round can settle against the *live* worker set when a
   // participant dies mid-round (a dead arrival must not stand in for a live
   // worker that has yet to arrive).
-  std::vector<std::set<NodeId>> barrier_arrived_;  // manager: arrivals this round
-  std::vector<std::set<NodeId>> barrier_acked_;    // manager: settlement acks
+  std::vector<std::set<NodeId>> barrier_arrived_
+      GUARDED_BY(mutex_);                           // manager: arrivals this round
+  std::vector<std::set<NodeId>> barrier_acked_
+      GUARDED_BY(mutex_);                           // manager: settlement acks
 };
 
 }  // namespace dsm

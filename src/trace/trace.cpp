@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "common/clock.hpp"
 
 namespace dsm {
 namespace {
@@ -65,7 +66,7 @@ Tracer::Tracer(std::size_t n_nodes, const TraceConfig& cfg, Counter* dropped_cou
     : capacity_(round_up_pow2(std::max<std::size_t>(cfg.buffer_spans, 2))),
       mask_(capacity_ - 1),
       dropped_counter_(dropped_counter),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(realclock::now()) {
   DSM_CHECK(n_nodes > 0);
   rings_.reserve(n_nodes);
   for (std::size_t n = 0; n < n_nodes; ++n) {
@@ -74,9 +75,10 @@ Tracer::Tracer(std::size_t n_nodes, const TraceConfig& cfg, Counter* dropped_cou
 }
 
 std::uint64_t Tracer::real_now() const {
-  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                        std::chrono::steady_clock::now() - epoch_)
-                                        .count());
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(realclock::now() -
+                                                           epoch_)
+          .count());
 }
 
 void Tracer::record(const TraceEvent& ev) {

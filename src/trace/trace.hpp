@@ -155,7 +155,7 @@ class Tracer {
   std::size_t capacity_;  // power of two
   std::size_t mask_;
   Counter* dropped_counter_;
-  std::chrono::steady_clock::time_point epoch_;
+  realclock::TimePoint epoch_;
   std::vector<std::unique_ptr<Ring>> rings_;
 };
 

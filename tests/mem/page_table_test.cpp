@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_annotations.hpp"
+
 namespace dsm {
 namespace {
 
@@ -10,17 +12,20 @@ TEST(PageTable, InitialState) {
   EXPECT_EQ(table.n_pages(), 16u);
   for (PageId p = 0; p < 16; ++p) {
     EXPECT_EQ(table.state_of(p), PageState::kInvalid);
-    EXPECT_TRUE(table.entry(p).copyset.empty());
-    EXPECT_FALSE(table.entry(p).busy);
-    EXPECT_FALSE(table.entry(p).has_base);
+    PageEntry& e = table.entry(p);
+    const MutexLock lock(e.mutex);
+    EXPECT_TRUE(e.copyset.empty());
+    EXPECT_FALSE(e.busy);
+    EXPECT_FALSE(e.has_base);
   }
 }
 
 TEST(PageTable, EntriesAreIndependent) {
   PageTable table(4, 2);
   {
-    const std::lock_guard<std::mutex> lock(table.entry(1).mutex);
-    table.entry(1).state = PageState::kReadWrite;
+    PageEntry& e = table.entry(1);
+    const MutexLock lock(e.mutex);
+    e.state = PageState::kReadWrite;
   }
   EXPECT_EQ(table.state_of(1), PageState::kReadWrite);
   EXPECT_EQ(table.state_of(0), PageState::kInvalid);
@@ -29,8 +34,9 @@ TEST(PageTable, EntriesAreIndependent) {
 TEST(PageTable, CountInState) {
   PageTable table(8, 2);
   for (PageId p = 0; p < 3; ++p) {
-    const std::lock_guard<std::mutex> lock(table.entry(p).mutex);
-    table.entry(p).state = PageState::kReadOnly;
+    PageEntry& e = table.entry(p);
+    const MutexLock lock(e.mutex);
+    e.state = PageState::kReadOnly;
   }
   EXPECT_EQ(table.count_in_state(PageState::kReadOnly), 3u);
   EXPECT_EQ(table.count_in_state(PageState::kInvalid), 5u);
@@ -39,6 +45,7 @@ TEST(PageTable, CountInState) {
 TEST(PageTable, CopysetSizedToNodes) {
   PageTable table(1, 7);
   auto& e = table.entry(0);
+  const MutexLock lock(e.mutex);
   e.copyset.insert(6);
   EXPECT_TRUE(e.copyset.contains(6));
 }

@@ -1,0 +1,497 @@
+#!/usr/bin/env python3
+"""dsmlint — repo-specific static checks for tutordsm.
+
+Each rule encodes an invariant that a general-purpose tool cannot check and
+that a past bug in this repo (or a standing design contract) motivates:
+
+  service-window   Protocol code (src/proto/) must touch page contents only
+                   through the service window (alias_ptr/alias_span), never
+                   the app view (base()/page_ptr/page_span). A service-thread
+                   or fault-handler deref of the app view re-enters the fault
+                   engine from the thread that must service the fault — the
+                   uffd poller self-deadlock class.
+  signal-safety    The SIGSEGV/SIGBUS handler call graph must stay
+                   async-signal-safe: no allocation, stdio, or blocking
+                   locks between the trap and the protocol callback.
+  raw-mprotect     mprotect/madvise are the fault engines' business; outside
+                   src/mem/ they bypass the FaultEngine seam and desync the
+                   engine's idea of page rights from the kernel's.
+  wall-clock       Real-time reads go through dsm::realclock (common/
+                   clock.hpp), the single sanctioned doorway. Scattered
+                   steady_clock/system_clock calls defeat clock injection
+                   and mix wall time into virtual-time results.
+  unchecked-decode Every try_* decoder returns a success indicator; a call
+                   in statement position drops it and treats untrusted bytes
+                   as parsed. Decoders are total or their callers are wrong.
+  dump-context     debug_dump() runs on watchdog/abort paths while other
+                   threads may be wedged holding fabric locks. It may only
+                   try_lock — a blocking acquisition turns a diagnostic into
+                   an ABBA deadlock (the RacyLitmus hang class). This guards
+                   a contract the compiler cannot see: the dump runs behind
+                   a std::function boundary, so clang's capability analysis
+                   never observes the caller's held locks.
+
+Violations print as `path:line: [dsmlint:<rule>] message` and make the exit
+status non-zero. Suppress a finding with a justification comment on the same
+line or the line above:  // dsmlint:allow(<rule>): <why this is safe>
+
+Backends: the built-in textual scanner (comment/string-aware, brace-matched
+function extents) needs nothing installed. When python clang bindings and a
+compile_commands.json are available, --backend=libclang resolves function
+extents through the real AST instead; findings and output are identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+RULES = (
+    "service-window",
+    "signal-safety",
+    "raw-mprotect",
+    "wall-clock",
+    "unchecked-decode",
+    "dump-context",
+)
+
+SOURCE_EXTENSIONS = (".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h")
+
+ALLOW_RE = re.compile(r"dsmlint:allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+
+@dataclass
+class SourceFile:
+    path: str      # as given on the command line (for printing)
+    relpath: str   # workspace-relative with forward slashes (for rule scoping)
+    raw: list[str] = field(default_factory=list)   # original lines
+    code: list[str] = field(default_factory=list)  # comments/strings blanked
+    allows: dict[int, set[str]] = field(default_factory=dict)  # line -> rules
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments, string literals, and char literals with spaces,
+    preserving every newline so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # C++14 digit separator (1'000'000): a quote sandwiched
+                # between alphanumerics is not a char literal.
+                prev = text[i - 1] if i > 0 else ""
+                if prev.isalnum() and nxt.isalnum():
+                    out.append(c)
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def load_file(path: str, root: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    rel = os.path.relpath(os.path.abspath(path), root).replace(os.sep, "/")
+    sf = SourceFile(path=path, relpath=rel)
+    sf.raw = text.splitlines()
+    sf.code = strip_comments_and_strings(text).splitlines()
+    for idx, line in enumerate(sf.raw, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",")}
+            # A trailing allow comment covers its own line; an allow comment
+            # on a line of its own covers the next line too.
+            sf.allows.setdefault(idx, set()).update(rules)
+            sf.allows.setdefault(idx + 1, set()).update(rules)
+    return sf
+
+
+def suppressed(sf: SourceFile, line: int, rule: str) -> bool:
+    return rule in sf.allows.get(line, set())
+
+
+# --- function extents (textual backend) -------------------------------------
+
+FUNC_HEAD_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\($")
+
+
+def function_extents(sf: SourceFile) -> dict[str, list[tuple[int, int]]]:
+    """Maps function name -> [(first_line, last_line)] of each definition
+    body, via brace matching on the comment-stripped text. Heuristic, but
+    exact enough for the rule scopes used here (free functions and methods
+    written in the repo's style)."""
+    text = "\n".join(sf.code)
+    extents: dict[str, list[tuple[int, int]]] = {}
+    # Find "name (" ... ")" followed by optional qualifiers then "{".
+    for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", text):
+        name = m.group(1)
+        if name in ("if", "for", "while", "switch", "return", "sizeof",
+                    "catch", "defined", "alignof", "decltype", "static_cast",
+                    "reinterpret_cast", "const_cast", "dynamic_cast"):
+            continue
+        # Match the parameter list's parens.
+        depth = 0
+        j = m.end() - 1
+        while j < len(text):
+            if text[j] == "(":
+                depth += 1
+            elif text[j] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= len(text):
+            continue
+        # Skip qualifiers between ")" and "{"; bail at ";" (declaration).
+        k = j + 1
+        qual = ""
+        while k < len(text) and text[k] not in "{;":
+            qual += text[k]
+            k += 1
+        if k >= len(text) or text[k] != "{":
+            continue
+        if re.search(r"[^\sa-zA-Z:&>_)\]]", qual.replace("override", "")
+                     .replace("const", "").replace("noexcept", "")
+                     .replace("final", "")):
+            continue
+        # Brace-match the body.
+        depth = 0
+        end = k
+        while end < len(text):
+            if text[end] == "{":
+                depth += 1
+            elif text[end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            end += 1
+        first = text.count("\n", 0, k) + 1
+        last = text.count("\n", 0, end) + 1
+        extents.setdefault(name, []).append((first, last))
+    return extents
+
+
+def libclang_extents(sf: SourceFile, compdb_dir: str | None):
+    """AST-accurate replacement for function_extents when python clang
+    bindings are importable. Returns None (caller falls back) otherwise."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+        args = ["-std=c++20"]
+        if compdb_dir:
+            try:
+                db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+                cmds = db.getCompileCommands(os.path.abspath(sf.path))
+                if cmds:
+                    args = [a for a in list(cmds[0].arguments)[1:-1]
+                            if a != "-c" and not a.endswith(sf.path)]
+            except cindex.CompilationDatabaseError:
+                pass
+        tu = index.parse(sf.path, args=args)
+    except cindex.TranslationUnitLoadError:
+        return None
+    extents: dict[str, list[tuple[int, int]]] = {}
+    kinds = (cindex.CursorKind.FUNCTION_DECL, cindex.CursorKind.CXX_METHOD)
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            if child.kind in kinds and child.is_definition() and \
+               child.location.file and child.location.file.name == sf.path:
+                extents.setdefault(child.spelling, []).append(
+                    (child.extent.start.line, child.extent.end.line))
+            walk(child)
+
+    walk(tu.cursor)
+    return extents
+
+
+# --- rules -------------------------------------------------------------------
+
+APP_VIEW_RE = re.compile(r"(?:->|\.)(?:base|page_ptr|page_span)\s*\(")
+
+def rule_service_window(sf: SourceFile) -> list[Violation]:
+    if not sf.relpath.startswith("src/proto/"):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code, start=1):
+        if APP_VIEW_RE.search(line):
+            out.append(Violation(
+                sf.path, idx, "service-window",
+                "app-view access in protocol code; protocol handlers run on "
+                "the service thread or in the fault handler, where an "
+                "app-view deref re-faults — use the service window "
+                "(alias_ptr/alias_span)"))
+    return out
+
+
+SIGNAL_UNSAFE_RE = re.compile(
+    r"\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\(|\bfree\s*\(|"
+    r"\bnew\b|\bdelete\b|"
+    r"\b(?:f|s|sn|v|vf)?printf\s*\(|\bputs\s*\(|\bfputs\s*\(|"
+    r"std::cout|std::cerr|std::clog|std::string\b|std::vector\b|"
+    r"\bMutexLock\b|\block_guard\b|\bunique_lock\b|"
+    r"(?<![\w.])(?<!try_)lock\s*\(\)")
+HANDLER_NAME_RE = re.compile(r"^sig\w*_handler$")
+
+def rule_signal_safety(sf: SourceFile, extents) -> list[Violation]:
+    handler_names = [n for n in extents if HANDLER_NAME_RE.match(n)]
+    if not handler_names:
+        return []
+    # Transitive closure of same-file callees, so a helper the handler calls
+    # is held to the same standard.
+    in_scope: set[str] = set()
+    work = list(handler_names)
+    while work:
+        name = work.pop()
+        if name in in_scope:
+            continue
+        in_scope.add(name)
+        for first, last in extents.get(name, []):
+            body = "\n".join(sf.code[first - 1:last])
+            for callee in re.findall(r"\b([A-Za-z_]\w*)\s*\(", body):
+                if callee in extents and callee not in in_scope:
+                    work.append(callee)
+    out = []
+    for name in in_scope:
+        for first, last in extents.get(name, []):
+            for idx in range(first, last + 1):
+                if SIGNAL_UNSAFE_RE.search(sf.code[idx - 1]):
+                    out.append(Violation(
+                        sf.path, idx, "signal-safety",
+                        f"async-signal-unsafe call in the {name} call graph "
+                        "(allocation, stdio, and blocking locks are undefined "
+                        "behaviour in a signal frame)"))
+    return out
+
+
+MPROTECT_RE = re.compile(r"(?:::)?\b(?:mprotect|madvise)\s*\(")
+
+def rule_raw_mprotect(sf: SourceFile) -> list[Violation]:
+    if sf.relpath.startswith("src/mem/"):
+        return []
+    out = []
+    for idx, line in enumerate(sf.code, start=1):
+        if MPROTECT_RE.search(line):
+            out.append(Violation(
+                sf.path, idx, "raw-mprotect",
+                "raw page-rights syscall outside src/mem/ bypasses the "
+                "FaultEngine seam; route through ViewRegion::protect"))
+    return out
+
+
+WALL_CLOCK_RE = re.compile(
+    r"\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b|"
+    r"\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btimespec_get\s*\(")
+
+def rule_wall_clock(sf: SourceFile) -> list[Violation]:
+    if sf.relpath == "src/common/clock.hpp":
+        return []
+    out = []
+    for idx, line in enumerate(sf.code, start=1):
+        if WALL_CLOCK_RE.search(line):
+            out.append(Violation(
+                sf.path, idx, "wall-clock",
+                "direct wall-clock read; go through dsm::realclock "
+                "(common/clock.hpp), the single sanctioned doorway"))
+    return out
+
+
+# A try_* call whose line starts with the call itself (no assignment, no
+# return, no condition) discards the success indicator.
+UNCHECKED_TRY_RE = re.compile(
+    r"^\s*(?:\(\s*void\s*\)\s*)?(?:[A-Za-z_]\w*(?:::|\.|->))*(try_\w+)\s*\(")
+
+def rule_unchecked_decode(sf: SourceFile) -> list[Violation]:
+    out = []
+    for idx, line in enumerate(sf.code, start=1):
+        m = UNCHECKED_TRY_RE.match(line)
+        if m:
+            out.append(Violation(
+                sf.path, idx, "unchecked-decode",
+                f"result of {m.group(1)}() discarded; try_* decoders return "
+                "a success indicator that every caller must check"))
+    return out
+
+
+BLOCKING_LOCK_RE = re.compile(
+    r"\bMutexLock\b|\bRecursiveMutexLock\b|\bRelockableMutexLock\b|"
+    r"\block_guard\b|\bscoped_lock\b|"
+    r"(?<![\w.])(?<!try_)lock\s*\(\)|"
+    r"(?:->|\.)(?<!try_)lock\s*\(\)")
+UNIQUE_LOCK_RE = re.compile(r"\bunique_lock\b(?![^;\n]*try_to_lock)")
+
+def rule_dump_context(sf: SourceFile, extents) -> list[Violation]:
+    out = []
+    for first, last in extents.get("debug_dump", []):
+        for idx in range(first, last + 1):
+            line = sf.code[idx - 1]
+            if BLOCKING_LOCK_RE.search(line) or UNIQUE_LOCK_RE.search(line):
+                out.append(Violation(
+                    sf.path, idx, "dump-context",
+                    "blocking lock acquisition inside debug_dump(); the dump "
+                    "runs on abort/watchdog paths while other threads may be "
+                    "wedged holding this lock — try_lock and skip instead"))
+    return out
+
+
+NEEDS_EXTENTS = {"signal-safety", "dump-context"}
+
+
+def lint_file(sf: SourceFile, rules, backend: str,
+              compdb_dir: str | None) -> list[Violation]:
+    extents = None
+    if NEEDS_EXTENTS & set(rules):
+        if backend in ("libclang", "auto"):
+            extents = libclang_extents(sf, compdb_dir)
+            if extents is None and backend == "libclang":
+                print("dsmlint: libclang backend unavailable "
+                      "(python clang bindings not importable)", file=sys.stderr)
+                sys.exit(2)
+        if extents is None:
+            extents = function_extents(sf)
+
+    found: list[Violation] = []
+    if "service-window" in rules:
+        found += rule_service_window(sf)
+    if "signal-safety" in rules:
+        found += rule_signal_safety(sf, extents)
+    if "raw-mprotect" in rules:
+        found += rule_raw_mprotect(sf)
+    if "wall-clock" in rules:
+        found += rule_wall_clock(sf)
+    if "unchecked-decode" in rules:
+        found += rule_unchecked_decode(sf)
+    if "dump-context" in rules:
+        found += rule_dump_context(sf, extents)
+    return [v for v in found if not suppressed(sf, v.line, v.rule)]
+
+
+def gather(paths, excludes) -> list[str]:
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for dirpath, dirnames, filenames in os.walk(p):
+            dirnames[:] = [d for d in dirnames
+                           if not any(os.path.abspath(os.path.join(dirpath, d))
+                                      .startswith(os.path.abspath(e))
+                                      for e in excludes)]
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTENSIONS):
+                    files.append(os.path.join(dirpath, fn))
+    return files
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        prog="dsmlint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="+", help="files or directories to lint")
+    ap.add_argument("--root", default=".",
+                    help="workspace root; rule scoping (src/proto/, src/mem/) "
+                         "is computed relative to it (default: cwd)")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated rule subset (default: all)")
+    ap.add_argument("--exclude", action="append", default=[],
+                    help="directory to skip (repeatable)")
+    ap.add_argument("--backend", choices=("text", "libclang", "auto"),
+                    default="auto",
+                    help="function-extent resolver: built-in textual scanner, "
+                         "python clang bindings, or best available (default)")
+    ap.add_argument("--compdb", default=None,
+                    help="directory containing compile_commands.json "
+                         "(libclang backend)")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+
+    rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    unknown = set(rules) - set(RULES)
+    if unknown:
+        print(f"dsmlint: unknown rule(s): {', '.join(sorted(unknown))}",
+              file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root)
+    violations: list[Violation] = []
+    for path in gather(args.paths, args.exclude):
+        sf = load_file(path, root)
+        violations += lint_file(sf, rules, args.backend, args.compdb)
+
+    violations.sort(key=lambda v: (v.path, v.line))
+    for v in violations:
+        print(f"{v.path}:{v.line}: [dsmlint:{v.rule}] {v.message}")
+    if violations:
+        print(f"dsmlint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+// dsmlint fixture near-miss: debug_dump only try_locks and skips busy state.
+#include <mutex>
+#include <ostream>
+struct Fabric {
+  mutable std::mutex mu;
+  int in_flight = 0;
+  void debug_dump(std::ostream& os) const {
+    if (!mu.try_lock()) {  // OK: never waits
+      os << "busy - skipped\n";
+      return;
+    }
+    os << "in-flight=" << in_flight << '\n';
+    mu.unlock();
+  }
+  void drain() {
+    const std::lock_guard<std::mutex> lock(mu);  // OK: not in debug_dump
+    in_flight = 0;
+  }
+};

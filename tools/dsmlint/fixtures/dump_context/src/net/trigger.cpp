@@ -1,0 +1,12 @@
+// dsmlint fixture: a blocking lock inside debug_dump(). The dump runs on
+// abort paths while the lock's owner may be the wedged thread being dumped.
+#include <mutex>
+#include <ostream>
+struct Fabric {
+  mutable std::mutex mu;
+  int in_flight = 0;
+  void debug_dump(std::ostream& os) const {
+    const std::lock_guard<std::mutex> lock(mu);  // VIOLATION: blocking lock
+    os << "in-flight=" << in_flight << '\n';
+  }
+};

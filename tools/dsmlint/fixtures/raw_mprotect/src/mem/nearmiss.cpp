@@ -1,0 +1,6 @@
+// dsmlint fixture near-miss: the same syscall inside src/mem/, where the
+// fault engines legitimately own page rights.
+#include <sys/mman.h>
+void engine_protect(void* p, unsigned long n) {
+  ::mprotect(p, n, PROT_READ);  // OK: src/mem/ is the engine layer
+}

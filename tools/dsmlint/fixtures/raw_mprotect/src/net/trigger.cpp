@@ -1,0 +1,6 @@
+// dsmlint fixture: page-rights syscall outside src/mem/ bypasses the
+// FaultEngine seam (uffd regions have no mprotect rights to flip).
+#include <sys/mman.h>
+void quiesce_buffer(void* p, unsigned long n) {
+  ::mprotect(p, n, PROT_NONE);  // VIOLATION: raw mprotect outside src/mem/
+}

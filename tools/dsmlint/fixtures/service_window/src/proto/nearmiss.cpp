@@ -1,0 +1,10 @@
+// dsmlint fixture near-miss: the same install routed through the service
+// window, which is always writable and never faults.
+#include <cstddef>
+struct View {
+  std::byte* alias_ptr(unsigned page) const;
+};
+void install_remote_page(View* view, const std::byte* data, std::size_t n) {
+  std::byte* dst = view->alias_ptr(0);  // OK: service window
+  for (std::size_t i = 0; i < n; ++i) dst[i] = data[i];
+}

@@ -1,0 +1,11 @@
+// dsmlint fixture: protocol code dereferencing the app view. A service
+// thread running this re-enters the fault engine it must itself service.
+#include <cstddef>
+struct View {
+  std::byte* base() const;
+  std::byte* page_ptr(unsigned page) const;
+};
+void install_remote_page(View* view, const std::byte* data, std::size_t n) {
+  std::byte* dst = view->page_ptr(0);  // VIOLATION: app view from proto code
+  for (std::size_t i = 0; i < n; ++i) dst[i] = data[i];
+}

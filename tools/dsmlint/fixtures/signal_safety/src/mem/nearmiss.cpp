@@ -1,0 +1,20 @@
+// dsmlint fixture near-miss: the handler sticks to async-signal-safe
+// operations (atomics, write(2)); the printf lives outside its call graph.
+#include <csignal>
+#include <cstdio>
+#include <unistd.h>
+namespace {
+void sigsegv_handler(int, siginfo_t* info, void*) {
+  const char msg[] = "fault\n";
+  ::write(STDERR_FILENO, msg, sizeof msg - 1);  // OK: async-signal-safe
+  (void)info;
+}
+}  // namespace
+void report_stats(unsigned long faults) {
+  std::printf("%lu faults\n", faults);  // OK: not reachable from the handler
+}
+void install() {
+  struct sigaction sa = {};
+  sa.sa_sigaction = &sigsegv_handler;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+}

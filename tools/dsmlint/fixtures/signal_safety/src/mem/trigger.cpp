@@ -1,0 +1,16 @@
+// dsmlint fixture: allocation inside a signal handler's call graph.
+#include <csignal>
+#include <cstdio>
+namespace {
+void log_fault(void* addr) {
+  std::printf("fault at %p\n", addr);  // VIOLATION: stdio in signal frame
+}
+void sigsegv_handler(int, siginfo_t* info, void*) {
+  log_fault(info->si_addr);
+}
+}  // namespace
+void install() {
+  struct sigaction sa = {};
+  sa.sa_sigaction = &sigsegv_handler;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+}

@@ -1,0 +1,9 @@
+// dsmlint fixture: a violation silenced by a justified allow comment, both
+// the line-above form and the same-line form.
+#include <sys/mman.h>
+void special_case(void* p, unsigned long n) {
+  // Fixture justification: proving the suppression syntax works.
+  // dsmlint:allow(raw-mprotect)
+  ::mprotect(p, n, PROT_NONE);
+  ::mprotect(p, n, PROT_READ);  // dsmlint:allow(raw-mprotect)
+}

@@ -1,0 +1,9 @@
+// dsmlint fixture near-miss: every decoder result checked.
+#include <cstddef>
+#include <span>
+bool try_apply_diff(std::span<std::byte> page, std::span<const std::byte> diff);
+bool ingest(std::span<std::byte> page, std::span<const std::byte> wire) {
+  if (!try_apply_diff(page, wire)) return false;  // OK: checked
+  const bool ok = try_apply_diff(page, wire);     // OK: captured
+  return ok;
+}

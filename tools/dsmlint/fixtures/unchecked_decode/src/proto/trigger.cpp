@@ -1,0 +1,8 @@
+// dsmlint fixture: a try_* decoder's success flag dropped on the floor —
+// the caller proceeds as if untrusted bytes parsed.
+#include <cstddef>
+#include <span>
+bool try_apply_diff(std::span<std::byte> page, std::span<const std::byte> diff);
+void ingest(std::span<std::byte> page, std::span<const std::byte> wire) {
+  try_apply_diff(page, wire);  // VIOLATION: result discarded
+}

@@ -1,0 +1,9 @@
+// dsmlint fixture near-miss: time reads through the sanctioned doorway.
+// (Mentioning steady_clock in a comment is fine — the scanner reads code.)
+#include <cstdint>
+namespace dsm::realclock {
+std::uint64_t now_ns();
+}
+std::uint64_t stamp_ns() {
+  return dsm::realclock::now_ns();  // OK: the one doorway
+}

@@ -1,0 +1,7 @@
+// dsmlint fixture: direct monotonic-clock read outside the realclock seam.
+#include <chrono>
+long long stamp_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())  // VIOLATION
+      .count();
+}
