@@ -128,6 +128,71 @@ TrapCost measure_trap_cost(FaultEngine& engine, ViewRegion& view,
   return summarize(samples);
 }
 
+// --- mt throughput microbench -----------------------------------------------
+// T4 — aggregate fault service throughput as app threads scale. Each thread
+// hammers its own page (zap, fault, re-zap) so different-page faults can
+// service in parallel; the whole parallel phase is wall-clock timed, reset
+// included. On uffd the thread count also sizes the dispatcher's executor
+// pool (RegionHooks::app_threads), so this measures the real mt fault path.
+// The sigsegv engine is single-thread-only by design (the handler runs in
+// the faulting thread's signal frame), so it gets the 1-thread row and
+// visible n/a rows above that.
+
+double measure_mt_throughput(FaultEngineKind kind, std::size_t threads,
+                             int iters_per_thread) {
+  StatsRegistry stats;
+  auto engine = make_fault_engine(kind, &stats);
+  ViewRegion view(kMaxAppThreads, ViewRegion::os_page_size());
+  RegionHooks hooks;
+  hooks.app_threads = threads;
+  hooks.on_fault = [&](PageId page, std::size_t, bool is_write) {
+    engine->protect(view, page,
+                    is_write ? Access::kReadWrite : Access::kRead);
+  };
+  hooks.infer_write = [&](PageId) { return false; };
+  const int token = engine->add_region(&view, hooks);
+
+  using clock = dsm::realclock::Clock;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const auto page = static_cast<PageId>(t);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < iters_per_thread; ++i) {
+        engine->protect(view, page, Access::kNone);
+        dsm::test::force_read(const_cast<const std::byte*>(view.page_ptr(page)));
+      }
+    });
+  }
+  const auto t0 = clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = clock::now();
+  engine->remove_region(token);
+
+  const auto elapsed_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  if (elapsed_ns == 0) return 0.0;
+  return static_cast<double>(threads) *
+         static_cast<double>(iters_per_thread) * 1e9 /
+         static_cast<double>(elapsed_ns);
+}
+
+void add_mt_rows(bench::Table& mt, FaultEngineKind kind, int iters) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    if (kind == FaultEngineKind::kSigsegv && threads > 1) {
+      mt.add_row({"sigsegv", bench::fmt_count(threads), "n/a",
+                  "single-thread engine"});
+      continue;
+    }
+    const double per_sec = measure_mt_throughput(kind, threads, iters);
+    mt.add_row({kind == FaultEngineKind::kSigsegv ? "sigsegv" : "uffd",
+                bench::fmt_count(threads), bench::fmt_double(per_sec, 0), ""});
+  }
+}
+
 void add_trap_rows(bench::Table& traps, FaultEngineKind kind, int iters) {
   StatsRegistry stats;
   auto engine = make_fault_engine(kind, &stats);
@@ -174,14 +239,22 @@ int main(int argc, char** argv) {
   traps.note("write-upgrade: read-only page -> write fault -> install rw rights");
   traps.note("timed on the faulting thread: trap -> classify -> install -> resume");
   traps.note("sigsegv resolves in the signal handler; uffd round-trips a poller thread");
+  bench::Table mt("T4 — fault throughput vs app threads (wall clock, protocol-free)",
+                  {"engine", "threads", "faults/sec", "note"});
+  mt.note("each thread zaps + re-faults its own page; different-page faults");
+  mt.note("service in parallel on uffd (executor pool sized by thread count)");
+  mt.note("whole parallel phase timed, per-iteration reset included");
   {
     const int kTrapIters = 2000;
     add_trap_rows(traps, FaultEngineKind::kSigsegv, kTrapIters);
+    add_mt_rows(mt, FaultEngineKind::kSigsegv, kTrapIters);
     std::string reason;
     if (uffd_available(&reason)) {
       add_trap_rows(traps, FaultEngineKind::kUffd, kTrapIters);
+      add_mt_rows(mt, FaultEngineKind::kUffd, kTrapIters);
     } else {
       traps.note("[uffd unavailable] " + reason + " — sigsegv rows only");
+      mt.note("[uffd unavailable] " + reason + " — sigsegv rows only");
     }
   }
 
@@ -264,7 +337,8 @@ int main(int argc, char** argv) {
   table.print();
   legs.print();
   traps.print();
-  bench::write_json(json_path, {table, legs, traps});
+  mt.print();
+  bench::write_json(json_path, {table, legs, traps, mt});
   bench::write_trace(trace_path, groups, dropped);
   return 0;
 }

@@ -18,6 +18,7 @@ const char* to_string(CheckLevel level) {
 
 DsmChecker::DsmChecker(Setup setup)
     : n_nodes_(setup.n_nodes),
+      n_units_(setup.n_nodes * kMaxAppThreads),
       n_pages_(setup.n_pages),
       page_size_(setup.page_size),
       level_(setup.level),
@@ -40,16 +41,16 @@ DsmChecker::DsmChecker(Setup setup)
       order_violations_(setup.stats->counter("check.order")),
       mirror_violations_(setup.stats->counter("check.mirror")),
       quorum_violations_(setup.stats->counter("check.quorum")) {
-  vc_.reserve(n_nodes_);
-  for (std::size_t n = 0; n < n_nodes_; ++n) {
-    VectorClock vc(n_nodes_);
-    // Start every node in its own interval 1, so a clock entry of 0 in an
+  vc_.reserve(n_units_);
+  for (std::size_t u = 0; u < n_units_; ++u) {
+    VectorClock vc(n_units_);
+    // Start every unit in its own interval 1, so a clock entry of 0 in an
     // epoch means "never accessed" and first-segment accesses are not
     // spuriously covered by the all-zero initial clocks.
-    vc.tick(static_cast<NodeId>(n));
+    vc.tick(static_cast<NodeId>(u));
     vc_.push_back(std::move(vc));
   }
-  lock_vc_.assign(setup.n_locks, VectorClock(n_nodes_));
+  lock_vc_.assign(setup.n_locks, VectorClock(n_units_));
   occupancy_.assign(setup.n_locks, LockOccupancy{kNoNode, NodeSet(n_nodes_)});
   arrive_gen_.assign(setup.n_barriers * n_nodes_, 0);
   depart_gen_.assign(setup.n_barriers * n_nodes_, 0);
@@ -61,8 +62,20 @@ DsmChecker::DsmChecker(Setup setup)
   incarnation_.assign(n_nodes_, 0);
 }
 
-std::string DsmChecker::epoch(NodeId node, std::uint32_t clock) const {
-  return std::to_string(clock) + "@" + std::to_string(node);
+std::string DsmChecker::actor(std::size_t unit) {
+  const std::size_t node = unit / kMaxAppThreads;
+  const std::size_t tid = unit % kMaxAppThreads;
+  std::string s = "node " + std::to_string(node);
+  if (tid != 0) s += " (thread " + std::to_string(tid) + ")";
+  return s;
+}
+
+std::string DsmChecker::epoch(std::size_t unit, std::uint32_t clock) {
+  const std::size_t node = unit / kMaxAppThreads;
+  const std::size_t tid = unit % kMaxAppThreads;
+  std::string s = std::to_string(clock) + "@" + std::to_string(node);
+  if (tid != 0) s += "." + std::to_string(tid);
+  return s;
 }
 
 void DsmChecker::report(Counter& category, const std::string& text, bool dump_ok) {
@@ -81,8 +94,8 @@ void DsmChecker::report(Counter& category, const std::string& text, bool dump_ok
   }
 }
 
-void DsmChecker::on_access(NodeId node, PageId page, std::size_t offset,
-                           bool is_write) {
+void DsmChecker::on_access(NodeId node, ThreadId tid, PageId page,
+                           std::size_t offset, bool is_write) {
   accesses_.add();
   const RecursiveMutexLock lk(mutex_);
   const std::uint64_t word = offset & ~std::uint64_t{7};
@@ -90,54 +103,59 @@ void DsmChecker::on_access(NodeId node, PageId page, std::size_t offset,
       static_cast<std::uint64_t>(page) * page_size_ + word;
   auto [it, fresh] = words_.try_emplace(key);
   WordState& ws = it->second;
-  if (fresh) ws.read_clocks.assign(n_nodes_, 0);
+  if (fresh) ws.read_clocks.assign(n_units_, 0);
 
-  const VectorClock& vc = vc_[node];
+  const std::size_t me = unit_of(node, tid);
+  const NodeId mu = static_cast<NodeId>(me);
+  const VectorClock& vc = vc_[me];
   const char* kind = is_write ? "write" : "read";
 
-  // Conflict with the last write: racy unless this node's clock has seen
+  // Conflict with the last write: racy unless this unit's clock has seen
   // the writer's interval (i.e. a release/acquire or barrier chain orders
-  // the write before us).
-  if (ws.write_node != kNoNode && ws.write_node != node &&
-      ws.write_clock > vc[ws.write_node]) {
+  // the write before us). Two threads of one node are distinct units, so
+  // intra-node conflicts are caught by the same rule.
+  if (ws.write_unit != kNoUnit && ws.write_unit != me &&
+      ws.write_clock > vc[static_cast<NodeId>(ws.write_unit)]) {
     std::ostringstream os;
     os << "data race on page " << page << " (word +" << word << "): " << kind
-       << " by node " << node << " at epoch " << epoch(node, vc[node])
+       << " by " << actor(me) << " at epoch " << epoch(me, vc[mu])
        << " conflicts with write at epoch "
-       << epoch(ws.write_node, ws.write_clock)
+       << epoch(ws.write_unit, ws.write_clock)
        << "; no happens-before edge (release/acquire or barrier) orders "
-       << epoch(ws.write_node, ws.write_clock) << " before this access"
-       << " (node " << node << " has seen only interval "
-       << vc[ws.write_node] << " of node " << ws.write_node << ")";
+       << epoch(ws.write_unit, ws.write_clock) << " before this access"
+       << " (" << actor(me) << " has seen only interval "
+       << vc[static_cast<NodeId>(ws.write_unit)] << " of "
+       << actor(ws.write_unit) << ")";
     report(races_, os.str(), true);
   }
 
   if (is_write) {
     // A write also conflicts with every unordered prior read.
-    for (std::size_t m = 0; m < n_nodes_; ++m) {
-      if (m == node) continue;
+    for (std::size_t m = 0; m < n_units_; ++m) {
+      if (m == me) continue;
       const NodeId mn = static_cast<NodeId>(m);
       if (ws.read_clocks[m] > vc[mn]) {
         std::ostringstream os;
         os << "data race on page " << page << " (word +" << word
-           << "): write by node " << node << " at epoch "
-           << epoch(node, vc[node]) << " conflicts with read at epoch "
-           << epoch(mn, ws.read_clocks[m])
+           << "): write by " << actor(me) << " at epoch "
+           << epoch(me, vc[mu]) << " conflicts with read at epoch "
+           << epoch(m, ws.read_clocks[m])
            << "; no happens-before edge (release/acquire or barrier) orders "
-           << epoch(mn, ws.read_clocks[m]) << " before this access"
-           << " (node " << node << " has seen only interval " << vc[mn]
-           << " of node " << mn << ")";
+           << epoch(m, ws.read_clocks[m]) << " before this access"
+           << " (" << actor(me) << " has seen only interval " << vc[mn]
+           << " of " << actor(m) << ")";
         report(races_, os.str(), true);
       }
     }
-    ws.write_node = node;
-    ws.write_clock = vc[node];
+    ws.write_unit = me;
+    ws.write_clock = vc[mu];
   } else {
-    ws.read_clocks[node] = vc[node];
+    ws.read_clocks[me] = vc[mu];
   }
 }
 
-void DsmChecker::on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
+void DsmChecker::on_lock_acquired(NodeId node, ThreadId tid, LockId lock,
+                                  LockMode mode) {
   const RecursiveMutexLock lk(mutex_);
   LockOccupancy& occ = occupancy_[lock];
   if (mode == LockMode::kRead) {
@@ -165,11 +183,12 @@ void DsmChecker::on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
     }
     occ.exclusive = node;
   }
-  // The acquirer learns everything the last releaser knew.
-  vc_[node].merge(lock_vc_[lock]);
+  // The acquiring thread learns everything the last releaser knew.
+  vc_[unit_of(node, tid)].merge(lock_vc_[lock]);
 }
 
-void DsmChecker::on_lock_released(NodeId node, LockId lock, LockMode mode) {
+void DsmChecker::on_lock_released(NodeId node, ThreadId tid, LockId lock,
+                                  LockMode mode) {
   const RecursiveMutexLock lk(mutex_);
   LockOccupancy& occ = occupancy_[lock];
   if (mode == LockMode::kRead) {
@@ -191,24 +210,30 @@ void DsmChecker::on_lock_released(NodeId node, LockId lock, LockMode mode) {
     }
     occ.exclusive = kNoNode;
   }
-  // Publish this node's knowledge to the next acquirer, then open a new
+  // Publish this thread's knowledge to the next acquirer, then open a new
   // interval. (For read releases the merge is conservative: it can only
   // make later acquirers appear to know more, masking at worst — a sound
   // under-approximation, never a false positive.)
-  lock_vc_[lock].merge(vc_[node]);
-  vc_[node].tick(node);
+  const std::size_t me = unit_of(node, tid);
+  lock_vc_[lock].merge(vc_[me]);
+  vc_[me].tick(static_cast<NodeId>(me));
 }
 
-void DsmChecker::on_barrier_arrive(NodeId node, BarrierId barrier) {
+void DsmChecker::on_barrier_arrive(NodeId node, ThreadId tid,
+                                   BarrierId barrier) {
   const RecursiveMutexLock lk(mutex_);
+  // Generations are counted per node, not per unit: the sync agent
+  // serializes a node's app threads through the barrier, so each round gets
+  // exactly one arrival per live node no matter which thread carried it.
   const std::uint64_t gen = arrive_gen_[barrier * n_nodes_ + node]++;
   Round& round = rounds_[{barrier, gen}];
-  if (round.acc.size() == 0) round.acc = VectorClock(n_nodes_);
-  round.acc.merge(vc_[node]);
+  if (round.acc.size() == 0) round.acc = VectorClock(n_units_);
+  round.acc.merge(vc_[unit_of(node, tid)]);
   ++round.arrivals;
 }
 
-void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
+void DsmChecker::on_barrier_depart(NodeId node, ThreadId tid,
+                                   BarrierId barrier) {
   const RecursiveMutexLock lk(mutex_);
   const std::uint64_t gen = depart_gen_[barrier * n_nodes_ + node]++;
   auto it = rounds_.find({barrier, gen});
@@ -225,11 +250,12 @@ void DsmChecker::on_barrier_depart(NodeId node, BarrierId barrier) {
        << needed << " recorded arrivals";
     report(order_violations_, os.str(), true);
   }
+  const std::size_t me = unit_of(node, tid);
   if (it != rounds_.end()) {
-    vc_[node].merge(it->second.acc);
+    vc_[me].merge(it->second.acc);
     if (++it->second.departures >= needed) rounds_.erase(it);
   }
-  vc_[node].tick(node);
+  vc_[me].tick(static_cast<NodeId>(me));
 }
 
 void DsmChecker::on_page_state(NodeId node, PageId page, PageState state) {
@@ -395,6 +421,20 @@ void DsmChecker::on_batch(const Message& envelope, std::uint32_t count) {
 }
 
 void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
+  // Snapshot every table's page states before taking mutex_. Protocols call
+  // note_state with the page-table entry lock held and on_page_state then
+  // takes mutex_; reading state_of (which takes the table lock) from under
+  // mutex_ here would invert that order. The fleet is quiescent when this
+  // runs, so the snapshot is exact.
+  std::vector<PageState> snap(tables.size() * n_pages_);
+  for (std::size_t n = 0; n < tables.size(); ++n) {
+    for (PageId p = 0; p < n_pages_; ++p) {
+      snap[n * n_pages_ + p] = tables[n]->state_of(p);
+    }
+  }
+  const auto snap_of = [&](std::size_t n, PageId p) {
+    return snap[n * n_pages_ + p];
+  };
   const RecursiveMutexLock lk(mutex_);
 
   // A run that killed nodes ends with a deliberately ragged fleet: dead
@@ -409,7 +449,7 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
   for (std::size_t n = 0; n < n_nodes_; ++n) {
     if (dead_.count(static_cast<NodeId>(n)) != 0) continue;
     for (PageId p = 0; p < n_pages_; ++p) {
-      const PageState actual = tables[n]->state_of(p);
+      const PageState actual = snap_of(n, p);
       const PageState mirrored = states_[n * n_pages_ + p];
       if (actual != mirrored) {
         std::ostringstream os;
@@ -445,7 +485,7 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
         report(copyset_violations_, os.str(), true);
         continue;
       }
-      if (tables[owner]->state_of(p) == PageState::kInvalid) {
+      if (snap_of(owner, p) == PageState::kInvalid) {
         std::ostringstream os;
         os << "copyset violation: owner node " << owner << " of page " << p
            << " holds no copy";
@@ -454,11 +494,11 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
       const PageEntry& oe = tables[owner]->entry(p);
       for (std::size_t n = 0; n < n_nodes_; ++n) {
         if (n == owner) continue;
-        if (tables[n]->state_of(p) == PageState::kInvalid) continue;
+        if (snap_of(n, p) == PageState::kInvalid) continue;
         if (!oe.copyset.contains(static_cast<NodeId>(n))) {
           std::ostringstream os;
           os << "copyset violation: node " << n << " holds page " << p
-             << " (" << to_string(tables[n]->state_of(p))
+             << " (" << to_string(snap_of(n, p))
              << ") but is missing from owner " << owner << "'s copyset";
           report(copyset_violations_, os.str(), true);
         }
@@ -474,11 +514,11 @@ void DsmChecker::at_quiescence(const std::vector<const PageTable*>& tables) {
       const PageEntry& he = tables[home]->entry(p);
       for (std::size_t n = 0; n < n_nodes_; ++n) {
         if (n == home) continue;
-        if (tables[n]->state_of(p) == PageState::kInvalid) continue;
+        if (snap_of(n, p) == PageState::kInvalid) continue;
         if (!he.copyset.contains(static_cast<NodeId>(n))) {
           std::ostringstream os;
           os << "copyset violation: node " << n << " holds page " << p
-             << " (" << to_string(tables[n]->state_of(p))
+             << " (" << to_string(snap_of(n, p))
              << ") but is missing from home " << home << "'s copyset";
           report(copyset_violations_, os.str(), true);
         }

@@ -82,17 +82,42 @@ class DsmChecker {
   explicit DsmChecker(Setup setup);
 
   // --- data-race detector (called from the fault path) -------------------
-  /// One faulting access by `node` to `offset` within `page`. Granularity
-  /// is the aligned 8-byte word, so false sharing within a word is the only
-  /// source of over-reporting (and none of the repo's workloads pack
-  /// unrelated data into one word).
-  void on_access(NodeId node, PageId page, std::size_t offset, bool is_write);
+  /// One faulting access by app thread `tid` of `node` to `offset` within
+  /// `page`. Granularity is the aligned 8-byte word, so false sharing within
+  /// a word is the only source of over-reporting (and none of the repo's
+  /// workloads pack unrelated data into one word). Epochs are kept per
+  /// (node, thread) unit, so two app threads of one node race with each
+  /// other exactly like two nodes do unless a lock or barrier orders them.
+  void on_access(NodeId node, ThreadId tid, PageId page, std::size_t offset,
+                 bool is_write);
+  /// Single-thread convenience (tid 0) — the historical entry point.
+  void on_access(NodeId node, PageId page, std::size_t offset, bool is_write) {
+    on_access(node, 0, page, offset, is_write);
+  }
 
   // --- happens-before edges (called from the sync agent) -----------------
-  void on_lock_acquired(NodeId node, LockId lock, LockMode mode);
-  void on_lock_released(NodeId node, LockId lock, LockMode mode);
-  void on_barrier_arrive(NodeId node, BarrierId barrier);
-  void on_barrier_depart(NodeId node, BarrierId barrier);
+  // Occupancy (token uniqueness, reader/writer exclusion) stays node-level —
+  // the token lives per node and the sync agent serializes a node's app
+  // threads through it — but the happens-before merge/tick applies to the
+  // calling thread's (node, tid) unit, so lock chains order exactly the
+  // threads that traversed them. The tid-less overloads are the historical
+  // single-thread entry points (tid 0).
+  void on_lock_acquired(NodeId node, ThreadId tid, LockId lock, LockMode mode);
+  void on_lock_released(NodeId node, ThreadId tid, LockId lock, LockMode mode);
+  void on_barrier_arrive(NodeId node, ThreadId tid, BarrierId barrier);
+  void on_barrier_depart(NodeId node, ThreadId tid, BarrierId barrier);
+  void on_lock_acquired(NodeId node, LockId lock, LockMode mode) {
+    on_lock_acquired(node, 0, lock, mode);
+  }
+  void on_lock_released(NodeId node, LockId lock, LockMode mode) {
+    on_lock_released(node, 0, lock, mode);
+  }
+  void on_barrier_arrive(NodeId node, BarrierId barrier) {
+    on_barrier_arrive(node, 0, barrier);
+  }
+  void on_barrier_depart(NodeId node, BarrierId barrier) {
+    on_barrier_depart(node, 0, barrier);
+  }
 
   // --- protocol invariant hooks (called from src/proto) ------------------
   /// Mirror of every PageEntry::state assignment; checks SWMR for IVY.
@@ -152,11 +177,14 @@ class DsmChecker {
   void dump_last_violation(std::ostream& os) const;
 
  private:
-  /// FastTrack-style per-word epochs. `write_clock`/`write_node` is the
-  /// epoch of the last write; `read_clocks[m]` the clock of node m's last
-  /// read. A clock of 0 means "never" (node clocks start at 1).
+  /// No (node, thread) unit — see unit_of.
+  static constexpr std::size_t kNoUnit = ~std::size_t{0};
+
+  /// FastTrack-style per-word epochs. `write_clock`/`write_unit` is the
+  /// epoch of the last write; `read_clocks[u]` the clock of unit u's last
+  /// read. A clock of 0 means "never" (unit clocks start at 1).
   struct WordState {
-    NodeId write_node = kNoNode;
+    std::size_t write_unit = kNoUnit;
     std::uint32_t write_clock = 0;
     std::vector<std::uint32_t> read_clocks;
   };
@@ -179,9 +207,22 @@ class DsmChecker {
 
   void report(Counter& category, const std::string& text, bool dump_ok)
       REQUIRES(mutex_);
-  std::string epoch(NodeId node, std::uint32_t clock) const;
+
+  /// Race-detector clock index of app thread `tid` on `node`. Units are
+  /// dense — every node reserves kMaxAppThreads slots whether or not the run
+  /// attaches extra threads — so single-thread runs simply never touch the
+  /// tid > 0 slots and their reports stay byte-identical to the historical
+  /// per-node detector.
+  static std::size_t unit_of(NodeId node, ThreadId tid) {
+    return static_cast<std::size_t>(node) * kMaxAppThreads + tid;
+  }
+  /// "node N" for a primary unit, "node N (thread T)" for a sibling.
+  static std::string actor(std::size_t unit);
+  /// "C@N" for a primary unit, "C@N.T" for a sibling.
+  static std::string epoch(std::size_t unit, std::uint32_t clock);
 
   const std::size_t n_nodes_;
+  const std::size_t n_units_;  ///< n_nodes_ * kMaxAppThreads
   const std::size_t n_pages_;
   const std::size_t page_size_;
   const CheckLevel level_;
@@ -201,8 +242,9 @@ class DsmChecker {
   mutable RecursiveMutex mutex_ ACQUIRED_AFTER(lock_order::checker_gate)
       ACQUIRED_BEFORE(lock_order::leaf_gate);
 
-  // Race detector state.
-  std::vector<VectorClock> vc_ GUARDED_BY(mutex_);  // per node
+  // Race detector state. Clocks span units, not nodes: vector clocks have
+  // n_units_ components and vc_ holds one per (node, app thread).
+  std::vector<VectorClock> vc_ GUARDED_BY(mutex_);  // per unit
   std::unordered_map<std::uint64_t, WordState> words_
       GUARDED_BY(mutex_);                           // word key → epochs
   std::vector<VectorClock> lock_vc_ GUARDED_BY(mutex_);   // per lock

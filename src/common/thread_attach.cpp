@@ -1,0 +1,44 @@
+#include "common/thread_attach.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include "common/assert.hpp"
+
+namespace dsm {
+namespace {
+
+thread_local ThreadAttachment t_attachment;
+thread_local bool t_attached = false;
+thread_local std::uint32_t t_ktid = 0;
+
+}  // namespace
+
+std::uint32_t current_ktid() {
+  if (t_ktid == 0)
+    t_ktid = static_cast<std::uint32_t>(::syscall(SYS_gettid));
+  return t_ktid;
+}
+
+const ThreadAttachment* current_attachment() {
+  return t_attached ? &t_attachment : nullptr;
+}
+
+void attach_current_thread(NodeId node, ThreadId tid) {
+  DSM_CHECK_MSG(!t_attached, "thread already attached to node "
+                                 << t_attachment.node << " (thread "
+                                 << t_attachment.tid
+                                 << "); detach before re-attaching");
+  DSM_CHECK_MSG(tid < kMaxAppThreads,
+                "thread id " << tid << " exceeds kMaxAppThreads");
+  t_attachment = ThreadAttachment{node, tid, current_ktid()};
+  t_attached = true;
+}
+
+void detach_current_thread() {
+  DSM_CHECK_MSG(t_attached, "detach of an unattached thread");
+  t_attached = false;
+  t_attachment = ThreadAttachment{};
+}
+
+}  // namespace dsm

@@ -1,0 +1,54 @@
+// Per-thread node attachment. A DSM node may host several application
+// threads; each must attach before touching shared memory or sync objects so
+// faults, watchdog frames, and checker epochs can be attributed to a
+// (node, thread) pair. Thread 0 is the node's primary thread, attached by the
+// runtime itself; siblings created via Worker::spawn (or an explicit
+// System::attach_thread) get 1..N-1.
+//
+// The attachment is thread-local: one thread can serve at most one node at a
+// time, and attaching twice without a detach is a programming error that
+// aborts (double-attach would silently mis-attribute every subsequent fault).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dsm {
+
+struct ThreadAttachment {
+  NodeId node = kNoNode;
+  ThreadId tid = 0;
+  /// Kernel thread id (gettid), recorded so uffd fault events carrying
+  /// UFFD_FEATURE_THREAD_ID can be mapped back to (node, tid), and so
+  /// diagnostic dumps can name the OS thread.
+  std::uint32_t ktid = 0;
+};
+
+/// The calling thread's current attachment, or nullptr if unattached.
+/// Service threads and test drivers are unattached; their accesses are
+/// attributed to thread 0 of whatever node they act for.
+const ThreadAttachment* current_attachment();
+
+/// Attach the calling thread to `node` as app thread `tid`. Aborts if the
+/// thread is already attached (to any node).
+void attach_current_thread(NodeId node, ThreadId tid);
+
+/// Detach the calling thread. Aborts if it is not attached.
+void detach_current_thread();
+
+/// The calling thread's kernel thread id (cached after first call).
+std::uint32_t current_ktid();
+
+/// RAII attach guard for scoped thread bodies.
+class ScopedThreadAttach {
+ public:
+  ScopedThreadAttach(NodeId node, ThreadId tid) {
+    attach_current_thread(node, tid);
+  }
+  ~ScopedThreadAttach() { detach_current_thread(); }
+  ScopedThreadAttach(const ScopedThreadAttach&) = delete;
+  ScopedThreadAttach& operator=(const ScopedThreadAttach&) = delete;
+};
+
+}  // namespace dsm

@@ -22,6 +22,16 @@ using BarrierId = std::uint32_t;
 /// Virtual (simulated) time in nanoseconds. See DESIGN.md "Virtual time".
 using VirtualTime = std::uint64_t;
 
+/// Index of an application thread within its node, dense in [0, app_threads).
+/// Thread 0 is the node's primary thread (the SPMD body); siblings created
+/// by Worker::spawn get 1..N-1.
+using ThreadId = std::uint32_t;
+
+/// Upper bound on app threads per node. Fixed so per-(node,thread) state
+/// (watchdog slots, checker vector-clock units) can be sized once at
+/// construction without depending on the runtime config.
+inline constexpr std::size_t kMaxAppThreads = 8;
+
 /// Sentinel for "no node" (e.g. an unowned page, an empty queue head).
 inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
 

@@ -102,6 +102,14 @@ struct Config {
   /// back to kSigsegv with a warning when uffd is requested but the kernel
   /// lacks support. See DESIGN.md "Fault engines".
   FaultEngineKind fault_engine = FaultEngineKind::kSigsegv;
+  /// Application threads per node. 1 (the historical model) runs exactly the
+  /// pre-mt code paths. N > 1 requires the uffd engine (the SIGSEGV engine
+  /// services faults synchronously on the faulting thread with thread-local
+  /// state and stays single-thread-only); the runtime clamps to 1 with a
+  /// warning when the effective engine is kSigsegv. Capped at kMaxAppThreads.
+  /// Overridable per run via TUTORDSM_APP_THREADS. See DESIGN.md
+  /// "Threading model".
+  std::size_t app_threads = 1;
   /// An app thread blocked in the fault path or a sync operation longer
   /// than this (real milliseconds) triggers a diagnostic dump and a clean
   /// abort instead of an infinite hang. 0 disables the watchdog.

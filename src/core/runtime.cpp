@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <ostream>
 #include <set>
 
@@ -19,37 +20,51 @@ namespace dsm {
 // (maybe_kill throws before the operation starts), never mid-transaction.
 void Worker::acquire(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-acquire", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "lock-acquire", lock);
   system_->nodes_[node_]->sync->acquire(lock);
 }
 void Worker::release(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "lock-release", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "lock-release", lock);
   system_->nodes_[node_]->sync->release(lock);
 }
 void Worker::acquire_read(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-read", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "rwlock-acquire-read", lock);
   system_->nodes_[node_]->sync->acquire_read(lock);
 }
 void Worker::release_read(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-read", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "rwlock-release-read", lock);
   system_->nodes_[node_]->sync->release_read(lock);
 }
 void Worker::acquire_write(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-acquire-write", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "rwlock-acquire-write", lock);
   system_->nodes_[node_]->sync->acquire_write(lock);
 }
 void Worker::release_write(LockId lock) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "rwlock-release-write", lock);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "rwlock-release-write", lock);
   system_->nodes_[node_]->sync->release_write(lock);
 }
 void Worker::barrier(BarrierId barrier) {
   system_->maybe_kill(node_);
-  const auto g = Watchdog::guard(system_->watchdog_.get(), node_, "barrier", barrier);
+  const auto g = Watchdog::guard(system_->watchdog_.get(),
+                                 system_->watchdog_->slot_of(node_, tid_),
+                                 "barrier", barrier);
   system_->nodes_[node_]->sync->barrier(barrier);
 }
 
@@ -94,6 +109,33 @@ System::System(Config cfg) : cfg_(cfg) {
                    << "; falling back to the sigsegv fault engine";
       cfg_.fault_engine = FaultEngineKind::kSigsegv;
     }
+  }
+  // Conformance-suite override for the thread-count copies (".mt2"/".mt4"):
+  // TUTORDSM_APP_THREADS=N hosts N app threads per node. Multi-threaded
+  // nodes need the uffd engine — the sigsegv engine services faults
+  // synchronously inside the faulting thread's signal frame with
+  // process-global handler state, an inherently single-thread design — so a
+  // sigsegv (or uffd-unavailable) run clamps back to one thread with a
+  // visible note instead of racing.
+  if (const char* threads = std::getenv("TUTORDSM_APP_THREADS");
+      threads != nullptr && *threads != '\0') {
+    cfg_.app_threads = static_cast<std::size_t>(std::strtoul(threads, nullptr, 10));
+  }
+  if (cfg_.app_threads < 1) cfg_.app_threads = 1;
+  if (cfg_.app_threads > kMaxAppThreads) {
+    DSM_LOG_WARN << "app_threads " << cfg_.app_threads << " capped at "
+                 << kMaxAppThreads;
+    cfg_.app_threads = kMaxAppThreads;
+  }
+  if (cfg_.app_threads > 1 && cfg_.fault_engine == FaultEngineKind::kSigsegv) {
+    DSM_LOG_WARN << "app_threads " << cfg_.app_threads
+                 << " requires the uffd fault engine (sigsegv fault service is "
+                    "single-thread-only); clamping to 1";
+    cfg_.app_threads = 1;
+  }
+  if (cfg_.app_threads > 1 && cfg_.transport.multiprocess()) {
+    DSM_LOG_WARN << "app_threads > 1 is single-process only; clamping to 1";
+    cfg_.app_threads = 1;
   }
   fault_engine_ = make_fault_engine(cfg_.fault_engine, &stats_);
   if (cfg_.transport.multiprocess()) {
@@ -202,8 +244,10 @@ System::System(Config cfg) : cfg_(cfg) {
           chk->on_batch(envelope, count);
         });
   }
+  // One watchdog slot per (node, app thread); single-thread runs keep the
+  // historical one-slot-per-node layout (slot == node id).
   watchdog_ = std::make_unique<Watchdog>(
-      cfg_.n_nodes, cfg_.watchdog_ms,
+      cfg_.n_nodes, cfg_.app_threads > 1 ? kMaxAppThreads : 1, cfg_.watchdog_ms,
       [this](std::ostream& os) { dump_diagnostics(os); });
 
   nodes_.reserve(cfg_.n_nodes);
@@ -242,13 +286,25 @@ System::System(Config cfg) : cfg_(cfg) {
     Node* raw = node.get();
     RegionHooks hooks;
     hooks.on_fault = [this, raw](PageId page, std::size_t offset, bool is_write) {
-      const auto g = Watchdog::guard(watchdog_.get(), raw->ctx.id,
+      // Attribute the fault to the app thread that raised it: on the sigsegv
+      // engine the handler runs *on* that thread (its attachment is ours);
+      // on the uffd engine the handler runs on an executor thread and the
+      // kernel's THREAD_ID stamp maps back through the attach table.
+      ThreadId tid = 0;
+      if (const ThreadAttachment* att = current_attachment();
+          att != nullptr && att->node == raw->ctx.id) {
+        tid = att->tid;
+      } else if (const std::uint32_t ktid = current_fault_ktid(); ktid != 0) {
+        tid = raw->tid_of_ktid(ktid);
+      }
+      const auto g = Watchdog::guard(watchdog_.get(),
+                                     watchdog_->slot_of(raw->ctx.id, tid),
                                      is_write ? "write-fault" : "read-fault", page);
       const TraceScope span(tracer_.get(), raw->ctx.id, TraceCat::kFault,
                             is_write ? "write-fault" : "read-fault",
                             &raw->clock, "page", page);
       if (raw->ctx.check != nullptr) {
-        raw->ctx.check->on_access(raw->ctx.id, page, offset, is_write);
+        raw->ctx.check->on_access(raw->ctx.id, tid, page, offset, is_write);
       }
       if (is_write) {
         raw->protocol->on_write_fault(page);
@@ -263,17 +319,89 @@ System::System(Config cfg) : cfg_(cfg) {
     hooks.trace = tracer_.get();
     hooks.clock = &raw->clock;
     hooks.node = id;
+    hooks.app_threads = cfg_.app_threads;
     node->fault_token = fault_engine_->add_region(node->view.get(), std::move(hooks));
     nodes_.push_back(std::move(node));
+  }
+
+  if (cfg_.app_threads > 1) {
+    // Scratch region for the sibling threads (see the member's comment).
+    // Two pages: small enough that concurrent siblings keep colliding on
+    // the same page, which is what exercises fault coalescing.
+    scratch_view_ = std::make_unique<ViewRegion>(2, ViewRegion::os_page_size());
+    ViewRegion* scratch = scratch_view_.get();
+    RegionHooks hooks;
+    hooks.on_fault = [scratch](PageId page, std::size_t, bool) {
+      // Self-serve: install full rights; the sibling loop re-arms with a
+      // zap after every touch so faults keep flowing.
+      scratch->protect(page, Access::kReadWrite);
+    };
+    // Every hosted node's siblings share this region, so size its executor
+    // pool for the whole process, not one node.
+    hooks.app_threads = cfg_.app_threads * cfg_.n_nodes;
+    scratch_token_ = fault_engine_->add_region(scratch, std::move(hooks));
   }
 }
 
 System::~System() {
   DSM_CHECK_MSG(!running_, "System destroyed while a run is in progress");
+  if (scratch_token_ >= 0) fault_engine_->remove_region(scratch_token_);
   for (auto& node : nodes_) {
     if (node == nullptr) continue;
     if (node->fault_token >= 0) fault_engine_->remove_region(node->fault_token);
   }
+}
+
+ThreadId System::attach_thread(NodeId id) {
+  DSM_CHECK_MSG(id < nodes_.size() && nodes_[id] != nullptr,
+                "attach_thread to unknown node " << id);
+  Node& node = *nodes_[id];
+  const std::uint32_t ktid = current_ktid();
+  ThreadId tid = kMaxAppThreads;
+  // Slot 0 belongs to the primary body thread; siblings claim 1..N-1.
+  for (ThreadId t = 1; t < kMaxAppThreads; ++t) {
+    std::uint32_t vacant = 0;
+    if (node.thread_ktid[t].compare_exchange_strong(vacant, ktid,
+                                                    std::memory_order_acq_rel)) {
+      tid = t;
+      break;
+    }
+  }
+  DSM_CHECK_MSG(tid < kMaxAppThreads, "node " << id << " already hosts "
+                                               << kMaxAppThreads
+                                               << " app threads (kMaxAppThreads)");
+  attach_current_thread(id, tid);
+  watchdog_->bind_thread(watchdog_->slot_of(id, tid), ktid);
+  return tid;
+}
+
+void System::detach_thread(NodeId id, ThreadId tid) {
+  const ThreadAttachment* att = current_attachment();
+  DSM_CHECK_MSG(att != nullptr && att->node == id && att->tid == tid,
+                "detach_thread(" << id << ", " << tid
+                                 << ") from a thread not attached as that pair");
+  detach_current_thread();
+  watchdog_->bind_thread(watchdog_->slot_of(id, tid), 0);
+  nodes_[id]->thread_ktid[tid].store(0, std::memory_order_release);
+}
+
+std::thread Worker::spawn(std::function<void(Worker&)> fn) {
+  DSM_CHECK_MSG(system_->fault_engine().kind() == FaultEngineKind::kUffd,
+                "Worker::spawn requires the uffd fault engine: sigsegv fault "
+                "service runs in the faulting thread's signal frame and is "
+                "single-thread-only (see DESIGN.md \"Threading model\")");
+  System* system = system_;
+  const NodeId node = node_;
+  return std::thread([system, node, fn = std::move(fn)] {
+    const ThreadId tid = system->attach_thread(node);
+    Worker sibling(*system, node, tid);
+    try {
+      fn(sibling);
+    } catch (const WorkerKilled&) {
+      // Injected crash: the sibling stops like the primary body does.
+    }
+    system->detach_thread(node, tid);
+  });
 }
 
 std::size_t System::alloc_bytes(std::size_t size, std::size_t align) {
@@ -431,7 +559,16 @@ void System::dump_diagnostics(std::ostream& os) const {
   if (tracer_ != nullptr) tracer_->dump_tail(os, cfg_.trace.dump_tail_spans);
   for (const auto& node : nodes_) {
     if (node == nullptr) continue;
-    os << "  node " << node->ctx.id << " clock=" << node->clock.now() << "ns\n";
+    os << "  node " << node->ctx.id << " clock=" << node->clock.now() << "ns";
+    if (cfg_.app_threads > 1) {
+      os << " threads:";
+      for (ThreadId t = 0; t < kMaxAppThreads; ++t) {
+        const std::uint32_t ktid =
+            node->thread_ktid[t].load(std::memory_order_relaxed);
+        if (ktid != 0) os << " tid" << t << "(ktid=" << ktid << ")";
+      }
+    }
+    os << '\n';
     for (PageId p = 0; p < node->table->n_pages(); ++p) {
       const PageEntry& e = node->table->entry(p);
       // Racy reads by design: the dump runs while threads are wedged, and
@@ -505,6 +642,11 @@ void System::run(const std::function<void(Worker&)>& body) {
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     if (!hosted(id)) continue;
     app_threads.emplace_back([this, id, &body] {
+      // The primary body thread is app thread 0 of its node.
+      Node& node = *nodes_[id];
+      node.thread_ktid[0].store(current_ktid(), std::memory_order_release);
+      const ScopedThreadAttach attach(id, 0);
+      watchdog_->bind_thread(watchdog_->slot_of(id, 0), current_ktid());
       Worker worker(*this, id);
       try {
         body(worker);
@@ -513,9 +655,46 @@ void System::run(const std::function<void(Worker&)>& body) {
         // thread lives on (a restarted node keeps serving pages) until the
         // regular shutdown below.
       }
+      watchdog_->bind_thread(watchdog_->slot_of(id, 0), 0);
+      node.thread_ktid[0].store(0, std::memory_order_release);
     });
   }
+
+  // Multi-threaded runs: each node hosts app_threads - 1 attached sibling
+  // threads that loop read-faulting on the shared scratch region for the
+  // body's whole duration — every fault goes through the real uffd
+  // dispatcher/executor path, colliding faults coalesce (mem.fault_coalesced),
+  // and none of it perturbs protocol or checker state (see scratch_view_).
+  std::atomic<bool> siblings_done{false};
+  std::vector<std::thread> sibling_threads;
+  if (scratch_view_ != nullptr) {
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+      if (!hosted(id)) continue;
+      for (std::size_t s = 1; s < cfg_.app_threads; ++s) {
+        sibling_threads.emplace_back([this, id, &siblings_done] {
+          const ThreadId tid = attach_thread(id);
+          ViewRegion& scratch = *scratch_view_;
+          const std::byte* base = scratch.base();
+          std::uint64_t i = 0;
+          while (!siblings_done.load(std::memory_order_relaxed)) {
+            const PageId page = static_cast<PageId>(i++ % scratch.n_pages());
+            // Reads only: read-read overlap is not a data race, so the mt
+            // suites stay TSan-clean. The touch MINOR-faults whenever the
+            // PTE is absent; the zap below re-arms it.
+            const volatile std::byte* touch = base + page * scratch.page_size();
+            (void)*touch;
+            scratch.protect(page, Access::kNone);
+            std::this_thread::yield();
+          }
+          detach_thread(id, tid);
+        });
+      }
+    }
+  }
+
   for (auto& t : app_threads) t.join();
+  siblings_done.store(true, std::memory_order_relaxed);
+  for (auto& t : sibling_threads) t.join();
 
   drain();
   // Local quiescence is not global quiescence when ranks are separate

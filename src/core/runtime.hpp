@@ -4,6 +4,7 @@
 // fabric. This is the library's public entry point — see core/dsm.hpp.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "check/checker.hpp"
 #include "common/clock.hpp"
 #include "common/stats.hpp"
+#include "common/thread_attach.hpp"
 #include "core/context.hpp"
 #include "core/shared.hpp"
 #include "core/watchdog.hpp"
@@ -36,7 +38,18 @@ struct WorkerKilled {};
 class Worker {
  public:
   NodeId id() const { return node_; }
+  /// Which of the node's app threads this handle belongs to (0 = the
+  /// primary thread running the SPMD body; siblings from spawn get 1..N-1).
+  ThreadId tid() const { return tid_; }
   std::size_t n_nodes() const;
+
+  /// Starts a sibling application thread on this node. The thread attaches
+  /// to the node (System::attach_thread), runs `fn` with its own Worker
+  /// handle, and detaches on return; the caller joins the returned thread
+  /// before its own body finishes. Requires the uffd fault engine — the
+  /// sigsegv engine's signal-frame fault service is single-thread-only
+  /// (see DESIGN.md "Threading model").
+  std::thread spawn(std::function<void(Worker&)> fn);
 
   /// Resolves a shared handle in this node's view. Accessing the result may
   /// page-fault into the coherence protocol — that is the point.
@@ -72,13 +85,15 @@ class Worker {
 
  private:
   friend class System;
-  Worker(System& system, NodeId node) : system_(&system), node_(node) {}
+  Worker(System& system, NodeId node, ThreadId tid = 0)
+      : system_(&system), node_(node), tid_(tid) {}
   std::byte* view_base() const;
   void bind_region(LockId lock, std::size_t offset, std::size_t size);
   void bind_barrier_region(BarrierId barrier, std::size_t offset, std::size_t size);
 
   System* system_;
   NodeId node_;
+  ThreadId tid_ = 0;
 };
 
 class System {
@@ -108,7 +123,23 @@ class System {
 
   /// Runs `body` once per node, each on its own thread, and returns when all
   /// bodies have finished and the fabric has drained. May be called again.
+  /// With Config::app_threads > 1 (uffd engine only) each node additionally
+  /// hosts `app_threads - 1` attached sibling threads exercising the
+  /// concurrent fault path; the body itself still runs once per node, so
+  /// workload results are engine- and thread-count-independent.
   void run(const std::function<void(Worker&)>& body);
+
+  /// Attaches the calling thread to `node` as a new app thread and returns
+  /// its ThreadId. Aborts if the thread is already attached or the node's
+  /// kMaxAppThreads slots are taken. Worker::spawn wraps this; tests may
+  /// call it directly to drive the lifecycle.
+  ThreadId attach_thread(NodeId node);
+  /// Reverses attach_thread. Must be called on the attached thread itself.
+  void detach_thread(NodeId node, ThreadId tid);
+
+  /// Effective app threads per node (after the TUTORDSM_APP_THREADS
+  /// override and the sigsegv single-thread clamp).
+  std::size_t app_threads() const { return cfg_.app_threads; }
 
   // --- observability --------------------------------------------------------
   StatsSnapshot stats() const { return stats_.snapshot(); }
@@ -159,6 +190,17 @@ class System {
     VirtualTime kill_at = 0;
     bool kill_restart = false;
     std::atomic<bool> killed{false};
+    /// Kernel tid of each attached app thread (0 = slot vacant). Lock-free:
+    /// fault attribution reads it from uffd executor threads concurrently
+    /// with attach/detach. Slot 0 is the primary body thread.
+    std::array<std::atomic<std::uint32_t>, kMaxAppThreads> thread_ktid{};
+    /// ThreadId whose attachment owns `ktid`, or 0 (the primary) if unknown.
+    ThreadId tid_of_ktid(std::uint32_t ktid) const {
+      for (ThreadId t = 0; t < kMaxAppThreads; ++t) {
+        if (thread_ktid[t].load(std::memory_order_acquire) == ktid) return t;
+      }
+      return 0;
+    }
   };
 
   /// Fault injection: called at every worker operation boundary. Throws
@@ -193,6 +235,14 @@ class System {
   std::unique_ptr<Network> network_;
   std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  /// Process-wide scratch region the mt sibling threads fault on
+  /// (app_threads > 1 only). Registered with the same engine — siblings go
+  /// through the real dispatcher/executor/coalescing machinery — but its
+  /// handler self-serves page rights and never touches protocol, network,
+  /// clock, or checker state, so the SPMD workload's fault sequence,
+  /// message flow, and checksums stay identical to the single-thread run.
+  std::unique_ptr<ViewRegion> scratch_view_;
+  int scratch_token_ = -1;
   std::size_t heap_used_ = 0;
   bool running_ = false;
   bool pages_initialized_ = false;

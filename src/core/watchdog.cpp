@@ -16,9 +16,21 @@ std::int64_t steady_now_ns() {
 
 }  // namespace
 
-Watchdog::Watchdog(std::size_t n_slots, std::uint32_t bound_ms, DumpFn dump)
-    : bound_ms_(bound_ms), dump_(std::move(dump)), slots_(n_slots) {
+Watchdog::Watchdog(std::size_t n_nodes, std::size_t threads_per_node,
+                   std::uint32_t bound_ms, DumpFn dump)
+    : bound_ms_(bound_ms),
+      dump_(std::move(dump)),
+      threads_per_node_(threads_per_node == 0 ? 1 : threads_per_node),
+      slots_(n_nodes * (threads_per_node == 0 ? 1 : threads_per_node)) {
   if (enabled()) scanner_ = std::thread([this] { scan_loop(); });
+}
+
+void Watchdog::bind_thread(std::size_t slot, std::uint32_t ktid) {
+  slots_[slot].ktid.store(ktid, std::memory_order_relaxed);
+}
+
+std::uint32_t Watchdog::bound_thread(std::size_t slot) const {
+  return slots_[slot].ktid.load(std::memory_order_relaxed);
 }
 
 Watchdog::~Watchdog() {
@@ -76,8 +88,13 @@ void Watchdog::scan_loop() {
       if (stuck_ms < static_cast<std::int64_t>(bound_ms_)) continue;
 
       const char* what = f.what.load(std::memory_order_relaxed);
-      std::cerr << "[tutordsm] WATCHDOG: node " << i << " stuck in "
-                << (what != nullptr ? what : "?") << " (detail="
+      std::cerr << "[tutordsm] WATCHDOG: node " << i / threads_per_node_;
+      if (threads_per_node_ > 1) {
+        std::cerr << " thread " << i % threads_per_node_;
+        const std::uint32_t ktid = s.ktid.load(std::memory_order_relaxed);
+        if (ktid != 0) std::cerr << " (ktid " << ktid << ")";
+      }
+      std::cerr << " stuck in " << (what != nullptr ? what : "?") << " (detail="
                 << f.detail.load(std::memory_order_relaxed) << ") for " << stuck_ms
                 << " ms (bound " << bound_ms_ << " ms) — dumping state and aborting\n";
       if (dump_) dump_(std::cerr);

@@ -32,9 +32,11 @@ class Watchdog {
   /// before abort. Receives the stream to write the report to.
   using DumpFn = std::function<void(std::ostream&)>;
 
-  /// One watcher per System: `n_slots` = number of nodes (one app thread
-  /// each). `bound_ms == 0` disables the thread entirely.
-  Watchdog(std::size_t n_slots, std::uint32_t bound_ms, DumpFn dump);
+  /// One watcher per System: one slot per (node, app thread) pair —
+  /// `n_nodes * threads_per_node` slots, slot = node * threads_per_node +
+  /// tid (see slot_of). `bound_ms == 0` disables the thread entirely.
+  Watchdog(std::size_t n_nodes, std::size_t threads_per_node,
+           std::uint32_t bound_ms, DumpFn dump);
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
@@ -62,6 +64,18 @@ class Watchdog {
     return Guard(wd != nullptr && wd->enabled() ? wd : nullptr, slot, what, detail);
   }
 
+  /// Slot index of app thread `tid` on `node`.
+  std::size_t slot_of(NodeId node, ThreadId tid) const {
+    return static_cast<std::size_t>(node) * threads_per_node_ + tid;
+  }
+
+  /// Records which OS thread currently owns `slot` (0 = vacated), so the
+  /// stuck-report and diagnostic dump can name the kernel thread id.
+  void bind_thread(std::size_t slot, std::uint32_t ktid);
+
+  /// Kernel tid bound to `slot`, or 0 if none (diagnostic dumps).
+  std::uint32_t bound_thread(std::size_t slot) const;
+
  private:
   static constexpr int kMaxDepth = 4;
 
@@ -76,6 +90,7 @@ class Watchdog {
     };
     Frame frames[kMaxDepth];
     std::atomic<int> depth{0};
+    std::atomic<std::uint32_t> ktid{0};  ///< OS thread bound to this slot
   };
 
   void push(std::size_t slot, const char* what, std::uint64_t detail);
@@ -84,6 +99,7 @@ class Watchdog {
 
   std::uint32_t bound_ms_;
   DumpFn dump_;
+  std::size_t threads_per_node_;
   std::vector<Slot> slots_;
   std::atomic<bool> stopping_{false};
   // Guards nothing (the slot table is all-atomic); the mutex exists only as

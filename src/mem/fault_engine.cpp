@@ -24,6 +24,17 @@ void FaultEngine::debug_dump(std::ostream& os) const {
 }
 
 namespace {
+thread_local std::uint32_t t_fault_ktid = 0;
+}  // namespace
+
+std::uint32_t current_fault_ktid() { return t_fault_ktid; }
+
+namespace detail {
+FaultKtidScope::FaultKtidScope(std::uint32_t ktid) { t_fault_ktid = ktid; }
+FaultKtidScope::~FaultKtidScope() { t_fault_ktid = 0; }
+}  // namespace detail
+
+namespace {
 
 // The historical trap path, wrapped behind the seam: registration delegates
 // to the process-wide SIGSEGV FaultRouter, and protect() is raw mprotect.

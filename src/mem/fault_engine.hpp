@@ -63,6 +63,15 @@ struct RegionHooks {
   Tracer* trace = nullptr;        ///< null when tracing is off
   LogicalClock* clock = nullptr;  ///< the owning node's virtual clock
   NodeId node = kNoNode;
+  /// Application threads that may fault on this region concurrently. 1 (the
+  /// default) keeps the uffd engine on its historical inline service path —
+  /// one event at a time on the poller thread, bit-identical ordering. N > 1
+  /// makes the poller a dispatcher feeding min(N, kMaxAppThreads) executor
+  /// threads: concurrent faults on *different* pages are serviced in
+  /// parallel, concurrent faults on the *same* page coalesce into the one
+  /// in-flight service (counted as mem.fault_coalesced). The sigsegv engine
+  /// ignores this field — it is single-thread-only by construction.
+  std::size_t app_threads = 1;
 };
 
 /// A fault engine: installs trap ownership over view regions and implements
@@ -122,5 +131,23 @@ bool uffd_available(std::string* reason);
 /// Internal: the uffd backend factory (uffd_engine.cpp). Aborts if
 /// uffd_available() is false.
 std::unique_ptr<FaultEngine> make_uffd_engine(StatsRegistry* stats);
+
+/// While a fault handler runs on a uffd executor thread, the kernel thread
+/// id of the *faulting* app thread (from UFFD_FEATURE_THREAD_ID); 0 on the
+/// sigsegv engine (the handler runs on the faulting thread itself) and
+/// outside fault service. The runtime maps it back to a (node, thread)
+/// attachment for watchdog slots and checker epochs.
+std::uint32_t current_fault_ktid();
+
+namespace detail {
+/// Engine-internal: scopes current_fault_ktid() around one handler call.
+class FaultKtidScope {
+ public:
+  explicit FaultKtidScope(std::uint32_t ktid);
+  ~FaultKtidScope();
+  FaultKtidScope(const FaultKtidScope&) = delete;
+  FaultKtidScope& operator=(const FaultKtidScope&) = delete;
+};
+}  // namespace detail
 
 }  // namespace dsm

@@ -44,8 +44,11 @@
 #define TUTORDSM_HAVE_UFFD 0
 #endif
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -103,6 +106,14 @@ namespace {
 #define UFFD_FEATURE_EXACT_ADDRESS (static_cast<__u64>(1) << 11)
 #endif
 
+// UFFD_FEATURE_THREAD_ID (kernel >= 4.14, far older than the minor-fault
+// floor): stamps each event with the faulting thread's kernel tid, which is
+// how a multi-threaded node attributes a fault serviced on an executor
+// thread back to the (node, app-thread) pair that raised it.
+#ifndef UFFD_FEATURE_THREAD_ID
+#define UFFD_FEATURE_THREAD_ID (static_cast<__u64>(1) << 8)
+#endif
+
 // O_NONBLOCK is load-bearing, not a preference: poll(2) on a *blocking*
 // userfaultfd reports POLLERR instead of "no events yet" (userfaultfd(2)),
 // which would spin the poller forever while the faulting thread sleeps.
@@ -117,19 +128,42 @@ int open_uffd() {
   return fd;
 }
 
-constexpr std::uint64_t kNeededFeatures = UFFD_FEATURE_MINOR_SHMEM |
-                                          UFFD_FEATURE_WP_HUGETLBFS_SHMEM |
-                                          UFFD_FEATURE_EXACT_ADDRESS;
+constexpr std::uint64_t kNeededFeatures =
+    UFFD_FEATURE_MINOR_SHMEM | UFFD_FEATURE_WP_HUGETLBFS_SHMEM |
+    UFFD_FEATURE_EXACT_ADDRESS | UFFD_FEATURE_THREAD_ID;
 
-/// One registered region: its own userfaultfd, its own poller thread. A DSM
-/// node has exactly one app thread today, so at most one fault per region is
-/// ever pending and a single poller services it without queuing delay.
+/// One kernel fault event, classified and queued for an executor.
+struct PendingFault {
+  PageId page = kNoPage;
+  std::size_t offset = 0;
+  bool is_write = false;
+  bool wp_fault = false;
+  std::uint32_t ktid = 0;  ///< faulting thread's kernel tid (THREAD_ID)
+};
+
+/// One registered region: its own userfaultfd, its own poller thread. With
+/// one app thread (hooks.app_threads == 1, the historical model) at most one
+/// fault is ever pending, so the poller services events inline — the exact
+/// pre-mt sequence. With N app threads the poller turns dispatcher: it
+/// classifies events, coalesces same-page duplicates against the in-flight
+/// set, and feeds an executor pool that runs the protocol handlers — so
+/// faults on different pages are serviced concurrently.
 struct UffdRegion {
   ViewRegion* view = nullptr;
   RegionHooks hooks;
   int uffd = -1;
   int stop_pipe[2] = {-1, -1};  ///< write end poked to stop the poller
   std::thread poller;
+
+  // Executor-pool state; unused (pool empty) when app_threads == 1. The
+  // queue mutex is held only around container flips — never across the
+  // protocol handler, which takes page/fabric locks of its own.
+  Mutex queue_mutex ACQUIRED_BEFORE(lock_order::fabric_gate);
+  CondVar queue_cv;
+  std::deque<PendingFault> queue GUARDED_BY(queue_mutex);
+  std::set<PageId> in_flight GUARDED_BY(queue_mutex);
+  bool stopping GUARDED_BY(queue_mutex) = false;
+  std::vector<std::thread> pool;
 };
 
 class UffdEngine final : public FaultEngine {
@@ -200,6 +234,15 @@ class UffdEngine final : public FaultEngine {
     UffdRegion* raw = region.get();
     view->set_protect_route(
         [this, raw](PageId page, Access access) { do_protect(*raw, page, access); });
+    // Multi-threaded nodes get an executor pool; a single-threaded node
+    // keeps the historical inline-service poller (pool empty).
+    if (region->hooks.app_threads > 1) {
+      const std::size_t n_exec = std::min(region->hooks.app_threads, kMaxAppThreads);
+      region->pool.reserve(n_exec);
+      for (std::size_t i = 0; i < n_exec; ++i) {
+        region->pool.emplace_back([this, raw] { executor_loop(*raw); });
+      }
+    }
     region->poller = std::thread([this, raw] { poll_loop(*raw); });
 
     const MutexLock lock(mutex_);
@@ -222,10 +265,18 @@ class UffdEngine final : public FaultEngine {
       region = std::move(regions_[idx]);
     }
     // No fault may be in flight by contract (app threads joined), so the
-    // poller is blocked in poll(): poke it and join.
+    // poller is blocked in poll(): poke it and join. Executors then drain
+    // whatever the dispatcher already queued (nothing, by the same contract)
+    // and exit on the stopping flag.
     const char byte = 's';
     DSM_CHECK(::write(region->stop_pipe[1], &byte, 1) == 1);
     region->poller.join();
+    {
+      const MutexLock lock(region->queue_mutex);
+      region->stopping = true;
+    }
+    region->queue_cv.notify_all();
+    for (auto& exec : region->pool) exec.join();
     region->view->set_protect_route(nullptr);
 
     struct uffdio_range range = {};
@@ -272,7 +323,8 @@ class UffdEngine final : public FaultEngine {
        << " continues=" << snap.counter("uffd.continues")
        << " writeprotects=" << snap.counter("uffd.writeprotects")
        << " zaps=" << snap.counter("uffd.zaps")
-       << " wakes=" << snap.counter("uffd.wakes") << '\n';
+       << " wakes=" << snap.counter("uffd.wakes")
+       << " coalesced=" << snap.counter("mem.fault_coalesced") << '\n';
   }
 
  private:
@@ -375,30 +427,98 @@ class UffdEngine final : public FaultEngine {
 
       const auto* addr = reinterpret_cast<const std::byte*>(  // NOLINT
           static_cast<std::uintptr_t>(msg.arg.pagefault.address));
-      const PageId page = region.view->page_of(addr);
-      const std::size_t offset =
-          region.view->offset_of(addr) % region.view->page_size();
       const auto flags = msg.arg.pagefault.flags;
-      const bool wp_fault = (flags & UFFD_PAGEFAULT_FLAG_WP) != 0;
-      const bool is_write = (flags & UFFD_PAGEFAULT_FLAG_WRITE) != 0;
-      count(wp_fault ? "uffd.wp_faults" : "uffd.minor_faults");
+      PendingFault fault;
+      fault.page = region.view->page_of(addr);
+      fault.offset = region.view->offset_of(addr) % region.view->page_size();
+      fault.wp_fault = (flags & UFFD_PAGEFAULT_FLAG_WP) != 0;
+      fault.is_write = (flags & UFFD_PAGEFAULT_FLAG_WRITE) != 0;
+      fault.ktid = msg.arg.pagefault.feat.ptid;
+      count(fault.wp_fault ? "uffd.wp_faults" : "uffd.minor_faults");
+
+      if (region.pool.empty()) {
+        // Single app thread: service inline on the poller — the historical
+        // one-event-at-a-time sequence, bit-identical to the pre-mt engine.
+        service_fault(region, fault);
+        continue;
+      }
+      // Dispatcher mode. A second fault on a page whose service is already
+      // in flight coalesces: the faulting thread stays parked, the one
+      // whole-page UFFDIO_WAKE issued when that service completes wakes it
+      // too, and if its rights are still insufficient it re-faults and gets
+      // dispatched fresh. Everything else queues for the executor pool.
+      bool dispatched = false;
       {
-        // The uffd service leg: kernel event → protocol handler complete,
-        // on the owning node's virtual timeline (the runtime's read-fault /
-        // write-fault span opens inside this one).
-        const TraceScope span(region.hooks.trace, region.hooks.node, TraceCat::kFault,
-                              wp_fault ? "uffd-wp" : "uffd-minor", region.hooks.clock,
-                              "page", page, "write", static_cast<std::uint64_t>(is_write));
-        region.hooks.on_fault(page, offset, is_write);
+        const MutexLock lock(region.queue_mutex);
+        if (region.in_flight.contains(fault.page)) {
+          count("mem.fault_coalesced");
+        } else {
+          region.in_flight.insert(fault.page);
+          region.queue.push_back(fault);
+          dispatched = true;
+        }
       }
-      // Single wake, after the handler installed the page's final rights —
-      // the uffd equivalent of returning from the SIGSEGV handler.
-      struct uffdio_range wake = page_range(region, page);
-      while (::ioctl(region.uffd, UFFDIO_WAKE, &wake) != 0) {
-        DSM_CHECK_MSG(errno == EAGAIN,
-                      "UFFDIO_WAKE(page " << page << ") failed: " << std::strerror(errno));
+      if (dispatched) region.queue_cv.notify_one();
+    }
+  }
+
+  /// Runs the protocol handler for one classified fault. Called inline on
+  /// the poller (single-thread mode) or on an executor thread (pool mode).
+  void run_handler(UffdRegion& region, const PendingFault& fault) {
+    // The uffd service leg: kernel event → protocol handler complete,
+    // on the owning node's virtual timeline (the runtime's read-fault /
+    // write-fault span opens inside this one).
+    const TraceScope span(region.hooks.trace, region.hooks.node, TraceCat::kFault,
+                          fault.wp_fault ? "uffd-wp" : "uffd-minor", region.hooks.clock,
+                          "page", fault.page, "write",
+                          static_cast<std::uint64_t>(fault.is_write));
+    const detail::FaultKtidScope ktid_scope(fault.ktid);
+    region.hooks.on_fault(fault.page, fault.offset, fault.is_write);
+  }
+
+  /// Single wake, after the handler installed the page's final rights — the
+  /// uffd equivalent of returning from the SIGSEGV handler. Wakes every
+  /// thread parked on the page, including coalesced same-page faulters.
+  void wake_page(UffdRegion& region, PageId page) {
+    struct uffdio_range wake = page_range(region, page);
+    while (::ioctl(region.uffd, UFFDIO_WAKE, &wake) != 0) {
+      DSM_CHECK_MSG(errno == EAGAIN, "UFFDIO_WAKE(page " << page
+                                         << ") failed: " << std::strerror(errno));
+    }
+    count("uffd.wakes");
+  }
+
+  void service_fault(UffdRegion& region, const PendingFault& fault) {
+    run_handler(region, fault);
+    wake_page(region, fault.page);
+  }
+
+  /// Executor-pool worker: drain dispatched faults until teardown.
+  void executor_loop(UffdRegion& region) {
+    for (;;) {
+      PendingFault fault;
+      {
+        MutexLock lock(region.queue_mutex);
+        while (region.queue.empty() && !region.stopping)
+          region.queue_cv.wait(region.queue_mutex);
+        if (region.queue.empty()) return;  // stopping, drained
+        fault = region.queue.front();
+        region.queue.pop_front();
       }
-      count("uffd.wakes");
+      run_handler(region, fault);
+      {
+        // Retire the page from in_flight BEFORE waking it. A woken thread
+        // whose rights are still insufficient re-faults immediately; if the
+        // page were still marked in-flight the poller would coalesce that
+        // fault against a wake that has already happened and the thread
+        // would park forever. Erasing first means every fault the poller
+        // coalesced is covered by the wake below, and any fault arriving
+        // after the erase is dispatched fresh (a spurious re-service of a
+        // page that already has rights is harmless, as with SIGSEGV races).
+        const MutexLock lock(region.queue_mutex);
+        region.in_flight.erase(fault.page);
+      }
+      wake_page(region, fault.page);
     }
   }
 

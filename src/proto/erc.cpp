@@ -56,7 +56,10 @@ void ErcProtocol::init_pages() {
     e.parked.clear();
     e.manager_parked.clear();
   }
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   flush_outstanding_ = 0;
   const MutexLock lock(txn_mutex_);
   txns_.clear();
@@ -132,6 +135,7 @@ void ErcProtocol::on_write_fault(PageId page) {
       page_io::note_state(ctx_, page, PageState::kReadWrite);
       if (!e.dirty) {
         e.dirty = true;
+        const MutexLock dirty(dirty_mutex_);
         dirty_pages_.push_back(page);
       }
       return;
@@ -151,19 +155,33 @@ void ErcProtocol::on_write_fault(PageId page) {
 }
 
 void ErcProtocol::flush_dirty() {
-  if (dirty_pages_.empty()) return;
+  // Swap the dirty list out whole: another app thread may be appending (via
+  // a concurrent write fault) or flushing at the same time. Whoever swaps a
+  // page owns flushing it; a racer that swaps an empty list still waits out
+  // the outstanding acks below, so no release completes before every page
+  // dirtied under it has reached its home.
+  std::vector<PageId> dirty;
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty.swap(dirty_pages_);
+  }
+  if (dirty.empty()) {
+    RelockableMutexLock lock(flush_mutex_);
+    while (flush_outstanding_ != 0) flush_cv_.wait(flush_mutex_);
+    return;
+  }
   ++n_flushes_;
   {
     // Register the expected acks BEFORE any update goes out: the first ack
     // can arrive while we are still encoding the second diff.
     const MutexLock lock(flush_mutex_);
-    flush_outstanding_ += static_cast<int>(dirty_pages_.size());
+    flush_outstanding_ += static_cast<int>(dirty.size());
   }
   {
     // Release-time fan-out batching: updates for pages sharing a home
     // coalesce into one kBatch datagram when the scope closes.
     Network::BatchScope batch(ctx_.net);
-    for (const PageId page : dirty_pages_) {
+    for (const PageId page : dirty) {
       auto& e = ctx_.table->entry(page);
       std::vector<std::byte> field;
       std::size_t diff_bytes = 0;
@@ -208,7 +226,6 @@ void ErcProtocol::flush_dirty() {
       ctx_.send(MsgType::kUpdate, ctx_.home_of(page), std::move(w).take());
     }
   }
-  dirty_pages_.clear();
 
   RelockableMutexLock lock(flush_mutex_);
   while (flush_outstanding_ != 0) flush_cv_.wait(flush_mutex_);
@@ -724,7 +741,10 @@ void ErcProtocol::on_self_restart() {
     e.manager_parked.clear();
     e.version = 0;
   }
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   {
     const MutexLock lock(flush_mutex_);
     flush_outstanding_ = 0;

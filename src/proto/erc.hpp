@@ -10,6 +10,7 @@
 // on its next fault.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <map>
 #include <set>
@@ -111,11 +112,15 @@ class ErcProtocol final : public Protocol {
   Mutex txn_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
   std::map<PageId, HomeTxn> txns_ GUARDED_BY(txn_mutex_);
 
-  // App-thread-only: pages written since the last flush, and the flush
-  // counter tests read after the run is quiescent. Deliberately unguarded —
-  // single-thread by construction, the join orders the test's read.
-  std::vector<PageId> dirty_pages_;
-  std::uint64_t n_flushes_ = 0;
+  // Pages written since the last flush. Written by whichever thread
+  // services a write fault (uffd executors run several concurrently) and
+  // drained by an app thread's release flush, so it gets its own leaf
+  // mutex; flushers swap the list out rather than iterate it in place.
+  Mutex dirty_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<PageId> dirty_pages_ GUARDED_BY(dirty_mutex_);
+  // Flush counter tests read after the run is quiescent (the join orders
+  // the read); atomic because two app threads may flush concurrently.
+  std::atomic<std::uint64_t> n_flushes_{0};
 
   // Release-flush rendezvous between the app thread and the service thread.
   Mutex flush_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);

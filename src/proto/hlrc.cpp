@@ -59,7 +59,10 @@ void HlrcProtocol::init_pages() {
   const MutexLock meta(meta_mutex_);
   vc_ = VectorClock(ctx_.n_nodes);
   for (auto& log : interval_log_) log.clear();
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   flush_outstanding_ = 0;
   barrier_records_.clear();
   barrier_vc_ = VectorClock(ctx_.n_nodes);
@@ -133,6 +136,7 @@ void HlrcProtocol::on_write_fault(PageId page) {
       page_io::note_state(ctx_, page, PageState::kReadWrite);
       if (!e.dirty) {
         e.dirty = true;
+        const MutexLock dirty(dirty_mutex_);
         dirty_pages_.push_back(page);
       }
       return;
@@ -153,20 +157,33 @@ void HlrcProtocol::on_write_fault(PageId page) {
 // --------------------------------------------------------------------------
 
 void HlrcProtocol::close_and_flush() {
-  if (dirty_pages_.empty()) return;
+  // Swap the dirty list out whole: a concurrent write fault on another app
+  // thread may be appending. A racer that swaps an empty list still waits
+  // out the outstanding acks below — no release completes before every
+  // page dirtied under it is home-acknowledged.
+  std::vector<PageId> dirty;
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty.swap(dirty_pages_);
+  }
+  if (dirty.empty()) {
+    RelockableMutexLock lock(flush_mutex_);
+    while (flush_outstanding_ != 0) flush_cv_.wait(flush_mutex_);
+    return;
+  }
   {
     const MutexLock flush(flush_mutex_);
-    flush_outstanding_ += static_cast<int>(dirty_pages_.size());
+    flush_outstanding_ += static_cast<int>(dirty.size());
   }
   IntervalRecord rec;
   rec.node = ctx_.id;
-  rec.pages = dirty_pages_;
+  rec.pages = dirty;
   {
     const MutexLock meta(meta_mutex_);
     vc_.tick(ctx_.id);
     if (ctx_.check != nullptr) ctx_.check->on_vclock(ctx_.id, vc_);
     rec.interval = vc_[ctx_.id];
-    for (const PageId page : dirty_pages_) {
+    for (const PageId page : dirty) {
       auto& e = ctx_.table->entry(page);
       const MutexLock lock(e.mutex);
       DSM_CHECK(e.dirty && e.twin != nullptr);
@@ -191,7 +208,6 @@ void HlrcProtocol::close_and_flush() {
     }
     interval_log_[ctx_.id].push_back(std::move(rec));
   }
-  dirty_pages_.clear();
 
   // Eager half of HLRC: the release is not complete (and no grant can be
   // filled) until every home acknowledged — homes are then hb-current.

@@ -79,8 +79,12 @@ class HlrcProtocol final : public Protocol {
   CondVar flush_cv_;
   int flush_outstanding_ GUARDED_BY(flush_mutex_) = 0;
 
-  // ---- app-thread-only ----
-  std::vector<PageId> dirty_pages_;
+  // ---- dirty list ----
+  // Appended by whichever thread services a write fault (uffd executors run
+  // several concurrently), swapped out whole by close_and_flush — its own
+  // leaf mutex, as in LRC.
+  Mutex dirty_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<PageId> dirty_pages_ GUARDED_BY(dirty_mutex_);
 
   // ---- barrier manager scratch ----
   std::vector<IntervalRecord> barrier_records_;

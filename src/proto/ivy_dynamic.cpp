@@ -222,16 +222,21 @@ void IvyDynamicProtocol::serve_write(PageId page, NodeId requester) {
   {
     const MutexLock lock(e.mutex);
     DSM_CHECK(e.is_owner && e.state != PageState::kInvalid);
-    bytes = page_io::read_page(ctx_, page, e.state);
+    // Revoke-before-copy: see IvyManagerProtocol::handle_write_forward — a
+    // concurrent app-thread store to another word of this page would be
+    // lost if it landed between a copy-first and the zap. The copy reads
+    // the service alias, which survives the app-view zap.
+    const PageState had = e.state;
+    ctx_.view->protect(page, Access::kNone);
+    e.state = PageState::kInvalid;
+    page_io::note_state(ctx_, page, PageState::kInvalid);
+    bytes = page_io::read_page(ctx_, page, had);
     for (const NodeId n : e.copyset.members()) {
       if (n != requester) holders.push_back(n);
     }
     e.copyset.clear();
     e.is_owner = false;
     e.prob_owner = requester;
-    ctx_.view->protect(page, Access::kNone);
-    e.state = PageState::kInvalid;
-    page_io::note_state(ctx_, page, PageState::kInvalid);
   }
   WireWriter w(bytes.size() + 16);
   w.put(page);

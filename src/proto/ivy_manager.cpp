@@ -208,15 +208,24 @@ void IvyManagerProtocol::handle_write_forward(const Message& msg) {
     const MutexLock lock(e.mutex);
     DSM_CHECK_MSG(e.state != PageState::kInvalid,
                   "ivy: non-owner " << ctx_.id << " asked to transfer page " << page);
-    bytes = page_io::read_page(ctx_, page, e.state);
-    for (const NodeId n : e.copyset.members()) {
-      if (n != requester) holders.push_back(n);
-    }
-    e.copyset.clear();
+    // Revoke the app view BEFORE copying the bytes out. The old owner's app
+    // thread may be storing to an unrelated word of this page right now
+    // (it holds a different lock); with copy-first, a store landing between
+    // the copy and the revocation stays local, dies with the zap, and the
+    // new owner never sees it — a lost update. Revoke-first makes any
+    // concurrent store fault and replay against the new owner instead. The
+    // copy itself goes through the service alias, which a zap of the app
+    // view cannot invalidate.
+    const PageState had = e.state;
     // The old owner's copy dies right here — no invalidate message needed.
     ctx_.view->protect(page, Access::kNone);
     e.state = PageState::kInvalid;
     page_io::note_state(ctx_, page, PageState::kInvalid);
+    bytes = page_io::read_page(ctx_, page, had);
+    for (const NodeId n : e.copyset.members()) {
+      if (n != requester) holders.push_back(n);
+    }
+    e.copyset.clear();
   }
 
   WireWriter w(bytes.size() + 16);

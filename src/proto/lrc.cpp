@@ -73,7 +73,10 @@ void LrcProtocol::init_pages() {
   for (auto& log : interval_log_) log.clear();
   diff_cache_.clear();
   diff_inbox_.clear();
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   barrier_records_.clear();
   barrier_gen_.clear();
   barrier_settle_round_ = false;
@@ -109,6 +112,7 @@ void LrcProtocol::on_write_fault(PageId page) {
         page_io::note_state(ctx_, page, PageState::kReadWrite);
         if (!e.dirty) {
           e.dirty = true;
+          const MutexLock dirty(dirty_mutex_);
           dirty_pages_.push_back(page);
         }
         return;
@@ -208,7 +212,14 @@ void LrcProtocol::make_page_valid(PageId page) {
 // --------------------------------------------------------------------------
 
 void LrcProtocol::close_interval() {
-  if (dirty_pages_.empty()) return;
+  // Swap the dirty list out whole: a concurrent write fault on another app
+  // thread may be appending while this thread closes its interval.
+  std::vector<PageId> dirty;
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty.swap(dirty_pages_);
+  }
+  if (dirty.empty()) return;
   const MutexLock meta(meta_mutex_);
   ++lamport_;
   vc_.tick(ctx_.id);
@@ -219,9 +230,9 @@ void LrcProtocol::close_interval() {
   rec.node = ctx_.id;
   rec.interval = interval;
   rec.lamport = lamport_;
-  rec.pages = dirty_pages_;
+  rec.pages = dirty;
 
-  for (const PageId page : dirty_pages_) {
+  for (const PageId page : dirty) {
     auto& e = ctx_.table->entry(page);
     const MutexLock lock(e.mutex);
     DSM_CHECK(e.dirty && e.twin != nullptr);
@@ -250,7 +261,6 @@ void LrcProtocol::close_interval() {
     }
   }
   interval_log_[ctx_.id].push_back(std::move(rec));
-  dirty_pages_.clear();
   ctx_.stats->counter("lrc.intervals").add();
 }
 

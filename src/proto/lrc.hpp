@@ -112,8 +112,14 @@ class LrcProtocol final : public Protocol {
   // ---- per-page pending notices, guarded by that page's entry mutex ----
   std::vector<std::vector<WriteNotice>> pending_;
 
-  // ---- app-thread-only ----
-  std::vector<PageId> dirty_pages_;
+  // ---- dirty list ----
+  // Appended by whichever thread services a write fault (uffd executors run
+  // several concurrently), swapped out whole by close_interval. Its own
+  // leaf mutex: the push site already holds the page's entry mutex and
+  // close_interval takes meta_mutex_ after releasing this, so neither
+  // existing mutex could guard it without an ordering cycle.
+  Mutex dirty_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<PageId> dirty_pages_ GUARDED_BY(dirty_mutex_);
 
   /// Settle round, app-thread side: unicast every cached diff to its page's
   /// home and block until all are acknowledged. Runs in before_barrier, so

@@ -101,7 +101,10 @@ void QrcProtocol::init_pages() {
   recovering_.clear();
   parked_syncs_.clear();
   dead_handled_.clear();
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   {
     const MutexLock lock(flush_mutex_);
     outstanding_.clear();
@@ -167,6 +170,7 @@ void QrcProtocol::on_write_fault(PageId page) {
       page_io::note_state(ctx_, page, PageState::kReadWrite);
       if (!e.dirty) {
         e.dirty = true;
+        const MutexLock dirty(dirty_mutex_);
         dirty_pages_.push_back(page);
       }
       return;
@@ -180,11 +184,24 @@ void QrcProtocol::on_write_fault(PageId page) {
 }
 
 void QrcProtocol::flush_dirty() {
-  if (dirty_pages_.empty()) return;
+  // Swap the dirty list out whole: a concurrent write fault on another app
+  // thread may be appending. A racer that swaps an empty list still waits
+  // out `outstanding_` below — no release completes before every page
+  // dirtied under it is quorum-acknowledged.
+  std::vector<PageId> dirty;
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty.swap(dirty_pages_);
+  }
+  if (dirty.empty()) {
+    RelockableMutexLock lock(flush_mutex_);
+    while (!outstanding_.empty()) flush_cv_.wait(flush_mutex_);
+    return;
+  }
   ctx_.stats->counter("qrc.flushes").add();
   {
     Network::BatchScope batch(ctx_.net);
-    for (const PageId page : dirty_pages_) {
+    for (const PageId page : dirty) {
       auto& e = ctx_.table->entry(page);
       std::vector<std::byte> field;
       std::size_t diff_bytes = 0;
@@ -221,7 +238,6 @@ void QrcProtocol::flush_dirty() {
       ctx_.send(MsgType::kReplWrite, target, std::move(w).take());
     }
   }
-  dirty_pages_.clear();
 
   RelockableMutexLock lock(flush_mutex_);
   while (!outstanding_.empty()) flush_cv_.wait(flush_mutex_);
@@ -693,7 +709,10 @@ void QrcProtocol::on_self_restart() {
     e.parked.clear();
     e.manager_parked.clear();
   }
-  dirty_pages_.clear();
+  {
+    const MutexLock lock(dirty_mutex_);
+    dirty_pages_.clear();
+  }
   {
     const MutexLock lock(flush_mutex_);
     outstanding_.clear();

@@ -133,7 +133,11 @@ class QrcProtocol final : public Protocol {
 
   // --- client state ---------------------------------------------------------
   // App-thread-only list of pages written since the last flush.
-  std::vector<PageId> dirty_pages_;
+  // Appended by whichever thread services a write fault (uffd executors run
+  // several concurrently), swapped out whole by flush_dirty — its own leaf
+  // mutex, as in ERC.
+  Mutex dirty_mutex_ ACQUIRED_BEFORE(lock_order::fabric_gate);
+  std::vector<PageId> dirty_pages_ GUARDED_BY(dirty_mutex_);
 
   // Outstanding release flushes: registered by the app thread, retired by
   // the service thread (ack), re-targeted by the service thread (failover).

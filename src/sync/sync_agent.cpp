@@ -3,6 +3,7 @@
 #include "check/checker.hpp"
 #include "common/assert.hpp"
 #include "common/logging.hpp"
+#include "common/thread_attach.hpp"
 
 namespace dsm {
 namespace {
@@ -49,6 +50,7 @@ SyncAgent::SyncAgent(NodeContext& ctx, Protocol& protocol)
       local_(ctx.cfg->n_locks),
       barrier_gen_(ctx.cfg->n_barriers, 0),
       barrier_entered_(ctx.cfg->n_barriers, 0),
+      barrier_busy_(ctx.cfg->n_barriers, false),
       barrier_arrived_(ctx.cfg->n_barriers),
       barrier_acked_(ctx.cfg->n_barriers) {
   // Forward-chain: the token (and the chain tail) starts at each lock's home.
@@ -67,6 +69,11 @@ bool SyncAgent::handles(MsgType type) {
     case MsgType::kBarrierRelease: return true;
     default: return false;
   }
+}
+
+ThreadId SyncAgent::self_tid() const {
+  const ThreadAttachment* att = current_attachment();
+  return att != nullptr && att->node == ctx_.id ? att->tid : 0;
 }
 
 void SyncAgent::on_message(const Message& msg) {
@@ -90,14 +97,22 @@ void SyncAgent::acquire(LockId lock) {
   {
     RelockableMutexLock guard(mutex_);
     auto& L = local_[lock];
-    DSM_CHECK_MSG(!L.in_cs, "recursive acquire of lock " << lock);
+    DSM_CHECK_MSG(!(L.busy && L.owner_ktid == current_ktid()),
+                  "recursive acquire of lock " << lock);
+    // Another app thread of this node is between acquire and release: wait
+    // for it — the request/grant plumbing carries one transaction per
+    // (node, lock) at a time.
+    while (L.busy) cv_.wait(mutex_);
+    L.busy = true;
+    L.owner_ktid = current_ktid();
     if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain && L.have_token) {
       // Lock caching: we were the last holder and nobody asked since.
       DSM_CHECK(!L.successor.has_value());
       L.in_cs = true;
       ctx_.stats->counter("sync.local_acquires").add();
       if (ctx_.check != nullptr) {
-        ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+        ctx_.check->on_lock_acquired(ctx_.id, self_tid(), lock,
+                                     DsmChecker::LockMode::kMutex);
       }
       return;
     }
@@ -124,7 +139,8 @@ void SyncAgent::acquire(LockId lock) {
   L.have_token = true;
   L.in_cs = true;
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+    ctx_.check->on_lock_acquired(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kMutex);
   }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
@@ -138,7 +154,8 @@ void SyncAgent::release(LockId lock) {
   // Hook after the consistency flush but before any grant can be sent: the
   // checker's release edge must precede the next acquirer's acquire edge.
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kMutex);
+    ctx_.check->on_lock_released(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kMutex);
   }
 
   if (ctx_.cfg->lock_policy == LockPolicy::kForwardChain) {
@@ -148,6 +165,8 @@ void SyncAgent::release(LockId lock) {
       auto& L = local_[lock];
       DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
       L.in_cs = false;
+      L.busy = false;
+      L.owner_ktid = 0;
       if (L.successor.has_value()) {
         successor = std::move(L.successor);
         L.successor.reset();
@@ -155,6 +174,7 @@ void SyncAgent::release(LockId lock) {
       }
       // else: keep the token; a later request will be forwarded to us.
     }
+    cv_.notify_all();
     if (successor.has_value()) {
       const auto req = parse_lock_request(*successor);
       send_grant(lock, req.origin, req.payload);
@@ -169,7 +189,10 @@ void SyncAgent::release(LockId lock) {
     DSM_CHECK_MSG(L.in_cs, "release of lock " << lock << " not held");
     L.in_cs = false;
     L.have_token = false;
+    L.busy = false;
+    L.owner_ktid = 0;
   }
+  cv_.notify_all();
   WireWriter payload(64);
   protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
   WireWriter w(payload.size() + 16);
@@ -190,9 +213,13 @@ void SyncAgent::acquire_read(LockId lock) {
   const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-read",
                         ctx_.clock, "lock", lock);
   {
-    const MutexLock guard(mutex_);
+    RelockableMutexLock guard(mutex_);
     auto& L = local_[lock];
-    DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
+    DSM_CHECK_MSG(!(L.busy && L.owner_ktid == current_ktid()),
+                  "rw lock " << lock << " already held here");
+    while (L.busy) cv_.wait(mutex_);
+    L.busy = true;
+    L.owner_ktid = current_ktid();
   }
   WireWriter req(32);
   protocol_.fill_lock_request(lock, req);
@@ -209,7 +236,8 @@ void SyncAgent::acquire_read(LockId lock) {
   L.granted = false;
   L.in_read_cs = true;
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kRead);
+    ctx_.check->on_lock_acquired(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kRead);
   }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
@@ -219,14 +247,18 @@ void SyncAgent::release_read(LockId lock) {
   // release is a proper release for the consistency protocol too.
   protocol_.before_release(lock);
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kRead);
+    ctx_.check->on_lock_released(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kRead);
   }
   {
     const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(L.in_read_cs, "release_read of lock " << lock << " not read-held");
     L.in_read_cs = false;
+    L.busy = false;
+    L.owner_ktid = 0;
   }
+  cv_.notify_all();
   WireWriter payload(64);
   protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
   WireWriter w(payload.size() + 16);
@@ -243,9 +275,13 @@ void SyncAgent::acquire_write(LockId lock) {
   const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "rw-acquire-write",
                         ctx_.clock, "lock", lock);
   {
-    const MutexLock guard(mutex_);
+    RelockableMutexLock guard(mutex_);
     auto& L = local_[lock];
-    DSM_CHECK_MSG(!L.in_cs && !L.in_read_cs, "rw lock " << lock << " already held here");
+    DSM_CHECK_MSG(!(L.busy && L.owner_ktid == current_ktid()),
+                  "rw lock " << lock << " already held here");
+    while (L.busy) cv_.wait(mutex_);
+    L.busy = true;
+    L.owner_ktid = current_ktid();
   }
   WireWriter req(32);
   protocol_.fill_lock_request(lock, req);
@@ -262,7 +298,8 @@ void SyncAgent::acquire_write(LockId lock) {
   L.granted = false;
   L.in_cs = true;
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_acquired(ctx_.id, lock, DsmChecker::LockMode::kWrite);
+    ctx_.check->on_lock_acquired(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kWrite);
   }
   ctx_.stats->histogram("sync.lock_wait_ns").record(ctx_.clock->now() - t0);
 }
@@ -270,14 +307,18 @@ void SyncAgent::acquire_write(LockId lock) {
 void SyncAgent::release_write(LockId lock) {
   protocol_.before_release(lock);
   if (ctx_.check != nullptr) {
-    ctx_.check->on_lock_released(ctx_.id, lock, DsmChecker::LockMode::kWrite);
+    ctx_.check->on_lock_released(ctx_.id, self_tid(), lock,
+                                 DsmChecker::LockMode::kWrite);
   }
   {
     const MutexLock guard(mutex_);
     auto& L = local_[lock];
     DSM_CHECK_MSG(L.in_cs, "release_write of lock " << lock << " not write-held");
     L.in_cs = false;
+    L.busy = false;
+    L.owner_ktid = 0;
   }
+  cv_.notify_all();
   WireWriter payload(64);
   protocol_.fill_lock_grant(lock, kNoNode, {}, payload);
   WireWriter w(payload.size() + 16);
@@ -549,6 +590,14 @@ void SyncAgent::barrier(BarrierId barrier) {
   const TraceScope span(ctx_.trace, ctx_.id, TraceCat::kSync, "barrier-wait",
                         ctx_.clock, "barrier", barrier);
 
+  // Multi-threaded nodes: one app thread per node in the rendezvous at a
+  // time (see barrier_busy_).
+  {
+    RelockableMutexLock gate(mutex_);
+    while (barrier_busy_[barrier]) cv_.wait(mutex_);
+    barrier_busy_[barrier] = true;
+  }
+
   protocol_.before_barrier(barrier);
   WireWriter payload(64);
   protocol_.fill_barrier_arrive(barrier, payload);
@@ -565,12 +614,20 @@ void SyncAgent::barrier(BarrierId barrier) {
   // Arrive hook strictly before the arrive message: the home releases only
   // after all N arrivals, so every arrive hook precedes every depart hook
   // for this round — the checker's accumulator is complete by departure.
-  if (ctx_.check != nullptr) ctx_.check->on_barrier_arrive(ctx_.id, barrier);
+  if (ctx_.check != nullptr) {
+    ctx_.check->on_barrier_arrive(ctx_.id, self_tid(), barrier);
+  }
   ctx_.send(MsgType::kBarrierArrive, ctx_.barrier_home(barrier), std::move(w).take());
 
-  RelockableMutexLock guard(mutex_);
-  while (barrier_gen_[barrier] < target) cv_.wait(mutex_);
-  if (ctx_.check != nullptr) ctx_.check->on_barrier_depart(ctx_.id, barrier);
+  {
+    RelockableMutexLock guard(mutex_);
+    while (barrier_gen_[barrier] < target) cv_.wait(mutex_);
+    if (ctx_.check != nullptr) {
+      ctx_.check->on_barrier_depart(ctx_.id, self_tid(), barrier);
+    }
+    barrier_busy_[barrier] = false;
+  }
+  cv_.notify_all();
   ctx_.stats->histogram("sync.barrier_wait_ns").record(ctx_.clock->now() - t0);
 }
 

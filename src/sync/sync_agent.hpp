@@ -93,6 +93,15 @@ class SyncAgent {
     bool granted = false;     // grant arrived; app thread may resume
     bool in_read_cs = false;  // between acquire_read() and release_read()
     std::optional<Message> successor;  // forwarded request awaiting our release
+    // Multi-threaded nodes: at most one app thread per (node, lock) may be
+    // between acquire entry and release exit at a time. The gate keeps the
+    // single request/grant/token plumbing above valid with N app threads —
+    // a second local acquirer waits here and then rides the normal path
+    // (for forward-chain, usually the cached-token fast path). `owner_ktid`
+    // distinguishes a recursive acquire by the holding thread (still a bug,
+    // still aborts) from a different thread waiting its turn.
+    bool busy = false;
+    std::uint32_t owner_ktid = 0;
   };
 
   void handle_lock_request(const Message& msg);
@@ -112,6 +121,11 @@ class SyncAgent {
   void maybe_complete_barrier(BarrierId barrier);
   void broadcast_barrier_release(BarrierId barrier, std::uint8_t phase,
                                  std::vector<std::byte> payload);
+
+  /// ThreadId of the calling app thread for checker epochs: the current
+  /// thread's attachment if it belongs to this node, else 0 (service
+  /// threads and single-thread runs).
+  ThreadId self_tid() const;
 
   /// Home-side (forward-chain): route a fresh request to the chain tail.
   void route_to_tail(const Message& msg, LockId lock, NodeId origin);
@@ -133,6 +147,13 @@ class SyncAgent {
       GUARDED_BY(mutex_);                           // client: generations released
   std::vector<std::uint64_t> barrier_entered_
       GUARDED_BY(mutex_);                           // client: generations entered
+  // Multi-threaded nodes: serializes this node's app threads through a
+  // barrier id one rendezvous at a time. The home collapses arrivals into a
+  // per-round identity set, so two concurrent arrivals from one node would
+  // merge into a single round and strand the second thread; gating turns
+  // them into sequential rounds instead (every node must then enter the
+  // barrier the same total number of times, the usual SPMD contract).
+  std::vector<bool> barrier_busy_ GUARDED_BY(mutex_);
   // Manager-side rendezvous state, per barrier id. Identity sets instead of
   // counters so a round can settle against the *live* worker set when a
   // participant dies mid-round (a dead arrival must not stand in for a live

@@ -1,0 +1,125 @@
+// Negative litmus tests for the race detector with *intra-node* racers: two
+// app threads of the same node are distinct FastTrack units (node, tid), so
+// an unsynchronized pair between them must be flagged — with the sibling's
+// per-thread epoch ("c@node.tid") in the report — while the lock-ordered
+// twin stays silent. The detector sits on the fault path, so each staged
+// access is arranged to actually fault (reads before write-upgrades, a
+// remote read to downgrade between two same-node writes).
+//
+// Worker::spawn requires the uffd engine, so these skip visibly where the
+// kernel can't do minor-fault + write-protect userfaultfd. And like the
+// cross-node racy litmus, the races are deliberate: this binary must never
+// run under TSan (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/dsm.hpp"
+
+#include "../test_util.hpp"
+
+namespace dsm {
+namespace {
+
+Config mt_racy_config() {
+  Config cfg;
+  cfg.n_nodes = 3;
+  cfg.n_pages = 8;
+  cfg.protocol = ProtocolKind::kIvyDynamic;
+  cfg.check_level = CheckLevel::kCount;
+  cfg.fault_engine = FaultEngineKind::kUffd;
+  return cfg;
+}
+
+#define REQUIRE_UFFD()                                        \
+  do {                                                        \
+    std::string reason;                                       \
+    if (!uffd_available(&reason))                             \
+      GTEST_SKIP() << "[uffd unavailable] " << reason;        \
+  } while (0)
+
+/// The report must carry the sibling's per-thread identity — both the
+/// spelled-out actor and the dotted epoch — so an intra-node race is
+/// debuggable down to the thread.
+void expect_sibling_race_report(const System& sys) {
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_GE(sys.stats().counter("check.races"), 1u);
+  const std::string report = sys.checker()->last_violation();
+  EXPECT_NE(report.find("data race on page 0"), std::string::npos) << report;
+  EXPECT_NE(report.find("node 1 (thread 1)"), std::string::npos) << report;
+  EXPECT_NE(report.find("@1.1"), std::string::npos) << report;
+}
+
+// WR shape: tid 0 read-faults the cell (node 1 gets a read-only copy), then
+// its sibling write-upgrades the same word with no lock between them. In
+// the DSM happens-before model (release/acquire and barrier edges only —
+// thread spawn is not a synchronization edge) the pair is unordered.
+TEST(MtRacyLitmus, IntraNodeWriteReadRaceIsFlagged) {
+  REQUIRE_UFFD();
+  System sys(mt_racy_config());
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<std::uint64_t> sink{0};
+  sys.run([&](Worker& w) {
+    if (w.id() != 1) return;
+    sink = test::force_read(w.get(cell));               // R by (1, 0)
+    w.spawn([&](Worker& s) { *s.get(cell) = 7; }).join();  // W by (1, 1)
+  });
+  expect_sibling_race_report(sys);
+}
+
+// WW shape: tid 0 writes, a remote read downgrades node 1's copy (so the
+// sibling's write faults and is observed), then the sibling writes the same
+// word. The sibling's write conflicts with both the unordered prior write
+// and the remote read; every report names the sibling as the accessor.
+TEST(MtRacyLitmus, IntraNodeWriteWriteRaceIsFlagged) {
+  REQUIRE_UFFD();
+  System sys(mt_racy_config());
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<int> stage{0};
+  std::atomic<std::uint64_t> sink{0};
+  sys.run([&](Worker& w) {
+    if (w.id() == 2) {
+      while (stage.load() < 1) std::this_thread::yield();
+      sink = test::force_read(w.get(cell));  // downgrades node 1 to read-only
+      stage = 2;
+    }
+    if (w.id() != 1) return;
+    *w.get(cell) = 1;  // W by (1, 0)
+    stage = 1;
+    std::thread sib = w.spawn([&](Worker& s) {
+      while (stage.load() < 2) std::this_thread::yield();
+      *s.get(cell) = 2;  // W by (1, 1): write-upgrade fault, observed
+    });
+    sib.join();
+  });
+  expect_sibling_race_report(sys);
+}
+
+// The lock-ordered twin of the WR shape: the sibling acquires the lock tid 0
+// released after its read, so the release/acquire edge orders the pair and
+// the detector must stay silent — while still observing both accesses.
+TEST(MtRacyLitmus, LockOrderedSiblingTwinStaysSilent) {
+  REQUIRE_UFFD();
+  System sys(mt_racy_config());
+  const auto cell = sys.alloc_page_aligned<std::uint64_t>();
+  std::atomic<std::uint64_t> sink{0};
+  sys.run([&](Worker& w) {
+    if (w.id() != 1) return;
+    w.acquire(0);
+    sink = test::force_read(w.get(cell));
+    w.release(0);
+    w.spawn([&](Worker& s) {
+        s.acquire(0);
+        *s.get(cell) = 7;
+        s.release(0);
+      }).join();
+  });
+  ASSERT_NE(sys.checker(), nullptr);
+  EXPECT_EQ(sys.checker()->violations(), 0u);
+  EXPECT_GT(sys.stats().counter("check.accesses"), 0u);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,216 @@
+// Multi-threaded app nodes: attach/detach lifecycle, same-page fault
+// coalescing, write-upgrade storms, and the 8-thread wake fan-out — the
+// runtime-level proofs behind the .mt2/.mt4 conformance copies. Everything
+// here requires the uffd engine (the sigsegv engine services faults in the
+// faulting thread's signal frame and is single-thread-only), so each test
+// skips visibly where the kernel can't do minor-fault + write-protect
+// userfaultfd.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/thread_attach.hpp"
+#include "core/dsm.hpp"
+
+namespace dsm {
+namespace {
+
+Config mt_config(std::size_t nodes, std::size_t app_threads,
+                 ProtocolKind protocol = ProtocolKind::kIvyDynamic) {
+  Config cfg;
+  cfg.n_nodes = nodes;
+  cfg.n_pages = 32;
+  cfg.page_size = ViewRegion::os_page_size();
+  cfg.protocol = protocol;
+  cfg.fault_engine = FaultEngineKind::kUffd;
+  cfg.app_threads = app_threads;
+  return cfg;
+}
+
+#define REQUIRE_UFFD()                                        \
+  do {                                                        \
+    std::string reason;                                       \
+    if (!uffd_available(&reason))                             \
+      GTEST_SKIP() << "[uffd unavailable] " << reason;        \
+  } while (0)
+
+// attach_thread hands out sibling slots 1..kMaxAppThreads-1, detach_thread
+// vacates them for reuse, and a Worker::spawn sibling sees a non-zero tid
+// while the primary body keeps tid 0.
+TEST(MtRuntime, AttachDetachLifecycle) {
+  REQUIRE_UFFD();
+  System sys(mt_config(2, 1));
+
+  // Direct lifecycle, off the run path: a raw thread attaches, observes its
+  // attachment, detaches, and the slot is reusable by the next thread.
+  ThreadId first = 0;
+  std::thread t1([&] {
+    first = sys.attach_thread(0);
+    const ThreadAttachment* att = current_attachment();
+    ASSERT_NE(att, nullptr);
+    EXPECT_EQ(att->node, 0u);
+    EXPECT_EQ(att->tid, first);
+    sys.detach_thread(0, first);
+    EXPECT_EQ(current_attachment(), nullptr);
+  });
+  t1.join();
+  EXPECT_GE(first, 1u);
+  EXPECT_LT(first, kMaxAppThreads);
+
+  ThreadId second = 0;
+  std::thread t2([&] {
+    second = sys.attach_thread(0);
+    sys.detach_thread(0, second);
+  });
+  t2.join();
+  EXPECT_EQ(second, first);  // the vacated slot was reused
+
+  // Through the run path: spawn gives the sibling its own Worker handle with
+  // a sibling tid; the primary body is always tid 0.
+  std::atomic<ThreadId> sibling_tid{0};
+  sys.run([&](Worker& w) {
+    EXPECT_EQ(w.tid(), 0u);
+    if (w.id() != 0) return;
+    std::thread sib = w.spawn([&](Worker& s) {
+      EXPECT_EQ(s.id(), 0u);
+      sibling_tid = s.tid();
+    });
+    sib.join();
+  });
+  EXPECT_GE(sibling_tid.load(), 1u);
+}
+
+TEST(MtRuntimeDeathTest, DoubleAttachAborts) {
+  REQUIRE_UFFD();
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  System sys(mt_config(2, 1));
+  EXPECT_DEATH(
+      {
+        sys.attach_thread(0);
+        sys.attach_thread(0);  // same thread, second attach
+      },
+      "already attached");
+}
+
+// The coalescing gate: two nodes ping-pong one page (node 1 writes,
+// invalidating node 0's copy; node 0's threads re-fault it) while several
+// sibling readers on node 0 race into the same read fault. Concurrent
+// same-page faults must fold into one in-flight service — visible as
+// mem.fault_coalesced ticking — rather than each issuing its own fetch.
+TEST(MtRuntime, SamePageFaultsCoalesce) {
+  REQUIRE_UFFD();
+  System sys(mt_config(2, 2));
+  const auto cell = sys.alloc_page_aligned<int>();
+  std::atomic<bool> done{false};
+  sys.run([&](Worker& w) {
+    if (w.id() == 1) {
+      int i = 0;
+      while (!done.load(std::memory_order_relaxed))
+        *w.get(cell) = ++i;  // each write re-invalidates node 0's readers
+      return;
+    }
+    std::vector<std::thread> sibs;
+    for (int s = 0; s < 3; ++s) {
+      sibs.push_back(w.spawn([&](Worker& r) {
+        const volatile int* p = r.get(cell);
+        int sink = 0;
+        while (!done.load(std::memory_order_relaxed)) sink += *p;
+        (void)sink;
+      }));
+    }
+    // Primary reads too, and watches the counter; bounded so a regression
+    // fails fast instead of hanging the suite.
+    const volatile int* p = w.get(cell);
+    int sink = 0;
+    for (int round = 0; round < 200'000; ++round) {
+      sink += *p;
+      if (round % 256 == 0 &&
+          sys.stats().counter("mem.fault_coalesced") > 0)
+        break;
+    }
+    done = true;
+    for (auto& t : sibs) t.join();
+  });
+  EXPECT_GT(sys.stats().counter("mem.fault_coalesced"), 0u)
+      << "concurrent same-page faults never coalesced into one service";
+}
+
+// Write-upgrade storm: four threads on one node concurrently take their
+// first write fault on the same page (16 pages in a row). Every slot must
+// come out with its writer's value — no lost wake, no lost write, no
+// deadlock between the colliding upgrade services.
+TEST(MtRuntime, SamePageWriteUpgradeStorm) {
+  REQUIRE_UFFD();
+  constexpr std::size_t kPages = 16;
+  constexpr std::size_t kWriters = 4;  // primary + 3 spawned siblings
+  System sys(mt_config(2, 2));
+  const std::size_t ints_per_page = sys.config().page_size / sizeof(int);
+  const auto arr = sys.alloc_page_aligned<int>(kPages * ints_per_page);
+
+  std::atomic<int> mismatches{0};
+  sys.run([&](Worker& w) {
+    if (w.id() != 0) return;
+    // Rendezvous so all writers hit page p's first fault together.
+    std::atomic<int> arrived[kPages] = {};
+    auto writer_body = [&](Worker& self, std::size_t slot) {
+      for (std::size_t p = 0; p < kPages; ++p) {
+        arrived[p].fetch_add(1);
+        while (arrived[p].load() < static_cast<int>(kWriters))
+          std::this_thread::yield();
+        w.get(arr)[p * ints_per_page + slot] = static_cast<int>(p * 100 + slot);
+      }
+      (void)self;
+    };
+    std::vector<std::thread> sibs;
+    for (std::size_t s = 1; s < kWriters; ++s)
+      sibs.push_back(w.spawn([&, s](Worker& self) { writer_body(self, s); }));
+    writer_body(w, 0);
+    for (auto& t : sibs) t.join();
+    for (std::size_t p = 0; p < kPages; ++p) {
+      for (std::size_t s = 0; s < kWriters; ++s) {
+        if (w.get(arr)[p * ints_per_page + s] != static_cast<int>(p * 100 + s))
+          mismatches++;
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Fan-out: eight app threads on one node (primary + scratch sibling + six
+// spawned) fault eight different pages at once. Different-page faults must
+// service in parallel and every parked thread must be woken — the test
+// passing at all (inside the watchdog bound) is the proof; the fault
+// counters confirm each page actually trapped.
+TEST(MtRuntime, EightThreadPollerWakeFanOut) {
+  REQUIRE_UFFD();
+  constexpr int kSpawned = 6;  // + primary + the app_threads=2 scratch sibling = 8
+  System sys(mt_config(2, 2));
+  const std::size_t ints_per_page = sys.config().page_size / sizeof(int);
+  const auto arr = sys.alloc_page_aligned<int>(8 * ints_per_page);
+
+  std::atomic<int> zeros_seen{0};
+  sys.run([&](Worker& w) {
+    if (w.id() != 0) return;
+    std::atomic<int> arrived{0};
+    auto touch = [&](std::size_t slot) {
+      arrived.fetch_add(1);
+      while (arrived.load() < kSpawned + 1) std::this_thread::yield();
+      if (w.get(arr)[slot * ints_per_page] == 0) zeros_seen++;  // first touch
+    };
+    std::vector<std::thread> sibs;
+    for (std::size_t s = 1; s <= kSpawned; ++s)
+      sibs.push_back(w.spawn([&, s](Worker&) { touch(s); }));
+    touch(0);
+    for (auto& t : sibs) t.join();
+  });
+  EXPECT_EQ(zeros_seen.load(), kSpawned + 1);
+  // How many of the eight pages trap depends on the initial owner layout
+  // (owner copies are mapped from the start), so gate on "some trapped",
+  // not an exact count.
+  EXPECT_GT(sys.stats().counter("uffd.minor_faults"), 0u);
+}
+
+}  // namespace
+}  // namespace dsm
